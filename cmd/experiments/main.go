@@ -1,0 +1,77 @@
+// Command experiments regenerates the tables and figures of the Data
+// Polygamy paper's evaluation (Section 6, Appendix E) on the synthetic
+// NYC-style corpus.
+//
+// Usage:
+//
+//	experiments -exp all                # run the whole suite
+//	experiments -exp table1,figure11    # run selected experiments
+//	experiments -list                   # list experiments
+//
+// Scale knobs (-months, -grid, -scale, -perms, -open) trade fidelity for
+// speed; defaults run the suite in minutes. Use -months 24 -grid 96
+// -perms 1000 -open 300 to approach the paper's setup.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/urbandata/datapolygamy/internal/experiments"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list available experiments and exit")
+		exp     = flag.String("exp", "all", "comma-separated experiment names, or 'all'")
+		seed    = flag.Int64("seed", 1, "corpus generation seed")
+		scale   = flag.Float64("scale", 0.5, "record-volume scale (1.0 = laptop scale)")
+		months  = flag.Int("months", 24, "corpus window in months starting 2011-01")
+		grid    = flag.Int("grid", 48, "city grid side (96 gives ~300 regions, NYC-like)")
+		perms   = flag.Int("perms", 250, "Monte Carlo permutations (paper: 1000)")
+		open    = flag.Int("open", 60, "NYC Open-style corpus size (paper: 300)")
+		workers = flag.Int("workers", 0, "worker pool size (0 = NumCPU)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.All() {
+			fmt.Printf("%-14s %s\n", r.Name, r.Title)
+		}
+		return
+	}
+
+	cfg := experiments.Config{
+		Seed:         *seed,
+		Scale:        *scale,
+		Months:       *months,
+		CityGrid:     *grid,
+		Permutations: *perms,
+		OpenDatasets: *open,
+		Workers:      *workers,
+	}
+	env := experiments.NewEnv(cfg)
+
+	var selected []experiments.Runner
+	if *exp == "all" {
+		selected = experiments.All()
+	} else {
+		for _, name := range strings.Split(*exp, ",") {
+			r := experiments.Find(strings.TrimSpace(name))
+			if r == nil {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", name)
+				os.Exit(2)
+			}
+			selected = append(selected, *r)
+		}
+	}
+	for _, r := range selected {
+		fmt.Printf("\n######## %s ########\n", r.Title)
+		if err := r.Run(env, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.Name, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+// Command gendata writes the synthetic NYC Urban-style collection (and
+// optionally an NYC Open-style corpus) to a directory as CSV files in the
+// format the polygamy CLI consumes.
+//
+// Usage:
+//
+//	gendata -out data/ -months 12 -scale 0.5
+//	polygamy -data data/ -sources taxi -min-score 0.6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/urbandata/datapolygamy/internal/dataset"
+	"github.com/urbandata/datapolygamy/internal/spatial"
+	"github.com/urbandata/datapolygamy/internal/urban"
+)
+
+func main() {
+	var (
+		out    = flag.String("out", "", "output directory (required)")
+		seed   = flag.Int64("seed", 1, "generation seed")
+		months = flag.Int("months", 12, "window length in months from 2011-01")
+		scale  = flag.Float64("scale", 0.5, "record-volume scale")
+		grid   = flag.Int("grid", 48, "city grid side")
+		openN  = flag.Int("open", 0, "also generate N open-style data sets")
+	)
+	flag.Parse()
+	if *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*out, *seed, *months, *scale, *grid, *openN); err != nil {
+		fmt.Fprintln(os.Stderr, "gendata:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, seed int64, months int, scale float64, grid, openN int) error {
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	city, err := spatial.Generate(spatial.Config{
+		Seed: seed, GridW: grid, GridH: grid,
+		Neighborhoods: grid * 3, ZipCodes: grid * 3,
+	})
+	if err != nil {
+		return err
+	}
+	start := time.Date(2011, time.January, 1, 0, 0, 0, 0, time.UTC)
+	col, err := urban.Generate(urban.Config{
+		Seed: seed, City: city, Start: start, End: start.AddDate(0, months, 0), Scale: scale,
+	})
+	if err != nil {
+		return err
+	}
+	write := func(d *dataset.Dataset) error {
+		path := filepath.Join(out, d.Name+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := dataset.WriteCSV(f, d); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d tuples)\n", path, len(d.Tuples))
+		return f.Close()
+	}
+	for _, d := range col.Datasets {
+		if err := write(d); err != nil {
+			return err
+		}
+	}
+	if openN > 0 {
+		open, err := urban.GenerateOpen(urban.OpenConfig{
+			Seed: seed + 7, N: openN, City: city,
+			Start: start, End: start.AddDate(0, months, 0),
+			Weather: col.Weather, Activity: col.Activity,
+		})
+		if err != nil {
+			return err
+		}
+		for _, d := range open {
+			if err := write(d); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/urbandata/datapolygamy/internal/dataset"
+)
+
+func TestGendataWritesCorpus(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, 1, 2, 0.1, 24, 3); err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 9 urban data sets + 3 open ones.
+	if len(files) != 12 {
+		t.Fatalf("wrote %d files, want 12", len(files))
+	}
+	// Every file must parse back.
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := dataset.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if len(d.Tuples) == 0 {
+			t.Errorf("%s is empty", path)
+		}
+	}
+}
+
+func TestGendataBadDir(t *testing.T) {
+	if err := run("/dev/null/nope", 1, 1, 0.1, 24, 0); err == nil {
+		t.Error("expected error for unwritable directory")
+	}
+}

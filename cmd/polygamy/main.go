@@ -1,0 +1,138 @@
+// Command polygamy indexes a corpus of CSV data sets and answers
+// relationship queries from the command line.
+//
+// Usage:
+//
+//	polygamy -data dir/ -sources taxi -min-score 0.6
+//
+// Each file in the data directory must be a data set in the CSV format of
+// internal/dataset (WriteCSV). The tool builds the merge-tree index over
+// all data sets, runs the relationship operator with the given clause, and
+// prints the statistically significant relationships.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/urbandata/datapolygamy/internal/core"
+	"github.com/urbandata/datapolygamy/internal/dataset"
+	"github.com/urbandata/datapolygamy/internal/queryparse"
+	"github.com/urbandata/datapolygamy/internal/spatial"
+)
+
+func main() {
+	var (
+		dataDir  = flag.String("data", "", "directory of data set CSV files (required)")
+		queryStr = flag.String("query", "", `textual query, e.g. "find relationships between taxi and all where score >= 0.6 at (hour, city)" (overrides the flag-based clause)`)
+		sources  = flag.String("sources", "", "comma-separated source data sets (default: all)")
+		targets  = flag.String("targets", "", "comma-separated target data sets (default: all)")
+		minScore = flag.Float64("min-score", 0, "minimum |tau|")
+		minRho   = flag.Float64("min-strength", 0, "minimum rho")
+		perms    = flag.Int("perms", 1000, "Monte Carlo permutations")
+		alpha    = flag.Float64("alpha", 0.05, "significance level")
+		seed     = flag.Int64("seed", 1, "city / randomization seed")
+		grid     = flag.Int("grid", 96, "synthetic city grid side used to place GPS data")
+		workers  = flag.Int("workers", 0, "worker pool size (0 = NumCPU)")
+	)
+	flag.Parse()
+	if *dataDir == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*dataDir, *queryStr, *sources, *targets, *minScore, *minRho, *perms, *alpha, *seed, *grid, *workers); err != nil {
+		fmt.Fprintln(os.Stderr, "polygamy:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataDir, queryStr, sources, targets string, minScore, minRho float64, perms int, alpha float64, seed int64, grid, workers int) error {
+	city, err := spatial.Generate(spatial.Config{
+		Seed: seed, GridW: grid, GridH: grid,
+		Neighborhoods: grid * 3, ZipCodes: grid * 3,
+	})
+	if err != nil {
+		return err
+	}
+	fw, err := core.New(core.Options{City: city, Workers: workers, Seed: seed})
+	if err != nil {
+		return err
+	}
+	files, err := filepath.Glob(filepath.Join(dataDir, "*.csv"))
+	if err != nil {
+		return err
+	}
+	if len(files) == 0 {
+		return fmt.Errorf("no .csv files in %s", dataDir)
+	}
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		d, err := dataset.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if err := fw.AddDataset(d); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "loaded %s: %d tuples, %d scalar functions\n",
+			d.Name, len(d.Tuples), d.NumScalarFunctions())
+	}
+	stats, err := fw.BuildIndex()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "indexed %d functions in %v (+%v feature identification)\n",
+		stats.Functions, stats.ComputeDuration.Round(1e6), stats.IndexDuration.Round(1e6))
+
+	var q core.Query
+	if queryStr != "" {
+		q, err = queryparse.Parse(queryStr)
+		if err != nil {
+			return err
+		}
+		if q.Clause.Permutations == 0 {
+			q.Clause.Permutations = perms
+		}
+	} else {
+		q = core.Query{Clause: core.Clause{
+			MinScore:     minScore,
+			MinStrength:  minRho,
+			Permutations: perms,
+			Alpha:        alpha,
+		}}
+		if sources != "" {
+			q.Sources = splitNames(sources)
+		}
+		if targets != "" {
+			q.Targets = splitNames(targets)
+		}
+	}
+	rels, qstats, err := fw.Query(q)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "evaluated %d candidate pairs in %v\n",
+		qstats.PairsConsidered, qstats.Duration.Round(1e6))
+	for _, r := range rels {
+		fmt.Println(r)
+	}
+	fmt.Fprintf(os.Stderr, "%d statistically significant relationships\n", len(rels))
+	return nil
+}
+
+func splitNames(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/urbandata/datapolygamy/internal/dataset"
+	"github.com/urbandata/datapolygamy/internal/spatial"
+	"github.com/urbandata/datapolygamy/internal/temporal"
+)
+
+// writeCorpus creates two related CSV data sets in dir.
+func writeCorpus(t *testing.T, dir string) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(4))
+	start := time.Date(2012, time.March, 1, 0, 0, 0, 0, time.UTC).Unix()
+	hours := 24 * 7 * 30
+	events := map[int]bool{}
+	for len(events) < 100 {
+		events[rng.Intn(hours)] = true
+	}
+	mk := func(name string, up bool) *dataset.Dataset {
+		d := &dataset.Dataset{
+			Name: name, SpatialRes: spatial.City, TemporalRes: temporal.Hour,
+			Attrs: []string{"v"},
+		}
+		for i := 0; i < hours; i++ {
+			v := 100 + rng.NormFloat64()
+			if events[i] {
+				if up {
+					v = 200
+				} else {
+					v = 10
+				}
+			}
+			d.Tuples = append(d.Tuples, dataset.Tuple{Region: 0, TS: start + int64(i)*3600, Values: []float64{v}})
+		}
+		return d
+	}
+	for _, d := range []*dataset.Dataset{mk("alpha", true), mk("beta", false)} {
+		f, err := os.Create(filepath.Join(dir, d.Name+".csv"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dataset.WriteCSV(f, d); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+}
+
+func TestPolygamyCLIEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	writeCorpus(t, dir)
+	err := run(dir, "", "alpha", "", 0.2, 0, 150, 0.05, 1, 24, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolygamyCLITextualQuery(t *testing.T) {
+	dir := t.TempDir()
+	writeCorpus(t, dir)
+	err := run(dir,
+		"find relationships between alpha and beta where score >= 0.2 and permutations = 100 at (hour, city)",
+		"", "", 0, 0, 150, 0.05, 1, 24, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run(dir, "gibberish query", "", "", 0, 0, 10, 0.05, 1, 24, 1); err == nil {
+		t.Error("expected parse error for gibberish query")
+	}
+}
+
+func TestPolygamyCLIErrors(t *testing.T) {
+	if err := run(t.TempDir(), "", "", "", 0, 0, 10, 0.05, 1, 24, 1); err == nil {
+		t.Error("expected error for empty data directory")
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "bad.csv"), []byte("not,a,dataset\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(dir, "", "", "", 0, 0, 10, 0.05, 1, 24, 1); err == nil {
+		t.Error("expected error for malformed CSV")
+	}
+}
+
+func TestSplitNames(t *testing.T) {
+	got := splitNames(" a, b ,,c ")
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("splitNames = %v", got)
+	}
+}

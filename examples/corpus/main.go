@@ -1,0 +1,122 @@
+// Corpus discovery: hypothesis generation over a many-dataset corpus.
+// Eight city data sets are generated from three hidden drivers (weather,
+// an economic index, and pure noise); the relationship query recovers the
+// clusters of related data sets and the significance test prunes the
+// coincidental pairs, narrowing hundreds of candidate relationships to the
+// genuine handful — the paper's needle-in-a-haystack use case.
+//
+// Run with:
+//
+//	go run ./examples/corpus
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	datapolygamy "github.com/urbandata/datapolygamy"
+)
+
+func main() {
+	city, err := datapolygamy.GenerateCity(datapolygamy.CityConfig{
+		Seed: 9, GridW: 32, GridH: 32, Neighborhoods: 40, ZipCodes: 50,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(23))
+	start := time.Date(2012, time.January, 1, 0, 0, 0, 0, time.UTC).Unix()
+	hours := 24 * 364
+
+	// Hidden drivers: storm events and an economy index with slow shocks.
+	storm := make([]float64, hours)
+	for n := 0; n < 90; n++ {
+		at := rng.Intn(hours - 6)
+		for k := 0; k < 4+rng.Intn(4); k++ {
+			storm[at+k] = 1
+		}
+	}
+	economy := make([]float64, hours)
+	level := 0.0
+	for i := range economy {
+		if rng.Float64() < 0.001 {
+			level = rng.NormFloat64() * 3 // shock
+		}
+		level *= 0.9995
+		economy[i] = level
+	}
+
+	// Eight data sets: three storm-driven, two economy-driven, three noise.
+	mk := func(name string, driver []float64, sign float64) *datapolygamy.Dataset {
+		d := &datapolygamy.Dataset{
+			Name:        name,
+			SpatialRes:  datapolygamy.City,
+			TemporalRes: datapolygamy.Hour,
+			Attrs:       []string{"value"},
+		}
+		for i := 0; i < hours; i++ {
+			v := 100 + rng.NormFloat64()*2
+			if driver != nil {
+				v += sign * driver[i] * 40
+			}
+			d.Tuples = append(d.Tuples, datapolygamy.Tuple{
+				Region: 0, TS: start + int64(i)*3600, Values: []float64{v},
+			})
+		}
+		return d
+	}
+	corpus := []*datapolygamy.Dataset{
+		mk("flood_reports", storm, +1),
+		mk("taxi_volume", storm, -1),
+		mk("power_outages", storm, +1),
+		mk("retail_sales", economy, +1),
+		mk("unemployment_calls", economy, -1),
+		mk("noise_a", nil, 0),
+		mk("noise_b", nil, 0),
+		mk("noise_c", nil, 0),
+	}
+
+	fw, err := datapolygamy.New(datapolygamy.Options{City: city, Seed: 9})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, d := range corpus {
+		if err := fw.AddDataset(d); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if _, err := fw.BuildIndex(); err != nil {
+		log.Fatal(err)
+	}
+
+	hourCity := datapolygamy.Resolution{Spatial: datapolygamy.City, Temporal: datapolygamy.Hour}
+
+	// All candidates, without the significance filter...
+	_, allStats, err := fw.Query(datapolygamy.Query{Clause: datapolygamy.Clause{
+		SkipSignificance: true,
+		Resolutions:      []datapolygamy.Resolution{hourCity},
+	}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// ...then with it.
+	rels, _, err := fw.Query(datapolygamy.Query{Clause: datapolygamy.Clause{
+		Permutations: 400,
+		MinScore:     0.3,
+		Resolutions:  []datapolygamy.Resolution{hourCity},
+	}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("candidate relationships at (hour, city): %d\n", allStats.PairsConsidered)
+	fmt.Printf("significant with |tau| >= 0.3:           %d\n\n", len(rels))
+	for _, r := range rels {
+		fmt.Println(" ", r)
+	}
+	fmt.Println("\nexpected: the storm cluster (flood_reports / taxi_volume / power_outages)")
+	fmt.Println("is recovered; slow economy drifts are correctly unremarkable to the")
+	fmt.Println("rotation-respecting test; at alpha=0.05 a few low-strength chance pairs")
+	fmt.Println("may survive — filter on rho to drop them")
+}

@@ -1,0 +1,94 @@
+// Quickstart: index two small city-level data sets and query for the
+// statistically significant relationships between them.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	datapolygamy "github.com/urbandata/datapolygamy"
+)
+
+func main() {
+	// 1. A spatial substrate. Every corpus shares one city, which defines
+	// the region partitions (zip, neighborhood) and their adjacency.
+	city, err := datapolygamy.GenerateCity(datapolygamy.CityConfig{
+		Seed: 1, GridW: 32, GridH: 32, Neighborhoods: 40, ZipCodes: 50,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Two data sets: hourly wind speed and hourly taxi trip counts over
+	// one year. On ~20 scattered "storm" hours, wind spikes and taxi
+	// counts collapse — the relationship hides in those events.
+	rng := rand.New(rand.NewSource(7))
+	start := time.Date(2012, time.January, 1, 0, 0, 0, 0, time.UTC).Unix()
+	hours := 24 * 365
+	storm := map[int]bool{}
+	for len(storm) < 80 {
+		storm[rng.Intn(hours)] = true
+	}
+	wind := &datapolygamy.Dataset{
+		Name:        "wind",
+		SpatialRes:  datapolygamy.City,
+		TemporalRes: datapolygamy.Hour,
+		Attrs:       []string{"speed"},
+	}
+	taxi := &datapolygamy.Dataset{
+		Name:        "taxi",
+		SpatialRes:  datapolygamy.City,
+		TemporalRes: datapolygamy.Hour,
+		Attrs:       []string{"trips"},
+	}
+	for i := 0; i < hours; i++ {
+		w := 10 + rng.NormFloat64()*0.5
+		c := 500 + rng.NormFloat64()*5
+		if storm[i] {
+			w = 60 + rng.Float64()*10
+			c = 30 + rng.Float64()*10
+		}
+		ts := start + int64(i)*3600
+		wind.Tuples = append(wind.Tuples, datapolygamy.Tuple{Region: 0, TS: ts, Values: []float64{w}})
+		taxi.Tuples = append(taxi.Tuples, datapolygamy.Tuple{Region: 0, TS: ts, Values: []float64{c}})
+	}
+
+	// 3. Build the framework: scalar functions at every viable resolution,
+	// merge-tree indexes, automatic thresholds, feature sets.
+	fw, err := datapolygamy.New(datapolygamy.Options{City: city, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := fw.AddDataset(wind); err != nil {
+		log.Fatal(err)
+	}
+	if err := fw.AddDataset(taxi); err != nil {
+		log.Fatal(err)
+	}
+	stats, err := fw.BuildIndex()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d scalar functions in %v\n",
+		stats.Functions, (stats.ComputeDuration + stats.IndexDuration).Round(time.Millisecond))
+
+	// 4. The relationship query: "find all data sets related to wind".
+	rels, qstats, err := fw.Query(datapolygamy.Query{
+		Sources: []string{"wind"},
+		Clause:  datapolygamy.Clause{Permutations: 400},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("evaluated %d candidate pairs, %d statistically significant:\n",
+		qstats.PairsConsidered, len(rels))
+	for _, r := range rels {
+		fmt.Println(" ", r)
+	}
+}

@@ -1,0 +1,60 @@
+package datapolygamy
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestParseQueryFacade(t *testing.T) {
+	q, err := ParseQuery("find relationships between taxi and weather where score >= 0.6 at (hour, city) using extreme features")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Clause.MinScore != 0.6 || len(q.Clause.Resolutions) != 1 || len(q.Clause.Classes) != 1 {
+		t.Errorf("parsed query = %+v", q)
+	}
+	if q.Clause.Classes[0] != Extreme {
+		t.Errorf("class = %v, want extreme", q.Clause.Classes[0])
+	}
+	if _, err := ParseQuery("not a query"); err == nil {
+		t.Error("expected parse error")
+	}
+}
+
+func TestSaveLoadIndexFacade(t *testing.T) {
+	fw := buildCorpus(t)
+	if _, err := fw.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := fw.SaveIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fw2 := buildCorpus(t)
+	if err := fw2.LoadIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !fw2.Indexed() || fw2.NumFunctions() != fw.NumFunctions() {
+		t.Error("loaded index mismatch through facade")
+	}
+}
+
+func TestCityFromPolygonsFacade(t *testing.T) {
+	sq := func(x0, y0, x1, y1 float64) Polygon {
+		return Polygon{{X: x0, Y: y0}, {X: x1, Y: y0}, {X: x1, Y: y1}, {X: x0, Y: y1}}
+	}
+	city, err := CityFromPolygons(PolygonConfig{
+		Neighborhoods: []Polygon{sq(0, 0, 1, 1), sq(1, 0, 2, 1)},
+		ZipCodes:      []Polygon{sq(0, 0, 2, 1)},
+		GridW:         32, GridH: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if city.NumRegions(Neighborhood) != 2 || city.NumRegions(ZipCode) != 1 {
+		t.Errorf("regions = %d/%d", city.NumRegions(Neighborhood), city.NumRegions(ZipCode))
+	}
+	if city.RegionOf(Point{X: 0.5, Y: 0.5}, Neighborhood) == city.RegionOf(Point{X: 1.5, Y: 0.5}, Neighborhood) {
+		t.Error("two squares share a neighborhood")
+	}
+}

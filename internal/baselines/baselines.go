@@ -1,0 +1,196 @@
+// Package baselines implements the standard correlation techniques the
+// paper compares against in Section 6.4 and Appendix D: Pearson's
+// correlation coefficient (PCC), normalized mutual information (MI),
+// normalized dynamic time warping (DTW), and the OLS-on-binary-indicator
+// regression used by Farber's taxi/rain study. These operate on 1-D series
+// aggregated at the city resolution — their inherent 1D, global nature is
+// exactly what the comparison demonstrates.
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/urbandata/datapolygamy/internal/mathx"
+)
+
+// PCC returns Pearson's correlation coefficient between x and y in [-1, 1],
+// or NaN if either series is constant or the lengths differ.
+func PCC(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) == 0 {
+		return math.NaN()
+	}
+	mx, my := mathx.Mean(x), mathx.Mean(y)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// MI returns the normalized mutual information score beta_MI in [0, 1]
+// between x and y, discretized into bins equal-width bins:
+// beta_MI = I(X,Y) / sqrt(H(X) * H(Y)). Returns NaN when a series is
+// constant (zero entropy) or lengths differ.
+func MI(x, y []float64, bins int) float64 {
+	if len(x) != len(y) || len(x) == 0 || bins < 2 {
+		return math.NaN()
+	}
+	bx := discretize(x, bins)
+	by := discretize(y, bins)
+	if bx == nil || by == nil {
+		return math.NaN()
+	}
+	n := float64(len(x))
+	joint := make([]float64, bins*bins)
+	px := make([]float64, bins)
+	py := make([]float64, bins)
+	for i := range bx {
+		joint[bx[i]*bins+by[i]]++
+		px[bx[i]]++
+		py[by[i]]++
+	}
+	var ixy, hx, hy float64
+	for i := 0; i < bins; i++ {
+		if px[i] > 0 {
+			p := px[i] / n
+			hx -= p * math.Log(p)
+		}
+		if py[i] > 0 {
+			p := py[i] / n
+			hy -= p * math.Log(p)
+		}
+	}
+	for i := 0; i < bins; i++ {
+		for j := 0; j < bins; j++ {
+			c := joint[i*bins+j]
+			if c == 0 {
+				continue
+			}
+			pxy := c / n
+			ixy += pxy * math.Log(pxy*n*n/(px[i]*py[j]))
+		}
+	}
+	if hx == 0 || hy == 0 {
+		return math.NaN()
+	}
+	return ixy / math.Sqrt(hx*hy)
+}
+
+// discretize maps values to equal-width bin indices; nil for constant input.
+func discretize(x []float64, bins int) []int {
+	lo, hi := x[0], x[0]
+	for _, v := range x {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if hi == lo {
+		return nil
+	}
+	out := make([]int, len(x))
+	w := (hi - lo) / float64(bins)
+	for i, v := range x {
+		b := int((v - lo) / w)
+		if b >= bins {
+			b = bins - 1
+		}
+		out[i] = b
+	}
+	return out
+}
+
+// DTW returns the dynamic time warping distance between x and y with
+// absolute-difference local cost, using the classic O(len(x)*len(y))
+// dynamic program (Sakoe & Chiba).
+func DTW(x, y []float64) float64 {
+	n, m := len(x), len(y)
+	if n == 0 || m == 0 {
+		return math.NaN()
+	}
+	prev := make([]float64, m+1)
+	cur := make([]float64, m+1)
+	for j := 1; j <= m; j++ {
+		prev[j] = math.Inf(1)
+	}
+	for i := 1; i <= n; i++ {
+		cur[0] = math.Inf(1)
+		for j := 1; j <= m; j++ {
+			cost := math.Abs(x[i-1] - y[j-1])
+			cur[j] = cost + math.Min(prev[j], math.Min(cur[j-1], prev[j-1]))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m]
+}
+
+// ZNormalize returns (x - mean) / std; a constant series normalizes to all
+// zeros.
+func ZNormalize(x []float64) []float64 {
+	out := make([]float64, len(x))
+	m, s := mathx.Mean(x), mathx.Std(x)
+	if s == 0 || math.IsNaN(s) {
+		return out
+	}
+	for i, v := range x {
+		out[i] = (v - m) / s
+	}
+	return out
+}
+
+// NormalizedDTW returns the paper's beta_DTW in [0, 1]:
+// 1 - DTW(X, Y) / (DTW(X, 0) + DTW(0, Y)) with X and Y z-normalized,
+// where 0 is the constant zero line. 1 means identical, 0 uncorrelated.
+func NormalizedDTW(x, y []float64) float64 {
+	if len(x) == 0 || len(y) == 0 {
+		return math.NaN()
+	}
+	zx, zy := ZNormalize(x), ZNormalize(y)
+	zeroX := make([]float64, len(x))
+	zeroY := make([]float64, len(y))
+	denom := DTW(zx, zeroX) + DTW(zeroY, zy)
+	if denom == 0 {
+		return math.NaN()
+	}
+	score := 1 - DTW(zx, zy)/denom
+	return mathx.Clamp(score, 0, 1)
+}
+
+// OLSBinary regresses y on a binary indicator (Farber's rain dummy): it
+// returns the slope (mean difference between indicator groups), the
+// intercept, and the regression R^2. This reproduces why a binary
+// treatment of rainfall misses the salient-feature relationship.
+func OLSBinary(y []float64, indicator []bool) (slope, intercept, r2 float64, err error) {
+	if len(y) != len(indicator) || len(y) == 0 {
+		return 0, 0, 0, fmt.Errorf("baselines: OLS needs equal non-empty inputs")
+	}
+	x := make([]float64, len(indicator))
+	for i, b := range indicator {
+		if b {
+			x[i] = 1
+		}
+	}
+	mx, my := mathx.Mean(x), mathx.Mean(y)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return 0, 0, 0, fmt.Errorf("baselines: indicator is constant")
+	}
+	slope = sxy / sxx
+	intercept = my - slope*mx
+	if syy == 0 {
+		return slope, intercept, 1, nil
+	}
+	r2 = (sxy * sxy) / (sxx * syy)
+	return slope, intercept, r2, nil
+}

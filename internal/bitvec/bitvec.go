@@ -1,0 +1,209 @@
+// Package bitvec implements fixed-length bit vectors.
+//
+// The Data Polygamy framework represents the feature set of a scalar
+// function — the set of spatio-temporal points classified as positive or
+// negative features — as a bit vector over the vertices of the domain
+// graph (Appendix C of the paper). Relationship evaluation then reduces to
+// bitwise intersections and popcounts, which is both compact and fast.
+package bitvec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Vector is a fixed-length sequence of bits. The zero value is an empty
+// vector of length 0; construct sized vectors with New.
+type Vector struct {
+	words []uint64
+	n     int
+}
+
+// New returns a vector of n bits, all zero.
+func New(n int) *Vector {
+	if n < 0 {
+		panic("bitvec: negative length")
+	}
+	return &Vector{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// Len returns the number of bits in the vector.
+func (v *Vector) Len() int { return v.n }
+
+// Set sets bit i to 1.
+func (v *Vector) Set(i int) {
+	v.check(i)
+	v.words[i/wordBits] |= 1 << uint(i%wordBits)
+}
+
+// Clear sets bit i to 0.
+func (v *Vector) Clear(i int) {
+	v.check(i)
+	v.words[i/wordBits] &^= 1 << uint(i%wordBits)
+}
+
+// Get reports whether bit i is set.
+func (v *Vector) Get(i int) bool {
+	v.check(i)
+	return v.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+func (v *Vector) check(i int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", i, v.n))
+	}
+}
+
+// Count returns the number of set bits (population count).
+func (v *Vector) Count() int {
+	c := 0
+	for _, w := range v.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// And returns a new vector that is the bitwise AND of v and o.
+// Both vectors must have the same length.
+func (v *Vector) And(o *Vector) *Vector {
+	v.checkLen(o)
+	out := New(v.n)
+	for i, w := range v.words {
+		out.words[i] = w & o.words[i]
+	}
+	return out
+}
+
+// Or returns a new vector that is the bitwise OR of v and o.
+func (v *Vector) Or(o *Vector) *Vector {
+	v.checkLen(o)
+	out := New(v.n)
+	for i, w := range v.words {
+		out.words[i] = w | o.words[i]
+	}
+	return out
+}
+
+// AndNot returns a new vector with the bits of v that are not in o (v &^ o).
+func (v *Vector) AndNot(o *Vector) *Vector {
+	v.checkLen(o)
+	out := New(v.n)
+	for i, w := range v.words {
+		out.words[i] = w &^ o.words[i]
+	}
+	return out
+}
+
+// AndCount returns the popcount of v AND o without allocating the result
+// vector. This is the hot path of relationship evaluation: |Σ1 ∩ Σ2|.
+func (v *Vector) AndCount(o *Vector) int {
+	v.checkLen(o)
+	c := 0
+	for i, w := range v.words {
+		c += bits.OnesCount64(w & o.words[i])
+	}
+	return c
+}
+
+func (v *Vector) checkLen(o *Vector) {
+	if v.n != o.n {
+		panic(fmt.Sprintf("bitvec: length mismatch %d vs %d", v.n, o.n))
+	}
+}
+
+// Clone returns a deep copy of v.
+func (v *Vector) Clone() *Vector {
+	out := New(v.n)
+	copy(out.words, v.words)
+	return out
+}
+
+// Equal reports whether v and o have the same length and identical bits.
+func (v *Vector) Equal(o *Vector) bool {
+	if v.n != o.n {
+		return false
+	}
+	for i, w := range v.words {
+		if w != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Ones returns the indices of all set bits in ascending order.
+func (v *Vector) Ones() []int {
+	out := make([]int, 0, v.Count())
+	for wi, w := range v.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, wi*wordBits+b)
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// Any reports whether at least one bit is set.
+func (v *Vector) Any() bool {
+	for _, w := range v.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Reset clears all bits in place.
+func (v *Vector) Reset() {
+	for i := range v.words {
+		v.words[i] = 0
+	}
+}
+
+// String renders the vector as a compact summary, e.g. "bitvec(12/64)".
+func (v *Vector) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "bitvec(%d/%d)", v.Count(), v.n)
+	return sb.String()
+}
+
+// MarshalBinary encodes the vector as 8 bytes of length followed by its
+// words in little-endian order. It implements encoding.BinaryMarshaler.
+func (v *Vector) MarshalBinary() ([]byte, error) {
+	out := make([]byte, 8+8*len(v.words))
+	binary.LittleEndian.PutUint64(out, uint64(v.n))
+	for i, w := range v.words {
+		binary.LittleEndian.PutUint64(out[8+8*i:], w)
+	}
+	return out, nil
+}
+
+// UnmarshalBinary decodes a vector written by MarshalBinary. It implements
+// encoding.BinaryUnmarshaler.
+func (v *Vector) UnmarshalBinary(data []byte) error {
+	if len(data) < 8 {
+		return fmt.Errorf("bitvec: truncated header (%d bytes)", len(data))
+	}
+	n := int(binary.LittleEndian.Uint64(data))
+	words := (n + wordBits - 1) / wordBits
+	if len(data) != 8+8*words {
+		return fmt.Errorf("bitvec: %d bytes for %d bits, want %d", len(data), n, 8+8*words)
+	}
+	v.n = n
+	v.words = make([]uint64, words)
+	for i := range v.words {
+		v.words[i] = binary.LittleEndian.Uint64(data[8+8*i:])
+	}
+	return nil
+}
+
+// GobEncode implements gob.GobEncoder via MarshalBinary.
+func (v *Vector) GobEncode() ([]byte, error) { return v.MarshalBinary() }
+
+// GobDecode implements gob.GobDecoder via UnmarshalBinary.
+func (v *Vector) GobDecode(data []byte) error { return v.UnmarshalBinary(data) }

@@ -1,0 +1,218 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetGetClear(t *testing.T) {
+	v := New(130) // crosses two word boundaries
+	idx := []int{0, 1, 63, 64, 65, 127, 128, 129}
+	for _, i := range idx {
+		v.Set(i)
+	}
+	for _, i := range idx {
+		if !v.Get(i) {
+			t.Errorf("bit %d should be set", i)
+		}
+	}
+	if v.Count() != len(idx) {
+		t.Errorf("Count = %d, want %d", v.Count(), len(idx))
+	}
+	for _, i := range idx {
+		v.Clear(i)
+	}
+	if v.Any() {
+		t.Error("vector should be empty after clearing all bits")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on out-of-range Set")
+		}
+	}()
+	New(10).Set(10)
+}
+
+func TestNegativeLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on negative length")
+		}
+	}()
+	New(-1)
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on length mismatch")
+		}
+	}()
+	New(10).And(New(11))
+}
+
+func TestAndOrAndNot(t *testing.T) {
+	a, b := New(70), New(70)
+	a.Set(1)
+	a.Set(65)
+	a.Set(69)
+	b.Set(1)
+	b.Set(2)
+	b.Set(69)
+
+	and := a.And(b)
+	if got := and.Ones(); len(got) != 2 || got[0] != 1 || got[1] != 69 {
+		t.Errorf("And ones = %v, want [1 69]", got)
+	}
+	or := a.Or(b)
+	if or.Count() != 4 {
+		t.Errorf("Or count = %d, want 4", or.Count())
+	}
+	diff := a.AndNot(b)
+	if got := diff.Ones(); len(got) != 1 || got[0] != 65 {
+		t.Errorf("AndNot ones = %v, want [65]", got)
+	}
+}
+
+func TestAndCountMatchesAnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(300)
+		a, b := New(n), New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				a.Set(i)
+			}
+			if rng.Intn(2) == 0 {
+				b.Set(i)
+			}
+		}
+		if a.AndCount(b) != a.And(b).Count() {
+			t.Fatalf("AndCount != And().Count() at n=%d", n)
+		}
+	}
+}
+
+func TestOnesRoundTrip(t *testing.T) {
+	v := New(200)
+	want := []int{3, 64, 100, 199}
+	for _, i := range want {
+		v.Set(i)
+	}
+	got := v.Ones()
+	if len(got) != len(want) {
+		t.Fatalf("Ones = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ones = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := New(64)
+	a.Set(5)
+	b := a.Clone()
+	b.Set(6)
+	if a.Get(6) {
+		t.Error("mutating clone changed original")
+	}
+	if !b.Get(5) {
+		t.Error("clone lost original bit")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a, b := New(64), New(64)
+	a.Set(10)
+	b.Set(10)
+	if !a.Equal(b) {
+		t.Error("identical vectors not Equal")
+	}
+	b.Set(11)
+	if a.Equal(b) {
+		t.Error("different vectors reported Equal")
+	}
+	if a.Equal(New(65)) {
+		t.Error("different lengths reported Equal")
+	}
+}
+
+func TestReset(t *testing.T) {
+	v := New(128)
+	v.Set(0)
+	v.Set(127)
+	v.Reset()
+	if v.Any() {
+		t.Error("Reset left bits set")
+	}
+}
+
+func TestZeroLength(t *testing.T) {
+	v := New(0)
+	if v.Any() || v.Count() != 0 || len(v.Ones()) != 0 {
+		t.Error("zero-length vector misbehaves")
+	}
+}
+
+// Property: De Morgan-ish law |A∩B| + |A∖B| = |A|.
+func TestPartitionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(500)
+		a, b := New(n), New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) == 0 {
+				a.Set(i)
+			}
+			if rng.Intn(3) == 0 {
+				b.Set(i)
+			}
+		}
+		return a.AndCount(b)+a.AndNot(b).Count() == a.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: union cardinality = |A| + |B| - |A∩B|.
+func TestInclusionExclusion(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(400)
+		a, b := New(n), New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				a.Set(i)
+			}
+			if rng.Intn(2) == 0 {
+				b.Set(i)
+			}
+		}
+		return a.Or(b).Count() == a.Count()+b.Count()-a.AndCount(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAndCount(b *testing.B) {
+	n := 1 << 20
+	x, y := New(n), New(n)
+	for i := 0; i < n; i += 3 {
+		x.Set(i)
+	}
+	for i := 0; i < n; i += 5 {
+		y.Set(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.AndCount(y)
+	}
+}

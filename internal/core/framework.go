@@ -1,0 +1,389 @@
+// Package core assembles the end-to-end Data Polygamy framework
+// (Section 5 of the paper): data sets are registered, transformed into
+// scalar functions at every viable spatio-temporal resolution, indexed with
+// merge trees, their salient and extreme features precomputed, and finally
+// queried with the relationship operator under optional clause filters and
+// restricted Monte Carlo significance testing.
+//
+// The three map-reduce jobs of the paper's implementation (Appendix C) map
+// onto three phases executed on the in-process worker pool:
+//
+//  1. Scalar Function Computation — one task per (data set, function spec,
+//     resolution) triple;
+//  2. Feature Identification — merge-tree construction, automatic
+//     threshold computation, and feature extraction per function;
+//  3. Relationship Computation — one task per candidate function pair per
+//     common resolution.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/urbandata/datapolygamy/internal/dataset"
+	"github.com/urbandata/datapolygamy/internal/feature"
+	"github.com/urbandata/datapolygamy/internal/mapreduce"
+	"github.com/urbandata/datapolygamy/internal/scalar"
+	"github.com/urbandata/datapolygamy/internal/spatial"
+	"github.com/urbandata/datapolygamy/internal/stgraph"
+	"github.com/urbandata/datapolygamy/internal/temporal"
+)
+
+// Resolution is a spatio-temporal evaluation resolution pair, e.g.
+// (neighborhood, hour).
+type Resolution struct {
+	Spatial  spatial.Resolution
+	Temporal temporal.Resolution
+}
+
+// String renders the resolution as "(hour, city)"-style text matching the
+// paper's notation (temporal first).
+func (r Resolution) String() string {
+	return fmt.Sprintf("(%s, %s)", r.Temporal, r.Spatial)
+}
+
+// Options configures a Framework.
+type Options struct {
+	// City is the spatial substrate shared by the corpus. Required.
+	City *spatial.CityMap
+	// Workers sizes the worker pool ("cluster nodes"); 0 => NumCPU.
+	Workers int
+	// EvalSpatial restricts evaluation resolutions; nil => zip,
+	// neighborhood, and city.
+	EvalSpatial []spatial.Resolution
+	// EvalTemporal restricts evaluation resolutions; nil => hour, day,
+	// week, and month (the paper's evaluation set; raw seconds are never
+	// an evaluation resolution).
+	EvalTemporal []temporal.Resolution
+	// Seed seeds the Monte Carlo randomization tests.
+	Seed int64
+	// IncludeGradients additionally indexes the gradient of every scalar
+	// function (Section 8's sudden-change features): gradient functions
+	// appear as "grad_<name>" entries and participate in relationship
+	// queries like any other function.
+	IncludeGradients bool
+}
+
+// FunctionEntry is one indexed scalar function: its identity, feature sets,
+// and thresholds. Raw values and merge trees are dropped after feature
+// extraction to keep the index small (the paper stores features, not
+// functions, for querying — Section 5.2).
+type FunctionEntry struct {
+	Key      string
+	Dataset  string
+	SpecName string
+	Res      Resolution
+
+	Salient    *feature.Set
+	Extreme    *feature.Set
+	Thresholds feature.Thresholds
+
+	// NumVertices and NumEdges describe the domain graph.
+	NumVertices, NumEdges int
+	// CriticalPoints counts join+split tree critical vertices (index size).
+	CriticalPoints int
+}
+
+// IndexStats reports what BuildIndex did.
+type IndexStats struct {
+	Datasets        int
+	Functions       int           // scalar functions computed (phase 1)
+	FeatureSets     int           // feature sets extracted (phase 2)
+	ComputeDuration time.Duration // phase 1 wall time
+	IndexDuration   time.Duration // phase 2 wall time
+}
+
+// Framework is the Data Polygamy engine for one corpus.
+type Framework struct {
+	opts Options
+
+	datasets map[string]*dataset.Dataset
+	order    []string
+
+	// corpus-wide time range (all functions share per-resolution timelines
+	// so feature bit vectors are directly comparable).
+	minTS, maxTS int64
+
+	timelines map[temporal.Resolution]*temporal.Timeline
+	graphs    map[Resolution]*stgraph.Graph
+
+	// entries[dataset][Resolution] -> function entries at that resolution.
+	entries map[string]map[Resolution][]*FunctionEntry
+
+	indexed bool
+	cache   map[string][]Relationship
+}
+
+// New creates a framework over the given city.
+func New(opts Options) (*Framework, error) {
+	if opts.City == nil {
+		return nil, fmt.Errorf("core: Options.City is required")
+	}
+	if opts.EvalSpatial == nil {
+		opts.EvalSpatial = []spatial.Resolution{spatial.ZipCode, spatial.Neighborhood, spatial.City}
+	}
+	if opts.EvalTemporal == nil {
+		opts.EvalTemporal = []temporal.Resolution{temporal.Hour, temporal.Day, temporal.Week, temporal.Month}
+	}
+	for _, r := range opts.EvalSpatial {
+		if r == spatial.GPS {
+			return nil, fmt.Errorf("core: GPS is not an evaluation resolution")
+		}
+	}
+	for _, r := range opts.EvalTemporal {
+		if r == temporal.Second {
+			return nil, fmt.Errorf("core: second is not an evaluation resolution")
+		}
+	}
+	return &Framework{
+		opts:      opts,
+		datasets:  make(map[string]*dataset.Dataset),
+		entries:   make(map[string]map[Resolution][]*FunctionEntry),
+		timelines: make(map[temporal.Resolution]*temporal.Timeline),
+		graphs:    make(map[Resolution]*stgraph.Graph),
+		cache:     make(map[string][]Relationship),
+	}, nil
+}
+
+// AddDataset registers a data set with the corpus. It must be called before
+// BuildIndex; adding after indexing invalidates the index.
+func (f *Framework) AddDataset(d *dataset.Dataset) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	if _, dup := f.datasets[d.Name]; dup {
+		return fmt.Errorf("core: duplicate dataset %q", d.Name)
+	}
+	lo, hi, ok := d.TimeRange()
+	if !ok {
+		return fmt.Errorf("core: dataset %q is empty", d.Name)
+	}
+	if len(f.datasets) == 0 || lo < f.minTS {
+		f.minTS = lo
+	}
+	if len(f.datasets) == 0 || hi > f.maxTS {
+		f.maxTS = hi
+	}
+	f.datasets[d.Name] = d
+	f.order = append(f.order, d.Name)
+	f.indexed = false
+	f.cache = make(map[string][]Relationship)
+	return nil
+}
+
+// Datasets returns the registered data set names in insertion order.
+func (f *Framework) Datasets() []string {
+	return append([]string{}, f.order...)
+}
+
+// resolutionsFor enumerates the evaluation resolutions viable for a data
+// set given its native resolutions and the framework's evaluation sets.
+func (f *Framework) resolutionsFor(d *dataset.Dataset) []Resolution {
+	var out []Resolution
+	for _, sr := range f.opts.EvalSpatial {
+		if !d.SpatialRes.ConvertibleTo(sr) {
+			continue
+		}
+		for _, tr := range f.opts.EvalTemporal {
+			if !d.TemporalRes.ConvertibleTo(tr) {
+				continue
+			}
+			out = append(out, Resolution{sr, tr})
+		}
+	}
+	return out
+}
+
+func (f *Framework) timeline(tr temporal.Resolution) (*temporal.Timeline, error) {
+	if tl, ok := f.timelines[tr]; ok {
+		return tl, nil
+	}
+	tl, err := temporal.NewTimeline(f.minTS, f.maxTS, tr)
+	if err != nil {
+		return nil, err
+	}
+	f.timelines[tr] = tl
+	return tl, nil
+}
+
+func (f *Framework) graph(res Resolution) (*stgraph.Graph, error) {
+	if g, ok := f.graphs[res]; ok {
+		return g, nil
+	}
+	tl, err := f.timeline(res.Temporal)
+	if err != nil {
+		return nil, err
+	}
+	g, err := stgraph.New(f.opts.City.NumRegions(res.Spatial), tl.Len(), f.opts.City.Adjacency(res.Spatial))
+	if err != nil {
+		return nil, err
+	}
+	f.graphs[res] = g
+	return g, nil
+}
+
+// funcTask is one phase-1/2 work unit.
+type funcTask struct {
+	ds   *dataset.Dataset
+	spec scalar.Spec
+	res  Resolution
+}
+
+// BuildIndex runs phases 1 and 2: it computes every scalar function of
+// every registered data set at every viable resolution, builds the merge
+// tree indexes, computes thresholds, and extracts salient and extreme
+// features.
+func (f *Framework) BuildIndex() (IndexStats, error) {
+	var stats IndexStats
+	stats.Datasets = len(f.order)
+	if len(f.order) == 0 {
+		f.indexed = true
+		return stats, nil
+	}
+
+	// Pre-build shared timelines and graphs (single-threaded; cheap).
+	var tasks []funcTask
+	for _, name := range f.order {
+		d := f.datasets[name]
+		for _, res := range f.resolutionsFor(d) {
+			if _, err := f.graph(res); err != nil {
+				return stats, err
+			}
+			for _, spec := range scalar.Specs(d) {
+				tasks = append(tasks, funcTask{ds: d, spec: spec, res: res})
+			}
+		}
+	}
+
+	cfg := mapreduce.Config{Workers: f.opts.Workers}
+
+	// Phase 1: scalar function computation.
+	t0 := time.Now()
+	fns, err := mapreduce.ForEach(cfg, tasks, func(t funcTask) (*scalar.Function, error) {
+		tl := f.timelines[t.res.Temporal]
+		g := f.graphs[t.res]
+		return scalar.ComputeOnDomain(t.ds, t.spec, f.opts.City, t.res.Spatial, t.res.Temporal, tl, g)
+	})
+	if err != nil {
+		return stats, err
+	}
+	if f.opts.IncludeGradients {
+		grads, err := mapreduce.ForEach(cfg, fns, func(fn *scalar.Function) (*scalar.Function, error) {
+			return scalar.Gradient(fn), nil
+		})
+		if err != nil {
+			return stats, err
+		}
+		fns = append(fns, grads...)
+	}
+	stats.Functions = len(fns)
+	stats.ComputeDuration = time.Since(t0)
+
+	// Phase 2: feature identification (merge trees + thresholds + sets).
+	t1 := time.Now()
+	entries, err := mapreduce.ForEach(cfg, fns, func(fn *scalar.Function) (*FunctionEntry, error) {
+		ex := feature.NewExtractor(fn)
+		entry := &FunctionEntry{
+			Key:            fn.Key(),
+			Dataset:        fn.Dataset,
+			SpecName:       fn.Name(),
+			Res:            Resolution{fn.SRes, fn.TRes},
+			Salient:        ex.Extract(feature.Salient),
+			Extreme:        ex.Extract(feature.Extreme),
+			Thresholds:     ex.Thresholds(),
+			NumVertices:    fn.Graph.NumVertices(),
+			NumEdges:       fn.Graph.NumEdges(),
+			CriticalPoints: ex.JoinTree().NumCriticalPoints() + ex.SplitTree().NumCriticalPoints(),
+		}
+		return entry, nil
+	})
+	if err != nil {
+		return stats, err
+	}
+	stats.FeatureSets = len(entries)
+	stats.IndexDuration = time.Since(t1)
+
+	f.entries = make(map[string]map[Resolution][]*FunctionEntry)
+	for _, e := range entries {
+		byRes := f.entries[e.Dataset]
+		if byRes == nil {
+			byRes = make(map[Resolution][]*FunctionEntry)
+			f.entries[e.Dataset] = byRes
+		}
+		byRes[e.Res] = append(byRes[e.Res], e)
+	}
+	// Deterministic order within each resolution.
+	for _, byRes := range f.entries {
+		for _, es := range byRes {
+			sort.Slice(es, func(i, j int) bool { return es[i].Key < es[j].Key })
+		}
+	}
+	f.indexed = true
+	f.cache = make(map[string][]Relationship)
+	return stats, nil
+}
+
+// Indexed reports whether BuildIndex has run since the last AddDataset.
+func (f *Framework) Indexed() bool { return f.indexed }
+
+// Entries returns the indexed function entries of a data set at a
+// resolution (nil when absent).
+func (f *Framework) Entries(ds string, res Resolution) []*FunctionEntry {
+	return f.entries[ds][res]
+}
+
+// Graph returns the shared domain graph at res, if one was built during
+// indexing.
+func (f *Framework) Graph(res Resolution) (*stgraph.Graph, bool) {
+	g, ok := f.graphs[res]
+	return g, ok
+}
+
+// NumFunctions returns the total number of indexed scalar functions.
+func (f *Framework) NumFunctions() int {
+	n := 0
+	for _, byRes := range f.entries {
+		for _, es := range byRes {
+			n += len(es)
+		}
+	}
+	return n
+}
+
+// CommonResolutions returns the evaluation resolutions shared by two data
+// sets, finest first: the framework starts at the highest common resolution
+// and evaluates all of them (Section 5.3).
+func (f *Framework) CommonResolutions(d1, d2 *dataset.Dataset) []Resolution {
+	var out []Resolution
+	for _, sr := range spatial.CommonResolutions(d1.SpatialRes, d2.SpatialRes) {
+		if !containsSpatial(f.opts.EvalSpatial, sr) {
+			continue
+		}
+		for _, tr := range temporal.CommonResolutions(d1.TemporalRes, d2.TemporalRes) {
+			if tr == temporal.Second || !containsTemporal(f.opts.EvalTemporal, tr) {
+				continue
+			}
+			out = append(out, Resolution{sr, tr})
+		}
+	}
+	return out
+}
+
+func containsSpatial(xs []spatial.Resolution, v spatial.Resolution) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func containsTemporal(xs []temporal.Resolution, v temporal.Resolution) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

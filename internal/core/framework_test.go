@@ -1,0 +1,465 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/urbandata/datapolygamy/internal/dataset"
+	"github.com/urbandata/datapolygamy/internal/feature"
+	"github.com/urbandata/datapolygamy/internal/spatial"
+	"github.com/urbandata/datapolygamy/internal/temporal"
+)
+
+func testCity(t testing.TB) *spatial.CityMap {
+	t.Helper()
+	c, err := spatial.Generate(spatial.Config{Seed: 3, GridW: 24, GridH: 24, Neighborhoods: 8, ZipCodes: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func ts(d, h int) int64 {
+	return time.Date(2012, time.January, 1+d, h, 0, 0, 0, time.UTC).Unix()
+}
+
+// plantedHours is the length of the planted fixtures: one year of hours.
+const plantedHours = 24 * 7 * 52
+
+// plantedPair builds two city-level hourly data sets over one year whose
+// attribute functions deviate together at the given event hours: "storm"
+// events push wind up and trips down; "calm" events push wind down and
+// trips up — both are negative feature relations, so tau is strongly
+// negative. Baselines carry continuous noise (like real sensor data), so
+// the noise extrema form the low-persistence cluster and thresholds land
+// between noise and events. Dense mixed-sign feature sets give the
+// restricted Monte Carlo test the power regime the paper's 5-year corpus
+// lives in.
+func plantedPair(seed int64, storms, calms []int) (*dataset.Dataset, *dataset.Dataset) {
+	rng := rand.New(rand.NewSource(seed))
+	wind := &dataset.Dataset{
+		Name: "wind", SpatialRes: spatial.City, TemporalRes: temporal.Hour,
+		Attrs: []string{"speed"},
+	}
+	trips := &dataset.Dataset{
+		Name: "trips", SpatialRes: spatial.City, TemporalRes: temporal.Hour,
+		Attrs: []string{"count"},
+	}
+	stormAt := map[int]bool{}
+	for _, s := range storms {
+		stormAt[s] = true
+	}
+	calmAt := map[int]bool{}
+	for _, s := range calms {
+		calmAt[s] = true
+	}
+	for i := 0; i < plantedHours; i++ {
+		w := 10 + rng.NormFloat64()*0.4
+		c := 400 + rng.NormFloat64()*3
+		switch {
+		case stormAt[i]:
+			w = 55 + rng.Float64()*10
+			c = 20 + rng.Float64()*4
+		case calmAt[i]:
+			w = 1 + rng.Float64()*0.5
+			c = 800 + rng.Float64()*20
+		}
+		t := ts(i/24, i%24)
+		wind.Tuples = append(wind.Tuples, dataset.Tuple{Region: 0, TS: t, Values: []float64{w}})
+		trips.Tuples = append(trips.Tuples, dataset.Tuple{Region: 0, TS: t, Values: []float64{c}})
+	}
+	return wind, trips
+}
+
+// randomHours draws n distinct hours in [0, plantedHours).
+func randomHours(seed int64, n int) []int {
+	rng := rand.New(rand.NewSource(seed))
+	seen := map[int]bool{}
+	var out []int
+	for len(out) < n {
+		h := rng.Intn(plantedHours)
+		if !seen[h] {
+			seen[h] = true
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+func newFW(t *testing.T) *Framework {
+	t.Helper()
+	f, err := New(Options{City: testCity(t), Workers: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Error("expected error for missing city")
+	}
+	if _, err := New(Options{City: testCity(t), EvalSpatial: []spatial.Resolution{spatial.GPS}}); err == nil {
+		t.Error("expected error for GPS evaluation resolution")
+	}
+	if _, err := New(Options{City: testCity(t), EvalTemporal: []temporal.Resolution{temporal.Second}}); err == nil {
+		t.Error("expected error for second evaluation resolution")
+	}
+}
+
+func TestAddDatasetValidation(t *testing.T) {
+	f := newFW(t)
+	wind, _ := plantedPair(1, []int{10}, nil)
+	if err := f.AddDataset(wind); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddDataset(wind); err == nil {
+		t.Error("expected error for duplicate dataset")
+	}
+	empty := &dataset.Dataset{Name: "empty", SpatialRes: spatial.City, TemporalRes: temporal.Hour}
+	if err := f.AddDataset(empty); err == nil {
+		t.Error("expected error for empty dataset")
+	}
+	if got := f.Datasets(); len(got) != 1 || got[0] != "wind" {
+		t.Errorf("Datasets = %v", got)
+	}
+}
+
+func TestBuildIndexCounts(t *testing.T) {
+	f := newFW(t)
+	wind, trips := plantedPair(2, []int{100, 300}, nil)
+	if err := f.AddDataset(wind); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddDataset(trips); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := f.BuildIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each dataset: 2 specs (density + 1 attr) x city x {hour, day, week, month} = 8.
+	if stats.Functions != 16 {
+		t.Errorf("Functions = %d, want 16", stats.Functions)
+	}
+	if stats.FeatureSets != 16 {
+		t.Errorf("FeatureSets = %d, want 16", stats.FeatureSets)
+	}
+	if !f.Indexed() {
+		t.Error("Indexed() should be true after BuildIndex")
+	}
+	if f.NumFunctions() != 16 {
+		t.Errorf("NumFunctions = %d", f.NumFunctions())
+	}
+	res := Resolution{spatial.City, temporal.Hour}
+	if es := f.Entries("wind", res); len(es) != 2 {
+		t.Errorf("wind entries at %v = %d, want 2", res, len(es))
+	}
+}
+
+func TestQueryRequiresIndex(t *testing.T) {
+	f := newFW(t)
+	wind, _ := plantedPair(3, []int{10}, nil)
+	if err := f.AddDataset(wind); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.Query(Query{}); err == nil {
+		t.Error("expected error querying before BuildIndex")
+	}
+}
+
+func TestQueryUnknownDataset(t *testing.T) {
+	f := newFW(t)
+	wind, trips := plantedPair(4, []int{10}, nil)
+	_ = f.AddDataset(wind)
+	_ = f.AddDataset(trips)
+	if _, err := f.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.Query(Query{Sources: []string{"nope"}}); err == nil {
+		t.Error("expected error for unknown dataset")
+	}
+}
+
+func TestPlantedNegativeRelationshipFound(t *testing.T) {
+	f := newFW(t)
+	// Scattered co-occurring mixed-direction events, enough of them that
+	// the restricted test has power.
+	wind, trips := plantedPair(5, randomHours(7, 150), randomHours(8, 150))
+	_ = f.AddDataset(wind)
+	_ = f.AddDataset(trips)
+	if _, err := f.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	rels, stats, err := f.Query(Query{
+		Sources: []string{"wind"},
+		Clause:  Clause{Permutations: 300},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PairsConsidered == 0 {
+		t.Fatal("no pairs considered")
+	}
+	// Find the count ~ speed salient relationship at (hour, city); the
+	// pair is reported with the alphabetically first data set as side 1.
+	found := false
+	for _, r := range rels {
+		if r.Spec1 == "avg_count" && r.Spec2 == "avg_speed" &&
+			r.Res == (Resolution{spatial.City, temporal.Hour}) && r.Class == feature.Salient {
+			found = true
+			// Between-event extrema are persistent too, so salient sets
+			// include baseline-tail points and tau is diluted toward the
+			// moderate regime the paper itself reports (e.g. -0.62 for
+			// precipitation/taxis). Direction and significance are the
+			// contract.
+			if r.Score > -0.15 {
+				t.Errorf("planted negative relationship has tau = %g, want clearly negative", r.Score)
+			}
+			if !r.Significant {
+				t.Error("planted relationship should be significant")
+			}
+		}
+	}
+	if !found {
+		for _, r := range rels {
+			t.Logf("got: %v", r)
+		}
+		t.Fatal("planted wind/trips relationship not found")
+	}
+}
+
+func TestIndependentNoiseMostlyPruned(t *testing.T) {
+	f := newFW(t)
+	// Two unrelated series: events at independently drawn hours.
+	wind, _ := plantedPair(6, randomHours(10, 150), randomHours(11, 150))
+	_, trips := plantedPair(7, randomHours(12, 150), randomHours(13, 150))
+	_ = f.AddDataset(wind)
+	_ = f.AddDataset(trips)
+	if _, err := f.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	// Without significance testing there are candidate relationships.
+	all, _, err := f.Query(Query{Clause: Clause{SkipSignificance: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With the test, the disjoint-spike salient pairs at (hour, city)
+	// must not survive as strong relationships.
+	sig, _, err := f.Query(Query{Clause: Clause{Permutations: 200}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sig) > len(all) {
+		t.Error("significant set cannot exceed candidate set")
+	}
+	for _, r := range sig {
+		if r.Res == (Resolution{spatial.City, temporal.Hour}) && r.Class == feature.Salient &&
+			r.Spec1 == "avg_speed" && r.Spec2 == "avg_count" && abs(r.Score) > 0.5 {
+			t.Errorf("disjoint spikes produced a strong significant relationship: %v", r)
+		}
+	}
+}
+
+func TestClauseFilters(t *testing.T) {
+	f := newFW(t)
+	wind, trips := plantedPair(8, randomHours(14, 150), randomHours(15, 150))
+	_ = f.AddDataset(wind)
+	_ = f.AddDataset(trips)
+	if _, err := f.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	all, _, err := f.Query(Query{Clause: Clause{SkipSignificance: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strong, _, err := f.Query(Query{Clause: Clause{SkipSignificance: true, MinScore: 0.9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strong) > len(all) {
+		t.Error("MinScore filter must not add relationships")
+	}
+	for _, r := range strong {
+		if abs(r.Score) < 0.9 {
+			t.Errorf("MinScore violated: %v", r)
+		}
+	}
+	// Resolution filter.
+	hourOnly, _, err := f.Query(Query{Clause: Clause{
+		SkipSignificance: true,
+		Resolutions:      []Resolution{{spatial.City, temporal.Hour}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range hourOnly {
+		if r.Res != (Resolution{spatial.City, temporal.Hour}) {
+			t.Errorf("resolution filter violated: %v", r)
+		}
+	}
+	// Class filter.
+	salientOnly, _, err := f.Query(Query{Clause: Clause{
+		SkipSignificance: true,
+		Classes:          []feature.Class{feature.Salient},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range salientOnly {
+		if r.Class != feature.Salient {
+			t.Errorf("class filter violated: %v", r)
+		}
+	}
+}
+
+func TestQueryCache(t *testing.T) {
+	f := newFW(t)
+	wind, trips := plantedPair(9, randomHours(16, 60), nil)
+	_ = f.AddDataset(wind)
+	_ = f.AddDataset(trips)
+	if _, err := f.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	q := Query{Clause: Clause{Permutations: 100}}
+	first, _, err := f.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, stats2, err := f.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != len(second) {
+		t.Error("cached query returned different results")
+	}
+	if stats2.PairsConsidered != 0 {
+		t.Error("cached query should not re-enumerate pairs")
+	}
+}
+
+func TestPairSymmetryDedup(t *testing.T) {
+	f := newFW(t)
+	wind, trips := plantedPair(10, randomHours(17, 40), nil)
+	_ = f.AddDataset(wind)
+	_ = f.AddDataset(trips)
+	if _, err := f.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	// Sources and targets both "all": each unordered pair appears once.
+	_, stats, err := f.Query(Query{Clause: Clause{SkipSignificance: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 specs x 2 specs x 4 temporal res x 1 spatial x 2 classes = 32.
+	if stats.PairsConsidered != 32 {
+		t.Errorf("PairsConsidered = %d, want 32 (each unordered pair once)", stats.PairsConsidered)
+	}
+}
+
+func TestMultiResolutionRelationship(t *testing.T) {
+	// A relationship that only materialises at daily resolution: b's
+	// attribute responds to the *daily accumulation* of a's spikes.
+	f := newFW(t)
+	a := &dataset.Dataset{
+		Name: "snow", SpatialRes: spatial.City, TemporalRes: temporal.Hour,
+		Attrs: []string{"inches"},
+	}
+	b := &dataset.Dataset{
+		Name: "stations", SpatialRes: spatial.City, TemporalRes: temporal.Hour,
+		Attrs: []string{"active"},
+	}
+	rng := rand.New(rand.NewSource(99))
+	hours := 24 * 364
+	snowDays := map[int]bool{}
+	for len(snowDays) < 40 {
+		snowDays[1+rng.Intn(361)] = true
+	}
+	for i := 0; i < hours; i++ {
+		day := i / 24
+		h := i % 24
+		inches := math.Abs(rng.NormFloat64()) * 0.02
+		active := 330.0 + rng.NormFloat64()*2
+		if snowDays[day] && h >= 6 && h < 10 {
+			// Snow falls for a few morning hours...
+			inches = 2 + rng.Float64()*0.5
+		}
+		if (snowDays[day] && h >= 12) || (snowDays[day-1] && h < 12) {
+			// ...and stations only react once it has accumulated: from
+			// noon through the next morning (no hourly overlap with the
+			// snowfall feature).
+			active = 150 + rng.NormFloat64()*2
+		}
+		t0 := ts(day, h)
+		a.Tuples = append(a.Tuples, dataset.Tuple{Region: 0, TS: t0, Values: []float64{inches}})
+		b.Tuples = append(b.Tuples, dataset.Tuple{Region: 0, TS: t0, Values: []float64{active}})
+	}
+	_ = f.AddDataset(a)
+	_ = f.AddDataset(b)
+	if _, err := f.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	rels, _, err := f.Query(Query{Clause: Clause{Permutations: 200}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dayTau, hourTau float64
+	var haveDay, haveHour bool
+	for _, r := range rels {
+		if r.Spec1 != "avg_inches" || r.Spec2 != "avg_active" || r.Class != feature.Salient {
+			continue
+		}
+		switch r.Res.Temporal {
+		case temporal.Day:
+			dayTau = r.Score
+			haveDay = true
+		case temporal.Hour:
+			hourTau = r.Score
+			haveHour = true
+		}
+	}
+	if !haveDay {
+		t.Fatal("daily-resolution relationship not found")
+	}
+	if dayTau > -0.15 {
+		t.Errorf("daily tau = %g, want clearly negative", dayTau)
+	}
+	// At hourly resolution the snowfall and station features never
+	// coincide (the stations react only after accumulation), so the
+	// relationship is absent or weaker — the paper's multi-resolution
+	// point.
+	if haveHour && hourTau < dayTau {
+		t.Errorf("hourly tau (%g) should be weaker than daily (%g)", hourTau, dayTau)
+	}
+}
+
+func TestResolutionString(t *testing.T) {
+	r := Resolution{spatial.City, temporal.Hour}
+	if r.String() != "(hour, city)" {
+		t.Errorf("String = %q, want (hour, city)", r.String())
+	}
+}
+
+func TestCommonResolutionsFramework(t *testing.T) {
+	f := newFW(t)
+	weekly := &dataset.Dataset{
+		Name: "gas", SpatialRes: spatial.City, TemporalRes: temporal.Week,
+		Attrs:  []string{"price"},
+		Tuples: []dataset.Tuple{{Region: 0, TS: ts(2, 0), Values: []float64{3}}},
+	}
+	hourly, _ := plantedPair(11, []int{5}, nil)
+	if err := f.AddDataset(weekly); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddDataset(hourly); err != nil {
+		t.Fatal(err)
+	}
+	got := f.CommonResolutions(weekly, hourly)
+	// gas is weekly: (week, city) and (month, city) are common.
+	want := []Resolution{{spatial.City, temporal.Week}, {spatial.City, temporal.Month}}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("CommonResolutions = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"github.com/urbandata/datapolygamy/internal/bitvec"
+	"github.com/urbandata/datapolygamy/internal/feature"
+	"github.com/urbandata/datapolygamy/internal/spatial"
+	"github.com/urbandata/datapolygamy/internal/temporal"
+)
+
+// decodeFeatureSet reconstructs a feature set from its binary vectors.
+func decodeFeatureSet(fs featureSnapshot) (*feature.Set, error) {
+	pos := &bitvec.Vector{}
+	if err := pos.UnmarshalBinary(fs.Positive); err != nil {
+		return nil, err
+	}
+	neg := &bitvec.Vector{}
+	if err := neg.UnmarshalBinary(fs.Negative); err != nil {
+		return nil, err
+	}
+	return &feature.Set{Positive: pos, Negative: neg}, nil
+}
+
+// featureThresholds converts a snapshot back to feature.Thresholds.
+func featureThresholds(t thresholdsSnapshot) feature.Thresholds {
+	return feature.Thresholds{
+		PosBySeason: t.PosBySeason,
+		NegBySeason: t.NegBySeason,
+		ExtremePos:  t.ExtremePos,
+		ExtremeNeg:  t.ExtremeNeg,
+	}
+}
+
+// indexSnapshot is the on-disk representation of a built index: the
+// framework stores precomputed features rather than raw functions
+// (Section 5.2 / Appendix C), so an index for a large corpus is small —
+// bit vectors plus thresholds.
+type indexSnapshot struct {
+	Version      int
+	MinTS, MaxTS int64
+	Order        []string
+	Entries      []entrySnapshot
+}
+
+type entrySnapshot struct {
+	Key      string
+	Dataset  string
+	SpecName string
+	SRes     spatial.Resolution
+	TRes     temporal.Resolution
+
+	Salient    featureSnapshot
+	Extreme    featureSnapshot
+	Thresholds thresholdsSnapshot
+
+	NumVertices    int
+	NumEdges       int
+	CriticalPoints int
+}
+
+type featureSnapshot struct {
+	Positive []byte
+	Negative []byte
+}
+
+type thresholdsSnapshot struct {
+	PosBySeason map[int]float64
+	NegBySeason map[int]float64
+	ExtremePos  float64
+	ExtremeNeg  float64
+}
+
+const snapshotVersion = 1
+
+// SaveIndex writes the built index (feature sets and thresholds of every
+// indexed function) to w. The corpus data itself is not stored; LoadIndex
+// requires the same data sets to be registered.
+func (f *Framework) SaveIndex(w io.Writer) error {
+	if !f.indexed {
+		return fmt.Errorf("core: SaveIndex requires a built index")
+	}
+	snap := indexSnapshot{
+		Version: snapshotVersion,
+		MinTS:   f.minTS,
+		MaxTS:   f.maxTS,
+		Order:   f.order,
+	}
+	for _, name := range f.order {
+		for _, byRes := range []map[Resolution][]*FunctionEntry{f.entries[name]} {
+			for _, es := range byRes {
+				for _, e := range es {
+					se := entrySnapshot{
+						Key:      e.Key,
+						Dataset:  e.Dataset,
+						SpecName: e.SpecName,
+						SRes:     e.Res.Spatial,
+						TRes:     e.Res.Temporal,
+						Thresholds: thresholdsSnapshot{
+							PosBySeason: e.Thresholds.PosBySeason,
+							NegBySeason: e.Thresholds.NegBySeason,
+							ExtremePos:  e.Thresholds.ExtremePos,
+							ExtremeNeg:  e.Thresholds.ExtremeNeg,
+						},
+						NumVertices:    e.NumVertices,
+						NumEdges:       e.NumEdges,
+						CriticalPoints: e.CriticalPoints,
+					}
+					var err error
+					if se.Salient.Positive, err = e.Salient.Positive.MarshalBinary(); err != nil {
+						return err
+					}
+					if se.Salient.Negative, err = e.Salient.Negative.MarshalBinary(); err != nil {
+						return err
+					}
+					if se.Extreme.Positive, err = e.Extreme.Positive.MarshalBinary(); err != nil {
+						return err
+					}
+					if se.Extreme.Negative, err = e.Extreme.Negative.MarshalBinary(); err != nil {
+						return err
+					}
+					snap.Entries = append(snap.Entries, se)
+				}
+			}
+		}
+	}
+	return gob.NewEncoder(w).Encode(&snap)
+}
+
+// LoadIndex restores an index previously written with SaveIndex. The
+// framework must have the same data sets registered (names and corpus time
+// range are verified); domain graphs are rebuilt from the city.
+func (f *Framework) LoadIndex(r io.Reader) error {
+	var snap indexSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("core: decoding index: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return fmt.Errorf("core: index version %d, want %d", snap.Version, snapshotVersion)
+	}
+	if len(snap.Order) != len(f.order) {
+		return fmt.Errorf("core: index has %d data sets, framework has %d", len(snap.Order), len(f.order))
+	}
+	for i, name := range snap.Order {
+		if f.order[i] != name {
+			return fmt.Errorf("core: index data set %d is %q, framework has %q", i, name, f.order[i])
+		}
+	}
+	if snap.MinTS != f.minTS || snap.MaxTS != f.maxTS {
+		return fmt.Errorf("core: index time range [%d,%d] does not match corpus [%d,%d]",
+			snap.MinTS, snap.MaxTS, f.minTS, f.maxTS)
+	}
+	entries := make(map[string]map[Resolution][]*FunctionEntry)
+	for _, se := range snap.Entries {
+		res := Resolution{Spatial: se.SRes, Temporal: se.TRes}
+		g, err := f.graph(res)
+		if err != nil {
+			return err
+		}
+		e := &FunctionEntry{
+			Key:            se.Key,
+			Dataset:        se.Dataset,
+			SpecName:       se.SpecName,
+			Res:            res,
+			Thresholds:     featureThresholds(se.Thresholds),
+			NumVertices:    se.NumVertices,
+			NumEdges:       se.NumEdges,
+			CriticalPoints: se.CriticalPoints,
+		}
+		if e.Salient, err = decodeFeatureSet(se.Salient); err != nil {
+			return err
+		}
+		if e.Extreme, err = decodeFeatureSet(se.Extreme); err != nil {
+			return err
+		}
+		if e.Salient.NumVertices() != g.NumVertices() {
+			return fmt.Errorf("core: entry %s has %d vertices, graph has %d",
+				e.Key, e.Salient.NumVertices(), g.NumVertices())
+		}
+		byRes := entries[e.Dataset]
+		if byRes == nil {
+			byRes = make(map[Resolution][]*FunctionEntry)
+			entries[e.Dataset] = byRes
+		}
+		byRes[res] = append(byRes[res], e)
+	}
+	f.entries = entries
+	f.indexed = true
+	f.cache = make(map[string][]Relationship)
+	return nil
+}

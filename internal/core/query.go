@@ -1,0 +1,267 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/urbandata/datapolygamy/internal/feature"
+	"github.com/urbandata/datapolygamy/internal/mapreduce"
+	"github.com/urbandata/datapolygamy/internal/montecarlo"
+	"github.com/urbandata/datapolygamy/internal/relationship"
+)
+
+// Clause filters and parameterises a relationship query (Section 5.3).
+// The zero value applies the paper's defaults: alpha = 0.05, 1,000
+// restricted permutations, both feature classes, all resolutions, no
+// score/strength filter.
+type Clause struct {
+	// MinScore keeps only relationships with |tau| >= MinScore.
+	MinScore float64
+	// MinStrength keeps only relationships with rho >= MinStrength.
+	MinStrength float64
+	// Classes restricts the feature classes evaluated; nil => both salient
+	// and extreme.
+	Classes []feature.Class
+	// Resolutions restricts the evaluation resolutions; nil => every
+	// common resolution of each pair.
+	Resolutions []Resolution
+	// Alpha is the significance level (0 => 0.05).
+	Alpha float64
+	// Permutations is |m| for the Monte Carlo test (0 => 1,000).
+	Permutations int
+	// SkipSignificance disables the Monte Carlo test, returning every
+	// candidate relationship (used to count "possible" relationships for
+	// the pruning experiment, Figure 11).
+	SkipSignificance bool
+	// TestKind selects restricted (default) or standard permutation tests.
+	TestKind montecarlo.Kind
+}
+
+// Query asks for relationships between two collections of data sets
+// (Section 5.3): "Find relationships between D1 and D2 satisfying clause".
+// Empty Targets means "all registered data sets"; empty Sources likewise.
+type Query struct {
+	Sources []string
+	Targets []string
+	Clause  Clause
+}
+
+// Relationship is one statistically evaluated function pair at one
+// resolution and feature class: the relationship operator's output unit.
+type Relationship struct {
+	Function1, Function2 string // function keys, e.g. "taxi/density@city,hour"
+	Dataset1, Dataset2   string
+	Spec1, Spec2         string
+	Res                  Resolution
+	Class                feature.Class
+
+	Score    float64 // tau
+	Strength float64 // rho
+	Measures relationship.Measures
+
+	PValue      float64
+	Significant bool
+}
+
+// String renders the relationship in the paper's reporting style.
+func (r Relationship) String() string {
+	return fmt.Sprintf("%s/%s ~ %s/%s %s [%s]: tau=%.2f rho=%.2f p=%.3f",
+		r.Dataset1, r.Spec1, r.Dataset2, r.Spec2, r.Res, r.Class, r.Score, r.Strength, r.PValue)
+}
+
+// QueryStats describes the work a query performed.
+type QueryStats struct {
+	PairsConsidered int // candidate (function, function, resolution, class) tuples
+	Evaluated       int // pairs with any feature relation
+	Significant     int // pairs passing the significance test
+	Duration        time.Duration
+}
+
+// pairTask is one phase-3 work unit.
+type pairTask struct {
+	e1, e2 *FunctionEntry
+	class  feature.Class
+	seed   int64
+}
+
+// Query runs the relationship operator and returns the statistically
+// significant relationships satisfying the clause, together with stats.
+// Results are cached per query signature (Appendix C).
+func (f *Framework) Query(q Query) ([]Relationship, QueryStats, error) {
+	var stats QueryStats
+	if !f.indexed {
+		return nil, stats, fmt.Errorf("core: BuildIndex must run before Query")
+	}
+	sources := q.Sources
+	if len(sources) == 0 {
+		sources = f.order
+	}
+	targets := q.Targets
+	if len(targets) == 0 {
+		targets = f.order
+	}
+	for _, n := range append(append([]string{}, sources...), targets...) {
+		if _, ok := f.datasets[n]; !ok {
+			return nil, stats, fmt.Errorf("core: unknown dataset %q", n)
+		}
+	}
+	sig := querySignature(sources, targets, q.Clause)
+	if cached, ok := f.cache[sig]; ok {
+		return cached, QueryStats{Significant: len(cached)}, nil
+	}
+
+	classes := q.Clause.Classes
+	if classes == nil {
+		classes = []feature.Class{feature.Salient, feature.Extreme}
+	}
+
+	// Map phase of job 3: enumerate candidate pairs across data set pairs,
+	// common resolutions, and feature classes.
+	t0 := time.Now()
+	var tasks []pairTask
+	seen := map[string]bool{}
+	seed := f.opts.Seed
+	for _, s := range sources {
+		for _, t := range targets {
+			if s == t {
+				continue
+			}
+			a, b := s, t
+			if a > b {
+				a, b = b, a
+			}
+			pairKey := a + "|" + b
+			if seen[pairKey] {
+				continue
+			}
+			seen[pairKey] = true
+			d1, d2 := f.datasets[a], f.datasets[b]
+			resolutions := f.CommonResolutions(d1, d2)
+			if q.Clause.Resolutions != nil {
+				resolutions = intersectResolutions(resolutions, q.Clause.Resolutions)
+			}
+			for _, res := range resolutions {
+				for _, e1 := range f.entries[a][res] {
+					for _, e2 := range f.entries[b][res] {
+						for _, class := range classes {
+							seed++
+							tasks = append(tasks, pairTask{e1: e1, e2: e2, class: class, seed: seed})
+						}
+					}
+				}
+			}
+		}
+	}
+	stats.PairsConsidered = len(tasks)
+
+	// Reduce phase of job 3: evaluate each candidate pair.
+	results, err := mapreduce.ForEach(mapreduce.Config{Workers: f.opts.Workers}, tasks,
+		func(t pairTask) (*Relationship, error) {
+			return f.evaluatePair(t, q.Clause)
+		})
+	if err != nil {
+		return nil, stats, err
+	}
+	var out []Relationship
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		stats.Evaluated++
+		if r.Significant || q.Clause.SkipSignificance {
+			stats.Significant++
+			out = append(out, *r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Function1 != out[j].Function1 {
+			return out[i].Function1 < out[j].Function1
+		}
+		if out[i].Function2 != out[j].Function2 {
+			return out[i].Function2 < out[j].Function2
+		}
+		return out[i].Class < out[j].Class
+	})
+	stats.Duration = time.Since(t0)
+	f.cache[sig] = out
+	return out, stats, nil
+}
+
+// evaluatePair computes measures for one candidate pair and applies clause
+// filters plus the significance test. It returns nil when the pair has no
+// feature relations or fails a filter.
+func (f *Framework) evaluatePair(t pairTask, clause Clause) (*Relationship, error) {
+	var s1, s2 *feature.Set
+	if t.class == feature.Salient {
+		s1, s2 = t.e1.Salient, t.e2.Salient
+	} else {
+		s1, s2 = t.e1.Extreme, t.e2.Extreme
+	}
+	m := relationship.Evaluate(s1, s2)
+	if !m.Related() {
+		return nil, nil
+	}
+	// Clause filters run before the (expensive) significance test
+	// (Section 6.1: "the query evaluation step skips the significance test
+	// when C is not satisfied").
+	if abs(m.Tau) < clause.MinScore || m.Rho < clause.MinStrength {
+		return nil, nil
+	}
+	rel := &Relationship{
+		Function1: t.e1.Key,
+		Function2: t.e2.Key,
+		Dataset1:  t.e1.Dataset,
+		Dataset2:  t.e2.Dataset,
+		Spec1:     t.e1.SpecName,
+		Spec2:     t.e2.SpecName,
+		Res:       t.e1.Res,
+		Class:     t.class,
+		Score:     m.Tau,
+		Strength:  m.Rho,
+		Measures:  m,
+	}
+	if clause.SkipSignificance {
+		rel.PValue = 1
+		return rel, nil
+	}
+	g := f.graphs[t.e1.Res]
+	res := montecarlo.Test(s1, s2, g, m.Tau, montecarlo.Config{
+		Permutations: clause.Permutations,
+		Alpha:        clause.Alpha,
+		Seed:         t.seed,
+		Kind:         clause.TestKind,
+	})
+	rel.PValue = res.PValue
+	rel.Significant = res.Significant
+	return rel, nil
+}
+
+func intersectResolutions(a, b []Resolution) []Resolution {
+	var out []Resolution
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				out = append(out, x)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func querySignature(sources, targets []string, c Clause) string {
+	s := append([]string{}, sources...)
+	t := append([]string{}, targets...)
+	sort.Strings(s)
+	sort.Strings(t)
+	return fmt.Sprintf("s=%s|t=%s|c=%+v", strings.Join(s, ","), strings.Join(t, ","), c)
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,48 @@
+package dataset
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MapCategorical appends a numerical attribute derived from a categorical
+// one by assigning each distinct category a stable numeric code (sorted
+// lexicographically, so the mapping is deterministic). This implements the
+// Section 8 note that non-numerical attributes can participate once mapped
+// to numbers. values[i] is the category of Tuples[i]; missing categories
+// ("") map to NaN.
+//
+// It returns the category-to-code mapping.
+func (d *Dataset) MapCategorical(attrName string, values []string) (map[string]float64, error) {
+	if len(values) != len(d.Tuples) {
+		return nil, fmt.Errorf("dataset %s: %d categorical values for %d tuples",
+			d.Name, len(values), len(d.Tuples))
+	}
+	if d.AttrIndex(attrName) >= 0 {
+		return nil, fmt.Errorf("dataset %s: attribute %q already exists", d.Name, attrName)
+	}
+	distinct := map[string]bool{}
+	for _, v := range values {
+		if v != "" {
+			distinct[v] = true
+		}
+	}
+	cats := make([]string, 0, len(distinct))
+	for c := range distinct {
+		cats = append(cats, c)
+	}
+	sort.Strings(cats)
+	codes := make(map[string]float64, len(cats))
+	for i, c := range cats {
+		codes[c] = float64(i)
+	}
+	d.Attrs = append(d.Attrs, attrName)
+	for i := range d.Tuples {
+		v := Missing()
+		if values[i] != "" {
+			v = codes[values[i]]
+		}
+		d.Tuples[i].Values = append(d.Tuples[i].Values, v)
+	}
+	return codes, nil
+}

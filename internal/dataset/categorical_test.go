@@ -1,0 +1,55 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMapCategorical(t *testing.T) {
+	d := sample()
+	codes, err := d.MapCategorical("borough", []string{"queens", "bronx", ""})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Codes are assigned in sorted order: bronx=0, queens=1.
+	if codes["bronx"] != 0 || codes["queens"] != 1 {
+		t.Errorf("codes = %v", codes)
+	}
+	if d.AttrIndex("borough") != 2 {
+		t.Errorf("borough index = %d, want 2", d.AttrIndex("borough"))
+	}
+	if d.Tuples[0].Values[2] != 1 {
+		t.Errorf("tuple0 borough = %g, want 1 (queens)", d.Tuples[0].Values[2])
+	}
+	if d.Tuples[1].Values[2] != 0 {
+		t.Errorf("tuple1 borough = %g, want 0 (bronx)", d.Tuples[1].Values[2])
+	}
+	if !math.IsNaN(d.Tuples[2].Values[2]) {
+		t.Error("missing category should map to NaN")
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("dataset invalid after MapCategorical: %v", err)
+	}
+}
+
+func TestMapCategoricalErrors(t *testing.T) {
+	d := sample()
+	if _, err := d.MapCategorical("x", []string{"a"}); err == nil {
+		t.Error("expected length-mismatch error")
+	}
+	if _, err := d.MapCategorical("fare", []string{"a", "b", "c"}); err == nil {
+		t.Error("expected duplicate-attribute error")
+	}
+}
+
+func TestMapCategoricalDeterministic(t *testing.T) {
+	a := sample()
+	b := sample()
+	ca, _ := a.MapCategorical("k", []string{"z", "a", "m"})
+	cb, _ := b.MapCategorical("k", []string{"z", "a", "m"})
+	for k, v := range ca {
+		if cb[k] != v {
+			t.Errorf("nondeterministic code for %q", k)
+		}
+	}
+}

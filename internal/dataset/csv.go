@@ -1,0 +1,142 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"github.com/urbandata/datapolygamy/internal/spatial"
+	"github.com/urbandata/datapolygamy/internal/temporal"
+)
+
+// csvHeaderPrefix is the fixed prefix of the tuple columns.
+var csvHeaderPrefix = []string{"id", "x", "y", "region", "ts"}
+
+// WriteCSV serialises the data set. The format is:
+//
+//	line 1: name,<name>,<spatialRes>,<temporalRes>,<hasID>
+//	line 2: id,x,y,region,ts,<attr1>,...,<attrK>
+//	lines:  one tuple per line; missing values are empty fields.
+func WriteCSV(w io.Writer, d *Dataset) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	meta := []string{"name", d.Name, d.SpatialRes.String(), d.TemporalRes.String(), strconv.FormatBool(d.HasID)}
+	if err := cw.Write(meta); err != nil {
+		return err
+	}
+	header := append(append([]string{}, csvHeaderPrefix...), d.Attrs...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(header))
+	for _, t := range d.Tuples {
+		row[0] = strconv.FormatInt(t.ID, 10)
+		row[1] = strconv.FormatFloat(t.X, 'g', -1, 64)
+		row[2] = strconv.FormatFloat(t.Y, 'g', -1, 64)
+		row[3] = strconv.Itoa(t.Region)
+		row[4] = strconv.FormatInt(t.TS, 10)
+		for i, v := range t.Values {
+			if IsMissing(v) {
+				row[5+i] = ""
+			} else {
+				row[5+i] = strconv.FormatFloat(v, 'g', -1, 64)
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a data set written by WriteCSV.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	meta, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading metadata: %w", err)
+	}
+	if len(meta) != 5 || meta[0] != "name" {
+		return nil, fmt.Errorf("dataset: malformed metadata line %v", meta)
+	}
+	sres, err := spatial.ParseResolution(meta[2])
+	if err != nil {
+		return nil, err
+	}
+	tres, err := temporal.ParseResolution(meta[3])
+	if err != nil {
+		return nil, err
+	}
+	hasID, err := strconv.ParseBool(meta[4])
+	if err != nil {
+		return nil, fmt.Errorf("dataset: bad hasID %q: %w", meta[4], err)
+	}
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading header: %w", err)
+	}
+	if len(header) < len(csvHeaderPrefix) {
+		return nil, fmt.Errorf("dataset: header too short: %v", header)
+	}
+	for i, want := range csvHeaderPrefix {
+		if header[i] != want {
+			return nil, fmt.Errorf("dataset: header column %d is %q, want %q", i, header[i], want)
+		}
+	}
+	d := &Dataset{
+		Name:        meta[1],
+		SpatialRes:  sres,
+		TemporalRes: tres,
+		HasID:       hasID,
+		Attrs:       append([]string{}, header[len(csvHeaderPrefix):]...),
+	}
+	for lineNo := 3; ; lineNo++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", lineNo, err)
+		}
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("dataset: line %d has %d fields, want %d", lineNo, len(rec), len(header))
+		}
+		var t Tuple
+		if t.ID, err = strconv.ParseInt(rec[0], 10, 64); err != nil {
+			return nil, fmt.Errorf("dataset: line %d id: %w", lineNo, err)
+		}
+		if t.X, err = strconv.ParseFloat(rec[1], 64); err != nil {
+			return nil, fmt.Errorf("dataset: line %d x: %w", lineNo, err)
+		}
+		if t.Y, err = strconv.ParseFloat(rec[2], 64); err != nil {
+			return nil, fmt.Errorf("dataset: line %d y: %w", lineNo, err)
+		}
+		if t.Region, err = strconv.Atoi(rec[3]); err != nil {
+			return nil, fmt.Errorf("dataset: line %d region: %w", lineNo, err)
+		}
+		if t.TS, err = strconv.ParseInt(rec[4], 10, 64); err != nil {
+			return nil, fmt.Errorf("dataset: line %d ts: %w", lineNo, err)
+		}
+		t.Values = make([]float64, len(d.Attrs))
+		for i := range d.Attrs {
+			f := rec[5+i]
+			if f == "" {
+				t.Values[i] = Missing()
+				continue
+			}
+			if t.Values[i], err = strconv.ParseFloat(f, 64); err != nil {
+				return nil, fmt.Errorf("dataset: line %d attr %s: %w", lineNo, d.Attrs[i], err)
+			}
+		}
+		d.Tuples = append(d.Tuples, t)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

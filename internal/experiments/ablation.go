@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/urbandata/datapolygamy/internal/eventdetect"
+	"github.com/urbandata/datapolygamy/internal/feature"
+	"github.com/urbandata/datapolygamy/internal/montecarlo"
+	"github.com/urbandata/datapolygamy/internal/relationship"
+	"github.com/urbandata/datapolygamy/internal/scalar"
+	"github.com/urbandata/datapolygamy/internal/spatial"
+	"github.com/urbandata/datapolygamy/internal/temporal"
+)
+
+// RunAblation runs the two design-choice studies DESIGN.md calls out:
+//
+//  1. Topological features vs model-based event detection — the comparison
+//     Section 8 of the paper proposes as future work. Both feature sets
+//     are computed on the taxi density function, their agreement measured,
+//     their costs timed, and the precipitation~taxi relationship evaluated
+//     with each, showing that the pipelines are interchangeable at the
+//     relationship level while differing in cost profile and tuning needs.
+//
+//  2. Restricted (toroidal/rotation) vs block-permutation vs standard
+//     randomization — the spectrum of dependence-respecting tests from the
+//     statistics literature the paper builds on (Besag & Clifford, Kunsch,
+//     Fortin & Jacquez).
+func RunAblation(e *Env, w io.Writer) error {
+	col, err := e.Collection()
+	if err != nil {
+		return err
+	}
+	taxi, err := scalar.Compute(col.Dataset("taxi"), scalar.Spec{Kind: scalar.Density},
+		col.City, spatial.City, temporal.Hour)
+	if err != nil {
+		return err
+	}
+	precip, err := scalar.ComputeOnTimeline(col.Dataset("weather"),
+		scalar.Spec{Kind: scalar.Attribute, Attr: "precipitation", Agg: scalar.Avg},
+		col.City, spatial.City, temporal.Hour, taxi.Timeline)
+	if err != nil {
+		return err
+	}
+
+	section(w, "Ablation 1: topological features vs model-based event detection (taxi density)")
+	t0 := time.Now()
+	topoSet := feature.NewExtractor(taxi).Extract(feature.Salient)
+	topoTime := time.Since(t0)
+	t1 := time.Now()
+	eventSet := eventdetect.Detect(taxi, 3)
+	eventTime := time.Since(t1)
+
+	tp, tn := topoSet.Count()
+	ep, en := eventSet.Count()
+	overlapPos := topoSet.Positive.AndCount(eventSet.Positive)
+	overlapNeg := topoSet.Negative.AndCount(eventSet.Negative)
+	fmt.Fprintf(w, "%-28s %10s %10s %12s\n", "", "topology", "3-sigma", "agreement")
+	fmt.Fprintf(w, "%-28s %10d %10d %12d\n", "positive features", tp, ep, overlapPos)
+	fmt.Fprintf(w, "%-28s %10d %10d %12d\n", "negative features", tn, en, overlapNeg)
+	fmt.Fprintf(w, "%-28s %9.1fms %9.1fms\n", "cost", ms(topoTime), ms(eventTime))
+
+	precipTopo := feature.NewExtractor(precip).Extract(feature.Salient)
+	precipEvent := eventdetect.Detect(precip, 3)
+	mTopo := relationship.Evaluate(precipTopo, topoSet)
+	mEvent := relationship.Evaluate(precipEvent, eventSet)
+	fmt.Fprintf(w, "precip~taxi via topology:   tau=%.2f rho=%.2f\n", mTopo.Tau, mTopo.Rho)
+	fmt.Fprintf(w, "precip~taxi via 3-sigma:    tau=%.2f rho=%.2f\n", mEvent.Tau, mEvent.Rho)
+	fmt.Fprintln(w, "note: the detector needs a per-(region, hour-of-week) model and a hand-")
+	fmt.Fprintln(w, "tuned k; topology is model-free with data-driven thresholds (Section 8)")
+
+	section(w, "Ablation 2: randomization schemes (precip~taxi, topological features)")
+	fmt.Fprintf(w, "%-12s %10s %12s\n", "scheme", "p-value", "significant")
+	for _, kind := range []montecarlo.Kind{montecarlo.Restricted, montecarlo.Block, montecarlo.Standard} {
+		res := montecarlo.Test(precipTopo, topoSet, taxi.Graph, mTopo.Tau, montecarlo.Config{
+			Permutations: e.Cfg.Permutations, Seed: e.Cfg.Seed, Kind: kind,
+		})
+		fmt.Fprintf(w, "%-12s %10.3f %12v\n", kind, res.PValue, res.Significant)
+	}
+	fmt.Fprintln(w, "restricted and block tests respect temporal dependence; the standard test")
+	fmt.Fprintln(w, "ignores it and its verdicts are untrustworthy on autocorrelated data")
+	return nil
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

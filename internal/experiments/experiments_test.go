@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyEnv builds the smallest environment that exercises every experiment.
+func tinyEnv() *Env {
+	return NewEnv(Config{
+		Seed:         1,
+		Scale:        0.2,
+		Months:       3,
+		CityGrid:     24,
+		Permutations: 40,
+		OpenDatasets: 6,
+		Workers:      4,
+	})
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	env := tinyEnv()
+	for _, r := range All() {
+		r := r
+		t.Run(r.Name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := r.Run(env, &buf); err != nil {
+				t.Fatalf("%s: %v", r.Name, err)
+			}
+			if buf.Len() == 0 {
+				t.Fatalf("%s produced no output", r.Name)
+			}
+		})
+	}
+}
+
+func TestFindAndAll(t *testing.T) {
+	all := All()
+	if len(all) != 15 {
+		t.Errorf("All() = %d experiments, want 15", len(all))
+	}
+	seen := map[string]bool{}
+	for _, r := range all {
+		if seen[r.Name] {
+			t.Errorf("duplicate experiment %q", r.Name)
+		}
+		seen[r.Name] = true
+		if Find(r.Name) == nil {
+			t.Errorf("Find(%q) = nil", r.Name)
+		}
+	}
+	if Find("nope") != nil {
+		t.Error("Find of unknown name should be nil")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	d := DefaultConfig()
+	if c != d {
+		t.Errorf("withDefaults() = %+v, want %+v", c, d)
+	}
+	c = Config{Months: 3}.withDefaults()
+	if c.Months != 3 || c.Scale != d.Scale {
+		t.Error("partial config should keep explicit values and default the rest")
+	}
+}
+
+func TestTable1Content(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	env := tinyEnv()
+	var buf bytes.Buffer
+	if err := RunTable1(env, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range []string{"taxi", "weather", "gas_prices", "twitter"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("Table 1 output missing %q", name)
+		}
+	}
+	if !strings.Contains(out, "228") {
+		t.Error("Table 1 should show weather's 228 scalar functions")
+	}
+}
+
+func TestFigure7SweepLinear(t *testing.T) {
+	rows, err := Figure7Sweep(1, 1, [][]int{nil}, []int{20_000, 80_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[1].Edges <= rows[0].Edges {
+		t.Error("edge counts must grow")
+	}
+	// Near-linear: 4x the size should cost well under 16x the time.
+	if rows[0].CreateMS > 0 && rows[1].CreateMS/rows[0].CreateMS > 16 {
+		t.Errorf("index creation scaled superquadratically: %v", rows)
+	}
+}
+
+func TestEnvCaching(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	env := tinyEnv()
+	c1, err := env.Collection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := env.Collection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Error("Collection must be cached")
+	}
+	f1, err := env.Framework()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := env.Framework()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 != f2 {
+		t.Error("Framework must be cached")
+	}
+}

@@ -1,0 +1,447 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/urbandata/datapolygamy/internal/baselines"
+	"github.com/urbandata/datapolygamy/internal/core"
+	"github.com/urbandata/datapolygamy/internal/feature"
+	"github.com/urbandata/datapolygamy/internal/montecarlo"
+	"github.com/urbandata/datapolygamy/internal/relationship"
+	"github.com/urbandata/datapolygamy/internal/scalar"
+	"github.com/urbandata/datapolygamy/internal/spatial"
+	"github.com/urbandata/datapolygamy/internal/temporal"
+)
+
+// RunFigure11 reproduces Figure 11: relationship pruning at the
+// (week, city) resolution — possible relationships vs statistically
+// significant ones, and the further reduction from tau filters.
+func RunFigure11(e *Env, w io.Writer) error {
+	weekCity := []core.Resolution{{Spatial: spatial.City, Temporal: temporal.Week}}
+	report := func(title string, fw *core.Framework) error {
+		section(w, title)
+		_, all, err := fw.Query(core.Query{Clause: core.Clause{
+			SkipSignificance: true, Resolutions: weekCity,
+		}})
+		if err != nil {
+			return err
+		}
+		sig, sstats, err := fw.Query(core.Query{Clause: core.Clause{
+			Permutations: e.Cfg.Permutations, Resolutions: weekCity,
+		}})
+		if err != nil {
+			return err
+		}
+		count := func(min float64) int {
+			n := 0
+			for _, r := range sig {
+				if math.Abs(r.Score) >= min {
+					n++
+				}
+			}
+			return n
+		}
+		possible := all.PairsConsidered
+		fmt.Fprintf(w, "possible relationships:      %8d\n", possible)
+		fmt.Fprintf(w, "with feature relations:      %8d\n", all.Evaluated)
+		fmt.Fprintf(w, "statistically significant:   %8d  (pruned %.2f%%)\n",
+			sstats.Significant, 100*(1-float64(sstats.Significant)/float64(max(1, possible))))
+		fmt.Fprintf(w, "significant with |tau|>=0.6: %8d  (pruned %.2f%%)\n",
+			count(0.6), 100*(1-float64(count(0.6))/float64(max(1, possible))))
+		fmt.Fprintf(w, "significant with |tau|>=0.8: %8d  (pruned %.2f%%)\n",
+			count(0.8), 100*(1-float64(count(0.8))/float64(max(1, possible))))
+		return nil
+	}
+	fw, err := e.Framework()
+	if err != nil {
+		return err
+	}
+	if err := report("Figure 11(a): NYC Urban pruning at (week, city)", fw); err != nil {
+		return err
+	}
+	open, err := e.Open()
+	if err != nil {
+		return err
+	}
+	ofw, err := newFramework(e, open...)
+	if err != nil {
+		return err
+	}
+	if _, err := ofw.BuildIndex(); err != nil {
+		return err
+	}
+	if err := report("Figure 11(b): NYC Open pruning at (week, city)", ofw); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "paper: 9,745 -> 137 (98.6%) for Urban; 2M -> 22,327 (98.9%) for Open")
+	return nil
+}
+
+// expectation is one Section 6.3 finding to reproduce.
+type expectation struct {
+	label      string
+	ds1, spec1 string
+	ds2, spec2 string
+	res        core.Resolution
+	class      feature.Class
+	paperTau   string
+	wantSign   int  // +1, -1, or 0 (no expectation)
+	wantAbsent bool // paper found no significant relationship
+}
+
+func cityRes(tr temporal.Resolution) core.Resolution {
+	return core.Resolution{Spatial: spatial.City, Temporal: tr}
+}
+
+// sectionExpectations lists the paper's Section 6.3 / Appendix E.2
+// findings that the synthetic corpus plants.
+func sectionExpectations() []expectation {
+	nbhdHour := core.Resolution{Spatial: spatial.Neighborhood, Temporal: temporal.Hour}
+	return []expectation{
+		{"precipitation ~ taxi trips", "weather", "avg_precipitation", "taxi", "density",
+			cityRes(temporal.Hour), feature.Salient, "-0.62", -1, false},
+		{"precipitation ~ avg fare", "weather", "avg_precipitation", "taxi", "avg_fare",
+			cityRes(temporal.Hour), feature.Salient, "+0.73", +1, false},
+		// At laptop scale, hourly night counts and hurricane counts are
+		// both near zero (Poisson discreteness), so the extreme-feature
+		// relationship is evaluated at daily resolution where the
+		// hurricane collapse is an unambiguous outlier.
+		{"wind speed ~ taxi trips (extreme)", "weather", "avg_wind_speed", "taxi", "density",
+			cityRes(temporal.Day), feature.Extreme, "-1.00 (rho 0.13)", -1, false},
+		{"snow precip ~ bike duration", "weather", "avg_snow_precip", "citibike", "avg_duration_min",
+			cityRes(temporal.Hour), feature.Salient, "+0.61", +1, false},
+		{"snow precip ~ active stations (day)", "weather", "avg_snow_precip", "citibike", "avg_active_stations",
+			cityRes(temporal.Day), feature.Salient, "-0.88", -1, false},
+		{"rainfall ~ motorists killed", "weather", "avg_precipitation", "collisions", "avg_motorists_killed",
+			cityRes(temporal.Hour), feature.Salient, "+0.90", +1, false},
+		{"rainfall ~ pedestrians injured", "weather", "avg_precipitation", "collisions", "avg_pedestrians_injured",
+			cityRes(temporal.Hour), feature.Salient, "+0.75", +1, false},
+		{"taxi trips ~ traffic speed", "taxi", "density", "traffic_speed", "avg_speed_mph",
+			cityRes(temporal.Hour), feature.Salient, "-0.90", -1, false},
+		{"avg fare ~ traffic speed", "taxi", "avg_fare", "traffic_speed", "avg_speed_mph",
+			nbhdHour, feature.Salient, "+0.79", +1, false},
+		// Laptop-scale streams are too sparse at (hour, neighborhood) for
+		// the density pairs; Appendix E.2 reports the same relationships
+		// at coarser resolutions, which we reproduce instead.
+		{"collisions ~ 311 complaints", "collisions", "density", "complaints_311", "density",
+			core.Resolution{Spatial: spatial.Neighborhood, Temporal: temporal.Day},
+			feature.Salient, "+0.84 (E.2)", +1, false},
+		{"collisions ~ 911 calls", "collisions", "density", "calls_911", "density",
+			core.Resolution{Spatial: spatial.Neighborhood, Temporal: temporal.Day},
+			feature.Salient, "+0.94 (E.2)", +1, false},
+		{"collisions ~ taxi trips", "collisions", "density", "taxi", "density",
+			core.Resolution{Spatial: spatial.Neighborhood, Temporal: temporal.Week},
+			feature.Salient, "+0.99 (E.2)", +1, false},
+		{"avg fare ~ gas price (month)", "taxi", "avg_fare", "gas_prices", "avg_price",
+			cityRes(temporal.Month), feature.Salient, "+1.00", +1, false},
+		{"311 ~ 911 (day)", "complaints_311", "density", "calls_911", "density",
+			cityRes(temporal.Day), feature.Salient, "+0.92", +1, false},
+	}
+}
+
+// findRelationship evaluates one function pair directly from the index.
+func findRelationship(fw *core.Framework, ex expectation, perms int, seed int64) (relationship.Measures, montecarlo.Result, bool) {
+	e1s := fw.Entries(ex.ds1, ex.res)
+	e2s := fw.Entries(ex.ds2, ex.res)
+	var e1, e2 *core.FunctionEntry
+	for _, c := range e1s {
+		if c.SpecName == ex.spec1 {
+			e1 = c
+		}
+	}
+	for _, c := range e2s {
+		if c.SpecName == ex.spec2 {
+			e2 = c
+		}
+	}
+	if e1 == nil || e2 == nil {
+		return relationship.Measures{}, montecarlo.Result{}, false
+	}
+	var s1, s2 *feature.Set
+	if ex.class == feature.Salient {
+		s1, s2 = e1.Salient, e2.Salient
+	} else {
+		s1, s2 = e1.Extreme, e2.Extreme
+	}
+	m := relationship.Evaluate(s1, s2)
+	g, ok := fw.Graph(ex.res)
+	if !ok {
+		return m, montecarlo.Result{}, false
+	}
+	res := montecarlo.Test(s1, s2, g, m.Tau, montecarlo.Config{Permutations: perms, Seed: seed})
+	return m, res, true
+}
+
+// RunInteresting reproduces the Section 6.3 findings table: for each of the
+// paper's reported relationships, the measured tau/rho/p on the synthetic
+// corpus, checking that signs match.
+func RunInteresting(e *Env, w io.Writer) error {
+	fw, err := e.Framework()
+	if err != nil {
+		return err
+	}
+	section(w, "Section 6.3: interesting relationships (paper sign vs measured)")
+	fmt.Fprintf(w, "%-38s %-14s %-8s %16s %7s %7s %7s %5s %5s\n",
+		"relationship", "resolution", "class", "paper tau", "tau", "rho", "p", "sig", "sign")
+	okCount, total := 0, 0
+	for i, ex := range sectionExpectations() {
+		m, res, found := findRelationship(fw, ex, e.Cfg.Permutations, e.Cfg.Seed+int64(i))
+		if !found {
+			fmt.Fprintf(w, "%-38s %-14s %-8s %16s %7s\n", ex.label, ex.res, ex.class, ex.paperTau, "n/a")
+			continue
+		}
+		signOK := (ex.wantSign > 0 && m.Tau > 0) || (ex.wantSign < 0 && m.Tau < 0) || ex.wantSign == 0
+		mark := "OK"
+		if !signOK {
+			mark = "MISS"
+		}
+		total++
+		if signOK {
+			okCount++
+		}
+		fmt.Fprintf(w, "%-38s %-14s %-8s %16s %7.2f %7.2f %7.3f %5v %5s\n",
+			ex.label, ex.res, ex.class, ex.paperTau, m.Tau, m.Rho, res.PValue, res.Significant, mark)
+	}
+	fmt.Fprintf(w, "sign agreement with the paper: %d/%d\n", okCount, total)
+	return nil
+}
+
+// RunSignificance reproduces the Section 6.3 significance-test study:
+// attributes with no causal link (the taxi fare tax) yield relationships
+// that the restricted test prunes, and the restricted test disagrees with
+// the standard one on temporally autocorrelated pairs.
+func RunSignificance(e *Env, w io.Writer) error {
+	fw, err := e.Framework()
+	if err != nil {
+		return err
+	}
+	section(w, "Significance test: fare tax (white noise) vs weather attributes")
+	res := cityRes(temporal.Hour)
+	taxEntries := fw.Entries("taxi", res)
+	var tax *core.FunctionEntry
+	for _, c := range taxEntries {
+		if c.SpecName == "avg_tax" {
+			tax = c
+		}
+	}
+	if tax == nil {
+		return fmt.Errorf("experiments: avg_tax entry missing")
+	}
+	g, _ := fw.Graph(res)
+	weatherSpecs := []string{"avg_precipitation", "avg_wind_speed", "avg_temperature", "avg_visibility"}
+	pruned, totalTax := 0, 0
+	fmt.Fprintf(w, "%-24s %8s %8s %8s %12s\n", "weather attribute", "tau", "rho", "p", "significant")
+	for i, wsName := range weatherSpecs {
+		var we *core.FunctionEntry
+		for _, c := range fw.Entries("weather", res) {
+			if c.SpecName == wsName {
+				we = c
+			}
+		}
+		if we == nil {
+			continue
+		}
+		m := relationship.Evaluate(tax.Salient, we.Salient)
+		mc := montecarlo.Test(tax.Salient, we.Salient, g, m.Tau,
+			montecarlo.Config{Permutations: e.Cfg.Permutations, Seed: e.Cfg.Seed + int64(i)})
+		totalTax++
+		if !mc.Significant {
+			pruned++
+		}
+		fmt.Fprintf(w, "%-24s %8.2f %8.2f %8.3f %12v\n", wsName, m.Tau, m.Rho, mc.PValue, mc.Significant)
+	}
+	fmt.Fprintf(w, "pruned %d/%d fare-tax relationships (paper: all pruned as coincidental)\n", pruned, totalTax)
+
+	section(w, "Restricted vs standard Monte Carlo (snow precip ~ bike duration)")
+	var snow, dur *core.FunctionEntry
+	for _, c := range fw.Entries("weather", res) {
+		if c.SpecName == "avg_snow_precip" {
+			snow = c
+		}
+	}
+	for _, c := range fw.Entries("citibike", res) {
+		if c.SpecName == "avg_duration_min" {
+			dur = c
+		}
+	}
+	if snow == nil || dur == nil {
+		return fmt.Errorf("experiments: snow/duration entries missing")
+	}
+	m := relationship.Evaluate(snow.Salient, dur.Salient)
+	restricted := montecarlo.Test(snow.Salient, dur.Salient, g, m.Tau,
+		montecarlo.Config{Permutations: e.Cfg.Permutations, Seed: e.Cfg.Seed, Kind: montecarlo.Restricted})
+	standard := montecarlo.Test(snow.Salient, dur.Salient, g, m.Tau,
+		montecarlo.Config{Permutations: e.Cfg.Permutations, Seed: e.Cfg.Seed, Kind: montecarlo.Standard})
+	fmt.Fprintf(w, "tau=%.2f rho=%.2f | restricted p=%.3f standard p=%.3f\n",
+		m.Tau, m.Rho, restricted.PValue, standard.PValue)
+	fmt.Fprintln(w, "paper: ignoring spatio-temporal dependence changes significance verdicts")
+
+	// Spurious relationships with high |tau| that the test prunes.
+	section(w, "High-|tau| relationships pruned by the significance test (week, city)")
+	all, _, err := fw.Query(core.Query{Clause: core.Clause{
+		SkipSignificance: true,
+		Resolutions:      []core.Resolution{{Spatial: spatial.City, Temporal: temporal.Week}},
+	}})
+	if err != nil {
+		return err
+	}
+	sig, _, err := fw.Query(core.Query{Clause: core.Clause{
+		Permutations: e.Cfg.Permutations,
+		Resolutions:  []core.Resolution{{Spatial: spatial.City, Temporal: temporal.Week}},
+	}})
+	if err != nil {
+		return err
+	}
+	sigKeys := map[string]bool{}
+	for _, r := range sig {
+		sigKeys[r.Function1+"|"+r.Function2+"|"+r.Class.String()] = true
+	}
+	var prunedRels []core.Relationship
+	for _, r := range all {
+		if math.Abs(r.Score) >= 0.6 && !sigKeys[r.Function1+"|"+r.Function2+"|"+r.Class.String()] {
+			prunedRels = append(prunedRels, r)
+		}
+	}
+	sort.Slice(prunedRels, func(i, j int) bool {
+		return math.Abs(prunedRels[i].Score) > math.Abs(prunedRels[j].Score)
+	})
+	for i, r := range prunedRels {
+		if i >= 5 {
+			break
+		}
+		fmt.Fprintf(w, "pruned despite |tau|=%.2f: %s/%s ~ %s/%s [%s]\n",
+			math.Abs(r.Score), r.Dataset1, r.Spec1, r.Dataset2, r.Spec2, r.Class)
+	}
+	fmt.Fprintf(w, "total high-|tau| pruned: %d (paper's examples: mileage~pedestrians 0.90, bikes~tweets 0.87)\n",
+		len(prunedRels))
+	return nil
+}
+
+// citySeries extracts the hourly city-resolution series of one function.
+func citySeries(e *Env, ds, specName string) ([]float64, error) {
+	col, err := e.Collection()
+	if err != nil {
+		return nil, err
+	}
+	d := col.Dataset(ds)
+	if d == nil {
+		return nil, fmt.Errorf("experiments: no dataset %s", ds)
+	}
+	var spec scalar.Spec
+	switch specName {
+	case "density":
+		spec = scalar.Spec{Kind: scalar.Density}
+	case "unique":
+		spec = scalar.Spec{Kind: scalar.Unique}
+	default:
+		attr := strings.TrimPrefix(specName, "avg_")
+		spec = scalar.Spec{Kind: scalar.Attribute, Attr: attr, Agg: scalar.Avg}
+	}
+	// All series share the corpus timeline so pairwise comparisons align.
+	tl, err := temporal.NewTimeline(e.Start().Unix(), e.End().Unix()-1, temporal.Hour)
+	if err != nil {
+		return nil, err
+	}
+	fn, err := scalar.ComputeOnTimeline(d, spec, col.City, spatial.City, temporal.Hour, tl)
+	if err != nil {
+		return nil, err
+	}
+	return fn.CitySeries()
+}
+
+// RunComparison reproduces Section 6.4 / Appendix D: PCC, normalized MI,
+// and normalized DTW against the Data Polygamy score for global,
+// conditional (event-driven), and spatial relationships, plus the Farber
+// OLS-on-binary-rain regression.
+func RunComparison(e *Env, w io.Writer) error {
+	fw, err := e.Framework()
+	if err != nil {
+		return err
+	}
+	type pair struct {
+		label      string
+		ds1, spec1 string
+		ds2, spec2 string
+		class      feature.Class
+		res        core.Resolution
+		nature     string
+	}
+	pairs := []pair{
+		{"taxi trips ~ traffic speed", "taxi", "density", "traffic_speed", "avg_speed_mph",
+			feature.Salient, cityRes(temporal.Hour), "global (baselines detect)"},
+		{"snow precip ~ bike duration", "weather", "avg_snow_precip", "citibike", "avg_duration_min",
+			feature.Salient, cityRes(temporal.Hour), "global-ish (PCC & MI detect)"},
+		{"precipitation ~ taxi trips", "weather", "avg_precipitation", "taxi", "density",
+			feature.Salient, cityRes(temporal.Hour), "conditional (baselines weak)"},
+		{"wind speed ~ taxi trips", "weather", "avg_wind_speed", "taxi", "density",
+			feature.Extreme, cityRes(temporal.Day), "event-only (baselines miss)"},
+		{"collisions ~ taxi trips (nbhd)", "collisions", "density", "taxi", "density",
+			feature.Salient, core.Resolution{Spatial: spatial.Neighborhood, Temporal: temporal.Hour},
+			"spatial (1D baselines cannot see)"},
+	}
+	section(w, "Section 6.4: standard techniques vs Data Polygamy")
+	fmt.Fprintf(w, "%-32s %8s %8s %8s %10s  %s\n", "pair", "PCC", "MI", "bDTW", "DP tau", "nature")
+	for i, p := range pairs {
+		x, err := citySeries(e, p.ds1, p.spec1)
+		if err != nil {
+			return err
+		}
+		y, err := citySeries(e, p.ds2, p.spec2)
+		if err != nil {
+			return err
+		}
+		pcc := baselines.PCC(x, y)
+		mi := baselines.MI(x, y, 16)
+		// DTW is O(n^2); subsample long series to keep it tractable,
+		// as DTW practitioners do.
+		xs, ys := subsample(x, 1500), subsample(y, 1500)
+		bdtw := baselines.NormalizedDTW(xs, ys)
+		m, _, found := findRelationship(fw, expectation{
+			ds1: p.ds1, spec1: p.spec1, ds2: p.ds2, spec2: p.spec2,
+			res: p.res, class: p.class,
+		}, e.Cfg.Permutations, e.Cfg.Seed+int64(i))
+		tau := math.NaN()
+		if found {
+			tau = m.Tau
+		}
+		fmt.Fprintf(w, "%-32s %8.2f %8.2f %8.2f %10.2f  %s\n", p.label, pcc, mi, bdtw, tau, p.nature)
+	}
+
+	// Farber's OLS: binary rain indicator vs hourly average fare.
+	fare, err := citySeries(e, "taxi", "fare")
+	if err != nil {
+		return err
+	}
+	precip, err := citySeries(e, "weather", "precipitation")
+	if err != nil {
+		return err
+	}
+	rain := make([]bool, len(precip))
+	for i, v := range precip {
+		rain[i] = v > 0
+	}
+	slope, _, r2, err := baselines.OLSBinary(fare, rain)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nFarber-style OLS (fare ~ any-rain dummy): slope=%.3f R^2=%.4f\n", slope, r2)
+	fmt.Fprintln(w, "paper: the binary treatment and all-time-periods regression miss the salient-")
+	fmt.Fprintln(w, "feature relationship that Data Polygamy detects (fare ~ precipitation, tau>0)")
+	return nil
+}
+
+func subsample(x []float64, maxN int) []float64 {
+	if len(x) <= maxN {
+		return x
+	}
+	step := float64(len(x)) / float64(maxN)
+	out := make([]float64, maxN)
+	for i := range out {
+		out[i] = x[int(float64(i)*step)]
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+package feature
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// zeroInflatedSeries mimics precipitation: zero most of the time with
+// bursty positive events. The "minima" of such a function are entire dry
+// spells whose persistence equals the neighboring event heights, so a
+// naive threshold classifies the whole dry domain as negative features.
+func zeroInflatedSeries(n int, events []int) []float64 {
+	vals := make([]float64, n)
+	for _, e := range events {
+		for k := 0; k < 5 && e+k < n; k++ {
+			vals[e+k] = 1.5
+		}
+	}
+	return vals
+}
+
+func TestCoverageGuardZeroInflated(t *testing.T) {
+	events := []int{50, 200, 370, 420, 555}
+	vals := zeroInflatedSeries(24*28, events)
+	f := seriesFunction(t, jan2012(), vals)
+	set := NewExtractor(f).Extract(Salient)
+
+	// Positive features: the rain events themselves.
+	for _, e := range events {
+		if !set.Positive.Get(e + 1) {
+			t.Errorf("event at %d not a positive feature", e)
+		}
+	}
+	// Negative features: without the coverage guard this would be every
+	// dry hour (~96% of the domain); the guard must drop them.
+	_, neg := set.Count()
+	if float64(neg) > MaxSeasonCoverage*float64(len(vals)) {
+		t.Errorf("negative features cover %d of %d vertices; the norm is not a deviation",
+			neg, len(vals))
+	}
+}
+
+func TestCoverageGuardKeepsGenuineFeatures(t *testing.T) {
+	// The mirrored check: a series with sparse genuine down-spikes must
+	// keep its negative features.
+	vals, marks := negSpikySeries()
+	f := seriesFunction(t, jan2012(), vals)
+	set := NewExtractor(f).Extract(Salient)
+	for _, s := range marks["downs"] {
+		if !set.Negative.Get(s) {
+			t.Errorf("genuine down-spike at %d lost to the coverage guard", s)
+		}
+	}
+}
+
+func TestCoverageGuardExtreme(t *testing.T) {
+	// Extreme features are outliers; if the outlier threshold degenerates
+	// to cover most of the domain (zero-inflated case), the guard drops it.
+	vals := zeroInflatedSeries(24*28, []int{50, 200, 370})
+	f := seriesFunction(t, jan2012(), vals)
+	set := NewExtractor(f).Extract(Extreme)
+	_, neg := set.Count()
+	if float64(neg) > MaxSeasonCoverage*float64(len(vals)) {
+		t.Errorf("extreme negatives cover %d of %d vertices", neg, len(vals))
+	}
+}
+
+func TestNaNValuesDoNotCrash(t *testing.T) {
+	// A function with NaN at a few vertices (failure injection): the
+	// pipeline should not panic, and non-NaN features should still appear.
+	vals, marks := spikySeries()
+	vals[150] = math.NaN()
+	vals[151] = math.NaN()
+	f := seriesFunction(t, jan2012(), vals)
+	set := NewExtractor(f).Extract(Salient)
+	if !set.Positive.Get(marks["top"][0]) {
+		t.Error("NaN vertices disrupted unrelated features")
+	}
+}
+
+func TestSingleStepFunction(t *testing.T) {
+	f := seriesFunction(t, time.Date(2012, time.July, 1, 0, 0, 0, 0, time.UTC), []float64{5})
+	set := NewExtractor(f).Extract(Salient)
+	pos, neg := set.Count()
+	if pos+neg > 1 {
+		t.Errorf("single-vertex function produced %d features", pos+neg)
+	}
+}

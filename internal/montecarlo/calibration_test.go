@@ -1,0 +1,88 @@
+package montecarlo
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/urbandata/datapolygamy/internal/bitvec"
+	"github.com/urbandata/datapolygamy/internal/feature"
+	"github.com/urbandata/datapolygamy/internal/relationship"
+	"github.com/urbandata/datapolygamy/internal/stgraph"
+)
+
+// TestNullCalibration checks the statistical validity of the restricted
+// test: under the null hypothesis (independent feature sets), the fraction
+// of trials declared significant at alpha must not wildly exceed alpha.
+// (Permutation tests with add-one smoothing are conservative, so the rate
+// should be at or below ~alpha plus sampling error.)
+func TestNullCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration is slow")
+	}
+	rng := rand.New(rand.NewSource(42))
+	n := 3000
+	g, err := stgraph.New(1, n, [][]int{nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trials := 120
+	significant := 0
+	for trial := 0; trial < trials; trial++ {
+		mk := func() *feature.Set {
+			s := &feature.Set{Positive: bitvec.New(n), Negative: bitvec.New(n)}
+			for i := 0; i < 60; i++ {
+				s.Positive.Set(rng.Intn(n))
+				s.Negative.Set(rng.Intn(n))
+			}
+			return s
+		}
+		a, b := mk(), mk()
+		m := relationship.Evaluate(a, b)
+		res := Test(a, b, g, m.Tau, Config{Permutations: 200, Seed: int64(trial), Alpha: 0.05})
+		if res.Significant {
+			significant++
+		}
+	}
+	rate := float64(significant) / float64(trials)
+	// Allow generous sampling slack above alpha = 0.05.
+	if rate > 0.15 {
+		t.Errorf("null rejection rate = %.3f, want <= ~alpha (0.05) + slack", rate)
+	}
+}
+
+// TestPowerUnderAlternative: strongly dependent feature sets must be
+// detected with high probability — the test has power, not just size.
+func TestPowerUnderAlternative(t *testing.T) {
+	if testing.Short() {
+		t.Skip("power study is slow")
+	}
+	rng := rand.New(rand.NewSource(43))
+	n := 3000
+	g, err := stgraph.New(1, n, [][]int{nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trials := 40
+	detected := 0
+	for trial := 0; trial < trials; trial++ {
+		a := &feature.Set{Positive: bitvec.New(n), Negative: bitvec.New(n)}
+		b := &feature.Set{Positive: bitvec.New(n), Negative: bitvec.New(n)}
+		// Co-occurring mixed-sign events.
+		for i := 0; i < 100; i++ {
+			v := rng.Intn(n)
+			a.Positive.Set(v)
+			b.Positive.Set(v)
+			w := rng.Intn(n)
+			a.Negative.Set(w)
+			b.Negative.Set(w)
+		}
+		m := relationship.Evaluate(a, b)
+		res := Test(a, b, g, m.Tau, Config{Permutations: 200, Seed: int64(1000 + trial)})
+		if res.Significant {
+			detected++
+		}
+	}
+	if rate := float64(detected) / float64(trials); rate < 0.9 {
+		t.Errorf("power = %.2f, want >= 0.9 for perfectly co-occurring features", rate)
+	}
+}

@@ -1,0 +1,308 @@
+// Package montecarlo implements the statistical significance machinery of
+// the Data Polygamy framework (Section 4 of the paper): restricted Monte
+// Carlo permutation tests that respect the spatial and temporal
+// dependencies of urban data.
+//
+// Spatial correlation is respected through graph toroidal shifts: a random
+// bijection of the region set built breadth-first so that adjacent regions
+// map to adjacent regions wherever possible. Temporal correlation is
+// respected by wrapping time onto a circle and rotating it. A standard
+// (unrestricted) permutation test is also provided for the comparison in
+// Section 6.3, which shows why ignoring dependencies misleads.
+//
+// The p-value follows Equation (3)/(4) with add-one smoothing and a
+// direction-aware tail: for a negative observed score it is
+// p = (1 + #{k : tau_k <= tau*}) / (1 + |m|) — exactly the paper's
+// P(X <= x*) — and for a positive observed score the mirrored upper tail
+// P(X >= x*) is used, so both strongly negative and strongly positive
+// relationships can be significant. An observed score of zero is never
+// significant (p = 1).
+package montecarlo
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/urbandata/datapolygamy/internal/feature"
+	"github.com/urbandata/datapolygamy/internal/stgraph"
+)
+
+// DefaultPermutations is the paper's |m| = 1,000 toroidal shifts.
+const DefaultPermutations = 1000
+
+// DefaultAlpha is the paper's significance level of 5%.
+const DefaultAlpha = 0.05
+
+// Kind selects the permutation scheme.
+type Kind int
+
+const (
+	// Restricted uses toroidal shifts (spatial) and circular rotations
+	// (temporal), respecting data dependencies.
+	Restricted Kind = iota
+	// Standard permutes vertices uniformly at random, ignoring spatio-
+	// temporal dependencies (for comparison only).
+	Standard
+	// Block permutes whole temporal blocks (the block-bootstrap family the
+	// paper cites via Kunsch [22]): within-block dependence is preserved,
+	// long-range alignment is broken. Spatial shifts are applied as in
+	// Restricted.
+	Block
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Restricted:
+		return "restricted"
+	case Standard:
+		return "standard"
+	case Block:
+		return "block"
+	default:
+		return "montecarlo.Kind(?)"
+	}
+}
+
+// blockLength picks the temporal block size for Block permutations: about
+// fifty blocks, at least two steps each.
+func blockLength(nSteps int) int {
+	l := nSteps / 50
+	if l < 2 {
+		l = 2
+	}
+	return l
+}
+
+// Config parameterises a significance test.
+type Config struct {
+	Permutations int     // number of randomizations |m|; 0 => DefaultPermutations
+	Alpha        float64 // significance level; 0 => DefaultAlpha
+	Seed         int64   // RNG seed for reproducibility
+	Kind         Kind    // Restricted or Standard
+}
+
+func (c Config) withDefaults() Config {
+	if c.Permutations <= 0 {
+		c.Permutations = DefaultPermutations
+	}
+	if c.Alpha <= 0 {
+		c.Alpha = DefaultAlpha
+	}
+	return c
+}
+
+// Result reports the outcome of a significance test.
+type Result struct {
+	PValue      float64
+	Significant bool
+	TauObserved float64
+	Shifts      int
+}
+
+// ToroidalShift builds a random bijection over the regions of a spatial
+// adjacency graph that preserves adjacency wherever possible: starting from
+// a random seed mapping m(u) = v, adjacent regions of u are assigned to
+// unused adjacent regions of v in breadth-first order; regions that cannot
+// be placed next to their image neighborhood fall back to a random unused
+// region (the graph analogue of wrapping an irregular domain onto a torus).
+func ToroidalShift(adj [][]int, rng *rand.Rand) []int {
+	n := len(adj)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = -1
+	}
+	used := make([]bool, n)
+	// unusedPool tracks fallback candidates lazily.
+	pickUnused := func() int {
+		k := rng.Intn(n)
+		for i := 0; i < n; i++ {
+			c := (k + i) % n
+			if !used[c] {
+				return c
+			}
+		}
+		panic("montecarlo: no unused region left")
+	}
+	queue := make([]int, 0, n)
+	assign := func(u, v int) {
+		perm[u] = v
+		used[v] = true
+		queue = append(queue, u)
+	}
+	for start := 0; start < n; start++ {
+		if perm[start] >= 0 {
+			continue
+		}
+		assign(start, pickUnused())
+		for head := len(queue) - 1; head < len(queue); head++ {
+			u := queue[head]
+			target := perm[u]
+			// Candidate images: unused neighbors of the image of u, in
+			// random order.
+			cands := make([]int, 0, len(adj[target]))
+			for _, w := range adj[target] {
+				if !used[w] {
+					cands = append(cands, w)
+				}
+			}
+			rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+			ci := 0
+			for _, up := range adj[u] {
+				if perm[up] >= 0 {
+					continue
+				}
+				if ci < len(cands) {
+					assign(up, cands[ci])
+					ci++
+				} else {
+					assign(up, pickUnused())
+				}
+			}
+		}
+	}
+	return perm
+}
+
+// AdjacencyPreserved returns the fraction of directed edges (u, u') whose
+// images remain adjacent under perm — a quality diagnostic for shifts.
+func AdjacencyPreserved(adj [][]int, perm []int) float64 {
+	total, kept := 0, 0
+	for u, nbrs := range adj {
+		for _, up := range nbrs {
+			total++
+			a, b := perm[u], perm[up]
+			for _, w := range adj[a] {
+				if w == b {
+					kept++
+					break
+				}
+			}
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(kept) / float64(total)
+}
+
+// shiftedTau computes the relationship score tau between the features of
+// function 1 and the features of function 2 transported by the vertex map
+// sigma (region permutation + time rotation). Only the (sparse) feature
+// vertices of function 2 are touched, keeping each randomization cheap.
+func shiftedTau(a *feature.Set, pos2, neg2 []int, sigma func(v int) int) float64 {
+	var p, n, sigmaBoth int
+	visit := func(verts []int, positive bool) {
+		for _, v := range verts {
+			w := sigma(v)
+			inPos := a.Positive.Get(w)
+			inNeg := a.Negative.Get(w)
+			if !inPos && !inNeg {
+				continue
+			}
+			sigmaBoth++
+			if (positive && inPos) || (!positive && inNeg) {
+				p++
+			} else {
+				n++
+			}
+		}
+	}
+	visit(pos2, true)
+	visit(neg2, false)
+	if sigmaBoth == 0 {
+		return 0
+	}
+	return float64(p-n) / float64(sigmaBoth)
+}
+
+// Test runs the Monte Carlo significance test for the relationship between
+// two feature sets on the shared domain graph g, given the observed score
+// tauObserved.
+//
+// Restricted mode: when the domain has more than one region, each
+// randomization applies a fresh toroidal shift of the regions; time is
+// additionally rotated to respect temporal wrap-around. For pure time
+// series (one region), only the circular time rotation is used.
+// Standard mode permutes all vertices uniformly.
+func Test(a, b *feature.Set, g *stgraph.Graph, tauObserved float64, cfg Config) Result {
+	cfg = cfg.withDefaults()
+	if a.NumVertices() != g.NumVertices() || b.NumVertices() != g.NumVertices() {
+		panic(fmt.Sprintf("montecarlo: feature sets (%d, %d vertices) do not match graph (%d)",
+			a.NumVertices(), b.NumVertices(), g.NumVertices()))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pos2 := b.Positive.Ones()
+	neg2 := b.Negative.Ones()
+
+	nRegions := g.NumRegions()
+	nSteps := g.NumSteps()
+	nVerts := g.NumVertices()
+	if tauObserved == 0 {
+		return Result{PValue: 1, Significant: false, TauObserved: 0, Shifts: cfg.Permutations}
+	}
+
+	extreme := 0
+	var fullPerm []int // reused for Standard mode
+	for k := 0; k < cfg.Permutations; k++ {
+		var sigma func(v int) int
+		switch cfg.Kind {
+		case Standard:
+			if fullPerm == nil {
+				fullPerm = make([]int, nVerts)
+			}
+			p := rng.Perm(nVerts)
+			copy(fullPerm, p)
+			perm := fullPerm
+			sigma = func(v int) int { return perm[v] }
+		case Block:
+			l := blockLength(nSteps)
+			nBlocks := (nSteps + l - 1) / l
+			blockPerm := rng.Perm(nBlocks)
+			var spatPerm []int
+			if nRegions > 1 {
+				spatPerm = ToroidalShift(g.SpatialAdjacency(), rng)
+			}
+			sigma = func(v int) int {
+				r, s := g.RegionStep(v)
+				b, o := s/l, s%l
+				ns := blockPerm[b]*l + o
+				if ns >= nSteps {
+					ns = ns % nSteps
+				}
+				if spatPerm != nil {
+					r = spatPerm[r]
+				}
+				return g.Vertex(r, ns)
+			}
+		default: // Restricted
+			rot := 0
+			if nSteps > 1 {
+				rot = 1 + rng.Intn(nSteps-1)
+			}
+			if nRegions > 1 {
+				perm := ToroidalShift(g.SpatialAdjacency(), rng)
+				sigma = func(v int) int {
+					r, s := g.RegionStep(v)
+					return g.Vertex(perm[r], (s+rot)%nSteps)
+				}
+			} else {
+				sigma = func(v int) int {
+					_, s := g.RegionStep(v)
+					return g.Vertex(0, (s+rot)%nSteps)
+				}
+			}
+		}
+		tauK := shiftedTau(a, pos2, neg2, sigma)
+		if (tauObserved < 0 && tauK <= tauObserved) || (tauObserved > 0 && tauK >= tauObserved) {
+			extreme++
+		}
+	}
+	p := float64(1+extreme) / float64(1+cfg.Permutations)
+	return Result{
+		PValue:      p,
+		Significant: p <= cfg.Alpha,
+		TauObserved: tauObserved,
+		Shifts:      cfg.Permutations,
+	}
+}

@@ -1,0 +1,255 @@
+// Package queryparse parses the textual form of the paper's relationship
+// query (Section 5.3):
+//
+//	find relationships between D1 and D2 satisfying clause
+//
+// Concretely:
+//
+//	find relationships between taxi and weather
+//	find relationships between taxi, citibike and all
+//	  where score >= 0.6 and strength >= 0.3 and alpha = 0.01
+//	  at (hour, city), (day, neighborhood)
+//	  using extreme features
+//
+// "all" (or omitting the second collection) matches every registered data
+// set. The clause parts — where / at / using — are optional and may appear
+// in any order after the between-clause.
+package queryparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/urbandata/datapolygamy/internal/core"
+	"github.com/urbandata/datapolygamy/internal/feature"
+	"github.com/urbandata/datapolygamy/internal/montecarlo"
+	"github.com/urbandata/datapolygamy/internal/spatial"
+	"github.com/urbandata/datapolygamy/internal/temporal"
+)
+
+// Parse converts the textual query into a core.Query.
+func Parse(input string) (core.Query, error) {
+	var q core.Query
+	s := strings.TrimSpace(strings.ToLower(input))
+	const prefix = "find relationships between"
+	if !strings.HasPrefix(s, prefix) {
+		return q, fmt.Errorf("queryparse: query must start with %q", prefix)
+	}
+	s = strings.TrimSpace(strings.TrimPrefix(s, prefix))
+
+	// Split off the optional clause sections. Find the earliest keyword.
+	body, sections := splitSections(s)
+
+	sources, targets, err := parseBetween(body)
+	if err != nil {
+		return q, err
+	}
+	q.Sources, q.Targets = sources, targets
+
+	for _, sec := range sections {
+		switch sec.kind {
+		case "where":
+			if err := parseWhere(sec.text, &q.Clause); err != nil {
+				return q, err
+			}
+		case "at":
+			res, err := parseResolutions(sec.text)
+			if err != nil {
+				return q, err
+			}
+			q.Clause.Resolutions = res
+		case "using":
+			classes, err := parseClasses(sec.text)
+			if err != nil {
+				return q, err
+			}
+			q.Clause.Classes = classes
+		}
+	}
+	return q, nil
+}
+
+type section struct {
+	kind string
+	text string
+}
+
+// splitSections cuts the string at the clause keywords "where", "at", and
+// "using", returning the leading body and the sections in order.
+func splitSections(s string) (string, []section) {
+	words := strings.Fields(s)
+	body := []string{}
+	var sections []section
+	var cur *section
+	for i := 0; i < len(words); i++ {
+		w := words[i]
+		if w == "where" || w == "using" || (w == "at" && i > 0) {
+			sections = append(sections, section{kind: w})
+			cur = &sections[len(sections)-1]
+			continue
+		}
+		if cur == nil {
+			body = append(body, w)
+		} else {
+			cur.text += w + " "
+		}
+	}
+	return strings.Join(body, " "), sections
+}
+
+// parseBetween handles "D1 and D2", "D1, D2 and D3", "D1 and all", "all".
+func parseBetween(s string) (sources, targets []string, err error) {
+	if s == "" {
+		return nil, nil, fmt.Errorf("queryparse: missing data set collections")
+	}
+	if s == "all" || s == "all and all" {
+		return nil, nil, nil
+	}
+	parts := strings.SplitN(s, " and ", 2)
+	sources = parseNameList(parts[0])
+	if len(sources) == 0 {
+		return nil, nil, fmt.Errorf("queryparse: empty source collection in %q", s)
+	}
+	if len(parts) == 2 {
+		t := strings.TrimSpace(parts[1])
+		if t != "all" {
+			targets = parseNameList(t)
+			if len(targets) == 0 {
+				return nil, nil, fmt.Errorf("queryparse: empty target collection in %q", s)
+			}
+		}
+	}
+	if len(sources) == 1 && sources[0] == "all" {
+		sources = nil
+	}
+	return sources, targets, nil
+}
+
+func parseNameList(s string) []string {
+	var out []string
+	for _, p := range strings.FieldsFunc(s, func(r rune) bool { return r == ',' || r == ' ' }) {
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// parseWhere handles "score >= 0.6 and strength >= 0.3 and alpha = 0.05
+// and permutations = 500 and test = standard".
+func parseWhere(s string, c *core.Clause) error {
+	for _, cond := range strings.Split(s, " and ") {
+		fields := strings.Fields(cond)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) != 3 {
+			return fmt.Errorf("queryparse: malformed condition %q", strings.TrimSpace(cond))
+		}
+		name, op, valStr := fields[0], fields[1], fields[2]
+		switch name {
+		case "test":
+			if op != "=" {
+				return fmt.Errorf("queryparse: test needs '=', got %q", op)
+			}
+			switch valStr {
+			case "restricted":
+				c.TestKind = montecarlo.Restricted
+			case "standard":
+				c.TestKind = montecarlo.Standard
+			case "block":
+				c.TestKind = montecarlo.Block
+			default:
+				return fmt.Errorf("queryparse: unknown test kind %q", valStr)
+			}
+			continue
+		}
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return fmt.Errorf("queryparse: bad number %q in condition", valStr)
+		}
+		switch name {
+		case "score":
+			if op != ">=" && op != ">" {
+				return fmt.Errorf("queryparse: score supports '>=' only, got %q", op)
+			}
+			c.MinScore = val
+		case "strength":
+			if op != ">=" && op != ">" {
+				return fmt.Errorf("queryparse: strength supports '>=' only, got %q", op)
+			}
+			c.MinStrength = val
+		case "alpha":
+			if op != "=" {
+				return fmt.Errorf("queryparse: alpha needs '=', got %q", op)
+			}
+			c.Alpha = val
+		case "permutations":
+			if op != "=" {
+				return fmt.Errorf("queryparse: permutations needs '=', got %q", op)
+			}
+			c.Permutations = int(val)
+		default:
+			return fmt.Errorf("queryparse: unknown condition %q", name)
+		}
+	}
+	return nil
+}
+
+// parseResolutions handles "(hour, city), (day, neighborhood)".
+func parseResolutions(s string) ([]core.Resolution, error) {
+	var out []core.Resolution
+	s = strings.TrimSpace(s)
+	for s != "" {
+		open := strings.IndexByte(s, '(')
+		if open < 0 {
+			break
+		}
+		closeIdx := strings.IndexByte(s, ')')
+		if closeIdx < open {
+			return nil, fmt.Errorf("queryparse: unbalanced parentheses in resolutions")
+		}
+		inner := s[open+1 : closeIdx]
+		s = strings.TrimSpace(s[closeIdx+1:])
+		parts := strings.Split(inner, ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("queryparse: resolution needs (temporal, spatial), got %q", inner)
+		}
+		tr, err := temporal.ParseResolution(strings.TrimSpace(parts[0]))
+		if err != nil {
+			return nil, err
+		}
+		sr, err := spatial.ParseResolution(strings.TrimSpace(parts[1]))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, core.Resolution{Spatial: sr, Temporal: tr})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("queryparse: 'at' clause without resolutions")
+	}
+	return out, nil
+}
+
+// parseClasses handles "salient features", "extreme features",
+// "salient and extreme features".
+func parseClasses(s string) ([]feature.Class, error) {
+	s = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(s), "features"))
+	var out []feature.Class
+	for _, p := range strings.Split(s, " and ") {
+		switch strings.TrimSpace(p) {
+		case "salient":
+			out = append(out, feature.Salient)
+		case "extreme":
+			out = append(out, feature.Extreme)
+		case "":
+		default:
+			return nil, fmt.Errorf("queryparse: unknown feature class %q", strings.TrimSpace(p))
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("queryparse: 'using' clause without classes")
+	}
+	return out, nil
+}

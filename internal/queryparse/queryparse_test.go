@@ -1,0 +1,160 @@
+package queryparse
+
+import (
+	"testing"
+
+	"github.com/urbandata/datapolygamy/internal/core"
+	"github.com/urbandata/datapolygamy/internal/feature"
+	"github.com/urbandata/datapolygamy/internal/montecarlo"
+	"github.com/urbandata/datapolygamy/internal/spatial"
+	"github.com/urbandata/datapolygamy/internal/temporal"
+)
+
+func TestParseMinimal(t *testing.T) {
+	q, err := Parse("find relationships between taxi and weather")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Sources) != 1 || q.Sources[0] != "taxi" {
+		t.Errorf("sources = %v", q.Sources)
+	}
+	if len(q.Targets) != 1 || q.Targets[0] != "weather" {
+		t.Errorf("targets = %v", q.Targets)
+	}
+}
+
+func TestParseAll(t *testing.T) {
+	q, err := Parse("find relationships between all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Sources != nil || q.Targets != nil {
+		t.Errorf("all should leave collections nil: %v %v", q.Sources, q.Targets)
+	}
+	q, err = Parse("find relationships between taxi and all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Sources) != 1 || q.Targets != nil {
+		t.Errorf("taxi-and-all parsed wrong: %v %v", q.Sources, q.Targets)
+	}
+}
+
+func TestParseNameList(t *testing.T) {
+	q, err := Parse("find relationships between taxi, citibike and weather, gas_prices")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Sources) != 2 || q.Sources[1] != "citibike" {
+		t.Errorf("sources = %v", q.Sources)
+	}
+	if len(q.Targets) != 2 || q.Targets[0] != "weather" {
+		t.Errorf("targets = %v", q.Targets)
+	}
+}
+
+func TestParseWhere(t *testing.T) {
+	q, err := Parse("find relationships between taxi and all where score >= 0.6 and strength >= 0.3 and alpha = 0.01 and permutations = 500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := q.Clause
+	if c.MinScore != 0.6 || c.MinStrength != 0.3 || c.Alpha != 0.01 || c.Permutations != 500 {
+		t.Errorf("clause = %+v", c)
+	}
+}
+
+func TestParseTestKind(t *testing.T) {
+	q, err := Parse("find relationships between a and b where test = standard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Clause.TestKind != montecarlo.Standard {
+		t.Errorf("TestKind = %v", q.Clause.TestKind)
+	}
+	q, err = Parse("find relationships between a and b where test = block")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Clause.TestKind != montecarlo.Block {
+		t.Errorf("TestKind = %v", q.Clause.TestKind)
+	}
+}
+
+func TestParseResolutions(t *testing.T) {
+	q, err := Parse("find relationships between taxi and weather at (hour, city), (day, neighborhood)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []core.Resolution{
+		{Spatial: spatial.City, Temporal: temporal.Hour},
+		{Spatial: spatial.Neighborhood, Temporal: temporal.Day},
+	}
+	if len(q.Clause.Resolutions) != 2 || q.Clause.Resolutions[0] != want[0] || q.Clause.Resolutions[1] != want[1] {
+		t.Errorf("resolutions = %v", q.Clause.Resolutions)
+	}
+}
+
+func TestParseClasses(t *testing.T) {
+	q, err := Parse("find relationships between taxi and weather using extreme features")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Clause.Classes) != 1 || q.Clause.Classes[0] != feature.Extreme {
+		t.Errorf("classes = %v", q.Clause.Classes)
+	}
+	q, err = Parse("find relationships between taxi and weather using salient and extreme features")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Clause.Classes) != 2 {
+		t.Errorf("classes = %v", q.Clause.Classes)
+	}
+}
+
+func TestParseFullQuery(t *testing.T) {
+	q, err := Parse(`find relationships between taxi and weather
+		where score >= 0.5 and permutations = 200
+		at (hour, city)
+		using extreme features`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Clause.MinScore != 0.5 || q.Clause.Permutations != 200 {
+		t.Errorf("clause = %+v", q.Clause)
+	}
+	if len(q.Clause.Resolutions) != 1 || len(q.Clause.Classes) != 1 {
+		t.Errorf("resolutions/classes = %v %v", q.Clause.Resolutions, q.Clause.Classes)
+	}
+}
+
+func TestParseCaseInsensitive(t *testing.T) {
+	if _, err := Parse("FIND RELATIONSHIPS BETWEEN Taxi AND Weather"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"relationships between a and b",
+		"find relationships between",
+		"find relationships between a and b where score = ",
+		"find relationships between a and b where bogus >= 1",
+		"find relationships between a and b where score == 1 extra",
+		"find relationships between a and b where alpha >= 0.05",
+		"find relationships between a and b where permutations >= 100",
+		"find relationships between a and b where test = fancy",
+		"find relationships between a and b at hour city",
+		"find relationships between a and b at (fortnight, city)",
+		"find relationships between a and b at (hour, borough)",
+		"find relationships between a and b at (hour)",
+		"find relationships between a and b using magic features",
+		"find relationships between a and b using features",
+	}
+	for _, in := range cases {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("expected error for %q", in)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+// Package relationship implements step 3 of the Data Polygamy pipeline —
+// Relationship Evaluation (Sections 2.2 and 2.3 of the paper): given the
+// feature sets of two scalar functions on the same domain graph, it
+// computes the feature relations, the relationship score tau, and the
+// relationship strength rho (F1).
+package relationship
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/urbandata/datapolygamy/internal/feature"
+)
+
+// Measures summarises the relationship between two feature sets.
+type Measures struct {
+	// Tau is the relationship score (#p - #n) / |Sigma| in [-1, 1];
+	// +1 means always positively related, -1 always negatively related.
+	Tau float64
+	// Rho is the relationship strength: the F1 score of the feature sets
+	// viewed as binary classifiers of each other, in [0, 1].
+	Rho float64
+	// NumPositive (#p) counts spatio-temporal points where the functions
+	// are positively related (both positive or both negative features).
+	NumPositive int
+	// NumNegative (#n) counts points where they are negatively related
+	// (one positive, one negative).
+	NumNegative int
+	// Sigma1 and Sigma2 are |Sigma_1| and |Sigma_2|, the feature counts of
+	// each function; SigmaBoth is |Sigma| = |Sigma_1 ∩ Sigma_2|.
+	Sigma1, Sigma2, SigmaBoth int
+	// Precision = |Sigma|/|Sigma_1|, Recall = |Sigma|/|Sigma_2|.
+	Precision, Recall float64
+}
+
+// Evaluate computes the relationship measures between the feature sets of
+// two functions defined on the same domain graph. It panics if the sets
+// have different vertex counts (callers align resolutions first).
+func Evaluate(a, b *feature.Set) Measures {
+	if a.NumVertices() != b.NumVertices() {
+		panic(fmt.Sprintf("relationship: feature sets over %d vs %d vertices",
+			a.NumVertices(), b.NumVertices()))
+	}
+	var m Measures
+	m.NumPositive = a.Positive.AndCount(b.Positive) + a.Negative.AndCount(b.Negative)
+	m.NumNegative = a.Positive.AndCount(b.Negative) + a.Negative.AndCount(b.Positive)
+	allA, allB := a.All(), b.All()
+	m.Sigma1 = allA.Count()
+	m.Sigma2 = allB.Count()
+	m.SigmaBoth = allA.AndCount(allB)
+	if m.SigmaBoth > 0 {
+		m.Tau = float64(m.NumPositive-m.NumNegative) / float64(m.SigmaBoth)
+	}
+	if m.Sigma1 > 0 {
+		m.Precision = float64(m.SigmaBoth) / float64(m.Sigma1)
+	}
+	if m.Sigma2 > 0 {
+		m.Recall = float64(m.SigmaBoth) / float64(m.Sigma2)
+	}
+	if m.Precision+m.Recall > 0 {
+		m.Rho = 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+	}
+	return m
+}
+
+// Related reports whether the two functions share any feature relations.
+func (m Measures) Related() bool { return m.SigmaBoth > 0 }
+
+// String renders the measures compactly, e.g. "tau=-0.62 rho=0.75".
+func (m Measures) String() string {
+	return fmt.Sprintf("tau=%.2f rho=%.2f (#p=%d #n=%d |Sigma|=%d)",
+		m.Tau, m.Rho, m.NumPositive, m.NumNegative, m.SigmaBoth)
+}
+
+// Valid reports whether the measures are within their mathematical ranges
+// (used by property tests and sanity checks).
+func (m Measures) Valid() bool {
+	return m.Tau >= -1-1e-12 && m.Tau <= 1+1e-12 &&
+		m.Rho >= 0 && m.Rho <= 1+1e-12 &&
+		!math.IsNaN(m.Tau) && !math.IsNaN(m.Rho)
+}

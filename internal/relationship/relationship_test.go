@@ -1,0 +1,205 @@
+package relationship
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/urbandata/datapolygamy/internal/bitvec"
+	"github.com/urbandata/datapolygamy/internal/feature"
+)
+
+func set(n int, pos, neg []int) *feature.Set {
+	s := &feature.Set{Positive: bitvec.New(n), Negative: bitvec.New(n)}
+	for _, i := range pos {
+		s.Positive.Set(i)
+	}
+	for _, i := range neg {
+		s.Negative.Set(i)
+	}
+	return s
+}
+
+func TestPerfectPositiveRelationship(t *testing.T) {
+	a := set(100, []int{1, 2, 3}, []int{50, 51})
+	b := set(100, []int{1, 2, 3}, []int{50, 51})
+	m := Evaluate(a, b)
+	if m.Tau != 1 {
+		t.Errorf("Tau = %g, want 1", m.Tau)
+	}
+	if m.Rho != 1 {
+		t.Errorf("Rho = %g, want 1", m.Rho)
+	}
+	if m.NumPositive != 5 || m.NumNegative != 0 {
+		t.Errorf("#p=%d #n=%d, want 5/0", m.NumPositive, m.NumNegative)
+	}
+}
+
+func TestPerfectNegativeRelationship(t *testing.T) {
+	// Features coincide spatially but with opposite signs — e.g. high wind
+	// speed (positive feature) vs taxi-trip drop (negative feature).
+	a := set(100, []int{10, 20}, nil)
+	b := set(100, nil, []int{10, 20})
+	m := Evaluate(a, b)
+	if m.Tau != -1 {
+		t.Errorf("Tau = %g, want -1", m.Tau)
+	}
+	if m.Rho != 1 {
+		t.Errorf("Rho = %g, want 1 (features always co-occur)", m.Rho)
+	}
+}
+
+func TestUnrelated(t *testing.T) {
+	a := set(100, []int{1, 2}, nil)
+	b := set(100, []int{60, 61}, nil)
+	m := Evaluate(a, b)
+	if m.Related() {
+		t.Error("disjoint feature sets should not be related")
+	}
+	if m.Tau != 0 || m.Rho != 0 {
+		t.Errorf("Tau=%g Rho=%g, want 0/0", m.Tau, m.Rho)
+	}
+}
+
+func TestPartialOverlapStrength(t *testing.T) {
+	// Sigma1 = 4 features, Sigma2 = 2, overlap = 2.
+	a := set(100, []int{1, 2, 3, 4}, nil)
+	b := set(100, []int{3, 4}, nil)
+	m := Evaluate(a, b)
+	if m.Tau != 1 {
+		t.Errorf("Tau = %g, want 1", m.Tau)
+	}
+	// precision = 2/4, recall = 2/2 -> F1 = 2*(0.5*1)/(1.5) = 2/3.
+	if math.Abs(m.Rho-2.0/3.0) > 1e-12 {
+		t.Errorf("Rho = %g, want 2/3", m.Rho)
+	}
+	if m.Precision != 0.5 || m.Recall != 1 {
+		t.Errorf("precision=%g recall=%g", m.Precision, m.Recall)
+	}
+}
+
+func TestMixedSigns(t *testing.T) {
+	// 3 positive relations, 1 negative relation -> tau = (3-1)/4 = 0.5.
+	a := set(100, []int{1, 2, 3, 4}, nil)
+	b := set(100, []int{1, 2, 3}, []int{4})
+	m := Evaluate(a, b)
+	if m.Tau != 0.5 {
+		t.Errorf("Tau = %g, want 0.5", m.Tau)
+	}
+	if m.NumPositive != 3 || m.NumNegative != 1 {
+		t.Errorf("#p=%d #n=%d, want 3/1", m.NumPositive, m.NumNegative)
+	}
+}
+
+func TestHighScoreLowStrength(t *testing.T) {
+	// The wind-speed/taxi case: f2 (taxi drops) has many features; f1
+	// (hurricane wind) has few, but every one coincides with a taxi drop.
+	// tau = -1 with low rho.
+	taxiDrops := []int{5, 10, 15, 20, 25, 30, 35, 40, 45, 50}
+	wind := []int{10, 30}
+	a := set(100, wind, nil)
+	b := set(100, nil, taxiDrops)
+	m := Evaluate(a, b)
+	if m.Tau != -1 {
+		t.Errorf("Tau = %g, want -1", m.Tau)
+	}
+	if m.Rho >= 0.5 {
+		t.Errorf("Rho = %g, want low (<0.5)", m.Rho)
+	}
+	// precision = 2/2 = 1, recall = 2/10 -> F1 = 2*0.2/1.2 = 1/3.
+	if math.Abs(m.Rho-1.0/3.0) > 1e-12 {
+		t.Errorf("Rho = %g, want 1/3", m.Rho)
+	}
+}
+
+func TestEmptyFeatureSets(t *testing.T) {
+	a := set(50, nil, nil)
+	b := set(50, []int{1}, nil)
+	m := Evaluate(a, b)
+	if m.Related() || m.Tau != 0 || m.Rho != 0 {
+		t.Error("empty feature set should yield zero measures")
+	}
+	m = Evaluate(a, set(50, nil, nil))
+	if !m.Valid() {
+		t.Error("both-empty should still be valid (no NaNs)")
+	}
+}
+
+func TestMismatchedSizesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for mismatched vertex counts")
+		}
+	}()
+	Evaluate(set(10, nil, nil), set(11, nil, nil))
+}
+
+// Property: tau in [-1,1], rho in [0,1], and rho is the harmonic mean of
+// precision and recall, for random feature sets.
+func TestMeasureRanges(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		randSet := func() *feature.Set {
+			s := &feature.Set{Positive: bitvec.New(n), Negative: bitvec.New(n)}
+			for i := 0; i < n; i++ {
+				switch rng.Intn(5) {
+				case 0:
+					s.Positive.Set(i)
+				case 1:
+					s.Negative.Set(i)
+				}
+			}
+			return s
+		}
+		m := Evaluate(randSet(), randSet())
+		if !m.Valid() {
+			return false
+		}
+		if m.Precision+m.Recall > 0 {
+			want := 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+			if math.Abs(m.Rho-want) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Evaluate is symmetric in tau (and swaps precision/recall).
+func TestTauSymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		mk := func() *feature.Set {
+			s := &feature.Set{Positive: bitvec.New(n), Negative: bitvec.New(n)}
+			for i := 0; i < n; i++ {
+				switch rng.Intn(4) {
+				case 0:
+					s.Positive.Set(i)
+				case 1:
+					s.Negative.Set(i)
+				}
+			}
+			return s
+		}
+		a, b := mk(), mk()
+		m1, m2 := Evaluate(a, b), Evaluate(b, a)
+		return m1.Tau == m2.Tau && m1.Rho == m2.Rho &&
+			m1.Precision == m2.Recall && m1.Recall == m2.Precision
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	m := Evaluate(set(10, []int{1}, nil), set(10, []int{1}, nil))
+	if m.String() == "" {
+		t.Error("String should render")
+	}
+}

@@ -1,0 +1,132 @@
+package spatial
+
+import (
+	"fmt"
+	"math"
+)
+
+// PolygonConfig describes a city built from explicit polygon partitions —
+// the path for real data (e.g. converted neighborhood and zip-code
+// shapefiles) instead of the synthetic generator.
+type PolygonConfig struct {
+	// Neighborhoods and ZipCodes are the two region partitions. Each
+	// polygon is one region; together the polygons of a partition should
+	// cover the city.
+	Neighborhoods []Polygon
+	ZipCodes      []Polygon
+	// GridW and GridH set the rasterization resolution used to locate GPS
+	// points and derive region adjacency; 0 defaults to 128.
+	GridW, GridH int
+}
+
+// FromPolygons builds a CityMap by rasterizing the polygon partitions onto
+// a fine grid: each grid cell is assigned to the polygon containing its
+// center, region adjacency follows cell adjacency, and GPS points are
+// located through the grid in O(1). Cells covered by neither partition are
+// water/outside. The polygons' own coordinate system is preserved: Locate
+// and RegionOf expect points in the same coordinates.
+func FromPolygons(cfg PolygonConfig) (*CityMap, error) {
+	if len(cfg.Neighborhoods) == 0 || len(cfg.ZipCodes) == 0 {
+		return nil, fmt.Errorf("spatial: both partitions need at least one polygon")
+	}
+	w, h := cfg.GridW, cfg.GridH
+	if w <= 0 {
+		w = 128
+	}
+	if h <= 0 {
+		h = 128
+	}
+
+	// Bounding box over all polygons.
+	lo := Point{math.Inf(1), math.Inf(1)}
+	hi := Point{math.Inf(-1), math.Inf(-1)}
+	for _, part := range [][]Polygon{cfg.Neighborhoods, cfg.ZipCodes} {
+		for _, p := range part {
+			plo, phi := p.BBox()
+			lo.X = math.Min(lo.X, plo.X)
+			lo.Y = math.Min(lo.Y, plo.Y)
+			hi.X = math.Max(hi.X, phi.X)
+			hi.Y = math.Max(hi.Y, phi.Y)
+		}
+	}
+	if !(hi.X > lo.X) || !(hi.Y > lo.Y) {
+		return nil, fmt.Errorf("spatial: degenerate polygon bounding box")
+	}
+
+	c := &CityMap{w: w, h: h}
+	c.cellAt = make([]int, w*h)
+	for i := range c.cellAt {
+		c.cellAt[i] = -1
+	}
+	c.origin = lo
+	c.scaleX = float64(w) / (hi.X - lo.X)
+	c.scaleY = float64(h) / (hi.Y - lo.Y)
+
+	locate := func(part []Polygon, pt Point) int {
+		for i, poly := range part {
+			if poly.Contains(pt) {
+				return i
+			}
+		}
+		return -1
+	}
+
+	var cellNbhd, cellZip []int
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			center := Point{
+				X: lo.X + (float64(x)+0.5)/c.scaleX,
+				Y: lo.Y + (float64(y)+0.5)/c.scaleY,
+			}
+			nb := locate(cfg.Neighborhoods, center)
+			zp := locate(cfg.ZipCodes, center)
+			if nb < 0 && zp < 0 {
+				continue // outside the city
+			}
+			// A cell covered by only one partition is snapped to region 0
+			// of the other (boundary rasterization slack).
+			if nb < 0 {
+				nb = 0
+			}
+			if zp < 0 {
+				zp = 0
+			}
+			c.cellAt[y*w+x] = len(c.cellX)
+			c.cellX = append(c.cellX, x)
+			c.cellY = append(c.cellY, y)
+			cellNbhd = append(cellNbhd, nb)
+			cellZip = append(cellZip, zp)
+		}
+	}
+	if len(c.cellX) == 0 {
+		return nil, fmt.Errorf("spatial: polygons cover no grid cells; raise GridW/GridH")
+	}
+	c.cellAdj = c.buildCellAdjacency()
+	c.cellNbhd = cellNbhd
+	c.numNbhd = len(cfg.Neighborhoods)
+	c.cellZip = cellZip
+	c.numZip = len(cfg.ZipCodes)
+	// Compact away empty regions (polygons that captured no cells).
+	c.cellNbhd, c.numNbhd = compactRegions(c.cellNbhd)
+	c.cellZip, c.numZip = compactRegions(c.cellZip)
+	c.nbhdAdj = c.regionAdjacency(c.cellNbhd, c.numNbhd)
+	c.zipAdj = c.regionAdjacency(c.cellZip, c.numZip)
+	c.nbhdCentroid = c.regionCentroids(c.cellNbhd, c.numNbhd)
+	c.zipCentroid = c.regionCentroids(c.cellZip, c.numZip)
+	return c, nil
+}
+
+// compactRegions renumbers region ids densely, dropping empty ones.
+func compactRegions(assign []int) ([]int, int) {
+	remap := map[int]int{}
+	for _, a := range assign {
+		if _, ok := remap[a]; !ok {
+			remap[a] = len(remap)
+		}
+	}
+	out := make([]int, len(assign))
+	for i, a := range assign {
+		out[i] = remap[a]
+	}
+	return out, len(remap)
+}

@@ -1,0 +1,167 @@
+package spatial
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// quadrants builds a 2x2 polygon partition of the square [0,10]x[0,10]
+// with a slight margin so cell centers are unambiguous.
+func quadrants() []Polygon {
+	return []Polygon{
+		{{0, 0}, {5, 0}, {5, 5}, {0, 5}},
+		{{5, 0}, {10, 0}, {10, 5}, {5, 5}},
+		{{0, 5}, {5, 5}, {5, 10}, {0, 10}},
+		{{5, 5}, {10, 5}, {10, 10}, {5, 10}},
+	}
+}
+
+// halves splits the same square into left/right halves.
+func halves() []Polygon {
+	return []Polygon{
+		{{0, 0}, {5, 0}, {5, 10}, {0, 10}},
+		{{5, 0}, {10, 0}, {10, 10}, {5, 10}},
+	}
+}
+
+func polygonCity(t *testing.T) *CityMap {
+	t.Helper()
+	c, err := FromPolygons(PolygonConfig{
+		Neighborhoods: quadrants(),
+		ZipCodes:      halves(),
+		GridW:         64, GridH: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestFromPolygonsRegionCounts(t *testing.T) {
+	c := polygonCity(t)
+	if c.NumRegions(Neighborhood) != 4 {
+		t.Errorf("neighborhoods = %d, want 4", c.NumRegions(Neighborhood))
+	}
+	if c.NumRegions(ZipCode) != 2 {
+		t.Errorf("zips = %d, want 2", c.NumRegions(ZipCode))
+	}
+	if c.NumRegions(City) != 1 {
+		t.Errorf("city regions = %d", c.NumRegions(City))
+	}
+}
+
+func TestFromPolygonsLocate(t *testing.T) {
+	c := polygonCity(t)
+	// Points in each quadrant must land in distinct neighborhoods.
+	pts := []Point{{2, 2}, {7, 2}, {2, 7}, {7, 7}}
+	seen := map[int]bool{}
+	for _, p := range pts {
+		r := c.RegionOf(p, Neighborhood)
+		if r < 0 {
+			t.Fatalf("point %v outside city", p)
+		}
+		if seen[r] {
+			t.Fatalf("points in different quadrants share region %d", r)
+		}
+		seen[r] = true
+	}
+	// Left/right points must land in distinct zips.
+	if c.RegionOf(Point{2, 5}, ZipCode) == c.RegionOf(Point{8, 5}, ZipCode) {
+		t.Error("left and right halves share a zip")
+	}
+	// Same-quadrant points share a neighborhood.
+	if c.RegionOf(Point{1, 1}, Neighborhood) != c.RegionOf(Point{4, 4}, Neighborhood) {
+		t.Error("same quadrant split across neighborhoods")
+	}
+	// Outside the square.
+	if c.Locate(Point{-1, 5}) != -1 || c.Locate(Point{11, 5}) != -1 {
+		t.Error("outside points should locate to -1")
+	}
+}
+
+func TestFromPolygonsAdjacency(t *testing.T) {
+	c := polygonCity(t)
+	adj := c.Adjacency(Neighborhood)
+	// Quadrants form a 2x2 grid: each has exactly 2 4-adjacent neighbors.
+	for i, nbrs := range adj {
+		if len(nbrs) != 2 {
+			t.Errorf("quadrant %d has %d neighbors, want 2 (got %v)", i, len(nbrs), nbrs)
+		}
+	}
+	zadj := c.Adjacency(ZipCode)
+	if len(zadj[0]) != 1 || zadj[0][0] != 1 {
+		t.Errorf("zip adjacency = %v, want the two halves adjacent", zadj)
+	}
+}
+
+func TestFromPolygonsRoundTrip(t *testing.T) {
+	c := polygonCity(t)
+	// Cell centers (external coords) must locate back to their own cell.
+	for id := 0; id < c.NumCells(); id += 97 {
+		p := c.CellCenter(id)
+		if got := c.Locate(p); got != id {
+			t.Fatalf("Locate(CellCenter(%d)) = %d", id, got)
+		}
+	}
+	// Random points are inside the city.
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		p := c.RandomPoint(rng)
+		if c.Locate(p) < 0 {
+			t.Fatalf("RandomPoint %v outside city", p)
+		}
+		if p.X < 0 || p.X > 10 || p.Y < 0 || p.Y > 10 {
+			t.Fatalf("RandomPoint %v outside external bounds", p)
+		}
+	}
+}
+
+func TestFromPolygonsCentroids(t *testing.T) {
+	c := polygonCity(t)
+	// The left zip's centroid must be in the left half (external coords).
+	leftZip := c.RegionOf(Point{2, 5}, ZipCode)
+	p := c.RegionCentroid(ZipCode, leftZip)
+	if p.X >= 5 {
+		t.Errorf("left zip centroid %v not on the left", p)
+	}
+}
+
+func TestFromPolygonsErrors(t *testing.T) {
+	if _, err := FromPolygons(PolygonConfig{}); err == nil {
+		t.Error("expected error for empty partitions")
+	}
+	deg := []Polygon{{{0, 0}, {0, 0}, {0, 0}}}
+	if _, err := FromPolygons(PolygonConfig{Neighborhoods: deg, ZipCodes: deg}); err == nil {
+		t.Error("expected error for degenerate polygons")
+	}
+}
+
+func TestFromPolygonsIrregularShapes(t *testing.T) {
+	// An L-shaped neighborhood next to a square one: non-convex regions
+	// must rasterize correctly.
+	l := Polygon{{0, 0}, {10, 0}, {10, 3}, {3, 3}, {3, 10}, {0, 10}}
+	sq := Polygon{{3, 3}, {10, 3}, {10, 10}, {3, 10}}
+	c, err := FromPolygons(PolygonConfig{
+		Neighborhoods: []Polygon{l, sq},
+		ZipCodes:      halves(),
+		GridW:         64, GridH: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (1,8) is in the L's vertical arm; (8,1) in its horizontal arm;
+	// (7,7) in the square.
+	a := c.RegionOf(Point{1, 8}, Neighborhood)
+	b := c.RegionOf(Point{8, 1}, Neighborhood)
+	d := c.RegionOf(Point{7, 7}, Neighborhood)
+	if a != b {
+		t.Error("two arms of the L should be one region")
+	}
+	if a == d {
+		t.Error("L and square should be different regions")
+	}
+	adj := c.Adjacency(Neighborhood)
+	if len(adj[a]) == 0 {
+		t.Error("L and square should be adjacent")
+	}
+}

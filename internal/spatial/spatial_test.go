@@ -1,0 +1,363 @@
+package spatial
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func unitSquare() Polygon {
+	return Polygon{{0, 0}, {1, 0}, {1, 1}, {0, 1}}
+}
+
+func TestPolygonContains(t *testing.T) {
+	sq := unitSquare()
+	if !sq.Contains(Point{0.5, 0.5}) {
+		t.Error("center of unit square should be inside")
+	}
+	if sq.Contains(Point{1.5, 0.5}) {
+		t.Error("point right of square should be outside")
+	}
+	if sq.Contains(Point{-0.1, 0.5}) {
+		t.Error("point left of square should be outside")
+	}
+	if sq.Contains(Point{0.5, 2}) {
+		t.Error("point above square should be outside")
+	}
+}
+
+func TestPolygonContainsConcave(t *testing.T) {
+	// L-shaped polygon.
+	l := Polygon{{0, 0}, {2, 0}, {2, 1}, {1, 1}, {1, 2}, {0, 2}}
+	if !l.Contains(Point{0.5, 1.5}) {
+		t.Error("point in vertical arm should be inside")
+	}
+	if !l.Contains(Point{1.5, 0.5}) {
+		t.Error("point in horizontal arm should be inside")
+	}
+	if l.Contains(Point{1.5, 1.5}) {
+		t.Error("point in the notch should be outside")
+	}
+}
+
+func TestDegeneratePolygon(t *testing.T) {
+	if (Polygon{{0, 0}, {1, 1}}).Contains(Point{0.5, 0.5}) {
+		t.Error("2-vertex polygon contains nothing")
+	}
+	if (Polygon{}).Area() != 0 {
+		t.Error("empty polygon area should be 0")
+	}
+	if got := (Polygon{}).Centroid(); got != (Point{}) {
+		t.Errorf("empty polygon centroid = %v, want origin", got)
+	}
+}
+
+func TestPolygonArea(t *testing.T) {
+	if a := unitSquare().Area(); math.Abs(a-1) > 1e-12 {
+		t.Errorf("unit square area = %g, want 1", a)
+	}
+	tri := Polygon{{0, 0}, {4, 0}, {0, 3}}
+	if a := tri.Area(); math.Abs(a-6) > 1e-12 {
+		t.Errorf("triangle area = %g, want 6", a)
+	}
+	// Orientation must not matter.
+	rev := Polygon{{0, 3}, {4, 0}, {0, 0}}
+	if a := rev.Area(); math.Abs(a-6) > 1e-12 {
+		t.Errorf("reversed triangle area = %g, want 6", a)
+	}
+}
+
+func TestPolygonCentroid(t *testing.T) {
+	c := unitSquare().Centroid()
+	if math.Abs(c.X-0.5) > 1e-12 || math.Abs(c.Y-0.5) > 1e-12 {
+		t.Errorf("unit square centroid = %v, want (0.5,0.5)", c)
+	}
+}
+
+func TestPolygonBBox(t *testing.T) {
+	lo, hi := (Polygon{{1, 2}, {5, -3}, {0, 4}}).BBox()
+	if lo != (Point{0, -3}) || hi != (Point{5, 4}) {
+		t.Errorf("BBox = %v %v", lo, hi)
+	}
+}
+
+func TestDist(t *testing.T) {
+	if d := Dist(Point{0, 0}, Point{3, 4}); math.Abs(d-5) > 1e-12 {
+		t.Errorf("Dist = %g, want 5", d)
+	}
+}
+
+func TestResolutionDAG(t *testing.T) {
+	cases := []struct {
+		from, to Resolution
+		want     bool
+	}{
+		{GPS, ZipCode, true},
+		{GPS, Neighborhood, true},
+		{GPS, City, true},
+		{ZipCode, City, true},
+		{Neighborhood, City, true},
+		{ZipCode, Neighborhood, false},
+		{Neighborhood, ZipCode, false},
+		{City, Neighborhood, false},
+		{City, City, true},
+	}
+	for _, c := range cases {
+		if got := c.from.ConvertibleTo(c.to); got != c.want {
+			t.Errorf("%v.ConvertibleTo(%v) = %v, want %v", c.from, c.to, got, c.want)
+		}
+	}
+}
+
+func TestCommonResolutions(t *testing.T) {
+	got := CommonResolutions(Neighborhood, ZipCode)
+	if len(got) != 1 || got[0] != City {
+		t.Errorf("CommonResolutions(nbhd, zip) = %v, want [city]", got)
+	}
+	got = CommonResolutions(GPS, GPS)
+	if len(got) != 3 {
+		t.Errorf("CommonResolutions(gps, gps) = %v, want 3 evaluation resolutions", got)
+	}
+	got = CommonResolutions(GPS, City)
+	if len(got) != 1 || got[0] != City {
+		t.Errorf("CommonResolutions(gps, city) = %v, want [city]", got)
+	}
+}
+
+func TestParseResolutionRoundTrip(t *testing.T) {
+	for r := GPS; r <= City; r++ {
+		got, err := ParseResolution(r.String())
+		if err != nil || got != r {
+			t.Errorf("ParseResolution(%q) = %v, %v", r.String(), got, err)
+		}
+	}
+	if _, err := ParseResolution("borough"); err == nil {
+		t.Error("expected error for unknown resolution")
+	}
+}
+
+func testCity(t *testing.T) *CityMap {
+	t.Helper()
+	c, err := Generate(Config{Seed: 42, GridW: 48, GridH: 48, Neighborhoods: 40, ZipCodes: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(DefaultConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(DefaultConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumCells() != b.NumCells() || a.NumRegions(Neighborhood) != b.NumRegions(Neighborhood) {
+		t.Error("same seed must generate identical cities")
+	}
+	cdiff, err := Generate(DefaultConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumCells() == cdiff.NumCells() && a.NumRegions(Neighborhood) == cdiff.NumRegions(Neighborhood) {
+		t.Log("different seeds produced same stats (possible but unlikely)")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Config{GridW: 2, GridH: 2, Neighborhoods: 1, ZipCodes: 1}); err == nil {
+		t.Error("expected error for tiny grid")
+	}
+	if _, err := Generate(Config{GridW: 16, GridH: 16, Neighborhoods: 0, ZipCodes: 1}); err == nil {
+		t.Error("expected error for zero regions")
+	}
+}
+
+func TestCityPartitionsCoverAllCells(t *testing.T) {
+	c := testCity(t)
+	for _, res := range []Resolution{ZipCode, Neighborhood} {
+		n := c.NumRegions(res)
+		counts := make([]int, n)
+		for cell := 0; cell < c.NumCells(); cell++ {
+			r := c.RegionOfCell(cell, res)
+			if r < 0 || r >= n {
+				t.Fatalf("cell %d region %d out of range at %v", cell, r, res)
+			}
+			counts[r]++
+		}
+		for id, cnt := range counts {
+			if cnt == 0 {
+				t.Errorf("region %d at %v is empty", id, res)
+			}
+		}
+	}
+}
+
+func TestCityRegionsContiguous(t *testing.T) {
+	c := testCity(t)
+	// Every neighborhood must be 4-connected through its own cells.
+	res := Neighborhood
+	n := c.NumRegions(res)
+	visited := make([]bool, c.NumCells())
+	comps := make([]int, n)
+	for start := 0; start < c.NumCells(); start++ {
+		if visited[start] {
+			continue
+		}
+		region := c.RegionOfCell(start, res)
+		comps[region]++
+		stack := []int{start}
+		visited[start] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, u := range c.Adjacency(GPS)[v] {
+				if !visited[u] && c.RegionOfCell(u, res) == region {
+					visited[u] = true
+					stack = append(stack, u)
+				}
+			}
+		}
+	}
+	for id, k := range comps {
+		if k != 1 {
+			t.Errorf("neighborhood %d has %d connected components, want 1", id, k)
+		}
+	}
+}
+
+func TestCityAdjacencySymmetricIrreflexive(t *testing.T) {
+	c := testCity(t)
+	for _, res := range []Resolution{ZipCode, Neighborhood} {
+		adj := c.Adjacency(res)
+		for i, nbrs := range adj {
+			seen := map[int]bool{}
+			for _, j := range nbrs {
+				if j == i {
+					t.Errorf("region %d adjacent to itself at %v", i, res)
+				}
+				if seen[j] {
+					t.Errorf("duplicate adjacency %d-%d at %v", i, j, res)
+				}
+				seen[j] = true
+				found := false
+				for _, k := range adj[j] {
+					if k == i {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Errorf("adjacency not symmetric: %d->%d at %v", i, j, res)
+				}
+			}
+		}
+	}
+}
+
+func TestCityAdjacencyConnected(t *testing.T) {
+	// The region adjacency graph must be connected (the city is one
+	// landmass), which the toroidal BFS shift relies on.
+	c := testCity(t)
+	adj := c.Adjacency(Neighborhood)
+	n := len(adj)
+	seen := make([]bool, n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, u := range adj[v] {
+			if !seen[u] {
+				seen[u] = true
+				count++
+				stack = append(stack, u)
+			}
+		}
+	}
+	if count != n {
+		t.Errorf("neighborhood adjacency graph has %d reachable of %d regions", count, n)
+	}
+}
+
+func TestLocateAndRegionOf(t *testing.T) {
+	c := testCity(t)
+	if c.Locate(Point{-5, -5}) != -1 {
+		t.Error("point outside grid should locate to -1")
+	}
+	if c.RegionOf(Point{-5, -5}, City) != -1 {
+		t.Error("outside point should map to region -1")
+	}
+	// A land cell center must locate back to itself.
+	for cell := 0; cell < c.NumCells(); cell += 17 {
+		p := c.CellCenter(cell)
+		if got := c.Locate(p); got != cell {
+			t.Fatalf("Locate(center of %d) = %d", cell, got)
+		}
+		if got := c.RegionOf(p, City); got != 0 {
+			t.Fatalf("city region = %d, want 0", got)
+		}
+	}
+}
+
+func TestRandomPointOnLand(t *testing.T) {
+	c := testCity(t)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		p := c.RandomPoint(rng)
+		if c.Locate(p) < 0 {
+			t.Fatalf("RandomPoint produced water/outside point %v", p)
+		}
+	}
+}
+
+func TestRegionCounts(t *testing.T) {
+	c := testCity(t)
+	if c.NumRegions(City) != 1 {
+		t.Errorf("city regions = %d, want 1", c.NumRegions(City))
+	}
+	if c.NumRegions(Neighborhood) < 10 {
+		t.Errorf("too few neighborhoods: %d", c.NumRegions(Neighborhood))
+	}
+	if c.NumRegions(ZipCode) < 10 {
+		t.Errorf("too few zips: %d", c.NumRegions(ZipCode))
+	}
+	if c.NumRegions(GPS) != c.NumCells() {
+		t.Error("GPS regions should equal cell count")
+	}
+}
+
+func TestRegionCentroidInsideGrid(t *testing.T) {
+	c := testCity(t)
+	w, h := c.GridSize()
+	for _, res := range []Resolution{ZipCode, Neighborhood} {
+		for id := 0; id < c.NumRegions(res); id++ {
+			p := c.RegionCentroid(res, id)
+			if p.X < 0 || p.Y < 0 || p.X > float64(w) || p.Y > float64(h) {
+				t.Errorf("centroid %v of region %d at %v outside grid", p, id, res)
+			}
+		}
+	}
+}
+
+// Property: Contains is consistent under polygon translation.
+func TestContainsTranslationInvariant(t *testing.T) {
+	f := func(dx, dy float64) bool {
+		if math.IsNaN(dx) || math.IsNaN(dy) || math.Abs(dx) > 1e6 || math.Abs(dy) > 1e6 {
+			return true
+		}
+		sq := unitSquare()
+		moved := make(Polygon, len(sq))
+		for i, p := range sq {
+			moved[i] = Point{p.X + dx, p.Y + dy}
+		}
+		return moved.Contains(Point{0.5 + dx, 0.5 + dy})
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

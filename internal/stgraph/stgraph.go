@@ -1,0 +1,106 @@
+// Package stgraph implements the graph representation G = (V, E) of the
+// spatio-temporal domain of a scalar function (Section 3.1 of the Data
+// Polygamy paper).
+//
+// Vertex v_{x,z} represents region s_x at time step t_z, so |V| = n*m for n
+// regions and m steps. Edges come in two kinds:
+//
+//   - spatial edges connect adjacent regions within the same time step;
+//   - temporal edges connect the same region across consecutive steps.
+//
+// The graph is stored implicitly — a region adjacency list shared by all
+// time steps plus the step count — which keeps memory linear in the spatial
+// domain rather than in |V|, and gives a single uniform representation for
+// every dimensionality (1D pure time series, 3D space-time volumes, ...).
+package stgraph
+
+import "fmt"
+
+// Graph is the spatio-temporal domain graph of a scalar function.
+type Graph struct {
+	nRegions int
+	nSteps   int
+	spatAdj  [][]int // region adjacency; shared by every time step
+	nSpatial int     // number of undirected spatial edges per step
+}
+
+// New builds a domain graph for nRegions spatial regions over nSteps time
+// steps with the given region adjacency (adjacency lists must be symmetric
+// and irreflexive; len(spatAdj) must equal nRegions).
+func New(nRegions, nSteps int, spatAdj [][]int) (*Graph, error) {
+	if nRegions <= 0 || nSteps <= 0 {
+		return nil, fmt.Errorf("stgraph: need positive regions (%d) and steps (%d)", nRegions, nSteps)
+	}
+	if len(spatAdj) != nRegions {
+		return nil, fmt.Errorf("stgraph: adjacency has %d regions, want %d", len(spatAdj), nRegions)
+	}
+	deg := 0
+	for r, nbrs := range spatAdj {
+		for _, u := range nbrs {
+			if u < 0 || u >= nRegions {
+				return nil, fmt.Errorf("stgraph: region %d has out-of-range neighbor %d", r, u)
+			}
+			if u == r {
+				return nil, fmt.Errorf("stgraph: region %d adjacent to itself", r)
+			}
+		}
+		deg += len(nbrs)
+	}
+	return &Graph{nRegions: nRegions, nSteps: nSteps, spatAdj: spatAdj, nSpatial: deg / 2}, nil
+}
+
+// NumRegions returns the number of spatial regions n.
+func (g *Graph) NumRegions() int { return g.nRegions }
+
+// NumSteps returns the number of time steps m.
+func (g *Graph) NumSteps() int { return g.nSteps }
+
+// NumVertices returns |V| = n*m.
+func (g *Graph) NumVertices() int { return g.nRegions * g.nSteps }
+
+// NumEdges returns |E| = |ES| + |ET|: spatial edges replicated per step plus
+// temporal edges linking consecutive steps.
+func (g *Graph) NumEdges() int {
+	return g.nSpatial*g.nSteps + g.nRegions*(g.nSteps-1)
+}
+
+// Vertex returns the vertex id of (region, step).
+func (g *Graph) Vertex(region, step int) int { return step*g.nRegions + region }
+
+// RegionStep decomposes a vertex id into its (region, step) pair.
+func (g *Graph) RegionStep(v int) (region, step int) {
+	return v % g.nRegions, v / g.nRegions
+}
+
+// Neighbors calls visit for every vertex adjacent to v: spatially adjacent
+// regions at the same step, and the same region at the previous and next
+// steps. Using a callback keeps traversals allocation-free.
+func (g *Graph) Neighbors(v int, visit func(u int)) {
+	region, step := g.RegionStep(v)
+	base := step * g.nRegions
+	for _, r := range g.spatAdj[region] {
+		visit(base + r)
+	}
+	if step > 0 {
+		visit(v - g.nRegions)
+	}
+	if step+1 < g.nSteps {
+		visit(v + g.nRegions)
+	}
+}
+
+// Degree returns the number of neighbors of vertex v.
+func (g *Graph) Degree(v int) int {
+	region, step := g.RegionStep(v)
+	d := len(g.spatAdj[region])
+	if step > 0 {
+		d++
+	}
+	if step+1 < g.nSteps {
+		d++
+	}
+	return d
+}
+
+// SpatialAdjacency exposes the shared region adjacency lists (read-only).
+func (g *Graph) SpatialAdjacency() [][]int { return g.spatAdj }

@@ -1,0 +1,169 @@
+package stgraph
+
+import (
+	"sort"
+	"testing"
+)
+
+// path3 is a 3-region path graph: 0 - 1 - 2.
+func path3() [][]int {
+	return [][]int{{1}, {0, 2}, {1}}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 5, nil); err == nil {
+		t.Error("expected error for zero regions")
+	}
+	if _, err := New(3, 0, path3()); err == nil {
+		t.Error("expected error for zero steps")
+	}
+	if _, err := New(2, 5, path3()); err == nil {
+		t.Error("expected error for adjacency size mismatch")
+	}
+	if _, err := New(3, 5, [][]int{{5}, {}, {}}); err == nil {
+		t.Error("expected error for out-of-range neighbor")
+	}
+	if _, err := New(3, 5, [][]int{{0}, {}, {}}); err == nil {
+		t.Error("expected error for self loop")
+	}
+}
+
+func TestCounts(t *testing.T) {
+	g, err := New(3, 4, path3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 12 {
+		t.Errorf("NumVertices = %d, want 12", g.NumVertices())
+	}
+	// spatial: 2 edges per step * 4 steps = 8; temporal: 3 regions * 3 = 9.
+	if g.NumEdges() != 17 {
+		t.Errorf("NumEdges = %d, want 17", g.NumEdges())
+	}
+	if g.NumRegions() != 3 || g.NumSteps() != 4 {
+		t.Error("NumRegions/NumSteps wrong")
+	}
+}
+
+func TestVertexRoundTrip(t *testing.T) {
+	g, _ := New(3, 4, path3())
+	for s := 0; s < 4; s++ {
+		for r := 0; r < 3; r++ {
+			v := g.Vertex(r, s)
+			rr, ss := g.RegionStep(v)
+			if rr != r || ss != s {
+				t.Fatalf("round trip (%d,%d) -> %d -> (%d,%d)", r, s, v, rr, ss)
+			}
+		}
+	}
+}
+
+func neighbors(g *Graph, v int) []int {
+	var out []int
+	g.Neighbors(v, func(u int) { out = append(out, u) })
+	sort.Ints(out)
+	return out
+}
+
+func TestNeighborsInterior(t *testing.T) {
+	g, _ := New(3, 4, path3())
+	// Region 1 at step 1: spatial {0,2}@step1 = {3,5}... vertex = 1*3+1 = 4.
+	got := neighbors(g, g.Vertex(1, 1))
+	want := []int{1, 3, 5, 7} // region1@step0, region0@step1, region2@step1, region1@step2
+	if len(got) != len(want) {
+		t.Fatalf("neighbors = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("neighbors = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNeighborsBoundary(t *testing.T) {
+	g, _ := New(3, 4, path3())
+	// Region 0 at step 0: spatial {1}@0, temporal next region0@1.
+	got := neighbors(g, g.Vertex(0, 0))
+	want := []int{1, 3}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("neighbors = %v, want %v", got, want)
+	}
+	// Last step, region 2.
+	got = neighbors(g, g.Vertex(2, 3))
+	want = []int{g.Vertex(1, 3), g.Vertex(2, 2)}
+	sort.Ints(want)
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("neighbors = %v, want %v", got, want)
+	}
+}
+
+func TestDegreeMatchesNeighbors(t *testing.T) {
+	g, _ := New(3, 5, path3())
+	for v := 0; v < g.NumVertices(); v++ {
+		if g.Degree(v) != len(neighbors(g, v)) {
+			t.Fatalf("Degree(%d) = %d, neighbors = %d", v, g.Degree(v), len(neighbors(g, v)))
+		}
+	}
+}
+
+func TestNeighborsSymmetric(t *testing.T) {
+	g, _ := New(3, 5, path3())
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, u := range neighbors(g, v) {
+			back := neighbors(g, u)
+			found := false
+			for _, w := range back {
+				if w == v {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("edge %d-%d not symmetric", v, u)
+			}
+		}
+	}
+}
+
+func TestPureTimeSeries(t *testing.T) {
+	// City resolution: 1 region, no spatial edges — a 1D function.
+	g, err := New(1, 10, [][]int{nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 9 {
+		t.Errorf("NumEdges = %d, want 9 (pure temporal chain)", g.NumEdges())
+	}
+	got := neighbors(g, 5)
+	if len(got) != 2 || got[0] != 4 || got[1] != 6 {
+		t.Errorf("chain neighbors = %v, want [4 6]", got)
+	}
+}
+
+func TestSingleVertex(t *testing.T) {
+	g, err := New(1, 1, [][]int{nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 0 || g.Degree(0) != 0 {
+		t.Error("single vertex should have no edges")
+	}
+}
+
+// Edge count formula check against explicit enumeration.
+func TestEdgeCountMatchesEnumeration(t *testing.T) {
+	adj := [][]int{{1, 2}, {0, 2}, {0, 1, 3}, {2}} // 4 regions, 4 spatial edges
+	g, err := New(4, 3, adj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		g.Neighbors(v, func(u int) { count++ })
+	}
+	if count%2 != 0 {
+		t.Fatal("odd directed edge count")
+	}
+	if count/2 != g.NumEdges() {
+		t.Errorf("NumEdges = %d, enumeration = %d", g.NumEdges(), count/2)
+	}
+}

@@ -1,0 +1,238 @@
+// Package temporal models the temporal side of the Data Polygamy framework:
+// temporal resolutions (second, hour, day, week, month), binning of raw
+// timestamps into time steps, timelines (the ordered set of time steps of a
+// scalar function), and the seasonal intervals used when computing feature
+// thresholds (Section 3.3 of the paper).
+//
+// All timestamps are Unix seconds in UTC. Months have variable length and
+// are handled through the time package; weeks are ISO-style 7-day bins
+// anchored on Monday.
+package temporal
+
+import (
+	"fmt"
+	"time"
+)
+
+// Resolution is a temporal resolution. Finer resolutions have smaller values.
+type Resolution int
+
+const (
+	// Second is the finest supported resolution (raw event timestamps).
+	Second Resolution = iota
+	// Hour bins timestamps into hourly steps.
+	Hour
+	// Day bins timestamps into daily steps (UTC midnight boundaries).
+	Day
+	// Week bins timestamps into 7-day steps anchored on Monday.
+	Week
+	// Month bins timestamps into calendar months.
+	Month
+)
+
+// numResolutions is the count of defined resolutions.
+const numResolutions = int(Month) + 1
+
+// String implements fmt.Stringer.
+func (r Resolution) String() string {
+	switch r {
+	case Second:
+		return "second"
+	case Hour:
+		return "hour"
+	case Day:
+		return "day"
+	case Week:
+		return "week"
+	case Month:
+		return "month"
+	default:
+		return fmt.Sprintf("temporal.Resolution(%d)", int(r))
+	}
+}
+
+// Valid reports whether r is a defined resolution.
+func (r Resolution) Valid() bool { return r >= Second && r <= Month }
+
+// ParseResolution converts a string name into a Resolution.
+func ParseResolution(s string) (Resolution, error) {
+	switch s {
+	case "second":
+		return Second, nil
+	case "hour":
+		return Hour, nil
+	case "day":
+		return Day, nil
+	case "week":
+		return Week, nil
+	case "month":
+		return Month, nil
+	}
+	return 0, fmt.Errorf("temporal: unknown resolution %q", s)
+}
+
+// mondayEpoch is the Unix time of the first Monday after the epoch
+// (1970-01-05 00:00:00 UTC); used to anchor weekly bins.
+const mondayEpoch = 4 * 86400
+
+// ConvertibleTo reports whether data at resolution r can be aggregated into
+// resolution target. The temporal resolution DAG (Figure 6) is the chain
+// second -> hour -> day -> week -> month. Week -> month assigns each week
+// to the month containing its start (the paper evaluates the weekly gas
+// price data at monthly resolution, Appendix E.2); month is the coarsest.
+func (r Resolution) ConvertibleTo(target Resolution) bool {
+	if r == target {
+		return true
+	}
+	switch r {
+	case Second:
+		return target.Valid()
+	case Hour:
+		return target == Day || target == Week || target == Month
+	case Day:
+		return target == Week || target == Month
+	case Week:
+		return target == Month
+	case Month:
+		return false
+	}
+	return false
+}
+
+// Coarsenings returns every resolution that r can be converted to,
+// including r itself, in ascending (finest-first) order.
+func (r Resolution) Coarsenings() []Resolution {
+	out := make([]Resolution, 0, numResolutions)
+	for t := Second; t <= Month; t++ {
+		if r.ConvertibleTo(t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// CommonResolutions returns the temporal resolutions at which two functions
+// with native resolutions a and b can both be evaluated, finest first.
+// The slice is empty when no common resolution exists (e.g. week vs month).
+func CommonResolutions(a, b Resolution) []Resolution {
+	out := []Resolution{}
+	for t := Second; t <= Month; t++ {
+		if a.ConvertibleTo(t) && b.ConvertibleTo(t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Bin returns the canonical start (Unix seconds, UTC) of the time step at
+// resolution r containing timestamp ts.
+func Bin(ts int64, r Resolution) int64 {
+	switch r {
+	case Second:
+		return ts
+	case Hour:
+		return floorDiv(ts, 3600) * 3600
+	case Day:
+		return floorDiv(ts, 86400) * 86400
+	case Week:
+		return floorDiv(ts-mondayEpoch, 7*86400)*7*86400 + mondayEpoch
+	case Month:
+		t := time.Unix(ts, 0).UTC()
+		return time.Date(t.Year(), t.Month(), 1, 0, 0, 0, 0, time.UTC).Unix()
+	}
+	panic(fmt.Sprintf("temporal: invalid resolution %d", int(r)))
+}
+
+// NextBin returns the start of the time step immediately after the step
+// starting at binStart, at resolution r.
+func NextBin(binStart int64, r Resolution) int64 {
+	switch r {
+	case Second:
+		return binStart + 1
+	case Hour:
+		return binStart + 3600
+	case Day:
+		return binStart + 86400
+	case Week:
+		return binStart + 7*86400
+	case Month:
+		t := time.Unix(binStart, 0).UTC()
+		return time.Date(t.Year(), t.Month()+1, 1, 0, 0, 0, 0, time.UTC).Unix()
+	}
+	panic(fmt.Sprintf("temporal: invalid resolution %d", int(r)))
+}
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// Timeline is the ordered, contiguous set of time steps of a scalar function
+// at a fixed resolution. It maps timestamps to dense step indices and back.
+type Timeline struct {
+	res    Resolution
+	starts []int64 // start of each step, ascending
+	index  map[int64]int
+}
+
+// NewTimeline builds the timeline covering [minTS, maxTS] at resolution r.
+// Both endpoints are included in their respective bins. It returns an error
+// if maxTS < minTS.
+func NewTimeline(minTS, maxTS int64, r Resolution) (*Timeline, error) {
+	if !r.Valid() {
+		return nil, fmt.Errorf("temporal: invalid resolution %d", int(r))
+	}
+	if maxTS < minTS {
+		return nil, fmt.Errorf("temporal: maxTS %d < minTS %d", maxTS, minTS)
+	}
+	tl := &Timeline{res: r, index: make(map[int64]int)}
+	for b := Bin(minTS, r); b <= maxTS; b = NextBin(b, r) {
+		tl.index[b] = len(tl.starts)
+		tl.starts = append(tl.starts, b)
+	}
+	return tl, nil
+}
+
+// Res returns the timeline's resolution.
+func (tl *Timeline) Res() Resolution { return tl.res }
+
+// Len returns the number of time steps.
+func (tl *Timeline) Len() int { return len(tl.starts) }
+
+// Index returns the dense step index for timestamp ts, or -1 if ts falls
+// outside the timeline.
+func (tl *Timeline) Index(ts int64) int {
+	i, ok := tl.index[Bin(ts, tl.res)]
+	if !ok {
+		return -1
+	}
+	return i
+}
+
+// StepStart returns the Unix start time of step i.
+func (tl *Timeline) StepStart(i int) int64 { return tl.starts[i] }
+
+// SeasonOf returns the seasonal interval key of step i (see Seasons).
+func (tl *Timeline) SeasonOf(i int) int {
+	return SeasonKey(tl.starts[i], tl.res)
+}
+
+// SeasonKey returns the seasonal-interval identifier for the time step
+// starting at ts at resolution r. Per Section 3.3 / 5.2 of the paper,
+// feature thresholds are computed per monthly interval for hourly data and
+// per quarter-yearly interval for daily data; coarser resolutions use a
+// single global interval (key 0).
+func SeasonKey(ts int64, r Resolution) int {
+	t := time.Unix(ts, 0).UTC()
+	switch r {
+	case Second, Hour:
+		return t.Year()*12 + int(t.Month()) - 1
+	case Day:
+		return t.Year()*4 + (int(t.Month())-1)/3
+	default:
+		return 0
+	}
+}

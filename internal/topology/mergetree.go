@@ -1,0 +1,344 @@
+// Package topology implements the topological machinery of the Data
+// Polygamy framework (Section 3 of the paper): merge trees (join and split
+// trees) of piecewise-linear scalar functions on the spatio-temporal domain
+// graph, topological persistence with creator/destroyer pairing, and the
+// output-sensitive super-/sub-level-set queries used to extract features.
+//
+// Functions are made Morse by simulated perturbation: ties in function
+// value are broken by vertex index, imposing a total order so that no two
+// critical values coincide (Appendix B.1).
+package topology
+
+import (
+	"math"
+	"sort"
+
+	"github.com/urbandata/datapolygamy/internal/bitvec"
+	"github.com/urbandata/datapolygamy/internal/stgraph"
+	"github.com/urbandata/datapolygamy/internal/unionfind"
+)
+
+// Kind distinguishes the two merge-tree flavours.
+type Kind int
+
+const (
+	// Join tracks super-level sets with decreasing function value; its
+	// non-root leaves are the maxima of f.
+	Join Kind = iota
+	// Split tracks sub-level sets with increasing function value; its
+	// non-root leaves are the minima of f.
+	Split
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if k == Join {
+		return "join"
+	}
+	return "split"
+}
+
+// Pair is a creator/destroyer persistence pair. For a join tree the creator
+// is a maximum and the destroyer the merge saddle that kills its super-level
+// component; Persistence is |f(destroyer) - f(creator)|. The pair of the
+// global extremum has Destroyer == -1, Essential == true, and persistence
+// equal to the function range.
+type Pair struct {
+	Creator     int
+	Destroyer   int
+	Persistence float64
+	Essential   bool
+}
+
+// Edge is a merge-tree edge between two critical vertices; it represents
+// the connected level-set component living between its endpoints.
+type Edge struct {
+	Upper, Lower int // for join trees, f(Upper) > f(Lower) in perturbed order
+}
+
+// Tree is a merge tree of a scalar function together with its persistence
+// pairing. Construct with ComputeJoin or ComputeSplit.
+type Tree struct {
+	kind Kind
+	g    *stgraph.Graph
+	// vals are the sweep values: the original function for join trees, its
+	// negation for split trees — so both sweeps run "downhill".
+	vals []float64
+	orig []float64
+
+	// Leaves are the non-root leaf vertices (maxima for Join, minima for
+	// Split), sorted by decreasing sweep value (i.e. most extreme first).
+	Leaves []int
+	// Pairs[i] is the persistence pair of Leaves[i].
+	Pairs []Pair
+	// Edges are the merge-tree edges, in construction order.
+	Edges []Edge
+	// Root is the vertex processed last in the sweep: the global minimum
+	// for a join tree, the global maximum for a split tree.
+	Root int
+
+	// query scratch: epoch-stamped visited marks for output-sensitive
+	// level-set traversal without re-zeroing.
+	stamp   []int64
+	epoch   int64
+	scratch []int
+}
+
+// Kind returns the tree kind.
+func (t *Tree) Kind() Kind { return t.kind }
+
+// NumCriticalPoints returns the number of distinct critical vertices in the
+// tree (leaves, saddles, and the root).
+func (t *Tree) NumCriticalPoints() int {
+	seen := map[int]bool{t.Root: true}
+	for _, e := range t.Edges {
+		seen[e.Upper] = true
+		seen[e.Lower] = true
+	}
+	for _, l := range t.Leaves {
+		seen[l] = true
+	}
+	return len(seen)
+}
+
+// ComputeJoin builds the join tree of the function vals defined on the
+// vertices of g, tracking connected components of super-level sets with
+// decreasing function value (Procedure ComputeJoinTree in the paper).
+// It runs in O(N log N + N alpha(N)) for the planar domain graphs used here.
+func ComputeJoin(g *stgraph.Graph, vals []float64) *Tree {
+	t := &Tree{kind: Join, g: g, vals: vals, orig: vals}
+	t.sweep()
+	return t
+}
+
+// ComputeSplit builds the split tree of vals on g by sweeping the negated
+// function; leaves are the minima of vals and persistence values are
+// reported in original units.
+func ComputeSplit(g *stgraph.Graph, vals []float64) *Tree {
+	neg := make([]float64, len(vals))
+	for i, v := range vals {
+		neg[i] = -v
+	}
+	t := &Tree{kind: Split, g: g, vals: neg, orig: vals}
+	t.sweep()
+	return t
+}
+
+// above reports whether vertex u is above vertex v in the simulated-
+// perturbation total order of the sweep values.
+func (t *Tree) above(u, v int) bool {
+	if t.vals[u] != t.vals[v] {
+		return t.vals[u] > t.vals[v]
+	}
+	return u > v
+}
+
+// sweep processes vertices in decreasing perturbed order, maintaining
+// super-level-set components in a union-find structure, recording tree
+// edges at merges and pairing creators with destroyers.
+func (t *Tree) sweep() {
+	n := t.g.NumVertices()
+	if n == 0 {
+		return
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return t.above(order[a], order[b]) })
+
+	uf := unionfind.New(n)
+	// head[root] / creator[root] are maintained for current component roots.
+	head := make([]int32, n)
+	creator := make([]int32, n)
+	inSweep := make([]bool, n)
+
+	var compRoots []int // scratch: distinct component roots among upper neighbors
+
+	for _, v := range order {
+		compRoots = compRoots[:0]
+		t.g.Neighbors(v, func(u int) {
+			if !inSweep[u] {
+				return
+			}
+			r := uf.Find(u)
+			for _, cr := range compRoots {
+				if cr == r {
+					return
+				}
+			}
+			compRoots = append(compRoots, r)
+		})
+		inSweep[v] = true
+
+		switch len(compRoots) {
+		case 0:
+			// v is a maximum: creates a new component.
+			r := uf.Find(v)
+			head[r] = int32(v)
+			creator[r] = int32(v)
+		case 1:
+			// Regular vertex: join the existing component. Head and
+			// creator are only updated at critical points, so tree edges
+			// always connect critical vertices.
+			h, c := head[compRoots[0]], creator[compRoots[0]]
+			r := uf.Union(v, compRoots[0])
+			head[r] = h
+			creator[r] = c
+		default:
+			// v is a destroyer (merge saddle). For a Morse function there
+			// are exactly two components; PL multi-saddles merge k at once,
+			// pairing the k-1 youngest creators with v.
+			oldest := compRoots[0]
+			for _, r := range compRoots[1:] {
+				if t.above(int(creator[r]), int(creator[oldest])) {
+					oldest = r
+				}
+			}
+			survivor := creator[oldest]
+			for _, r := range compRoots {
+				t.Edges = append(t.Edges, Edge{Upper: int(head[r]), Lower: v})
+				if r != oldest {
+					t.addPair(int(creator[r]), v)
+				}
+			}
+			merged := uf.Find(v)
+			for _, r := range compRoots {
+				merged = uf.Union(merged, r)
+			}
+			head[merged] = int32(v)
+			creator[merged] = survivor
+		}
+	}
+
+	// The vertex processed last is the root (global minimum of the sweep
+	// values). The surviving creator is the global extremum: an essential
+	// pair with persistence equal to the function range.
+	root := order[n-1]
+	t.Root = root
+	survivorRoot := uf.Find(root)
+	globalExtreme := int(creator[survivorRoot])
+	t.addEssentialPair(globalExtreme, root)
+	if head[survivorRoot] != int32(root) {
+		t.Edges = append(t.Edges, Edge{Upper: int(head[survivorRoot]), Lower: root})
+	}
+
+	t.sortLeaves()
+	t.stamp = make([]int64, n)
+}
+
+func (t *Tree) addPair(creator, destroyer int) {
+	t.Leaves = append(t.Leaves, creator)
+	t.Pairs = append(t.Pairs, Pair{
+		Creator:     creator,
+		Destroyer:   destroyer,
+		Persistence: math.Abs(t.vals[destroyer] - t.vals[creator]),
+	})
+}
+
+func (t *Tree) addEssentialPair(creator, root int) {
+	t.Leaves = append(t.Leaves, creator)
+	t.Pairs = append(t.Pairs, Pair{
+		Creator:     creator,
+		Destroyer:   -1,
+		Persistence: math.Abs(t.vals[root] - t.vals[creator]),
+		Essential:   true,
+	})
+}
+
+// sortLeaves orders leaves (and their pairs) by decreasing sweep value, so
+// level-set queries can scan a prefix.
+func (t *Tree) sortLeaves() {
+	idx := make([]int, len(t.Leaves))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return t.above(t.Leaves[idx[a]], t.Leaves[idx[b]]) })
+	leaves := make([]int, len(idx))
+	pairs := make([]Pair, len(idx))
+	for i, j := range idx {
+		leaves[i] = t.Leaves[j]
+		pairs[i] = t.Pairs[j]
+	}
+	t.Leaves = leaves
+	t.Pairs = pairs
+}
+
+// LevelSet computes the level set at threshold theta into out (which must
+// have length g.NumVertices()): the super-level set f >= theta for a join
+// tree, the sub-level set f <= theta for a split tree. The traversal starts
+// from the qualifying extrema (a prefix of Leaves) and descends only
+// through qualifying vertices, making the query output-sensitive
+// (Section 3.2). Bits are OR-ed into out.
+func (t *Tree) LevelSet(theta float64, out *bitvec.Vector) {
+	sweepTheta := theta
+	if t.kind == Split {
+		sweepTheta = -theta
+	}
+	t.epoch++
+	stack := t.scratch[:0]
+	for _, leaf := range t.Leaves {
+		if t.vals[leaf] < sweepTheta {
+			break // leaves are sorted by decreasing sweep value
+		}
+		if t.stamp[leaf] != t.epoch {
+			t.stamp[leaf] = t.epoch
+			stack = append(stack, leaf)
+		}
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out.Set(v)
+		t.g.Neighbors(v, func(u int) {
+			if t.stamp[u] != t.epoch && t.vals[u] >= sweepTheta {
+				t.stamp[u] = t.epoch
+				stack = append(stack, u)
+			}
+		})
+	}
+	t.scratch = stack[:0]
+}
+
+// LevelSetVertices returns the level set at theta as a fresh slice of
+// vertex ids (ascending).
+func (t *Tree) LevelSetVertices(theta float64) []int {
+	out := bitvec.New(t.g.NumVertices())
+	t.LevelSet(theta, out)
+	return out.Ones()
+}
+
+// PersistencePoint is one point of a persistence diagram: an extremum with
+// its creation and destruction function values (in original units).
+type PersistencePoint struct {
+	Vertex      int
+	Creation    float64
+	Destruction float64
+	Persistence float64
+	Essential   bool
+}
+
+// Diagram returns the persistence diagram of the tree in original function
+// units, one point per leaf, most persistent first.
+func (t *Tree) Diagram() []PersistencePoint {
+	out := make([]PersistencePoint, len(t.Pairs))
+	for i, p := range t.Pairs {
+		pt := PersistencePoint{
+			Vertex:      p.Creator,
+			Creation:    t.orig[p.Creator],
+			Persistence: p.Persistence,
+			Essential:   p.Essential,
+		}
+		if p.Destroyer >= 0 {
+			pt.Destruction = t.orig[p.Destroyer]
+		} else {
+			pt.Destruction = t.orig[t.Root]
+		}
+		out[i] = pt
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Persistence > out[b].Persistence })
+	return out
+}
+
+// ExtremumValue returns the original function value at leaf i.
+func (t *Tree) ExtremumValue(i int) float64 { return t.orig[t.Leaves[i]] }

@@ -1,0 +1,148 @@
+package unionfind
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSingletons(t *testing.T) {
+	uf := New(5)
+	if uf.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", uf.Len())
+	}
+	if uf.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", uf.Count())
+	}
+	for i := 0; i < 5; i++ {
+		if got := uf.Find(i); got != i {
+			t.Errorf("Find(%d) = %d, want %d", i, got, i)
+		}
+	}
+}
+
+func TestUnionBasic(t *testing.T) {
+	uf := New(4)
+	uf.Union(0, 1)
+	if !uf.Same(0, 1) {
+		t.Error("0 and 1 should be connected after Union")
+	}
+	if uf.Same(0, 2) {
+		t.Error("0 and 2 should not be connected")
+	}
+	if uf.Count() != 3 {
+		t.Errorf("Count = %d, want 3", uf.Count())
+	}
+}
+
+func TestUnionIdempotent(t *testing.T) {
+	uf := New(3)
+	uf.Union(0, 1)
+	c := uf.Count()
+	uf.Union(0, 1)
+	uf.Union(1, 0)
+	if uf.Count() != c {
+		t.Errorf("repeated Union changed Count: got %d, want %d", uf.Count(), c)
+	}
+}
+
+func TestTransitivity(t *testing.T) {
+	uf := New(6)
+	uf.Union(0, 1)
+	uf.Union(1, 2)
+	uf.Union(4, 5)
+	if !uf.Same(0, 2) {
+		t.Error("transitivity violated: 0~1, 1~2 but 0!~2")
+	}
+	if uf.Same(0, 4) {
+		t.Error("0 and 4 merged spuriously")
+	}
+	if uf.Count() != 3 {
+		t.Errorf("Count = %d, want 3 ({0,1,2},{3},{4,5})", uf.Count())
+	}
+}
+
+func TestChainAll(t *testing.T) {
+	const n = 1000
+	uf := New(n)
+	for i := 0; i+1 < n; i++ {
+		uf.Union(i, i+1)
+	}
+	if uf.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", uf.Count())
+	}
+	root := uf.Find(0)
+	for i := 0; i < n; i++ {
+		if uf.Find(i) != root {
+			t.Fatalf("Find(%d) = %d, want root %d", i, uf.Find(i), root)
+		}
+	}
+}
+
+func TestUnionReturnsRepresentative(t *testing.T) {
+	uf := New(4)
+	r := uf.Union(1, 2)
+	if r != uf.Find(1) || r != uf.Find(2) {
+		t.Errorf("Union return %d is not the representative of both members", r)
+	}
+}
+
+// TestEquivalenceRelation checks, via randomized inputs, that union-find
+// maintains an equivalence relation: reflexive, symmetric, transitive.
+func TestEquivalenceRelation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(64)
+		uf := New(n)
+		// Reference partition via naive labels.
+		label := make([]int, n)
+		for i := range label {
+			label[i] = i
+		}
+		relabel := func(from, to int) {
+			for i := range label {
+				if label[i] == from {
+					label[i] = to
+				}
+			}
+		}
+		for k := 0; k < 3*n; k++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			uf.Union(a, b)
+			relabel(label[a], label[b])
+		}
+		// Compare partitions.
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if uf.Same(i, j) != (label[i] == label[j]) {
+					return false
+				}
+			}
+		}
+		// Count must match number of distinct labels.
+		seen := map[int]bool{}
+		for _, l := range label {
+			seen[l] = true
+		}
+		return uf.Count() == len(seen)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkUnionFind(b *testing.B) {
+	const n = 1 << 16
+	rng := rand.New(rand.NewSource(1))
+	pairs := make([][2]int, n)
+	for i := range pairs {
+		pairs[i] = [2]int{rng.Intn(n), rng.Intn(n)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		uf := New(n)
+		for _, p := range pairs {
+			uf.Union(p[0], p[1])
+		}
+	}
+}

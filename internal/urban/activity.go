@@ -1,0 +1,160 @@
+package urban
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"github.com/urbandata/datapolygamy/internal/spatial"
+)
+
+// Activity is the latent "city pulse" shared by the human-activity data
+// sets (taxi, collisions, 311, 911, bikes, tweets): a diurnal cycle, a
+// weekly cycle, a mild seasonal swing, and holiday dips. Sharing this
+// signal is what makes activity data sets related to each other through
+// salient features, as the paper observes for collisions, 311 calls, and
+// taxi trips.
+type Activity struct {
+	Start time.Time
+	Hours int
+	// Level[i] is a multiplicative factor around 1.
+	Level []float64
+	// HolidayAt marks hours inside a holiday dip.
+	HolidayAt []bool
+}
+
+// GenerateActivity builds the activity signal for [start, start+hours).
+func GenerateActivity(seed int64, start time.Time, hours int) *Activity {
+	rng := rand.New(rand.NewSource(seed))
+	a := &Activity{
+		Start:     start,
+		Hours:     hours,
+		Level:     make([]float64, hours),
+		HolidayAt: make([]bool, hours),
+	}
+	holidays := holidaySet(start, hours)
+	ar := 0.0
+	for i := 0; i < hours; i++ {
+		t := start.Add(time.Duration(i) * time.Hour)
+		hour := float64(t.Hour())
+		// Asymmetric diurnal cycle, like real taxi demand: a broad
+		// daytime/evening plateau and a short, sharp pre-dawn trough.
+		phase := 0.5 + 0.5*math.Sin((hour-15)/24*2*math.Pi)
+		diurnal := 0.3 + 0.7*math.Pow(phase, 0.45)
+		weekly := 1.0
+		switch t.Weekday() {
+		case time.Saturday:
+			weekly = 0.92
+		case time.Sunday:
+			weekly = 0.8
+		}
+		season := 1 + 0.06*math.Cos(float64(t.YearDay()-280)/365.25*2*math.Pi)
+		ar = 0.9*ar + rng.NormFloat64()*0.02
+		level := diurnal * weekly * season * (1 + ar)
+		day := t.Format("2006-01-02")
+		if holidays[day] {
+			level *= 0.45 // Thanksgiving/Christmas/New Year dips
+			a.HolidayAt[i] = true
+		}
+		a.Level[i] = math.Max(0.02, level)
+	}
+	return a
+}
+
+// holidaySet returns the set of holiday dates (as "YYYY-MM-DD") inside the
+// generation window: Thanksgiving, Christmas Eve/Day, New Year's Eve/Day.
+func holidaySet(start time.Time, hours int) map[string]bool {
+	out := map[string]bool{}
+	end := start.Add(time.Duration(hours) * time.Hour)
+	for year := start.Year(); year <= end.Year(); year++ {
+		// Thanksgiving: fourth Thursday of November.
+		t := time.Date(year, time.November, 1, 0, 0, 0, 0, time.UTC)
+		offset := (int(time.Thursday) - int(t.Weekday()) + 7) % 7
+		thanksgiving := t.AddDate(0, 0, offset+21)
+		dates := []time.Time{
+			thanksgiving,
+			time.Date(year, time.December, 24, 0, 0, 0, 0, time.UTC),
+			time.Date(year, time.December, 25, 0, 0, 0, 0, time.UTC),
+			time.Date(year, time.December, 31, 0, 0, 0, 0, time.UTC),
+			time.Date(year, time.January, 1, 0, 0, 0, 0, time.UTC),
+		}
+		for _, d := range dates {
+			if !d.Before(start) && d.Before(end) {
+				out[d.Format("2006-01-02")] = true
+			}
+		}
+	}
+	return out
+}
+
+// HotspotSampler draws tuple locations from a spatial hot-spot mixture over
+// the city's cells: a lognormal per-cell base weight boosted around a few
+// Gaussian centers, matching the clustered spatial distribution of urban
+// activity (Figure 3 of the paper).
+type HotspotSampler struct {
+	city  *spatial.CityMap
+	cum   []float64 // cumulative cell weights
+	total float64
+}
+
+// NewHotspotSampler builds a sampler with k hot-spot centers.
+func NewHotspotSampler(seed int64, city *spatial.CityMap, k int) *HotspotSampler {
+	rng := rand.New(rand.NewSource(seed))
+	n := city.NumCells()
+	centers := make([]spatial.Point, k)
+	for i := range centers {
+		centers[i] = city.CellCenter(rng.Intn(n))
+	}
+	w, h := city.GridSize()
+	sigma := 0.12 * float64(w+h) / 2
+	cum := make([]float64, n)
+	total := 0.0
+	for c := 0; c < n; c++ {
+		p := city.CellCenter(c)
+		weight := math.Exp(rng.NormFloat64() * 0.4)
+		for _, ctr := range centers {
+			d := spatial.Dist(p, ctr)
+			weight += 6 * math.Exp(-d*d/(2*sigma*sigma))
+		}
+		total += weight
+		cum[c] = total
+	}
+	return &HotspotSampler{city: city, cum: cum, total: total}
+}
+
+// Sample returns a random point inside a cell drawn from the hot-spot
+// distribution.
+func (s *HotspotSampler) Sample(rng *rand.Rand) spatial.Point {
+	x := rng.Float64() * s.total
+	c := sort.SearchFloat64s(s.cum, x)
+	if c >= len(s.cum) {
+		c = len(s.cum) - 1
+	}
+	ctr := s.city.CellCenter(c)
+	return spatial.Point{X: ctr.X - 0.5 + rng.Float64(), Y: ctr.Y - 0.5 + rng.Float64()}
+}
+
+// Poisson draws a Poisson random variate with mean lambda, using Knuth's
+// method for small means and a normal approximation for large ones.
+func Poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 30 {
+		v := lambda + math.Sqrt(lambda)*rng.NormFloat64()
+		if v < 0 {
+			return 0
+		}
+		return int(v + 0.5)
+	}
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}

@@ -1,0 +1,193 @@
+package urban
+
+import (
+	"testing"
+	"time"
+
+	"github.com/urbandata/datapolygamy/internal/mathx"
+)
+
+// These tests pin the causal structure the generators plant — the
+// correlations that the Section 6.3 experiments later recover through the
+// full framework. Testing them directly at the generator level separates
+// "the data has the relationship" from "the framework finds it".
+
+func winterCollection(t testing.TB) *Collection {
+	t.Helper()
+	col, err := Generate(Config{
+		Seed:  77,
+		City:  testCity(t),
+		Start: time.Date(2011, time.January, 1, 0, 0, 0, 0, time.UTC),
+		End:   time.Date(2011, time.July, 1, 0, 0, 0, 0, time.UTC),
+		Scale: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return col
+}
+
+// hourlyCounts bins a data set's tuples per weather hour.
+func hourlyCounts(col *Collection, name string) []float64 {
+	out := make([]float64, col.Weather.Hours)
+	for _, tup := range col.Dataset(name).Tuples {
+		if s := col.Weather.StepOf(tup.TS); s >= 0 {
+			out[s]++
+		}
+	}
+	return out
+}
+
+// hourlyAvg bins a data set's attribute average per weather hour.
+func hourlyAvg(col *Collection, name, attr string) []float64 {
+	d := col.Dataset(name)
+	ai := d.AttrIndex(attr)
+	sum := make([]float64, col.Weather.Hours)
+	cnt := make([]float64, col.Weather.Hours)
+	for _, tup := range d.Tuples {
+		if s := col.Weather.StepOf(tup.TS); s >= 0 {
+			sum[s] += tup.Values[ai]
+			cnt[s]++
+		}
+	}
+	for i := range sum {
+		if cnt[i] > 0 {
+			sum[i] /= cnt[i]
+		}
+	}
+	return sum
+}
+
+// meansBy splits xs into two groups by cond and returns their means.
+func meansBy(xs []float64, cond func(i int) bool) (when, otherwise float64) {
+	var a, b []float64
+	for i, x := range xs {
+		if cond(i) {
+			a = append(a, x)
+		} else {
+			b = append(b, x)
+		}
+	}
+	return mathx.Mean(a), mathx.Mean(b)
+}
+
+func TestTaxiDropsInHeavyRain(t *testing.T) {
+	col := winterCollection(t)
+	trips := hourlyCounts(col, "taxi")
+	rainy, dry := meansBy(trips, func(i int) bool { return col.Weather.PrecipFactor(i) > 0.8 })
+	if rainy >= dry {
+		t.Errorf("heavy-rain trips %.1f should be below dry trips %.1f", rainy, dry)
+	}
+}
+
+func TestFareRisesInHeavyRain(t *testing.T) {
+	col := winterCollection(t)
+	fare := hourlyAvg(col, "taxi", "fare")
+	var rainy, dry []float64
+	for i, f := range fare {
+		if f == 0 {
+			continue // no trips that hour
+		}
+		if col.Weather.PrecipFactor(i) > 0.8 {
+			rainy = append(rainy, f)
+		} else if col.Weather.Precip[i] == 0 {
+			dry = append(dry, f)
+		}
+	}
+	if len(rainy) < 5 {
+		t.Skip("not enough heavy-rain hours in window")
+	}
+	if mathx.Mean(rainy) <= mathx.Mean(dry) {
+		t.Errorf("rainy fare %.2f should exceed dry fare %.2f", mathx.Mean(rainy), mathx.Mean(dry))
+	}
+}
+
+func TestCollisionSeverityRainDependent(t *testing.T) {
+	col := winterCollection(t)
+	d := col.Dataset("collisions")
+	ki := d.AttrIndex("motorists_injured")
+	var rainy, dry []float64
+	for _, tup := range d.Tuples {
+		s := col.Weather.StepOf(tup.TS)
+		if s < 0 {
+			continue
+		}
+		if col.Weather.PrecipFactor(s) > 0.8 {
+			rainy = append(rainy, tup.Values[ki])
+		} else if col.Weather.Precip[s] == 0 {
+			dry = append(dry, tup.Values[ki])
+		}
+	}
+	if len(rainy) < 20 {
+		t.Skip("not enough heavy-rain collisions")
+	}
+	if mathx.Mean(rainy) <= mathx.Mean(dry) {
+		t.Errorf("rainy injuries/collision %.3f should exceed dry %.3f",
+			mathx.Mean(rainy), mathx.Mean(dry))
+	}
+}
+
+func TestCollisionRateRainIndependent(t *testing.T) {
+	// The paper's finding: rain raises severity, not the accident count.
+	col := winterCollection(t)
+	rate := hourlyCounts(col, "collisions")
+	act := col.Activity
+	// Normalize by activity to remove the shared diurnal driver.
+	norm := make([]float64, len(rate))
+	for i := range rate {
+		norm[i] = rate[i] / act.Level[i]
+	}
+	rainy, dry := meansBy(norm, func(i int) bool { return col.Weather.PrecipFactor(i) > 0.8 })
+	// Allow 15% slack: the rate should be roughly unchanged.
+	if rainy > dry*1.15 || rainy < dry*0.85 {
+		t.Errorf("activity-normalized collision rate changed with rain: %.2f vs %.2f", rainy, dry)
+	}
+}
+
+func TestBikeDurationLongerInSnow(t *testing.T) {
+	col := winterCollection(t)
+	dur := hourlyAvg(col, "citibike", "duration_min")
+	var snowy, clear []float64
+	for i, v := range dur {
+		if v == 0 {
+			continue
+		}
+		if col.Weather.SnowFactor(i) > 0.5 {
+			snowy = append(snowy, v)
+		} else if col.Weather.SnowPrecip[i] == 0 {
+			clear = append(clear, v)
+		}
+	}
+	if len(snowy) < 5 {
+		t.Skip("not enough snowy riding hours")
+	}
+	if mathx.Mean(snowy) <= mathx.Mean(clear) {
+		t.Errorf("snowy duration %.1f should exceed clear %.1f", mathx.Mean(snowy), mathx.Mean(clear))
+	}
+}
+
+func TestTwitterSurgesInHurricane(t *testing.T) {
+	col, err := Generate(Config{
+		Seed:  78,
+		City:  testCity(t),
+		Start: time.Date(2011, time.August, 1, 0, 0, 0, 0, time.UTC),
+		End:   time.Date(2011, time.September, 15, 0, 0, 0, 0, time.UTC),
+		Scale: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tweets := hourlyCounts(col, "twitter")
+	hur, normal := meansBy(tweets, func(i int) bool { return col.Weather.HurricaneAt[i] })
+	if hur <= normal*1.5 {
+		t.Errorf("hurricane tweets %.1f should surge above normal %.1f", hur, normal)
+	}
+}
+
+func TestSpeedAnticorrelatedWithActivity(t *testing.T) {
+	col := winterCollection(t)
+	busy, calm := meansBy(col.Speed, func(i int) bool { return col.Activity.Level[i] > 0.9 })
+	if busy >= calm {
+		t.Errorf("busy-hour speed %.1f should be below calm-hour speed %.1f", busy, calm)
+	}
+}

@@ -1,0 +1,196 @@
+package urban
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/urbandata/datapolygamy/internal/dataset"
+	"github.com/urbandata/datapolygamy/internal/spatial"
+	"github.com/urbandata/datapolygamy/internal/temporal"
+)
+
+// Gas is the weekly average gas price series (the paper's Gas Prices data
+// set) plus its normalized slow drift, which leaks into taxi fares at the
+// monthly scale (Appendix E.2, Taxi and Gas Prices).
+type Gas struct {
+	Start time.Time
+	Weeks int
+	Price []float64
+	minP  float64
+	maxP  float64
+}
+
+// GenerateGas builds a weekly random-walk price series over [start, end).
+func GenerateGas(seed int64, start, end time.Time) *Gas {
+	rng := rand.New(rand.NewSource(seed))
+	// Weeks covering [start, end): ceil so the last week starts before end.
+	weeks := int((end.Sub(start) + 7*24*time.Hour - 1) / (7 * 24 * time.Hour))
+	g := &Gas{Start: start, Weeks: weeks, Price: make([]float64, weeks)}
+	p := 3.4
+	for i := 0; i < weeks; i++ {
+		drift := 0.25 * math.Sin(float64(i)/26*math.Pi) // seasonal demand swing
+		p += rng.NormFloat64() * 0.04
+		g.Price[i] = math.Max(2.2, p+drift)
+	}
+	g.minP, g.maxP = g.Price[0], g.Price[0]
+	for _, v := range g.Price {
+		g.minP = math.Min(g.minP, v)
+		g.maxP = math.Max(g.maxP, v)
+	}
+	return g
+}
+
+// PriceAt returns the price of the week containing ts (clamped to range).
+func (g *Gas) PriceAt(ts int64) float64 {
+	w := int((ts - g.Start.Unix()) / (7 * 86400))
+	if w < 0 {
+		w = 0
+	}
+	if w >= g.Weeks {
+		w = g.Weeks - 1
+	}
+	return g.Price[w]
+}
+
+// Norm returns the price at ts scaled to [0, 1] over the series range.
+func (g *Gas) Norm(ts int64) float64 {
+	if g.maxP == g.minP {
+		return 0.5
+	}
+	return (g.PriceAt(ts) - g.minP) / (g.maxP - g.minP)
+}
+
+// Dataset materialises the weekly gas-price data set (city resolution,
+// weekly, one tuple per week, attribute "price" — 2 scalar functions).
+func (g *Gas) Dataset() *dataset.Dataset {
+	d := &dataset.Dataset{
+		Name:        "gas_prices",
+		SpatialRes:  spatial.City,
+		TemporalRes: temporal.Week,
+		Attrs:       []string{"price"},
+	}
+	for i := 0; i < g.Weeks; i++ {
+		d.Tuples = append(d.Tuples, dataset.Tuple{
+			Region: 0,
+			TS:     g.Start.Unix() + int64(i)*7*86400,
+			Values: []float64{g.Price[i]},
+		})
+	}
+	return d
+}
+
+// TaxiAttrs are the 11 numerical attributes of the taxi data set; together
+// with density and unique they give Table 1's 13 scalar functions.
+var TaxiAttrs = []string{
+	"fare", "miles", "duration_min", "passengers", "tip", "tolls",
+	"tax", "surcharge", "total", "avg_speed_mph", "payment",
+}
+
+// SpeedSeries derives the hourly city traffic speed from trip intensity
+// and visibility: more taxi activity means slower traffic (the negative
+// taxi/speed relationship of Section 6.3), and low visibility slows
+// everyone down (positive visibility/speed, Appendix E.2).
+func SpeedSeries(seed int64, w *Weather, a *Activity) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, w.Hours)
+	for i := range out {
+		congestion := math.Min(1, a.Level[i]/1.1)
+		speed := 24*(1-0.5*congestion)*(0.72+0.28*w.VisibilityNorm(i)) + rng.NormFloat64()*0.7
+		out[i] = math.Max(3, speed)
+	}
+	return out
+}
+
+// TaxiConfig tunes the taxi generator.
+type TaxiConfig struct {
+	Seed  int64
+	Scale float64 // 1.0 => ~40 trips/hour (laptop scale)
+}
+
+// GenerateTaxi builds the GPS/second taxi trip data set. Trip volume
+// follows the activity signal, collapses under heavy precipitation and
+// hurricanes; fares rise with precipitation (the target-earner effect the
+// paper detects), with traffic speed, and with the slow gas-price drift;
+// the active medallion pool shrinks under rain, snow accumulation, and low
+// visibility (driving the unique-function relationships).
+func GenerateTaxi(cfg TaxiConfig, city *spatial.CityMap, w *Weather, a *Activity, gas *Gas, speed []float64) *dataset.Dataset {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sampler := NewHotspotSampler(cfg.Seed+1, city, 5)
+	d := &dataset.Dataset{
+		Name:        "taxi",
+		SpatialRes:  spatial.GPS,
+		TemporalRes: temporal.Second,
+		HasID:       true,
+		Attrs:       TaxiAttrs,
+	}
+	baseTrips := 40.0 * cfg.Scale
+	// The medallion pool shrinks with Scale like the trip volume does, so
+	// the unique function keeps a realistic trips-per-active-taxi ratio
+	// (NYC: ~13k medallions for ~20k trips/hour).
+	basePool := 156.0 * cfg.Scale
+	for i := 0; i < w.Hours; i++ {
+		precipF := w.PrecipFactor(i)
+		lambda := baseTrips * a.Level[i] * (1 - 0.55*precipF)
+		if w.HurricaneAt[i] {
+			lambda *= 0.04
+		}
+		trips := Poisson(rng, lambda)
+		if trips == 0 {
+			continue
+		}
+		pool := basePool * (1 - 0.35*precipF) *
+			(1 - 0.5*w.SnowDepthFactor(i)) *
+			(0.55 + 0.45*w.VisibilityNorm(i)) *
+			(1 - 0.1*gas.Norm(w.HourStart(i)))
+		poolSize := int(math.Max(1, pool))
+		speedNorm := mathClamp01(speed[i] / 24)
+		gasNorm := gas.Norm(w.HourStart(i))
+		hourTS := w.HourStart(i)
+		for k := 0; k < trips; k++ {
+			p := sampler.Sample(rng)
+			miles := math.Exp(rng.NormFloat64()*0.5 + 1.0)
+			duration := miles / math.Max(3, speed[i]) * 60 * (1 + 0.1*rng.NormFloat64())
+			fare := (2.5 + 2.5*miles) *
+				(1 + 0.35*precipF) *
+				(0.8 + 0.3*speedNorm) *
+				(1 + 0.25*gasNorm)
+			tip := 0.15 * fare * (1 + 0.3*rng.NormFloat64())
+			tolls := 0.0
+			if rng.Float64() < 0.06 {
+				tolls = 5.33
+			}
+			tax := 0.5 + rng.NormFloat64()*0.02 // white noise: no real relationships
+			surcharge := 0.0
+			if h := time.Unix(hourTS, 0).UTC().Hour(); h >= 16 && h < 20 {
+				surcharge = 1.0
+			}
+			total := fare + tip + tolls + tax + surcharge
+			d.Tuples = append(d.Tuples, dataset.Tuple{
+				ID:     int64(rng.Intn(poolSize)),
+				X:      p.X,
+				Y:      p.Y,
+				Region: -1,
+				TS:     hourTS + int64(rng.Intn(3600)),
+				Values: []float64{
+					fare, miles, math.Max(1, duration),
+					float64(1 + Poisson(rng, 0.6)),
+					tip, tolls, tax, surcharge, total,
+					math.Max(1, speed[i]+rng.NormFloat64()),
+					total,
+				},
+			})
+		}
+	}
+	return d
+}
+
+func mathClamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

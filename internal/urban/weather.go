@@ -1,0 +1,276 @@
+// Package urban generates the synthetic NYC-style data collections used to
+// reproduce the paper's evaluation (Section 6). It stands in for the real
+// NYC Urban and NYC Open corpora (see DESIGN.md, Substitutions): every
+// generator is deterministic in its seed and reproduces the statistical
+// shape that drives the paper's findings — diurnal/weekly/seasonal cycles,
+// spatial hot spots, and injected events (hurricanes Irene and Sandy,
+// snowstorms, holidays) — so the relationships of Section 6.3 emerge from
+// the same causal structure the real data has.
+package urban
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/urbandata/datapolygamy/internal/dataset"
+	"github.com/urbandata/datapolygamy/internal/spatial"
+	"github.com/urbandata/datapolygamy/internal/temporal"
+)
+
+// Hurricane marks an injected extreme-wind event.
+type Hurricane struct {
+	Name       string
+	Start, End time.Time
+}
+
+// DefaultHurricanes returns Irene (August 2011) and Sandy (October 2012),
+// the two events visible in Figure 1 of the paper.
+func DefaultHurricanes() []Hurricane {
+	return []Hurricane{
+		{
+			Name:  "Irene",
+			Start: time.Date(2011, time.August, 27, 12, 0, 0, 0, time.UTC),
+			End:   time.Date(2011, time.August, 29, 0, 0, 0, 0, time.UTC),
+		},
+		{
+			Name:  "Sandy",
+			Start: time.Date(2012, time.October, 29, 0, 0, 0, 0, time.UTC),
+			End:   time.Date(2012, time.October, 30, 12, 0, 0, 0, time.UTC),
+		},
+	}
+}
+
+// Weather holds the hourly latent weather signals that drive every other
+// generator. All slices are indexed by hour step from Start.
+type Weather struct {
+	Start time.Time
+	Hours int
+
+	Temperature []float64 // deg F: seasonal + diurnal cycles
+	Precip      []float64 // inches/hour, bursty rain events
+	WindSpeed   []float64 // mph; hurricanes push it far beyond normal
+	SnowPrecip  []float64 // inches/hour of snowfall
+	SnowDepth   []float64 // inches accumulated on the ground
+	Visibility  []float64 // miles, degraded by precipitation and fog
+
+	HurricaneAt []bool // step is inside a hurricane window
+	Hurricanes  []Hurricane
+}
+
+// HourStart returns the Unix time of hour step i.
+func (w *Weather) HourStart(i int) int64 {
+	return w.Start.Unix() + int64(i)*3600
+}
+
+// StepOf returns the hour step containing the timestamp, or -1.
+func (w *Weather) StepOf(ts int64) int {
+	delta := ts - w.Start.Unix()
+	if delta < 0 {
+		return -1
+	}
+	i := int(delta / 3600)
+	if i >= w.Hours {
+		return -1
+	}
+	return i
+}
+
+// GenerateWeather builds the hourly weather signals for [start, end).
+func GenerateWeather(seed int64, start, end time.Time, hurricanes []Hurricane) *Weather {
+	rng := rand.New(rand.NewSource(seed))
+	hours := int(end.Sub(start) / time.Hour)
+	w := &Weather{
+		Start:       start,
+		Hours:       hours,
+		Temperature: make([]float64, hours),
+		Precip:      make([]float64, hours),
+		WindSpeed:   make([]float64, hours),
+		SnowPrecip:  make([]float64, hours),
+		SnowDepth:   make([]float64, hours),
+		Visibility:  make([]float64, hours),
+		HurricaneAt: make([]bool, hours),
+		Hurricanes:  hurricanes,
+	}
+
+	for _, h := range hurricanes {
+		for i := 0; i < hours; i++ {
+			t := start.Add(time.Duration(i) * time.Hour)
+			if !t.Before(h.Start) && t.Before(h.End) {
+				w.HurricaneAt[i] = true
+			}
+		}
+	}
+
+	// Rain events: a Poisson process of storms with exponential intensity
+	// and a few-hour duration.
+	rainUntil := -1
+	rainIntensity := 0.0
+	// Snow events happen only in winter.
+	snowUntil := -1
+	snowIntensity := 0.0
+
+	depth := 0.0
+	windAR := 0.0 // autoregressive wind fluctuation
+	for i := 0; i < hours; i++ {
+		t := start.Add(time.Duration(i) * time.Hour)
+		dayOfYear := float64(t.YearDay())
+		hour := float64(t.Hour())
+
+		season := math.Cos((dayOfYear - 200) / 365.25 * 2 * math.Pi) // +1 mid-July
+		diurnal := math.Sin((hour - 9) / 24 * 2 * math.Pi)
+		w.Temperature[i] = 55 + 25*season + 7*diurnal + rng.NormFloat64()*3
+
+		cold := w.Temperature[i] < 34
+
+		// Start new precipitation events.
+		if i > rainUntil && rng.Float64() < 0.02 { // ~1 storm per 2 days
+			rainUntil = i + 2 + rng.Intn(10)
+			rainIntensity = 0.05 + rng.ExpFloat64()*0.15
+		}
+		if i > snowUntil && cold && rng.Float64() < 0.015 {
+			snowUntil = i + 3 + rng.Intn(14)
+			snowIntensity = 0.1 + rng.ExpFloat64()*0.3
+		}
+		if i <= rainUntil && !cold {
+			w.Precip[i] = math.Max(0, rainIntensity*(0.6+0.8*rng.Float64()))
+		}
+		if i <= snowUntil && cold {
+			w.SnowPrecip[i] = math.Max(0, snowIntensity*(0.6+0.8*rng.Float64()))
+		}
+
+		// Hurricanes: extreme wind and rain.
+		if w.HurricaneAt[i] {
+			w.Precip[i] += 0.8 + 0.4*rng.Float64()
+		}
+
+		// Snow accumulates and melts with temperature.
+		depth += w.SnowPrecip[i]
+		if w.Temperature[i] > 36 {
+			depth *= 0.93
+		} else {
+			depth *= 0.999
+		}
+		if depth < 0.01 {
+			depth = 0
+		}
+		w.SnowDepth[i] = depth
+
+		// Wind: AR(1) around a seasonal baseline; hurricanes dominate.
+		windAR = 0.85*windAR + rng.NormFloat64()*1.8
+		wind := 9 + 2.5*math.Abs(season) + windAR
+		if w.HurricaneAt[i] {
+			wind = 55 + 15*rng.Float64()
+		}
+		w.WindSpeed[i] = math.Max(0, wind)
+
+		// Visibility: 10 miles clear, reduced by precipitation and random fog.
+		vis := 10 - 6*math.Min(1, (w.Precip[i]+w.SnowPrecip[i])/0.5)
+		if rng.Float64() < 0.01 { // fog patch
+			vis = math.Min(vis, 1+3*rng.Float64())
+		}
+		w.Visibility[i] = math.Max(0.2, vis+rng.NormFloat64()*0.3)
+	}
+	return w
+}
+
+// PrecipFactor maps precipitation to [0, 1], saturating at heavy rain —
+// the "salient" driver shared by the taxi, bike, and collision generators.
+func (w *Weather) PrecipFactor(i int) float64 {
+	return math.Min(1, w.Precip[i]/0.4)
+}
+
+// SnowFactor maps snowfall to [0, 1].
+func (w *Weather) SnowFactor(i int) float64 {
+	return math.Min(1, w.SnowPrecip[i]/0.4)
+}
+
+// SnowDepthFactor maps accumulated snow depth to [0, 1].
+func (w *Weather) SnowDepthFactor(i int) float64 {
+	return math.Min(1, w.SnowDepth[i]/8)
+}
+
+// VisibilityNorm maps visibility to [0, 1] (1 = perfectly clear).
+func (w *Weather) VisibilityNorm(i int) float64 {
+	return math.Min(1, math.Max(0, w.Visibility[i]/10))
+}
+
+// DailySnowDepth returns the mean snow depth of the day containing step i —
+// the accumulation signal that only materialises at daily resolution
+// (the paper's Citi Bike station example, Section 6.3).
+func (w *Weather) DailySnowDepth(i int) float64 {
+	day := i / 24 * 24
+	sum, n := 0.0, 0
+	for j := day; j < day+24 && j < w.Hours; j++ {
+		sum += w.SnowDepth[j]
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// numAuxWeatherAttrs pads the weather data set to the paper's 228 scalar
+// functions: density + 12 real attributes + 215 auxiliary ones.
+const numAuxWeatherAttrs = 215
+
+// WeatherAttrNames lists the attribute names of the weather data set, real
+// signals first.
+func WeatherAttrNames() []string {
+	names := []string{
+		"temperature", "precipitation", "wind_speed", "snow_precip",
+		"snow_depth", "visibility", "dew_point", "humidity", "pressure",
+		"cloud_cover", "wind_gust", "uv_index",
+	}
+	for i := 0; i < numAuxWeatherAttrs; i++ {
+		names = append(names, auxName(i))
+	}
+	return names
+}
+
+func auxName(i int) string {
+	return "aux_" + string([]byte{byte('0' + i/100), byte('0' + i/10%10), byte('0' + i%10)})
+}
+
+// WeatherDataset materialises the weather signals as a city-resolution,
+// hourly data set with one tuple per hour and 227 numerical attributes
+// (12 real + 215 auxiliary), matching Table 1's 228 scalar functions.
+func (w *Weather) WeatherDataset(seed int64) *dataset.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	attrs := WeatherAttrNames()
+	d := &dataset.Dataset{
+		Name:        "weather",
+		SpatialRes:  spatial.City,
+		TemporalRes: temporal.Hour,
+		Attrs:       attrs,
+	}
+	// Auxiliary attributes are smooth AR(1) noise: they index and compute
+	// like real attributes but carry no planted relationships.
+	aux := make([]float64, numAuxWeatherAttrs)
+	for i := 0; i < w.Hours; i++ {
+		vals := make([]float64, len(attrs))
+		vals[0] = w.Temperature[i]
+		vals[1] = w.Precip[i]
+		vals[2] = w.WindSpeed[i]
+		vals[3] = w.SnowPrecip[i]
+		vals[4] = w.SnowDepth[i]
+		vals[5] = w.Visibility[i]
+		vals[6] = w.Temperature[i] - 12 + rng.NormFloat64()*2                // dew point
+		vals[7] = 50 + 40*math.Min(1, w.Precip[i]/0.3) + rng.NormFloat64()*5 // humidity
+		vals[8] = 1013 + rng.NormFloat64()*6                                 // pressure
+		vals[9] = 100 * math.Min(1, (w.Precip[i]+w.SnowPrecip[i])/0.2)
+		vals[10] = w.WindSpeed[i] * (1.3 + 0.4*rng.Float64())
+		vals[11] = math.Max(0, 5+5*math.Sin(float64(i%24-6)/24*2*math.Pi)+rng.NormFloat64())
+		for a := range aux {
+			aux[a] = 0.9*aux[a] + rng.NormFloat64()
+			vals[12+a] = aux[a]
+		}
+		d.Tuples = append(d.Tuples, dataset.Tuple{
+			Region: 0,
+			TS:     w.HourStart(i),
+			Values: vals,
+		})
+	}
+	return d
+}

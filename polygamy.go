@@ -1,0 +1,170 @@
+// Package datapolygamy is a from-scratch Go implementation of the Data
+// Polygamy framework (Chirigati, Doraiswamy, Damoulas, Freire — SIGMOD
+// 2016): a scalable, topology-based system for discovering statistically
+// significant relationships between urban spatio-temporal data sets.
+//
+// # Overview
+//
+// Data Polygamy answers relationship queries of the form "find all data
+// sets related to a given data set". Each (data set, attribute) pair is
+// transformed into a time-varying scalar function over a spatio-temporal
+// domain graph; merge trees index the function's topology; salient and
+// extreme features (unusually high or low spatio-temporal regions) are
+// extracted with automatically computed, persistence-based thresholds; and
+// function pairs are scored with the relationship score tau and strength
+// rho, filtered by restricted Monte Carlo permutation tests that respect
+// spatial and temporal dependence.
+//
+// # Quick start
+//
+//	city, _ := datapolygamy.GenerateCity(datapolygamy.DefaultCityConfig(1))
+//	fw, _ := datapolygamy.New(datapolygamy.Options{City: city})
+//	_ = fw.AddDataset(taxi)     // *datapolygamy.Dataset
+//	_ = fw.AddDataset(weather)
+//	_, _ = fw.BuildIndex()
+//	rels, _, _ := fw.Query(datapolygamy.Query{
+//		Sources: []string{"taxi"},
+//		Clause:  datapolygamy.Clause{MinScore: 0.6},
+//	})
+//
+// See the examples/ directory for runnable programs and DESIGN.md for the
+// system inventory and experiment index.
+package datapolygamy
+
+import (
+	"github.com/urbandata/datapolygamy/internal/core"
+	"github.com/urbandata/datapolygamy/internal/dataset"
+	"github.com/urbandata/datapolygamy/internal/feature"
+	"github.com/urbandata/datapolygamy/internal/montecarlo"
+	"github.com/urbandata/datapolygamy/internal/queryparse"
+	"github.com/urbandata/datapolygamy/internal/scalar"
+	"github.com/urbandata/datapolygamy/internal/spatial"
+	"github.com/urbandata/datapolygamy/internal/temporal"
+)
+
+// Framework is the Data Polygamy engine for one corpus of data sets.
+type Framework = core.Framework
+
+// Options configures a Framework.
+type Options = core.Options
+
+// Query is a relationship query between collections of data sets.
+type Query = core.Query
+
+// Clause filters and parameterises a relationship query.
+type Clause = core.Clause
+
+// Relationship is one statistically evaluated function pair.
+type Relationship = core.Relationship
+
+// Resolution is a spatio-temporal evaluation resolution pair.
+type Resolution = core.Resolution
+
+// QueryStats describes the work a query performed.
+type QueryStats = core.QueryStats
+
+// IndexStats describes the work BuildIndex performed.
+type IndexStats = core.IndexStats
+
+// FunctionEntry is one indexed scalar function with its feature sets.
+type FunctionEntry = core.FunctionEntry
+
+// Dataset is a named spatio-temporal data set of tuples {K, S, T, A1..Ak}.
+type Dataset = dataset.Dataset
+
+// Tuple is one record of a data set.
+type Tuple = dataset.Tuple
+
+// CityMap is the spatial substrate: an irregular city partitioned into
+// regions at zip-code and neighborhood resolutions with adjacency.
+type CityMap = spatial.CityMap
+
+// CityConfig controls synthetic city generation.
+type CityConfig = spatial.Config
+
+// FeatureClass selects salient or extreme features.
+type FeatureClass = feature.Class
+
+// Feature classes.
+const (
+	Salient = feature.Salient
+	Extreme = feature.Extreme
+)
+
+// Spatial resolutions.
+const (
+	GPS          = spatial.GPS
+	ZipCode      = spatial.ZipCode
+	Neighborhood = spatial.Neighborhood
+	City         = spatial.City
+)
+
+// Temporal resolutions.
+const (
+	Second = temporal.Second
+	Hour   = temporal.Hour
+	Day    = temporal.Day
+	Week   = temporal.Week
+	Month  = temporal.Month
+)
+
+// SpatialResolution is a spatial resolution (GPS, ZipCode, Neighborhood,
+// City).
+type SpatialResolution = spatial.Resolution
+
+// TemporalResolution is a temporal resolution (Second .. Month).
+type TemporalResolution = temporal.Resolution
+
+// TestKind selects the permutation scheme of the significance test.
+type TestKind = montecarlo.Kind
+
+// Permutation test kinds.
+const (
+	RestrictedTest = montecarlo.Restricted
+	StandardTest   = montecarlo.Standard
+)
+
+// ScalarKind distinguishes density, unique, and attribute functions.
+type ScalarKind = scalar.Kind
+
+// Scalar function kinds.
+const (
+	Density   = scalar.Density
+	Unique    = scalar.Unique
+	Attribute = scalar.Attribute
+)
+
+// New creates a Framework over the given city.
+func New(opts Options) (*Framework, error) { return core.New(opts) }
+
+// GenerateCity builds a deterministic synthetic city.
+func GenerateCity(cfg CityConfig) (*CityMap, error) { return spatial.Generate(cfg) }
+
+// Point is a location in the plane.
+type Point = spatial.Point
+
+// Polygon is a simple polygon given by its vertices in order.
+type Polygon = spatial.Polygon
+
+// PolygonConfig describes a city built from explicit polygon partitions
+// (e.g. converted neighborhood and zip-code shapefiles).
+type PolygonConfig = spatial.PolygonConfig
+
+// CityFromPolygons builds a city from explicit polygon partitions — the
+// path for real data instead of the synthetic generator.
+func CityFromPolygons(cfg PolygonConfig) (*CityMap, error) { return spatial.FromPolygons(cfg) }
+
+// DefaultCityConfig returns an NYC-sized city configuration (~300 regions
+// at both zip-code and neighborhood resolutions).
+func DefaultCityConfig(seed int64) CityConfig { return spatial.DefaultConfig(seed) }
+
+// Missing is the sentinel for absent attribute values (NaN).
+func Missing() float64 { return dataset.Missing() }
+
+// ParseQuery parses the paper's textual relationship-query form, e.g.
+//
+//	find relationships between taxi and weather
+//	  where score >= 0.6 and strength >= 0.3
+//	  at (hour, city)
+//	  using extreme features
+func ParseQuery(s string) (Query, error) { return queryparse.Parse(s) }

@@ -1,0 +1,147 @@
+package datapolygamy
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// buildCorpus creates a tiny two-dataset corpus with a planted negative
+// relationship through the public API only.
+func buildCorpus(t testing.TB) *Framework {
+	t.Helper()
+	city, err := GenerateCity(CityConfig{Seed: 1, GridW: 24, GridH: 24, Neighborhoods: 8, ZipCodes: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := New(Options{City: city, Workers: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	start := time.Date(2012, time.March, 1, 0, 0, 0, 0, time.UTC).Unix()
+	hours := 24 * 7 * 40
+	events := map[int]bool{}
+	for len(events) < 120 {
+		events[rng.Intn(hours)] = true
+	}
+	wind := &Dataset{Name: "wind", SpatialRes: City, TemporalRes: Hour, Attrs: []string{"speed"}}
+	taxi := &Dataset{Name: "taxi", SpatialRes: City, TemporalRes: Hour, Attrs: []string{"trips"}}
+	for i := 0; i < hours; i++ {
+		w := 10 + rng.NormFloat64()*0.5
+		c := 500 + rng.NormFloat64()*5
+		if events[i] {
+			if i%2 == 0 {
+				w, c = 60+rng.Float64()*8, 30+rng.Float64()*5
+			} else {
+				w, c = 1+rng.Float64(), 950+rng.Float64()*20
+			}
+		}
+		ts := start + int64(i)*3600
+		wind.Tuples = append(wind.Tuples, Tuple{Region: 0, TS: ts, Values: []float64{w}})
+		taxi.Tuples = append(taxi.Tuples, Tuple{Region: 0, TS: ts, Values: []float64{c}})
+	}
+	if err := fw.AddDataset(wind); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.AddDataset(taxi); err != nil {
+		t.Fatal(err)
+	}
+	return fw
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	fw := buildCorpus(t)
+	stats, err := fw.BuildIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Functions == 0 || stats.FeatureSets != stats.Functions {
+		t.Fatalf("index stats = %+v", stats)
+	}
+	rels, qstats, err := fw.Query(Query{
+		Sources: []string{"wind"},
+		Clause:  Clause{Permutations: 200},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qstats.PairsConsidered == 0 {
+		t.Fatal("no candidate pairs")
+	}
+	found := false
+	for _, r := range rels {
+		if r.Spec1 == "avg_trips" && r.Spec2 == "avg_speed" &&
+			r.Res == (Resolution{Spatial: City, Temporal: Hour}) &&
+			r.Class == Salient {
+			found = true
+			if r.Score >= 0 {
+				t.Errorf("planted anti-correlation came out tau = %g", r.Score)
+			}
+		}
+	}
+	if !found {
+		t.Error("planted relationship not discovered through public API")
+	}
+}
+
+func TestPublicAPIClauseAndKinds(t *testing.T) {
+	fw := buildCorpus(t)
+	if _, err := fw.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	// Standard test kind and clause filters must be reachable publicly.
+	rels, _, err := fw.Query(Query{Clause: Clause{
+		Permutations: 50,
+		TestKind:     StandardTest,
+		MinScore:     0.1,
+		Classes:      []FeatureClass{Salient},
+		Resolutions:  []Resolution{{Spatial: City, Temporal: Hour}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rels {
+		if r.Class != Salient {
+			t.Error("class filter leaked through facade")
+		}
+	}
+}
+
+func TestMissingSentinel(t *testing.T) {
+	if Missing() == Missing() {
+		t.Error("Missing must be NaN (non-equal to itself)")
+	}
+}
+
+func TestResolutionConstants(t *testing.T) {
+	if GPS.String() != "gps" || City.String() != "city" {
+		t.Error("spatial constants wrong")
+	}
+	if Hour.String() != "hour" || Month.String() != "month" {
+		t.Error("temporal constants wrong")
+	}
+	if Salient.String() != "salient" || Extreme.String() != "extreme" {
+		t.Error("class constants wrong")
+	}
+	if RestrictedTest.String() != "restricted" || StandardTest.String() != "standard" {
+		t.Error("test kind constants wrong")
+	}
+	if Density.String() != "density" || Unique.String() != "unique" || Attribute.String() != "attribute" {
+		t.Error("scalar kind constants wrong")
+	}
+}
+
+func TestDefaultCityConfig(t *testing.T) {
+	city, err := GenerateCity(DefaultCityConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's NYC reference: ~300 regions at zip and neighborhood.
+	if n := city.NumRegions(Neighborhood); n < 150 || n > 400 {
+		t.Errorf("neighborhoods = %d, want NYC-like (~280)", n)
+	}
+	if n := city.NumRegions(ZipCode); n < 150 || n > 400 {
+		t.Errorf("zips = %d, want NYC-like (~300)", n)
+	}
+}
