@@ -211,6 +211,59 @@ func BenchmarkFigure8Indexing(b *testing.B) {
 	}
 }
 
+// BenchmarkIncrementalAddDataset measures AddDataset-after-index: each
+// iteration times only the incremental BuildIndex of one added data set on
+// top of an existing three-data-set index (full rebuild cost is excluded
+// via StopTimer). IndexStats verifies only the new data set was processed.
+func BenchmarkIncrementalAddDataset(b *testing.B) {
+	city, col, _ := benchSetup(b)
+	order := col.IndexingOrder()
+	// The added data set must not extend the corpus time range (that would
+	// correctly force a full rebuild): clamp it to the base corpus window.
+	var lo, hi int64
+	for i, d := range order[:3] {
+		l, h, _ := d.TimeRange()
+		if i == 0 || l < lo {
+			lo = l
+		}
+		if i == 0 || h > hi {
+			hi = h
+		}
+	}
+	added := order[3].Filter("incremental", func(t Tuple) bool {
+		return t.TS >= lo && t.TS <= hi
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		fw, err := core.New(core.Options{City: city, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, d := range order[:3] {
+			if err := fw.AddDataset(d); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := fw.BuildIndex(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := fw.AddDataset(added); err != nil {
+			b.Fatal(err)
+		}
+		stats, err := fw.BuildIndex()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.DatasetsIndexed != 1 || stats.DatasetsReused != 3 {
+			b.Fatalf("incremental build reindexed %d datasets (reused %d), want 1 (3)",
+				stats.DatasetsIndexed, stats.DatasetsReused)
+		}
+	}
+}
+
 // BenchmarkFigure9QueryRate measures the relationship operator over the
 // indexed corpus at (week, city) including significance tests (Figure 9).
 func BenchmarkFigure9QueryRate(b *testing.B) {
@@ -262,10 +315,12 @@ func BenchmarkFigure10Workers(b *testing.B) {
 
 // BenchmarkFigure11Pruning measures the full pruning query: candidates,
 // significance filtering, and tau thresholds at (week, city) (Figure 11).
+// The planner's occupancy-based pruning is reported as planner-pruned/op.
 func BenchmarkFigure11Pruning(b *testing.B) {
 	_, _, fw := benchSetup(b)
 	b.ReportAllocs()
 	b.ResetTimer()
+	var pruned int
 	for i := 0; i < b.N; i++ {
 		_, stats, err := fw.Query(core.Query{Clause: core.Clause{
 			Permutations: 100,
@@ -276,8 +331,9 @@ func BenchmarkFigure11Pruning(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		_ = stats
+		pruned += stats.Pruned
 	}
+	b.ReportMetric(float64(pruned)/float64(b.N), "planner-pruned/op")
 }
 
 // BenchmarkFigure12Robustness measures one robustness trial: add bounded

@@ -37,19 +37,21 @@ func main() {
 		seed     = flag.Int64("seed", 1, "city / randomization seed")
 		grid     = flag.Int("grid", 96, "synthetic city grid side used to place GPS data")
 		workers  = flag.Int("workers", 0, "worker pool size (0 = NumCPU)")
+		noPrune  = flag.Bool("no-prune", false, "disable the query planner's candidate pruning (results are identical; for verification)")
+		stats    = flag.Bool("stats", false, "print per-data-set index statistics after indexing")
 	)
 	flag.Parse()
 	if *dataDir == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*dataDir, *queryStr, *sources, *targets, *minScore, *minRho, *perms, *alpha, *seed, *grid, *workers); err != nil {
+	if err := run(*dataDir, *queryStr, *sources, *targets, *minScore, *minRho, *perms, *alpha, *seed, *grid, *workers, *noPrune, *stats); err != nil {
 		fmt.Fprintln(os.Stderr, "polygamy:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataDir, queryStr, sources, targets string, minScore, minRho float64, perms int, alpha float64, seed int64, grid, workers int) error {
+func run(dataDir, queryStr, sources, targets string, minScore, minRho float64, perms int, alpha float64, seed int64, grid, workers int, noPrune, showStats bool) error {
 	city, err := spatial.Generate(spatial.Config{
 		Seed: seed, GridW: grid, GridH: grid,
 		Neighborhoods: grid * 3, ZipCodes: grid * 3,
@@ -61,6 +63,32 @@ func run(dataDir, queryStr, sources, targets string, minScore, minRho float64, p
 	if err != nil {
 		return err
 	}
+	// Parse the query up front so a malformed one fails before the
+	// (potentially long) index build.
+	var q core.Query
+	if queryStr != "" {
+		q, err = queryparse.Parse(queryStr)
+		if err != nil {
+			return err
+		}
+		if q.Clause.Permutations == 0 {
+			q.Clause.Permutations = perms
+		}
+	} else {
+		q = core.Query{Clause: core.Clause{
+			MinScore:     minScore,
+			MinStrength:  minRho,
+			Permutations: perms,
+			Alpha:        alpha,
+		}}
+		if sources != "" {
+			q.Sources = splitNames(sources)
+		}
+		if targets != "" {
+			q.Targets = splitNames(targets)
+		}
+	}
+	q.Clause.DisablePruning = noPrune
 	files, err := filepath.Glob(filepath.Join(dataDir, "*.csv"))
 	if err != nil {
 		return err
@@ -88,38 +116,26 @@ func run(dataDir, queryStr, sources, targets string, minScore, minRho float64, p
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "indexed %d functions in %v (+%v feature identification)\n",
-		stats.Functions, stats.ComputeDuration.Round(1e6), stats.IndexDuration.Round(1e6))
-
-	var q core.Query
-	if queryStr != "" {
-		q, err = queryparse.Parse(queryStr)
-		if err != nil {
-			return err
-		}
-		if q.Clause.Permutations == 0 {
-			q.Clause.Permutations = perms
-		}
-	} else {
-		q = core.Query{Clause: core.Clause{
-			MinScore:     minScore,
-			MinStrength:  minRho,
-			Permutations: perms,
-			Alpha:        alpha,
-		}}
-		if sources != "" {
-			q.Sources = splitNames(sources)
-		}
-		if targets != "" {
-			q.Targets = splitNames(targets)
+	fmt.Fprintf(os.Stderr, "indexed %d functions in %v (%v compute + %v feature identification across workers)\n",
+		stats.Functions, stats.WallDuration.Round(1e6),
+		stats.ComputeDuration.Round(1e6), stats.IndexDuration.Round(1e6))
+	if showStats {
+		for _, name := range fw.Datasets() {
+			ds, ok := fw.DatasetIndexStats(name)
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "  %s: %d functions at %d resolutions, %d critical points, %d salient / %d extreme feature bits\n",
+				name, ds.Functions, ds.Resolutions, ds.CriticalPoints, ds.SalientFeatures, ds.ExtremeFeatures)
 		}
 	}
+
 	rels, qstats, err := fw.Query(q)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "evaluated %d candidate pairs in %v\n",
-		qstats.PairsConsidered, qstats.Duration.Round(1e6))
+	fmt.Fprintf(os.Stderr, "considered %d candidate pairs (%d pruned by planner, %d evaluated) in %v\n",
+		qstats.PairsConsidered, qstats.Pruned, qstats.Evaluated, qstats.Duration.Round(1e6))
 	for _, r := range rels {
 		fmt.Println(r)
 	}

@@ -55,7 +55,7 @@ func writeCorpus(t *testing.T, dir string) {
 func TestPolygamyCLIEndToEnd(t *testing.T) {
 	dir := t.TempDir()
 	writeCorpus(t, dir)
-	err := run(dir, "", "alpha", "", 0.2, 0, 150, 0.05, 1, 24, 4)
+	err := run(dir, "", "alpha", "", 0.2, 0, 150, 0.05, 1, 24, 4, false, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,24 +66,24 @@ func TestPolygamyCLITextualQuery(t *testing.T) {
 	writeCorpus(t, dir)
 	err := run(dir,
 		"find relationships between alpha and beta where score >= 0.2 and permutations = 100 at (hour, city)",
-		"", "", 0, 0, 150, 0.05, 1, 24, 4)
+		"", "", 0, 0, 150, 0.05, 1, 24, 4, false, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := run(dir, "gibberish query", "", "", 0, 0, 10, 0.05, 1, 24, 1); err == nil {
+	if err := run(dir, "gibberish query", "", "", 0, 0, 10, 0.05, 1, 24, 1, false, false); err == nil {
 		t.Error("expected parse error for gibberish query")
 	}
 }
 
 func TestPolygamyCLIErrors(t *testing.T) {
-	if err := run(t.TempDir(), "", "", "", 0, 0, 10, 0.05, 1, 24, 1); err == nil {
+	if err := run(t.TempDir(), "", "", "", 0, 0, 10, 0.05, 1, 24, 1, false, false); err == nil {
 		t.Error("expected error for empty data directory")
 	}
 	dir := t.TempDir()
 	if err := os.WriteFile(filepath.Join(dir, "bad.csv"), []byte("not,a,dataset\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(dir, "", "", "", 0, 0, 10, 0.05, 1, 24, 1); err == nil {
+	if err := run(dir, "", "", "", 0, 0, 10, 0.05, 1, 24, 1, false, false); err == nil {
 		t.Error("expected error for malformed CSV")
 	}
 }

@@ -1,0 +1,3 @@
+module github.com/urbandata/datapolygamy
+
+go 1.24

@@ -109,6 +109,20 @@ func (v *Vector) AndCount(o *Vector) int {
 	return c
 }
 
+// AndAny reports whether v AND o has any set bit, returning at the first
+// intersecting word. This is the cheapest exact "related at all" test: the
+// query planner runs it on feature unions to discard pairs with an empty
+// intersection before scheduling relationship evaluation.
+func (v *Vector) AndAny(o *Vector) bool {
+	v.checkLen(o)
+	for i, w := range v.words {
+		if w&o.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
 func (v *Vector) checkLen(o *Vector) {
 	if v.n != o.n {
 		panic(fmt.Sprintf("bitvec: length mismatch %d vs %d", v.n, o.n))

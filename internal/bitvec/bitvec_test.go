@@ -97,6 +97,35 @@ func TestAndCountMatchesAnd(t *testing.T) {
 	}
 }
 
+func TestAndAnyMatchesAndCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(300)
+		a, b := New(n), New(n)
+		for i := 0; i < n; i++ {
+			// Sparse fills so both empty and non-empty intersections occur.
+			if rng.Intn(8) == 0 {
+				a.Set(i)
+			}
+			if rng.Intn(8) == 0 {
+				b.Set(i)
+			}
+		}
+		if got, want := a.AndAny(b), a.AndCount(b) > 0; got != want {
+			t.Fatalf("AndAny = %v, AndCount > 0 = %v at n=%d", got, want, n)
+		}
+	}
+	// Disjoint halves of one word must not intersect.
+	a, b := New(64), New(64)
+	for i := 0; i < 32; i++ {
+		a.Set(i)
+		b.Set(i + 32)
+	}
+	if a.AndAny(b) {
+		t.Error("disjoint vectors reported intersecting")
+	}
+}
+
 func TestOnesRoundTrip(t *testing.T) {
 	v := New(200)
 	want := []int{3, 64, 100, 199}

@@ -5,20 +5,25 @@
 // queried with the relationship operator under optional clause filters and
 // restricted Monte Carlo significance testing.
 //
-// The three map-reduce jobs of the paper's implementation (Appendix C) map
-// onto three phases executed on the in-process worker pool:
+// The engine is organised in three layers (see DESIGN.md):
 //
-//  1. Scalar Function Computation — one task per (data set, function spec,
-//     resolution) triple;
-//  2. Feature Identification — merge-tree construction, automatic
-//     threshold computation, and feature extraction per function;
-//  3. Relationship Computation — one task per candidate function pair per
-//     common resolution.
+//   - the streaming pipeline layer (internal/mapreduce Pipeline): scalar
+//     function computation and feature identification — the paper's first
+//     two map-reduce jobs (Appendix C) — run fused, each function flowing
+//     straight from computation into merge-tree indexing without the whole
+//     corpus of raw functions being materialised at a phase barrier;
+//   - the index layer (index.go): a first-class Index of per-function
+//     feature entries that grows incrementally as data sets are added;
+//   - the query planner layer (planner.go): relationship queries are turned
+//     into a pruned task list using per-entry feature occupancy summaries,
+//     so provably unsatisfiable pairs never reach evaluation or the Monte
+//     Carlo test (the paper's third job).
 package core
 
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"github.com/urbandata/datapolygamy/internal/dataset"
@@ -56,7 +61,9 @@ type Options struct {
 	// week, and month (the paper's evaluation set; raw seconds are never
 	// an evaluation resolution).
 	EvalTemporal []temporal.Resolution
-	// Seed seeds the Monte Carlo randomization tests.
+	// Seed seeds the Monte Carlo randomization tests. Each pair's test is
+	// derived deterministically from this seed and the pair's identity, so
+	// p-values are stable across query shapes.
 	Seed int64
 	// IncludeGradients additionally indexes the gradient of every scalar
 	// function (Section 8's sudden-change features): gradient functions
@@ -65,33 +72,23 @@ type Options struct {
 	IncludeGradients bool
 }
 
-// FunctionEntry is one indexed scalar function: its identity, feature sets,
-// and thresholds. Raw values and merge trees are dropped after feature
-// extraction to keep the index small (the paper stores features, not
-// functions, for querying — Section 5.2).
-type FunctionEntry struct {
-	Key      string
-	Dataset  string
-	SpecName string
-	Res      Resolution
-
-	Salient    *feature.Set
-	Extreme    *feature.Set
-	Thresholds feature.Thresholds
-
-	// NumVertices and NumEdges describe the domain graph.
-	NumVertices, NumEdges int
-	// CriticalPoints counts join+split tree critical vertices (index size).
-	CriticalPoints int
-}
-
-// IndexStats reports what BuildIndex did.
+// IndexStats reports what one BuildIndex call did. With incremental
+// indexing, the function and duration fields cover only the data sets
+// indexed by that call; previously indexed data sets are reused untouched.
 type IndexStats struct {
-	Datasets        int
-	Functions       int           // scalar functions computed (phase 1)
-	FeatureSets     int           // feature sets extracted (phase 2)
-	ComputeDuration time.Duration // phase 1 wall time
-	IndexDuration   time.Duration // phase 2 wall time
+	Datasets        int // data sets registered in the corpus
+	DatasetsIndexed int // data sets (re)indexed by this call
+	DatasetsReused  int // data sets whose existing entries were kept
+	Functions       int // scalar functions computed by this call
+	FeatureSets     int // feature sets extracted by this call
+
+	// ComputeDuration and IndexDuration are cumulative time spent across
+	// workers in scalar computation and feature identification. The two
+	// phases are fused in one streaming pipeline, so they overlap in wall
+	// time; WallDuration is the end-to-end elapsed time of the pipeline.
+	ComputeDuration time.Duration
+	IndexDuration   time.Duration
+	WallDuration    time.Duration
 }
 
 // Framework is the Data Polygamy engine for one corpus.
@@ -108,11 +105,10 @@ type Framework struct {
 	timelines map[temporal.Resolution]*temporal.Timeline
 	graphs    map[Resolution]*stgraph.Graph
 
-	// entries[dataset][Resolution] -> function entries at that resolution.
-	entries map[string]map[Resolution][]*FunctionEntry
+	index *Index
+	built bool // BuildIndex or LoadIndex has succeeded at least once
 
-	indexed bool
-	cache   map[string][]Relationship
+	cache map[string]*cachedResult
 }
 
 // New creates a framework over the given city.
@@ -139,15 +135,20 @@ func New(opts Options) (*Framework, error) {
 	return &Framework{
 		opts:      opts,
 		datasets:  make(map[string]*dataset.Dataset),
-		entries:   make(map[string]map[Resolution][]*FunctionEntry),
+		index:     newIndex(),
 		timelines: make(map[temporal.Resolution]*temporal.Timeline),
 		graphs:    make(map[Resolution]*stgraph.Graph),
-		cache:     make(map[string][]Relationship),
+		cache:     make(map[string]*cachedResult),
 	}, nil
 }
 
-// AddDataset registers a data set with the corpus. It must be called before
-// BuildIndex; adding after indexing invalidates the index.
+// AddDataset registers a data set with the corpus. Adding after BuildIndex
+// is supported and incremental: the next BuildIndex call indexes only the
+// new data set's functions and keeps every existing entry — unless the new
+// data set extends the corpus time range, which changes every shared
+// timeline and forces a full rebuild. Cached query results that involve the
+// new data set (none can, for a genuinely new name) are invalidated; the
+// rest stay valid.
 func (f *Framework) AddDataset(d *dataset.Dataset) error {
 	if err := d.Validate(); err != nil {
 		return err
@@ -159,6 +160,7 @@ func (f *Framework) AddDataset(d *dataset.Dataset) error {
 	if !ok {
 		return fmt.Errorf("core: dataset %q is empty", d.Name)
 	}
+	extends := len(f.datasets) > 0 && (lo < f.minTS || hi > f.maxTS)
 	if len(f.datasets) == 0 || lo < f.minTS {
 		f.minTS = lo
 	}
@@ -167,14 +169,40 @@ func (f *Framework) AddDataset(d *dataset.Dataset) error {
 	}
 	f.datasets[d.Name] = d
 	f.order = append(f.order, d.Name)
-	f.indexed = false
-	f.cache = make(map[string][]Relationship)
+	if extends {
+		// The corpus time range grew: per-resolution timelines change
+		// length, so every existing bit vector is over the wrong domain.
+		f.resetIndex()
+	} else {
+		f.invalidateCacheInvolving(d.Name)
+	}
 	return nil
+}
+
+// resetIndex drops all derived state: index entries, shared timelines and
+// graphs, and the query cache. The registered data sets are kept.
+func (f *Framework) resetIndex() {
+	f.index = newIndex()
+	f.timelines = make(map[temporal.Resolution]*temporal.Timeline)
+	f.graphs = make(map[Resolution]*stgraph.Graph)
+	f.cache = make(map[string]*cachedResult)
 }
 
 // Datasets returns the registered data set names in insertion order.
 func (f *Framework) Datasets() []string {
 	return append([]string{}, f.order...)
+}
+
+// unindexed returns the registered data sets not yet covered by the index,
+// in insertion order.
+func (f *Framework) unindexed() []string {
+	var out []string
+	for _, name := range f.order {
+		if !f.index.has(name) {
+			out = append(out, name)
+		}
+	}
+	return out
 }
 
 // resolutionsFor enumerates the evaluation resolutions viable for a data
@@ -223,28 +251,39 @@ func (f *Framework) graph(res Resolution) (*stgraph.Graph, error) {
 	return g, nil
 }
 
-// funcTask is one phase-1/2 work unit.
+// funcTask is one indexing work unit.
 type funcTask struct {
 	ds   *dataset.Dataset
 	spec scalar.Spec
 	res  Resolution
 }
 
-// BuildIndex runs phases 1 and 2: it computes every scalar function of
-// every registered data set at every viable resolution, builds the merge
-// tree indexes, computes thresholds, and extracts salient and extreme
-// features.
+// BuildIndex brings the index up to date with the registered data sets:
+// every not-yet-indexed data set's scalar functions are computed at every
+// viable resolution, merge-tree indexed, and their salient and extreme
+// features extracted. The first call indexes the whole corpus; after an
+// incremental AddDataset only the new data set is processed.
+//
+// Computation and feature identification run as one fused streaming
+// pipeline: each function flows straight from scalar computation into
+// merge-tree indexing, so the corpus of raw functions is never materialised
+// at a phase barrier (peak memory is bounded by the worker count, not the
+// corpus size).
 func (f *Framework) BuildIndex() (IndexStats, error) {
 	var stats IndexStats
 	stats.Datasets = len(f.order)
-	if len(f.order) == 0 {
-		f.indexed = true
+	todo := f.unindexed()
+	stats.DatasetsIndexed = len(todo)
+	stats.DatasetsReused = len(f.order) - len(todo)
+	if len(todo) == 0 {
+		f.built = true
 		return stats, nil
 	}
 
-	// Pre-build shared timelines and graphs (single-threaded; cheap).
+	// Pre-build shared timelines and graphs (single-threaded; cheap). The
+	// pipeline stages below only read these maps.
 	var tasks []funcTask
-	for _, name := range f.order {
+	for _, name := range todo {
 		d := f.datasets[name]
 		for _, res := range f.resolutionsFor(d) {
 			if _, err := f.graph(res); err != nil {
@@ -256,81 +295,78 @@ func (f *Framework) BuildIndex() (IndexStats, error) {
 		}
 	}
 
-	cfg := mapreduce.Config{Workers: f.opts.Workers}
-
-	// Phase 1: scalar function computation.
 	t0 := time.Now()
-	fns, err := mapreduce.ForEach(cfg, tasks, func(t funcTask) (*scalar.Function, error) {
-		tl := f.timelines[t.res.Temporal]
-		g := f.graphs[t.res]
-		return scalar.ComputeOnDomain(t.ds, t.spec, f.opts.City, t.res.Spatial, t.res.Temporal, tl, g)
-	})
-	if err != nil {
-		return stats, err
-	}
-	if f.opts.IncludeGradients {
-		grads, err := mapreduce.ForEach(cfg, fns, func(fn *scalar.Function) (*scalar.Function, error) {
-			return scalar.Gradient(fn), nil
+	var computeNS, featureNS, numFns atomic.Int64
+	p := mapreduce.NewPipeline(mapreduce.Config{Workers: f.opts.Workers})
+
+	// Stage 1: scalar function computation (paper job 1), expanding each
+	// function with its gradient when enabled.
+	fns := mapreduce.FlatThrough(mapreduce.Emit(p, tasks),
+		func(t funcTask) ([]*scalar.Function, error) {
+			start := time.Now()
+			fn, err := scalar.ComputeOnDomain(t.ds, t.spec, f.opts.City, t.res.Spatial, t.res.Temporal,
+				f.timelines[t.res.Temporal], f.graphs[t.res])
+			if err != nil {
+				return nil, err
+			}
+			out := []*scalar.Function{fn}
+			if f.opts.IncludeGradients {
+				out = append(out, scalar.Gradient(fn))
+			}
+			computeNS.Add(int64(time.Since(start)))
+			numFns.Add(int64(len(out)))
+			return out, nil
 		})
-		if err != nil {
-			return stats, err
-		}
-		fns = append(fns, grads...)
-	}
-	stats.Functions = len(fns)
-	stats.ComputeDuration = time.Since(t0)
 
-	// Phase 2: feature identification (merge trees + thresholds + sets).
-	t1 := time.Now()
-	entries, err := mapreduce.ForEach(cfg, fns, func(fn *scalar.Function) (*FunctionEntry, error) {
-		ex := feature.NewExtractor(fn)
-		entry := &FunctionEntry{
-			Key:            fn.Key(),
-			Dataset:        fn.Dataset,
-			SpecName:       fn.Name(),
-			Res:            Resolution{fn.SRes, fn.TRes},
-			Salient:        ex.Extract(feature.Salient),
-			Extreme:        ex.Extract(feature.Extreme),
-			Thresholds:     ex.Thresholds(),
-			NumVertices:    fn.Graph.NumVertices(),
-			NumEdges:       fn.Graph.NumEdges(),
-			CriticalPoints: ex.JoinTree().NumCriticalPoints() + ex.SplitTree().NumCriticalPoints(),
-		}
-		return entry, nil
+	// Stage 2, fused: feature identification (paper job 2) — merge trees,
+	// thresholds, salient and extreme sets, occupancy summaries.
+	entries := mapreduce.Through(fns, func(fn *scalar.Function) (*FunctionEntry, error) {
+		start := time.Now()
+		e := newFunctionEntry(fn, feature.NewExtractor(fn))
+		featureNS.Add(int64(time.Since(start)))
+		return e, nil
 	})
-	if err != nil {
+
+	// Sink: accumulate the new entries; the index is only updated once the
+	// whole pipeline has succeeded, so a failed build leaves it untouched.
+	var newEntries []*FunctionEntry
+	if err := mapreduce.Drain(entries, func(e *FunctionEntry) error {
+		newEntries = append(newEntries, e)
+		return nil
+	}); err != nil {
 		return stats, err
 	}
-	stats.FeatureSets = len(entries)
-	stats.IndexDuration = time.Since(t1)
+	for _, e := range newEntries {
+		f.index.add(e)
+	}
+	for _, name := range todo {
+		f.index.sort(name)
+		f.index.markDone(name)
+	}
 
-	f.entries = make(map[string]map[Resolution][]*FunctionEntry)
-	for _, e := range entries {
-		byRes := f.entries[e.Dataset]
-		if byRes == nil {
-			byRes = make(map[Resolution][]*FunctionEntry)
-			f.entries[e.Dataset] = byRes
-		}
-		byRes[e.Res] = append(byRes[e.Res], e)
-	}
-	// Deterministic order within each resolution.
-	for _, byRes := range f.entries {
-		for _, es := range byRes {
-			sort.Slice(es, func(i, j int) bool { return es[i].Key < es[j].Key })
-		}
-	}
-	f.indexed = true
-	f.cache = make(map[string][]Relationship)
+	stats.Functions = int(numFns.Load())
+	stats.FeatureSets = len(newEntries)
+	stats.ComputeDuration = time.Duration(computeNS.Load())
+	stats.IndexDuration = time.Duration(featureNS.Load())
+	stats.WallDuration = time.Since(t0)
+	f.built = true
+	f.invalidateCacheInvolving(todo...)
 	return stats, nil
 }
 
-// Indexed reports whether BuildIndex has run since the last AddDataset.
-func (f *Framework) Indexed() bool { return f.indexed }
+// Indexed reports whether the index covers every registered data set.
+func (f *Framework) Indexed() bool { return f.built && len(f.unindexed()) == 0 }
 
 // Entries returns the indexed function entries of a data set at a
 // resolution (nil when absent).
 func (f *Framework) Entries(ds string, res Resolution) []*FunctionEntry {
-	return f.entries[ds][res]
+	return f.index.at(ds, res)
+}
+
+// DatasetIndexStats returns the per-data-set index statistics, reporting
+// ok = false for data sets that are not (yet) indexed.
+func (f *Framework) DatasetIndexStats(ds string) (DatasetStats, bool) {
+	return f.index.datasetStats(ds)
 }
 
 // Graph returns the shared domain graph at res, if one was built during
@@ -342,13 +378,7 @@ func (f *Framework) Graph(res Resolution) (*stgraph.Graph, bool) {
 
 // NumFunctions returns the total number of indexed scalar functions.
 func (f *Framework) NumFunctions() int {
-	n := 0
-	for _, byRes := range f.entries {
-		for _, es := range byRes {
-			n += len(es)
-		}
-	}
-	return n
+	return f.index.numFunctions()
 }
 
 // CommonResolutions returns the evaluation resolutions shared by two data
@@ -368,6 +398,10 @@ func (f *Framework) CommonResolutions(d1, d2 *dataset.Dataset) []Resolution {
 		}
 	}
 	return out
+}
+
+func sortEntriesByKey(es []*FunctionEntry) {
+	sort.Slice(es, func(i, j int) bool { return es[i].Key < es[j].Key })
 }
 
 func containsSpatial(xs []spatial.Resolution, v spatial.Resolution) bool {

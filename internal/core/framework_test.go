@@ -324,9 +324,12 @@ func TestQueryCache(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := Query{Clause: Clause{Permutations: 100}}
-	first, _, err := f.Query(q)
+	first, stats1, err := f.Query(q)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if stats1.CacheHit {
+		t.Error("first query reported CacheHit")
 	}
 	second, stats2, err := f.Query(q)
 	if err != nil {
@@ -335,8 +338,15 @@ func TestQueryCache(t *testing.T) {
 	if len(first) != len(second) {
 		t.Error("cached query returned different results")
 	}
-	if stats2.PairsConsidered != 0 {
-		t.Error("cached query should not re-enumerate pairs")
+	if !stats2.CacheHit {
+		t.Error("second identical query should report CacheHit")
+	}
+	// A cache hit reports the counters of the run that produced the result.
+	if stats2.PairsConsidered != stats1.PairsConsidered ||
+		stats2.Pruned != stats1.Pruned ||
+		stats2.Evaluated != stats1.Evaluated ||
+		stats2.Significant != stats1.Significant {
+		t.Errorf("cached stats %+v do not mirror original %+v", stats2, stats1)
 	}
 }
 

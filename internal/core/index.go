@@ -1,0 +1,225 @@
+package core
+
+import (
+	"github.com/urbandata/datapolygamy/internal/bitvec"
+	"github.com/urbandata/datapolygamy/internal/feature"
+	"github.com/urbandata/datapolygamy/internal/scalar"
+)
+
+// This file is the index layer of the framework: the Index type stores the
+// precomputed feature entries of every indexed function, organised by data
+// set and resolution, and maintains per-data-set statistics. The Framework
+// owns one Index and grows it incrementally — indexing a newly added data
+// set touches only that data set's functions (see Framework.BuildIndex).
+
+// FunctionEntry is one indexed scalar function: its identity, feature sets,
+// and thresholds. Raw values and merge trees are dropped after feature
+// extraction to keep the index small (the paper stores features, not
+// functions, for querying — Section 5.2).
+type FunctionEntry struct {
+	Key      string
+	Dataset  string
+	SpecName string
+	Res      Resolution
+
+	Salient    *feature.Set
+	Extreme    *feature.Set
+	Thresholds feature.Thresholds
+
+	// SalientOcc and ExtremeOcc are the feature bit-vector occupancy
+	// summaries the query planner prunes with.
+	SalientOcc, ExtremeOcc Occupancy
+
+	// NumVertices and NumEdges describe the domain graph.
+	NumVertices, NumEdges int
+	// CriticalPoints counts join+split tree critical vertices (index size).
+	CriticalPoints int
+
+	// Cached feature unions Σ = positive ∪ negative per class, shared by the
+	// planner and relationship evaluation so neither re-derives them per pair.
+	salientAll, extremeAll *bitvec.Vector
+}
+
+// newFunctionEntry builds the index entry of one scalar function from its
+// feature extractor.
+func newFunctionEntry(fn *scalar.Function, ex *feature.Extractor) *FunctionEntry {
+	e := &FunctionEntry{
+		Key:            fn.Key(),
+		Dataset:        fn.Dataset,
+		SpecName:       fn.Name(),
+		Res:            Resolution{fn.SRes, fn.TRes},
+		Salient:        ex.Extract(feature.Salient),
+		Extreme:        ex.Extract(feature.Extreme),
+		Thresholds:     ex.Thresholds(),
+		NumVertices:    fn.Graph.NumVertices(),
+		NumEdges:       fn.Graph.NumEdges(),
+		CriticalPoints: ex.JoinTree().NumCriticalPoints() + ex.SplitTree().NumCriticalPoints(),
+	}
+	e.finalize()
+	return e
+}
+
+// finalize computes the cached unions and occupancy summaries from the
+// feature sets. It must run once per entry before the entry is queried.
+func (e *FunctionEntry) finalize() {
+	e.salientAll = e.Salient.All()
+	e.extremeAll = e.Extreme.All()
+	e.SalientOcc = Occupancy{
+		Pos: e.Salient.Positive.Count(),
+		Neg: e.Salient.Negative.Count(),
+		All: e.salientAll.Count(),
+	}
+	e.ExtremeOcc = Occupancy{
+		Pos: e.Extreme.Positive.Count(),
+		Neg: e.Extreme.Negative.Count(),
+		All: e.extremeAll.Count(),
+	}
+}
+
+// set returns the feature set of the given class.
+func (e *FunctionEntry) set(c feature.Class) *feature.Set {
+	if c == feature.Salient {
+		return e.Salient
+	}
+	return e.Extreme
+}
+
+// union returns the cached feature union of the given class, deriving it on
+// the fly for entries constructed without finalize (hand-built in tests).
+func (e *FunctionEntry) union(c feature.Class) *bitvec.Vector {
+	if c == feature.Salient {
+		if e.salientAll != nil {
+			return e.salientAll
+		}
+		return e.Salient.All()
+	}
+	if e.extremeAll != nil {
+		return e.extremeAll
+	}
+	return e.Extreme.All()
+}
+
+// occ returns the occupancy summary of the given class, counting on the fly
+// for entries constructed without finalize.
+func (e *FunctionEntry) occ(c feature.Class) Occupancy {
+	if c == feature.Salient {
+		if e.salientAll != nil {
+			return e.SalientOcc
+		}
+		s := e.Salient
+		return Occupancy{Pos: s.Positive.Count(), Neg: s.Negative.Count(), All: s.All().Count()}
+	}
+	if e.extremeAll != nil {
+		return e.ExtremeOcc
+	}
+	s := e.Extreme
+	return Occupancy{Pos: s.Positive.Count(), Neg: s.Negative.Count(), All: s.All().Count()}
+}
+
+// Occupancy summarises one feature bit vector family by popcounts: how many
+// vertices are positive features, negative features, and either. The query
+// planner derives sound upper bounds on tau and rho from these counts alone
+// (see planner.go), which is what lets it skip evaluation entirely.
+type Occupancy struct {
+	Pos, Neg, All int
+}
+
+// DatasetStats reports the index footprint of one data set.
+type DatasetStats struct {
+	// Functions is the number of indexed scalar functions (across all
+	// resolutions, including gradients when enabled).
+	Functions int
+	// Resolutions is the number of distinct evaluation resolutions the data
+	// set is indexed at.
+	Resolutions int
+	// CriticalPoints is the total merge-tree critical points across the
+	// data set's functions (the paper's index-size measure, Figure 7).
+	CriticalPoints int
+	// SalientFeatures and ExtremeFeatures are the total feature bits across
+	// the data set's functions.
+	SalientFeatures, ExtremeFeatures int
+}
+
+// Index stores the feature entries of every indexed function. It supports
+// incremental growth: entries are added per data set, and a data set can be
+// dropped and re-added without touching the others.
+type Index struct {
+	// entries[dataset][Resolution] -> function entries at that resolution,
+	// sorted by Key within each resolution.
+	entries map[string]map[Resolution][]*FunctionEntry
+	stats   map[string]DatasetStats
+	// done marks data sets the index covers. Tracked separately from
+	// entries: a data set with no viable evaluation resolution is indexed
+	// (vacuously, with zero entries) and must not be re-queued forever.
+	done map[string]bool
+}
+
+func newIndex() *Index {
+	return &Index{
+		entries: make(map[string]map[Resolution][]*FunctionEntry),
+		stats:   make(map[string]DatasetStats),
+		done:    make(map[string]bool),
+	}
+}
+
+// markDone records that a data set's functions (possibly none) are indexed.
+func (ix *Index) markDone(ds string) {
+	ix.done[ds] = true
+}
+
+// add inserts one entry and updates its data set's statistics. Call sort
+// after the last add for a data set.
+func (ix *Index) add(e *FunctionEntry) {
+	byRes := ix.entries[e.Dataset]
+	if byRes == nil {
+		byRes = make(map[Resolution][]*FunctionEntry)
+		ix.entries[e.Dataset] = byRes
+	}
+	byRes[e.Res] = append(byRes[e.Res], e)
+	st := ix.stats[e.Dataset]
+	st.Functions++
+	st.CriticalPoints += e.CriticalPoints
+	st.SalientFeatures += e.occ(feature.Salient).All
+	st.ExtremeFeatures += e.occ(feature.Extreme).All
+	st.Resolutions = len(byRes)
+	ix.stats[e.Dataset] = st
+}
+
+// has reports whether the data set is covered by the index.
+func (ix *Index) has(ds string) bool {
+	return ix.done[ds]
+}
+
+// at returns the entries of a data set at a resolution (nil when absent).
+func (ix *Index) at(ds string, res Resolution) []*FunctionEntry {
+	return ix.entries[ds][res]
+}
+
+// numFunctions returns the total number of indexed entries.
+func (ix *Index) numFunctions() int {
+	n := 0
+	for _, byRes := range ix.entries {
+		for _, es := range byRes {
+			n += len(es)
+		}
+	}
+	return n
+}
+
+// sort orders a data set's entries deterministically by key within each
+// resolution.
+func (ix *Index) sort(ds string) {
+	for _, es := range ix.entries[ds] {
+		sortEntriesByKey(es)
+	}
+}
+
+// datasetStats returns the per-data-set statistics, reporting ok = false
+// for data sets the index does not cover. A covered data set with no
+// viable resolutions reports zero stats with ok = true.
+func (ix *Index) datasetStats(ds string) (DatasetStats, bool) {
+	if !ix.done[ds] {
+		return DatasetStats{}, false
+	}
+	return ix.stats[ds], true
+}

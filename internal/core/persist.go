@@ -79,7 +79,7 @@ const snapshotVersion = 1
 // indexed function) to w. The corpus data itself is not stored; LoadIndex
 // requires the same data sets to be registered.
 func (f *Framework) SaveIndex(w io.Writer) error {
-	if !f.indexed {
+	if !f.Indexed() {
 		return fmt.Errorf("core: SaveIndex requires a built index")
 	}
 	snap := indexSnapshot{
@@ -89,7 +89,7 @@ func (f *Framework) SaveIndex(w io.Writer) error {
 		Order:   f.order,
 	}
 	for _, name := range f.order {
-		for _, byRes := range []map[Resolution][]*FunctionEntry{f.entries[name]} {
+		for _, byRes := range []map[Resolution][]*FunctionEntry{f.index.entries[name]} {
 			for _, es := range byRes {
 				for _, e := range es {
 					se := entrySnapshot{
@@ -152,7 +152,7 @@ func (f *Framework) LoadIndex(r io.Reader) error {
 		return fmt.Errorf("core: index time range [%d,%d] does not match corpus [%d,%d]",
 			snap.MinTS, snap.MaxTS, f.minTS, f.maxTS)
 	}
-	entries := make(map[string]map[Resolution][]*FunctionEntry)
+	ix := newIndex()
 	for _, se := range snap.Entries {
 		res := Resolution{Spatial: se.SRes, Temporal: se.TRes}
 		g, err := f.graph(res)
@@ -179,15 +179,16 @@ func (f *Framework) LoadIndex(r io.Reader) error {
 			return fmt.Errorf("core: entry %s has %d vertices, graph has %d",
 				e.Key, e.Salient.NumVertices(), g.NumVertices())
 		}
-		byRes := entries[e.Dataset]
-		if byRes == nil {
-			byRes = make(map[Resolution][]*FunctionEntry)
-			entries[e.Dataset] = byRes
-		}
-		byRes[res] = append(byRes[res], e)
+		// Occupancy summaries and unions are derived, not stored: recompute.
+		e.finalize()
+		ix.add(e)
 	}
-	f.entries = entries
-	f.indexed = true
-	f.cache = make(map[string][]Relationship)
+	for _, name := range snap.Order {
+		ix.sort(name)
+		ix.markDone(name)
+	}
+	f.index = ix
+	f.built = true
+	f.cache = make(map[string]*cachedResult)
 	return nil
 }

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"hash/fnv"
+
+	"github.com/urbandata/datapolygamy/internal/feature"
+)
+
+// This file is the query planner layer: it turns a Query + Clause into the
+// task list the relationship job (paper job 3) executes, pruning candidate
+// (function, function, resolution, class) tuples that provably cannot
+// produce a result. The pruning is sound — a planned run returns exactly
+// the relationships an exhaustive run would — because every rule derives an
+// upper bound on a quantity the evaluator filters on:
+//
+//   - |Σ| = |Σ1 ∩ Σ2| ≤ min(|Σ1|, |Σ2|): a pair where either side has no
+//     features, or whose unions do not intersect, can never be Related;
+//   - rho = 2|Σ| / (|Σ1| + |Σ2|) exactly (the F1 identity), so occupancy
+//     counts bound it by 2·min(|Σ1|,|Σ2|)/(|Σ1|+|Σ2|) before |Σ| is known
+//     and pin it once |Σ| is;
+//   - |tau| = |#p − #n| / |Σ| ≤ max(#p_hi, #n_hi) / |Σ| where
+//     #p_hi = min(|P1|,|P2|) + min(|N1|,|N2|) and
+//     #n_hi = min(|P1|,|N2|) + min(|N1|,|P2|).
+//
+// Bound comparisons use a small margin so floating-point rounding can never
+// prune a pair the evaluator's own (differently associated) arithmetic
+// would keep. Pruned pairs skip relationship evaluation and, decisively,
+// the Monte Carlo significance test — the dominant query cost.
+
+// pruneMargin keeps bound-based pruning strictly conservative under
+// floating-point rounding differences with the evaluator.
+const pruneMargin = 1e-9
+
+// pairTask is one relationship-evaluation work unit. sigma carries the
+// planner's precomputed |Σ1 ∩ Σ2| (-1 when the planner did not need it), so
+// the evaluator never recomputes the intersection.
+type pairTask struct {
+	e1, e2 *FunctionEntry
+	class  feature.Class
+	seed   int64
+	sigma  int
+}
+
+// queryPlan is the planner's output: the surviving task list plus counts of
+// everything enumerated and pruned.
+type queryPlan struct {
+	tasks      []pairTask
+	considered int
+	pruned     int
+}
+
+// plan enumerates candidate pairs across data set pairs, common
+// resolutions, and feature classes (the map phase of paper job 3), pruning
+// each candidate against the clause unless pruning is disabled.
+func (f *Framework) plan(sources, targets []string, clause Clause, classes []feature.Class) queryPlan {
+	var pl queryPlan
+	seen := map[string]bool{}
+	for _, s := range sources {
+		for _, t := range targets {
+			if s == t {
+				continue
+			}
+			a, b := s, t
+			if a > b {
+				a, b = b, a
+			}
+			pairKey := a + "|" + b
+			if seen[pairKey] {
+				continue
+			}
+			seen[pairKey] = true
+			d1, d2 := f.datasets[a], f.datasets[b]
+			resolutions := f.CommonResolutions(d1, d2)
+			if clause.Resolutions != nil {
+				resolutions = intersectResolutions(resolutions, clause.Resolutions)
+			}
+			for _, res := range resolutions {
+				for _, e1 := range f.index.at(a, res) {
+					for _, e2 := range f.index.at(b, res) {
+						for _, class := range classes {
+							pl.considered++
+							sigma := -1
+							if !clause.DisablePruning {
+								var skip bool
+								skip, sigma = prunePair(e1, e2, class, clause)
+								if skip {
+									pl.pruned++
+									continue
+								}
+							}
+							pl.tasks = append(pl.tasks, pairTask{
+								e1: e1, e2: e2, class: class,
+								seed:  pairSeed(f.opts.Seed, e1.Key, e2.Key, class),
+								sigma: sigma,
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	return pl
+}
+
+// prunePair decides whether a candidate can be skipped, cheapest evidence
+// first: occupancy counts alone, then the exact intersection. It returns
+// the intersection popcount when it computed one (-1 otherwise) so the
+// evaluator can reuse it.
+func prunePair(e1, e2 *FunctionEntry, class feature.Class, clause Clause) (skip bool, sigma int) {
+	o1, o2 := e1.occ(class), e2.occ(class)
+	if o1.All == 0 || o2.All == 0 {
+		return true, 0 // one side has no features: never Related
+	}
+	sigmaHi := min(o1.All, o2.All)
+	if clause.MinStrength > 0 &&
+		2*float64(sigmaHi)/float64(o1.All+o2.All) < clause.MinStrength-pruneMargin {
+		return true, -1 // even a full overlap cannot reach MinStrength
+	}
+	if clause.MinScore <= 0 && clause.MinStrength <= 0 {
+		// Only Related() can reject: one early-exit intersection test.
+		if !e1.union(class).AndAny(e2.union(class)) {
+			return true, 0
+		}
+		return false, -1
+	}
+	sigma = e1.union(class).AndCount(e2.union(class))
+	if sigma == 0 {
+		return true, 0
+	}
+	if clause.MinStrength > 0 &&
+		2*float64(sigma)/float64(o1.All+o2.All) < clause.MinStrength-pruneMargin {
+		return true, sigma // rho is exactly 2|Σ|/(|Σ1|+|Σ2|)
+	}
+	if clause.MinScore > 0 {
+		pHi := min(o1.Pos, o2.Pos) + min(o1.Neg, o2.Neg)
+		nHi := min(o1.Pos, o2.Neg) + min(o1.Neg, o2.Pos)
+		if float64(max(pHi, nHi))/float64(sigma) < clause.MinScore-pruneMargin {
+			return true, sigma
+		}
+	}
+	return false, sigma
+}
+
+// pairSeed derives the Monte Carlo seed of one candidate tuple from the
+// framework seed and the pair's identity, so identical pairs get identical
+// p-values regardless of query shape or enumeration order. The function
+// keys embed the resolution, so the tuple identity is fully covered.
+func pairSeed(base int64, key1, key2 string, class feature.Class) int64 {
+	if key2 < key1 {
+		key1, key2 = key2, key1
+	}
+	h := fnv.New64a()
+	h.Write([]byte(key1))
+	h.Write([]byte{0})
+	h.Write([]byte(key2))
+	h.Write([]byte{0, byte(class)})
+	return base ^ int64(h.Sum64())
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/urbandata/datapolygamy/internal/feature"
+	"github.com/urbandata/datapolygamy/internal/spatial"
+	"github.com/urbandata/datapolygamy/internal/temporal"
+)
+
+// plannerFW builds a three-data-set corpus with planted relationships.
+func plannerFW(t *testing.T) *Framework {
+	t.Helper()
+	f := newFW(t)
+	wind, trips := plantedPair(41, randomHours(51, 120), randomHours(52, 120))
+	gas := thirdDataset("gas", 42, randomHours(53, 120))
+	_ = f.AddDataset(wind)
+	_ = f.AddDataset(trips)
+	_ = f.AddDataset(gas)
+	if _, err := f.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestPlannerParity is the planner's core contract: for every query in the
+// matrix, the pruned run returns exactly the relationships of the unpruned
+// run — same pairs, same measures, same p-values — and never evaluates a
+// pair the planner pruned.
+func TestPlannerParity(t *testing.T) {
+	f := plannerFW(t)
+	matrix := []struct {
+		name   string
+		clause Clause
+	}{
+		{"default", Clause{Permutations: 80}},
+		{"min_score", Clause{Permutations: 80, MinScore: 0.6}},
+		{"min_strength", Clause{Permutations: 80, MinStrength: 0.5}},
+		{"min_strength_high", Clause{Permutations: 80, MinStrength: 0.95}},
+		{"score_and_strength", Clause{Permutations: 80, MinScore: 0.3, MinStrength: 0.3}},
+		{"salient_only", Clause{Permutations: 80, Classes: []feature.Class{feature.Salient}}},
+		{"extreme_only", Clause{Permutations: 80, Classes: []feature.Class{feature.Extreme}}},
+		{"skip_significance", Clause{SkipSignificance: true, MinScore: 0.4}},
+		{"week_city", Clause{Permutations: 80, MinScore: 0.2,
+			Resolutions: []Resolution{{spatial.City, temporal.Week}}}},
+	}
+	totalPruned := 0
+	for _, tc := range matrix {
+		t.Run(tc.name, func(t *testing.T) {
+			pruned, pstats, err := f.Query(Query{Clause: tc.clause})
+			if err != nil {
+				t.Fatal(err)
+			}
+			off := tc.clause
+			off.DisablePruning = true
+			unpruned, ustats, err := f.Query(Query{Clause: off})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ustats.Pruned != 0 {
+				t.Errorf("DisablePruning run still pruned %d", ustats.Pruned)
+			}
+			if pstats.PairsConsidered != ustats.PairsConsidered {
+				t.Errorf("PairsConsidered %d vs %d", pstats.PairsConsidered, ustats.PairsConsidered)
+			}
+			if pstats.Evaluated != ustats.Evaluated {
+				t.Errorf("Evaluated %d (pruned run) vs %d (unpruned)", pstats.Evaluated, ustats.Evaluated)
+			}
+			if pstats.Significant != ustats.Significant {
+				t.Errorf("Significant %d vs %d", pstats.Significant, ustats.Significant)
+			}
+			if len(pruned) != len(unpruned) {
+				t.Fatalf("pruned run: %d relationships, unpruned: %d", len(pruned), len(unpruned))
+			}
+			for i := range pruned {
+				if pruned[i] != unpruned[i] {
+					t.Errorf("relationship %d differs:\n  pruned:   %v\n  unpruned: %v",
+						i, pruned[i], unpruned[i])
+				}
+			}
+			totalPruned += pstats.Pruned
+		})
+	}
+	if totalPruned == 0 {
+		t.Error("planner pruned nothing across the whole query matrix")
+	}
+}
+
+// TestPlannerPrunesOnFilteredQuery pins the acceptance criterion: a
+// clause-filtered query over this corpus must report Pruned > 0.
+func TestPlannerPrunesOnFilteredQuery(t *testing.T) {
+	f := plannerFW(t)
+	_, stats, err := f.Query(Query{Clause: Clause{
+		SkipSignificance: true,
+		MinStrength:      0.9,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Pruned == 0 {
+		t.Error("MinStrength=0.9 query pruned nothing")
+	}
+	if stats.Pruned+stats.Evaluated > stats.PairsConsidered {
+		t.Errorf("accounting broken: pruned %d + evaluated %d > considered %d",
+			stats.Pruned, stats.Evaluated, stats.PairsConsidered)
+	}
+}
+
+// TestPrunePairBounds exercises the planner's decision procedure directly
+// on synthetic occupancies via hand-built entries.
+func TestPrunePairBounds(t *testing.T) {
+	f := plannerFW(t)
+	res := Resolution{spatial.City, temporal.Hour}
+	entries := f.Entries("trips", res)
+	if len(entries) == 0 {
+		t.Fatal("no entries")
+	}
+	e := entries[0]
+	// Identical entries: sigma equals occupancy, rho = 1 — never prunable.
+	if skip, _ := prunePair(e, e, feature.Salient, Clause{MinStrength: 0.99}); skip {
+		t.Error("self-pair with rho=1 pruned")
+	}
+	// A clause no pair can satisfy (> max rho bound) must prune.
+	other := f.Entries("wind", res)[0]
+	o1, o2 := e.occ(feature.Salient), other.occ(feature.Salient)
+	if o1.All == 0 || o2.All == 0 {
+		t.Fatal("planted entries have empty salient sets")
+	}
+	maxRho := 2 * float64(min(o1.All, o2.All)) / float64(o1.All+o2.All)
+	if skip, _ := prunePair(e, other, feature.Salient, Clause{MinStrength: maxRho + 0.01}); !skip {
+		t.Errorf("pair with rho bound %.3f not pruned at MinStrength %.3f", maxRho, maxRho+0.01)
+	}
+}
+
+// TestPairSeedStableAcrossQueryShapes is the deterministic-seed contract:
+// the same pair gets the same Monte Carlo p-value whether it is evaluated
+// in a corpus-wide query or a targeted two-data-set query.
+func TestPairSeedStableAcrossQueryShapes(t *testing.T) {
+	f := plannerFW(t)
+	clause := Clause{Permutations: 120}
+	all, _, err := f.Query(Query{Clause: clause})
+	if err != nil {
+		t.Fatal(err)
+	}
+	targeted, _, err := f.Query(Query{
+		Sources: []string{"trips"}, Targets: []string{"wind"}, Clause: clause,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(targeted) == 0 {
+		t.Skip("no significant trips/wind relationships in this corpus")
+	}
+	byKey := map[string]Relationship{}
+	for _, r := range all {
+		byKey[r.Function1+"|"+r.Function2+"|"+r.Class.String()] = r
+	}
+	checked := 0
+	for _, r := range targeted {
+		full, ok := byKey[r.Function1+"|"+r.Function2+"|"+r.Class.String()]
+		if !ok {
+			t.Errorf("targeted relationship %v absent from corpus-wide query", r)
+			continue
+		}
+		if full.PValue != r.PValue {
+			t.Errorf("%s ~ %s: p-value %g (corpus-wide) vs %g (targeted); seed depends on query shape",
+				r.Function1, r.Function2, full.PValue, r.PValue)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Error("no common relationships compared")
+	}
+}
+
+func TestPairSeedSymmetry(t *testing.T) {
+	s1 := pairSeed(7, "a/x@city,hour", "b/y@city,hour", feature.Salient)
+	s2 := pairSeed(7, "b/y@city,hour", "a/x@city,hour", feature.Salient)
+	if s1 != s2 {
+		t.Error("pairSeed must be symmetric in the key order")
+	}
+	if pairSeed(7, "a/x@city,hour", "b/y@city,hour", feature.Extreme) == s1 {
+		t.Error("pairSeed must differ across classes")
+	}
+	if pairSeed(8, "a/x@city,hour", "b/y@city,hour", feature.Salient) == s1 {
+		t.Error("pairSeed must depend on the base seed")
+	}
+}

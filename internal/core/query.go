@@ -37,6 +37,11 @@ type Clause struct {
 	SkipSignificance bool
 	// TestKind selects restricted (default) or standard permutation tests.
 	TestKind montecarlo.Kind
+	// DisablePruning makes the planner schedule every candidate tuple
+	// instead of skipping provably fruitless ones. Results are identical
+	// either way (pruning is sound); this exists for parity verification
+	// and planner benchmarking.
+	DisablePruning bool
 }
 
 // Query asks for relationships between two collections of data sets
@@ -71,19 +76,38 @@ func (r Relationship) String() string {
 		r.Dataset1, r.Spec1, r.Dataset2, r.Spec2, r.Res, r.Class, r.Score, r.Strength, r.PValue)
 }
 
-// QueryStats describes the work a query performed.
+// QueryStats describes the work a query performed. A cache hit reports the
+// cached run's counters with CacheHit set and the (tiny) lookup duration.
 type QueryStats struct {
 	PairsConsidered int // candidate (function, function, resolution, class) tuples
+	Pruned          int // candidates the planner skipped without evaluation
 	Evaluated       int // pairs with any feature relation
 	Significant     int // pairs passing the significance test
+	CacheHit        bool
 	Duration        time.Duration
 }
 
-// pairTask is one phase-3 work unit.
-type pairTask struct {
-	e1, e2 *FunctionEntry
-	class  feature.Class
-	seed   int64
+// cachedResult is one memoised query: its relationships, the stats of the
+// run that produced them, and the data sets involved (for targeted
+// invalidation when the corpus changes).
+type cachedResult struct {
+	rels     []Relationship
+	stats    QueryStats
+	involved map[string]bool
+}
+
+// invalidateCacheInvolving drops cached results that involve any of the
+// named data sets, leaving the rest valid. Incremental indexing calls this
+// with the newly indexed names.
+func (f *Framework) invalidateCacheInvolving(names ...string) {
+	for sig, c := range f.cache {
+		for _, n := range names {
+			if c.involved[n] {
+				delete(f.cache, sig)
+				break
+			}
+		}
+	}
 }
 
 // Query runs the relationship operator and returns the statistically
@@ -91,7 +115,7 @@ type pairTask struct {
 // Results are cached per query signature (Appendix C).
 func (f *Framework) Query(q Query) ([]Relationship, QueryStats, error) {
 	var stats QueryStats
-	if !f.indexed {
+	if !f.Indexed() {
 		return nil, stats, fmt.Errorf("core: BuildIndex must run before Query")
 	}
 	sources := q.Sources
@@ -107,9 +131,13 @@ func (f *Framework) Query(q Query) ([]Relationship, QueryStats, error) {
 			return nil, stats, fmt.Errorf("core: unknown dataset %q", n)
 		}
 	}
+	t0 := time.Now()
 	sig := querySignature(sources, targets, q.Clause)
-	if cached, ok := f.cache[sig]; ok {
-		return cached, QueryStats{Significant: len(cached)}, nil
+	if c, ok := f.cache[sig]; ok {
+		stats = c.stats
+		stats.CacheHit = true
+		stats.Duration = time.Since(t0)
+		return c.rels, stats, nil
 	}
 
 	classes := q.Clause.Classes
@@ -117,47 +145,13 @@ func (f *Framework) Query(q Query) ([]Relationship, QueryStats, error) {
 		classes = []feature.Class{feature.Salient, feature.Extreme}
 	}
 
-	// Map phase of job 3: enumerate candidate pairs across data set pairs,
-	// common resolutions, and feature classes.
-	t0 := time.Now()
-	var tasks []pairTask
-	seen := map[string]bool{}
-	seed := f.opts.Seed
-	for _, s := range sources {
-		for _, t := range targets {
-			if s == t {
-				continue
-			}
-			a, b := s, t
-			if a > b {
-				a, b = b, a
-			}
-			pairKey := a + "|" + b
-			if seen[pairKey] {
-				continue
-			}
-			seen[pairKey] = true
-			d1, d2 := f.datasets[a], f.datasets[b]
-			resolutions := f.CommonResolutions(d1, d2)
-			if q.Clause.Resolutions != nil {
-				resolutions = intersectResolutions(resolutions, q.Clause.Resolutions)
-			}
-			for _, res := range resolutions {
-				for _, e1 := range f.entries[a][res] {
-					for _, e2 := range f.entries[b][res] {
-						for _, class := range classes {
-							seed++
-							tasks = append(tasks, pairTask{e1: e1, e2: e2, class: class, seed: seed})
-						}
-					}
-				}
-			}
-		}
-	}
-	stats.PairsConsidered = len(tasks)
+	// Planner: enumerate and prune candidate tuples (map phase of job 3).
+	plan := f.plan(sources, targets, q.Clause, classes)
+	stats.PairsConsidered = plan.considered
+	stats.Pruned = plan.pruned
 
-	// Reduce phase of job 3: evaluate each candidate pair.
-	results, err := mapreduce.ForEach(mapreduce.Config{Workers: f.opts.Workers}, tasks,
+	// Reduce phase of job 3: evaluate each surviving candidate.
+	results, err := mapreduce.ForEach(mapreduce.Config{Workers: f.opts.Workers}, plan.tasks,
 		func(t pairTask) (*Relationship, error) {
 			return f.evaluatePair(t, q.Clause)
 		})
@@ -185,7 +179,14 @@ func (f *Framework) Query(q Query) ([]Relationship, QueryStats, error) {
 		return out[i].Class < out[j].Class
 	})
 	stats.Duration = time.Since(t0)
-	f.cache[sig] = out
+	involved := make(map[string]bool, len(sources)+len(targets))
+	for _, n := range sources {
+		involved[n] = true
+	}
+	for _, n := range targets {
+		involved[n] = true
+	}
+	f.cache[sig] = &cachedResult{rels: out, stats: stats, involved: involved}
 	return out, stats, nil
 }
 
@@ -193,13 +194,13 @@ func (f *Framework) Query(q Query) ([]Relationship, QueryStats, error) {
 // filters plus the significance test. It returns nil when the pair has no
 // feature relations or fails a filter.
 func (f *Framework) evaluatePair(t pairTask, clause Clause) (*Relationship, error) {
-	var s1, s2 *feature.Set
-	if t.class == feature.Salient {
-		s1, s2 = t.e1.Salient, t.e2.Salient
-	} else {
-		s1, s2 = t.e1.Extreme, t.e2.Extreme
+	s1, s2 := t.e1.set(t.class), t.e2.set(t.class)
+	all1, all2 := t.e1.union(t.class), t.e2.union(t.class)
+	sigma := t.sigma
+	if sigma < 0 {
+		sigma = all1.AndCount(all2)
 	}
-	m := relationship.Evaluate(s1, s2)
+	m := relationship.EvaluateCounted(s1, s2, all1, all2, sigma)
 	if !m.Related() {
 		return nil, nil
 	}

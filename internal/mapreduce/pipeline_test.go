@@ -1,0 +1,172 @@
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPipelineCollectOrder(t *testing.T) {
+	inputs := make([]int, 100)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	p := NewPipeline(Config{Workers: 7})
+	s := Through(Emit(p, inputs), func(v int) (string, error) {
+		return strconv.Itoa(v * 2), nil
+	})
+	got, err := Collect(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("len = %d, want 100", len(got))
+	}
+	for i, v := range got {
+		if v != strconv.Itoa(i*2) {
+			t.Fatalf("got[%d] = %q, want %q", i, v, strconv.Itoa(i*2))
+		}
+	}
+}
+
+func TestPipelineFlatThroughExpansionOrder(t *testing.T) {
+	p := NewPipeline(Config{Workers: 4})
+	s := FlatThrough(Emit(p, []int{0, 1, 2}), func(v int) ([]string, error) {
+		return []string{fmt.Sprintf("%d.a", v), fmt.Sprintf("%d.b", v)}, nil
+	})
+	got, err := Collect(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"0.a", "0.b", "1.a", "1.b", "2.a", "2.b"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPipelineFlatThroughEmptyExpansion(t *testing.T) {
+	p := NewPipeline(Config{Workers: 2})
+	s := FlatThrough(Emit(p, []int{1, 2, 3, 4}), func(v int) ([]int, error) {
+		if v%2 == 0 {
+			return nil, nil // filtered out
+		}
+		return []int{v}, nil
+	})
+	got, err := Collect(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("got %v, want [1 3]", got)
+	}
+}
+
+func TestPipelineErrorCancels(t *testing.T) {
+	inputs := make([]int, 1000)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	boom := errors.New("boom")
+	p := NewPipeline(Config{Workers: 3})
+	var after atomic.Int64
+	s := Through(Emit(p, inputs), func(v int) (int, error) {
+		if v == 10 {
+			return 0, boom
+		}
+		return v, nil
+	})
+	s2 := Through(s, func(v int) (int, error) {
+		after.Add(1)
+		return v, nil
+	})
+	if _, err := Collect(s2); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	// Cancellation is asynchronous, but the vast majority of the 1000
+	// inputs must never reach the second stage.
+	if n := after.Load(); n > 900 {
+		t.Errorf("second stage processed %d items after error; cancellation did not propagate", n)
+	}
+}
+
+func TestPipelineDrainSingleConsumer(t *testing.T) {
+	inputs := make([]int, 500)
+	for i := range inputs {
+		inputs[i] = 1
+	}
+	p := NewPipeline(Config{Workers: 8})
+	s := Through(Emit(p, inputs), func(v int) (int, error) { return v, nil })
+	sum := 0 // no synchronisation: Drain's fn runs in one goroutine
+	if err := Drain(s, func(v int) error {
+		sum += v
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum != 500 {
+		t.Errorf("sum = %d, want 500", sum)
+	}
+}
+
+func TestPipelineDrainError(t *testing.T) {
+	p := NewPipeline(Config{Workers: 2})
+	s := Emit(p, []int{1, 2, 3})
+	boom := errors.New("sink boom")
+	err := Drain(s, func(v int) error {
+		if v == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+}
+
+func TestPipelineEmpty(t *testing.T) {
+	p := NewPipeline(Config{})
+	got, err := Collect(Through(Emit(p, []int(nil)), func(v int) (int, error) { return v, nil }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("got %v, want empty", got)
+	}
+}
+
+// TestPipelineStreamsWithoutBarrier verifies fusion: with a bounded number
+// of in-flight items, stage 2 must start before stage 1 has finished all
+// inputs — i.e. there is no phase barrier.
+func TestPipelineStreamsWithoutBarrier(t *testing.T) {
+	const n = 64
+	p := NewPipeline(Config{Workers: 2})
+	var produced, consumed atomic.Int64
+	var overlapped atomic.Bool
+	s := Through(Emit(p, make([]struct{}, n)), func(struct{}) (int, error) {
+		produced.Add(1)
+		return 0, nil
+	})
+	s2 := Through(s, func(v int) (int, error) {
+		consumed.Add(1)
+		if produced.Load() < n {
+			overlapped.Store(true)
+		}
+		return v, nil
+	})
+	if _, err := Collect(s2); err != nil {
+		t.Fatal(err)
+	}
+	if consumed.Load() != n {
+		t.Fatalf("consumed %d, want %d", consumed.Load(), n)
+	}
+	if !overlapped.Load() {
+		t.Error("stage 2 never ran while stage 1 was still producing; stages are not fused")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/urbandata/datapolygamy/internal/bitvec"
 	"github.com/urbandata/datapolygamy/internal/feature"
 )
 
@@ -37,6 +38,16 @@ type Measures struct {
 // two functions defined on the same domain graph. It panics if the sets
 // have different vertex counts (callers align resolutions first).
 func Evaluate(a, b *feature.Set) Measures {
+	allA, allB := a.All(), b.All()
+	return EvaluateCounted(a, b, allA, allB, allA.AndCount(allB))
+}
+
+// EvaluateCounted is Evaluate for callers that have already materialised
+// the feature unions Σ1 = allA and Σ2 = allB and their intersection
+// popcount sigmaBoth = |Σ1 ∩ Σ2|. The query planner computes these while
+// pruning candidates, and the index caches per-entry unions, so the hot
+// query path avoids re-deriving them for every pair.
+func EvaluateCounted(a, b *feature.Set, allA, allB *bitvec.Vector, sigmaBoth int) Measures {
 	if a.NumVertices() != b.NumVertices() {
 		panic(fmt.Sprintf("relationship: feature sets over %d vs %d vertices",
 			a.NumVertices(), b.NumVertices()))
@@ -44,10 +55,9 @@ func Evaluate(a, b *feature.Set) Measures {
 	var m Measures
 	m.NumPositive = a.Positive.AndCount(b.Positive) + a.Negative.AndCount(b.Negative)
 	m.NumNegative = a.Positive.AndCount(b.Negative) + a.Negative.AndCount(b.Positive)
-	allA, allB := a.All(), b.All()
 	m.Sigma1 = allA.Count()
 	m.Sigma2 = allB.Count()
-	m.SigmaBoth = allA.AndCount(allB)
+	m.SigmaBoth = sigmaBoth
 	if m.SigmaBoth > 0 {
 		m.Tau = float64(m.NumPositive-m.NumNegative) / float64(m.SigmaBoth)
 	}

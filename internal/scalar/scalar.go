@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"slices"
 	"sort"
 
 	"github.com/urbandata/datapolygamy/internal/dataset"
@@ -299,12 +300,16 @@ func computeOnDomain(d *dataset.Dataset, spec Spec, attrIdx int, city *spatial.C
 		Observed: make([]bool, n),
 	}
 
-	var uniq []map[int64]struct{}
+	// Unique functions count distinct IDs per vertex: (vertex, id) pairs are
+	// collected flat and sorted once, instead of one hash set per vertex —
+	// a single allocation in place of one map per observed vertex plus its
+	// growth, which dominated the whole indexing pipeline's allocations.
+	var uniq []vertexID
 	var sums, cnts []float64
 	var samples [][]float64
 	switch spec.Kind {
 	case Unique:
-		uniq = make([]map[int64]struct{}, n)
+		uniq = make([]vertexID, 0, len(d.Tuples))
 	case Attribute:
 		switch spec.Agg {
 		case Avg, Sum:
@@ -333,10 +338,7 @@ func computeOnDomain(d *dataset.Dataset, spec Spec, attrIdx int, city *spatial.C
 			f.Values[v]++
 			f.Observed[v] = true
 		case Unique:
-			if uniq[v] == nil {
-				uniq[v] = make(map[int64]struct{})
-			}
-			uniq[v][tup.ID] = struct{}{}
+			uniq = append(uniq, vertexID{v: v, id: tup.ID})
 			f.Observed[v] = true
 		case Attribute:
 			x := tup.Values[attrIdx]
@@ -366,13 +368,38 @@ func computeOnDomain(d *dataset.Dataset, spec Spec, attrIdx int, city *spatial.C
 
 	switch spec.Kind {
 	case Unique:
-		for v, m := range uniq {
-			f.Values[v] = float64(len(m))
+		sortVertexIDs(uniq)
+		for i, p := range uniq {
+			if i > 0 && uniq[i-1] == p {
+				continue
+			}
+			f.Values[p.v]++
 		}
 	case Attribute:
 		finishAttribute(f, spec, sums, cnts, samples)
 	}
 	return f, nil
+}
+
+// vertexID is one (vertex, tuple ID) observation of a Unique function.
+type vertexID struct {
+	v  int
+	id int64
+}
+
+func sortVertexIDs(s []vertexID) {
+	slices.SortFunc(s, func(a, b vertexID) int {
+		if a.v != b.v {
+			return a.v - b.v
+		}
+		switch {
+		case a.id < b.id:
+			return -1
+		case a.id > b.id:
+			return 1
+		}
+		return 0
+	})
 }
 
 // finishAttribute finalises attribute aggregates and imputes unobserved

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 )
 
 // Config controls synthetic city generation.
@@ -254,6 +255,10 @@ func (c *CityMap) regionAdjacency(assign []int, k int) [][]int {
 		for j := range m {
 			adj[i] = append(adj[i], j)
 		}
+		// Map iteration order is random; neighbor order feeds the Monte
+		// Carlo toroidal shifts, so it must be deterministic for p-values
+		// to be reproducible across runs.
+		sort.Ints(adj[i])
 	}
 	return adj
 }

@@ -90,15 +90,20 @@ func (t *Tree) Kind() Kind { return t.kind }
 // NumCriticalPoints returns the number of distinct critical vertices in the
 // tree (leaves, saddles, and the root).
 func (t *Tree) NumCriticalPoints() int {
-	seen := map[int]bool{t.Root: true}
+	vs := make([]int, 0, 2*len(t.Edges)+len(t.Leaves)+1)
+	vs = append(vs, t.Root)
 	for _, e := range t.Edges {
-		seen[e.Upper] = true
-		seen[e.Lower] = true
+		vs = append(vs, e.Upper, e.Lower)
 	}
-	for _, l := range t.Leaves {
-		seen[l] = true
+	vs = append(vs, t.Leaves...)
+	sort.Ints(vs)
+	n := 0
+	for i, v := range vs {
+		if i == 0 || vs[i-1] != v {
+			n++
+		}
 	}
-	return len(seen)
+	return n
 }
 
 // ComputeJoin builds the join tree of the function vals defined on the

@@ -63,8 +63,17 @@ type Resolution = core.Resolution
 // QueryStats describes the work a query performed.
 type QueryStats = core.QueryStats
 
-// IndexStats describes the work BuildIndex performed.
+// IndexStats describes the work one BuildIndex call performed. With
+// incremental indexing, it covers only the data sets indexed by that call.
 type IndexStats = core.IndexStats
+
+// DatasetStats reports the index footprint of one data set (see
+// Framework.DatasetIndexStats).
+type DatasetStats = core.DatasetStats
+
+// Occupancy summarises one feature bit-vector family by popcounts; the
+// query planner prunes candidate pairs with these.
+type Occupancy = core.Occupancy
 
 // FunctionEntry is one indexed scalar function with its feature sets.
 type FunctionEntry = core.FunctionEntry
