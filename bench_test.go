@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"github.com/urbandata/datapolygamy/internal/baselines"
+	"github.com/urbandata/datapolygamy/internal/bitvec"
 	"github.com/urbandata/datapolygamy/internal/core"
 	"github.com/urbandata/datapolygamy/internal/experiments"
 	"github.com/urbandata/datapolygamy/internal/feature"
@@ -285,6 +286,64 @@ func BenchmarkFigure9QueryRate(b *testing.B) {
 		if stats.PairsConsidered == 0 {
 			b.Fatal("no pairs")
 		}
+	}
+}
+
+// BenchmarkConcurrentCachedQuery measures the concurrent serving hot path:
+// many goroutines hitting one Framework with an identical cached query
+// (what polygamyd serves after warm-up). The singleflight cache must make
+// this a lock-bounded lookup, not an evaluation.
+func BenchmarkConcurrentCachedQuery(b *testing.B) {
+	_, _, fw := benchSetup(b)
+	q := core.Query{Clause: core.Clause{
+		Permutations: 100,
+		Resolutions:  []core.Resolution{{Spatial: spatial.City, Temporal: temporal.Week}},
+	}}
+	if _, _, err := fw.Query(q); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			_, stats, err := fw.Query(q)
+			if err != nil || !stats.CacheHit {
+				b.Errorf("err=%v cacheHit=%v", err, stats.CacheHit)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkParallelMonteCarlo measures one large significance test at
+// several chunk-worker counts (the single-big-query saturation path); the
+// p-value is identical at every width.
+func BenchmarkParallelMonteCarlo(b *testing.B) {
+	n := 24 * 365
+	g, err := stgraph.New(1, n, [][]int{nil})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	s1 := &feature.Set{Positive: bitvec.New(n), Negative: bitvec.New(n)}
+	s2 := &feature.Set{Positive: bitvec.New(n), Negative: bitvec.New(n)}
+	for i := 0; i < 50; i++ {
+		v := rng.Intn(n)
+		s1.Positive.Set(v)
+		s2.Positive.Set(v)
+		w := rng.Intn(n)
+		s1.Negative.Set(w)
+		s2.Negative.Set(w)
+	}
+	for _, workers := range []int{1, 4, 16} {
+		b.Run(map[int]string{1: "w1", 4: "w4", 16: "w16"}[workers], func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				montecarlo.Test(s1, s2, g, 1.0, montecarlo.Config{
+					Permutations: 2000, Seed: 7, Workers: workers,
+				})
+			}
+		})
 	}
 }
 

@@ -1,0 +1,135 @@
+// Command polygamyd is a long-lived Data Polygamy query server: it builds
+// the merge-tree index once at startup and then serves concurrent
+// relationship queries over HTTP/JSON. The Framework's concurrent read
+// path (shared state lock, singleflight query cache, parallel Monte Carlo
+// chunks) does the heavy lifting; the server is a thin JSON shell.
+//
+// Endpoints:
+//
+//	GET  /healthz      liveness: {"status":"ok"} once the index is built
+//	GET  /v1/datasets  the indexed data sets and their index statistics
+//	GET  /v1/stats     server counters (queries, cache hits, coalesced)
+//	POST /v1/query     structured query: {"sources":[...],"targets":[...],
+//	                   "clause":{"minScore":0.6,"permutations":1000,...}}
+//	GET  /v1/query?q=  the paper's textual query form, e.g.
+//	                   "find relationships between taxi and weather
+//	                    where score >= 0.6 at (hour, city)"
+//
+// The corpus is either a directory of CSV data sets (-data, the format of
+// cmd/polygamy) or, by default, the synthetic NYC-style urban collection
+// (-months, -scale) used throughout the experiments.
+//
+// Usage:
+//
+//	polygamyd -addr :8571 -months 6 -scale 0.3
+//	polygamyd -addr :8571 -data corpus/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/urbandata/datapolygamy/internal/core"
+	"github.com/urbandata/datapolygamy/internal/dataset"
+	"github.com/urbandata/datapolygamy/internal/spatial"
+	"github.com/urbandata/datapolygamy/internal/urban"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8571", "listen address")
+		dataDir = flag.String("data", "", "directory of data set CSV files (default: synthetic urban corpus)")
+		seed    = flag.Int64("seed", 1, "city / randomization seed")
+		grid    = flag.Int("grid", 32, "synthetic city grid side")
+		months  = flag.Int("months", 6, "synthetic corpus length in months")
+		scale   = flag.Float64("scale", 0.3, "synthetic corpus record-volume multiplier")
+		workers = flag.Int("workers", 0, "worker pool size (0 = NumCPU)")
+	)
+	flag.Parse()
+	fw, err := buildFramework(*dataDir, *seed, *grid, *months, *scale, *workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "polygamyd:", err)
+		os.Exit(1)
+	}
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           newServer(fw),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	log.Printf("polygamyd: serving %d data sets (%d functions) on %s",
+		len(fw.Datasets()), fw.NumFunctions(), *addr)
+	if err := hs.ListenAndServe(); err != nil {
+		fmt.Fprintln(os.Stderr, "polygamyd:", err)
+		os.Exit(1)
+	}
+}
+
+// buildFramework assembles and indexes the corpus: CSVs from dataDir when
+// given, otherwise the synthetic urban collection.
+func buildFramework(dataDir string, seed int64, grid, months int, scale float64, workers int) (*core.Framework, error) {
+	city, err := spatial.Generate(spatial.Config{
+		Seed: seed, GridW: grid, GridH: grid,
+		Neighborhoods: grid * 2, ZipCodes: grid * 2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	fw, err := core.New(core.Options{City: city, Workers: workers, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	if dataDir != "" {
+		files, err := filepath.Glob(filepath.Join(dataDir, "*.csv"))
+		if err != nil {
+			return nil, err
+		}
+		if len(files) == 0 {
+			return nil, fmt.Errorf("no .csv files in %s", dataDir)
+		}
+		for _, path := range files {
+			f, err := os.Open(path)
+			if err != nil {
+				return nil, err
+			}
+			d, err := dataset.ReadCSV(f)
+			f.Close()
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", path, err)
+			}
+			if err := fw.AddDataset(d); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		start := time.Date(2011, time.June, 1, 0, 0, 0, 0, time.UTC)
+		col, err := urban.Generate(urban.Config{
+			Seed:  seed,
+			City:  city,
+			Start: start,
+			End:   start.AddDate(0, months, 0),
+			Scale: scale,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range col.Datasets {
+			if err := fw.AddDataset(d); err != nil {
+				return nil, err
+			}
+		}
+	}
+	t0 := time.Now()
+	stats, err := fw.BuildIndex()
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("polygamyd: indexed %d functions in %v", stats.Functions, time.Since(t0).Round(time.Millisecond))
+	return fw, nil
+}

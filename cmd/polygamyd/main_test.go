@@ -1,0 +1,314 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/urbandata/datapolygamy/internal/core"
+	"github.com/urbandata/datapolygamy/internal/dataset"
+	"github.com/urbandata/datapolygamy/internal/spatial"
+	"github.com/urbandata/datapolygamy/internal/temporal"
+)
+
+// testFramework builds a small two-data-set corpus with a planted
+// relationship: wind and trips deviate together at the same event hours.
+func testFramework(t *testing.T) *core.Framework {
+	t.Helper()
+	city, err := spatial.Generate(spatial.Config{Seed: 3, GridW: 24, GridH: 24, Neighborhoods: 8, ZipCodes: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := core.New(core.Options{City: city, Workers: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	wind := &dataset.Dataset{
+		Name: "wind", SpatialRes: spatial.City, TemporalRes: temporal.Hour,
+		Attrs: []string{"speed"},
+	}
+	trips := &dataset.Dataset{
+		Name: "trips", SpatialRes: spatial.City, TemporalRes: temporal.Hour,
+		Attrs: []string{"count"},
+	}
+	const hours = 24 * 7 * 52
+	events := map[int]bool{}
+	for len(events) < 40 {
+		events[rng.Intn(hours)] = true
+	}
+	start := time.Date(2012, time.January, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < hours; i++ {
+		w := 10 + rng.NormFloat64()*0.4
+		c := 400 + rng.NormFloat64()*3
+		if events[i] {
+			w = 55 + rng.Float64()*10
+			c = 20 + rng.Float64()*4
+		}
+		ts := start.Add(time.Duration(i) * time.Hour).Unix()
+		wind.Tuples = append(wind.Tuples, dataset.Tuple{Region: 0, TS: ts, Values: []float64{w}})
+		trips.Tuples = append(trips.Tuples, dataset.Tuple{Region: 0, TS: ts, Values: []float64{c}})
+	}
+	for _, e := range []error{fw.AddDataset(wind), fw.AddDataset(trips)} {
+		if e != nil {
+			t.Fatal(e)
+		}
+	}
+	if _, err := fw.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	return fw
+}
+
+func postQuery(t *testing.T, client *http.Client, base string, req queryRequest) (queryResponse, int) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(base+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out queryResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return out, resp.StatusCode
+}
+
+func TestServerEndpoints(t *testing.T) {
+	srv := httptest.NewServer(newServer(testFramework(t)))
+	defer srv.Close()
+	client := srv.Client()
+
+	// Health.
+	resp, err := client.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	// Datasets.
+	resp, err = client.Get(srv.URL + "/v1/datasets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ds struct {
+		Datasets []struct {
+			Name      string `json:"name"`
+			Functions int    `json:"functions"`
+		} `json:"datasets"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ds); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(ds.Datasets) != 2 || ds.Datasets[0].Functions == 0 {
+		t.Fatalf("datasets = %+v", ds)
+	}
+
+	// Structured query finds the planted relationship.
+	out, code := postQuery(t, client, srv.URL, queryRequest{
+		Sources: []string{"wind"},
+		Clause:  clauseRequest{Permutations: 100},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("query status = %d", code)
+	}
+	if len(out.Relationships) == 0 {
+		t.Fatal("no relationships found for the planted pair")
+	}
+	if out.Stats.Kept != len(out.Relationships) {
+		t.Errorf("stats.Kept = %d, want %d", out.Stats.Kept, len(out.Relationships))
+	}
+
+	// The identical query again is a cache hit.
+	out2, _ := postQuery(t, client, srv.URL, queryRequest{
+		Sources: []string{"wind"},
+		Clause:  clauseRequest{Permutations: 100},
+	})
+	if !out2.Stats.CacheHit {
+		t.Error("identical query should be a cache hit")
+	}
+
+	// Textual query.
+	q := url.QueryEscape("find relationships between wind and trips at (week, city)")
+	resp, err = client.Get(srv.URL + "/v1/query?q=" + q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tq queryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tq); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("textual query status = %d", resp.StatusCode)
+	}
+	if len(tq.Relationships) == 0 {
+		t.Error("textual query found no relationships")
+	}
+}
+
+func TestServerRejectsBadRequests(t *testing.T) {
+	srv := httptest.NewServer(newServer(testFramework(t)))
+	defer srv.Close()
+	client := srv.Client()
+
+	cases := []struct {
+		name string
+		req  queryRequest
+	}{
+		{"unknown dataset", queryRequest{Sources: []string{"nope"}}},
+		{"bad class", queryRequest{Clause: clauseRequest{Classes: []string{"weird"}}}},
+		{"bad resolution", queryRequest{Clause: clauseRequest{Resolutions: []resolutionWire{{Spatial: "galaxy", Temporal: "hour"}}}}},
+		{"bad test kind", queryRequest{Clause: clauseRequest{Test: "psychic"}}},
+	}
+	for _, tc := range cases {
+		if _, code := postQuery(t, client, srv.URL, tc.req); code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", tc.name, code)
+		}
+	}
+
+	// Malformed JSON body.
+	resp, err := client.Post(srv.URL+"/v1/query", "application/json", bytes.NewReader([]byte("{nope")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON: status = %d, want 400", resp.StatusCode)
+	}
+
+	// Textual query without q.
+	resp, err = client.Get(srv.URL + "/v1/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing q: status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestServerStress hammers one server with mixed cached and uncached
+// queries from many goroutines. Run under -race this exercises the whole
+// concurrent read path end to end: HTTP handlers, singleflight cache,
+// planner, parallel Monte Carlo chunks.
+func TestServerStress(t *testing.T) {
+	srv := httptest.NewServer(newServer(testFramework(t)))
+	defer srv.Close()
+	client := srv.Client()
+
+	// A spread of signatures: some repeat (cache/singleflight), some are
+	// goroutine-unique (always evaluated).
+	shared := []queryRequest{
+		{Clause: clauseRequest{Permutations: 30}},
+		{Sources: []string{"wind"}, Clause: clauseRequest{Permutations: 30}},
+		{Clause: clauseRequest{SkipSignificance: true}},
+		{Clause: clauseRequest{Permutations: 30, MinScore: 0.5,
+			Resolutions: []resolutionWire{{Spatial: "city", Temporal: "hour"}}}},
+	}
+
+	const goroutines = 12
+	const rounds = 3
+	var wg sync.WaitGroup
+	relCounts := make([][]int, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			relCounts[g] = make([]int, len(shared))
+			for r := 0; r < rounds; r++ {
+				for i := range shared {
+					qi := (i + g) % len(shared)
+					out, code := postQuery(t, client, srv.URL, shared[qi])
+					if code != http.StatusOK {
+						t.Errorf("goroutine %d: status %d", g, code)
+						return
+					}
+					relCounts[g][qi] = len(out.Relationships)
+				}
+				// A goroutine-unique uncached query in every round.
+				uniq := queryRequest{Clause: clauseRequest{
+					Permutations: 20 + g + r*goroutines,
+					Resolutions:  []resolutionWire{{Spatial: "city", Temporal: "week"}},
+				}}
+				if _, code := postQuery(t, client, srv.URL, uniq); code != http.StatusOK {
+					t.Errorf("goroutine %d: uncached query status %d", g, code)
+					return
+				}
+				// Interleave reads of the other endpoints.
+				for _, path := range []string{"/healthz", "/v1/datasets", "/v1/stats"} {
+					resp, err := client.Get(srv.URL + path)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						t.Errorf("%s: status %d", path, resp.StatusCode)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	// Every goroutine must have seen identical result sets per signature.
+	for g := 1; g < goroutines; g++ {
+		for i := range shared {
+			if relCounts[g][i] != relCounts[0][i] {
+				t.Errorf("query %d: goroutine %d saw %d relationships, goroutine 0 saw %d",
+					i, g, relCounts[g][i], relCounts[0][i])
+			}
+		}
+	}
+	// The stats endpoint aggregates coherently.
+	resp, err := client.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Queries   int64 `json:"queries"`
+		CacheHits int64 `json:"cacheHits"`
+		Failures  int64 `json:"failures"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	wantQueries := int64(goroutines * rounds * (len(shared) + 1))
+	if stats.Queries != wantQueries {
+		t.Errorf("stats.queries = %d, want %d", stats.Queries, wantQueries)
+	}
+	if stats.Failures != 0 {
+		t.Errorf("stats.failures = %d, want 0", stats.Failures)
+	}
+	if stats.CacheHits == 0 {
+		t.Error("expected repeated queries to produce cache hits")
+	}
+}

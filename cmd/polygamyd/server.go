@@ -1,0 +1,273 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"github.com/urbandata/datapolygamy/internal/core"
+	"github.com/urbandata/datapolygamy/internal/feature"
+	"github.com/urbandata/datapolygamy/internal/montecarlo"
+	"github.com/urbandata/datapolygamy/internal/queryparse"
+	"github.com/urbandata/datapolygamy/internal/spatial"
+	"github.com/urbandata/datapolygamy/internal/temporal"
+)
+
+// server is the HTTP shell around one indexed Framework. All handlers run
+// concurrently; the Framework's read path is thread-safe post-BuildIndex.
+type server struct {
+	fw      *core.Framework
+	mux     *http.ServeMux
+	started time.Time
+
+	queries   atomic.Int64 // relationship queries answered
+	cacheHits atomic.Int64 // served from the query cache
+	coalesced atomic.Int64 // deduplicated against an in-flight evaluation
+	failures  atomic.Int64 // queries rejected or failed
+}
+
+func newServer(fw *core.Framework) *server {
+	s := &server{fw: fw, mux: http.NewServeMux(), started: time.Now()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("GET /v1/query", s.handleQueryText)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// ---- wire types ----
+
+// clauseRequest is the JSON form of core.Clause with names instead of
+// enum values.
+type clauseRequest struct {
+	MinScore         float64          `json:"minScore,omitempty"`
+	MinStrength      float64          `json:"minStrength,omitempty"`
+	Classes          []string         `json:"classes,omitempty"`     // "salient", "extreme"
+	Resolutions      []resolutionWire `json:"resolutions,omitempty"` // nil => all common
+	Alpha            float64          `json:"alpha,omitempty"`
+	Permutations     int              `json:"permutations,omitempty"`
+	SkipSignificance bool             `json:"skipSignificance,omitempty"`
+	Test             string           `json:"test,omitempty"` // "restricted" (default), "standard", "block"
+}
+
+type resolutionWire struct {
+	Spatial  string `json:"spatial"`
+	Temporal string `json:"temporal"`
+}
+
+type queryRequest struct {
+	Sources []string      `json:"sources,omitempty"`
+	Targets []string      `json:"targets,omitempty"`
+	Clause  clauseRequest `json:"clause"`
+}
+
+type relationshipWire struct {
+	Function1   string  `json:"function1"`
+	Function2   string  `json:"function2"`
+	Dataset1    string  `json:"dataset1"`
+	Dataset2    string  `json:"dataset2"`
+	Spec1       string  `json:"spec1"`
+	Spec2       string  `json:"spec2"`
+	Spatial     string  `json:"spatial"`
+	Temporal    string  `json:"temporal"`
+	Class       string  `json:"class"`
+	Score       float64 `json:"score"`
+	Strength    float64 `json:"strength"`
+	PValue      float64 `json:"pValue"`
+	Significant bool    `json:"significant"`
+}
+
+type queryStatsWire struct {
+	PairsConsidered int    `json:"pairsConsidered"`
+	Pruned          int    `json:"pruned"`
+	Evaluated       int    `json:"evaluated"`
+	Significant     int    `json:"significant"`
+	Kept            int    `json:"kept"`
+	CacheHit        bool   `json:"cacheHit"`
+	Coalesced       bool   `json:"coalesced"`
+	Duration        string `json:"duration"`
+}
+
+type queryResponse struct {
+	Relationships []relationshipWire `json:"relationships"`
+	Stats         queryStatsWire     `json:"stats"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// ---- request decoding ----
+
+func parseClause(c clauseRequest) (core.Clause, error) {
+	out := core.Clause{
+		MinScore:         c.MinScore,
+		MinStrength:      c.MinStrength,
+		Alpha:            c.Alpha,
+		Permutations:     c.Permutations,
+		SkipSignificance: c.SkipSignificance,
+	}
+	for _, name := range c.Classes {
+		switch strings.ToLower(strings.TrimSpace(name)) {
+		case "salient":
+			out.Classes = append(out.Classes, feature.Salient)
+		case "extreme":
+			out.Classes = append(out.Classes, feature.Extreme)
+		default:
+			return out, fmt.Errorf("unknown feature class %q (want salient or extreme)", name)
+		}
+	}
+	for _, rw := range c.Resolutions {
+		sr, err := spatial.ParseResolution(rw.Spatial)
+		if err != nil {
+			return out, err
+		}
+		tr, err := temporal.ParseResolution(rw.Temporal)
+		if err != nil {
+			return out, err
+		}
+		out.Resolutions = append(out.Resolutions, core.Resolution{Spatial: sr, Temporal: tr})
+	}
+	switch strings.ToLower(strings.TrimSpace(c.Test)) {
+	case "", "restricted":
+		out.TestKind = montecarlo.Restricted
+	case "standard":
+		out.TestKind = montecarlo.Standard
+	case "block":
+		out.TestKind = montecarlo.Block
+	default:
+		return out, fmt.Errorf("unknown test kind %q (want restricted, standard, or block)", c.Test)
+	}
+	return out, nil
+}
+
+// ---- handlers ----
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"uptime": time.Since(s.started).Round(time.Millisecond).String(),
+	})
+}
+
+func (s *server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	type dsWire struct {
+		Name      string `json:"name"`
+		Functions int    `json:"functions,omitempty"`
+	}
+	var out []dsWire
+	for _, name := range s.fw.Datasets() {
+		d := dsWire{Name: name}
+		if st, ok := s.fw.DatasetIndexStats(name); ok {
+			d.Functions = st.Functions
+		}
+		out = append(out, d)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": out})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptime":    time.Since(s.started).Round(time.Millisecond).String(),
+		"datasets":  len(s.fw.Datasets()),
+		"functions": s.fw.NumFunctions(),
+		"queries":   s.queries.Load(),
+		"cacheHits": s.cacheHits.Load(),
+		"coalesced": s.coalesced.Load(),
+		"failures":  s.failures.Load(),
+	})
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.failures.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "decoding request: " + err.Error()})
+		return
+	}
+	clause, err := parseClause(req.Clause)
+	if err != nil {
+		s.failures.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	s.answer(w, core.Query{Sources: req.Sources, Targets: req.Targets, Clause: clause})
+}
+
+func (s *server) handleQueryText(w http.ResponseWriter, r *http.Request) {
+	text := r.URL.Query().Get("q")
+	if text == "" {
+		s.failures.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing q parameter"})
+		return
+	}
+	q, err := queryparse.Parse(text)
+	if err != nil {
+		s.failures.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	s.answer(w, q)
+}
+
+// answer runs one relationship query and writes the JSON response.
+func (s *server) answer(w http.ResponseWriter, q core.Query) {
+	rels, stats, err := s.fw.Query(q)
+	if err != nil {
+		s.failures.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	s.queries.Add(1)
+	if stats.CacheHit {
+		s.cacheHits.Add(1)
+	}
+	if stats.Coalesced {
+		s.coalesced.Add(1)
+	}
+	resp := queryResponse{
+		Relationships: make([]relationshipWire, 0, len(rels)),
+		Stats: queryStatsWire{
+			PairsConsidered: stats.PairsConsidered,
+			Pruned:          stats.Pruned,
+			Evaluated:       stats.Evaluated,
+			Significant:     stats.Significant,
+			Kept:            stats.Kept,
+			CacheHit:        stats.CacheHit,
+			Coalesced:       stats.Coalesced,
+			Duration:        stats.Duration.String(),
+		},
+	}
+	for _, rel := range rels {
+		resp.Relationships = append(resp.Relationships, relationshipWire{
+			Function1:   rel.Function1,
+			Function2:   rel.Function2,
+			Dataset1:    rel.Dataset1,
+			Dataset2:    rel.Dataset2,
+			Spec1:       rel.Spec1,
+			Spec2:       rel.Spec2,
+			Spatial:     rel.Res.Spatial.String(),
+			Temporal:    rel.Res.Temporal.String(),
+			Class:       rel.Class.String(),
+			Score:       rel.Score,
+			Strength:    rel.Strength,
+			PValue:      rel.PValue,
+			Significant: rel.Significant,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,264 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/urbandata/datapolygamy/internal/feature"
+	"github.com/urbandata/datapolygamy/internal/spatial"
+	"github.com/urbandata/datapolygamy/internal/temporal"
+)
+
+// stressFW builds a four-data-set framework for the concurrency tests.
+func stressFW(t *testing.T) *Framework {
+	t.Helper()
+	f := newFW(t)
+	wind, trips := plantedPair(10, randomHours(17, 40), nil)
+	gusts, rides := plantedPair(11, randomHours(19, 40), randomHours(21, 20))
+	gusts.Name, rides.Name = "gusts", "rides"
+	for _, add := range []error{
+		f.AddDataset(wind), f.AddDataset(trips), f.AddDataset(gusts), f.AddDataset(rides),
+	} {
+		if add != nil {
+			t.Fatal(add)
+		}
+	}
+	if _, err := f.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// stressQueries is a mixed workload: overlapping signatures, different
+// shapes, cached and uncached, with and without significance testing.
+func stressQueries() []Query {
+	hourCity := Resolution{Spatial: spatial.City, Temporal: temporal.Hour}
+	weekCity := Resolution{Spatial: spatial.City, Temporal: temporal.Week}
+	return []Query{
+		{Clause: Clause{Permutations: 30}},
+		{Sources: []string{"wind"}, Clause: Clause{Permutations: 30}},
+		{Clause: Clause{SkipSignificance: true}},
+		{Clause: Clause{Permutations: 30, MinScore: 0.5}},
+		{Sources: []string{"gusts"}, Targets: []string{"rides"},
+			Clause: Clause{Permutations: 30, Classes: []feature.Class{feature.Extreme, feature.Salient}}},
+		{Clause: Clause{SkipSignificance: true, Resolutions: []Resolution{hourCity, weekCity}}},
+		{Sources: []string{"trips", "wind"}, Clause: Clause{Permutations: 30, MinStrength: 0.2}},
+	}
+}
+
+// TestConcurrentQueryStress runs parallel Query calls — identical and
+// distinct signatures interleaved — against one Framework and verifies
+// every result matches an independently built framework's sequential
+// answers. Run under -race this is the engine's thread-safety gate.
+func TestConcurrentQueryStress(t *testing.T) {
+	f := stressFW(t)
+	base := stressFW(t) // independent framework: sequential ground truth
+	queries := stressQueries()
+	want := make([][]Relationship, len(queries))
+	for i, q := range queries {
+		rels, _, err := base.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = rels
+	}
+
+	const goroutines = 16
+	const rounds = 4
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				// Offset the order per goroutine so identical and distinct
+				// signatures overlap in flight.
+				for i := range queries {
+					qi := (i + g) % len(queries)
+					rels, _, err := f.Query(queries[qi])
+					if err != nil {
+						errCh <- err
+						return
+					}
+					if !reflect.DeepEqual(rels, want[qi]) {
+						t.Errorf("goroutine %d query %d: concurrent result diverges from sequential", g, qi)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+// TestSingleflightDedup: N identical queries issued concurrently against a
+// cold cache must trigger exactly one evaluation; every other caller gets
+// a cache hit (coalesced while the leader runs, plain afterwards).
+func TestSingleflightDedup(t *testing.T) {
+	f := stressFW(t)
+	q := Query{Clause: Clause{Permutations: 100}}
+
+	const goroutines = 12
+	var wg sync.WaitGroup
+	var evaluations, hits, coalesced atomic.Int64
+	start := make(chan struct{})
+	results := make([][]Relationship, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			rels, stats, err := f.Query(q)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[g] = rels
+			if stats.CacheHit {
+				hits.Add(1)
+				if stats.Coalesced {
+					coalesced.Add(1)
+				}
+			} else {
+				evaluations.Add(1)
+			}
+		}(g)
+	}
+	close(start)
+	wg.Wait()
+	if n := evaluations.Load(); n != 1 {
+		t.Errorf("evaluations = %d, want exactly 1 (singleflight)", n)
+	}
+	if n := hits.Load(); n != goroutines-1 {
+		t.Errorf("cache hits = %d, want %d", n, goroutines-1)
+	}
+	t.Logf("hits=%d coalesced=%d", hits.Load(), coalesced.Load())
+	for g := 1; g < goroutines; g++ {
+		if !reflect.DeepEqual(results[g], results[0]) {
+			t.Fatalf("goroutine %d saw a different result set", g)
+		}
+	}
+}
+
+// TestQuerySignatureCanonicalisation: permuted clause spellings of the
+// same query must share one cache entry.
+func TestQuerySignatureCanonicalisation(t *testing.T) {
+	r1 := Resolution{Spatial: spatial.City, Temporal: temporal.Hour}
+	r2 := Resolution{Spatial: spatial.City, Temporal: temporal.Week}
+	a := querySignature([]string{"b", "a", "a"}, []string{"c"}, Clause{
+		Classes:     []feature.Class{feature.Extreme, feature.Salient},
+		Resolutions: []Resolution{r2, r1, r2},
+	})
+	b := querySignature([]string{"a", "b"}, []string{"c", "c"}, Clause{
+		Classes:     nil, // nil means both classes: same canonical form
+		Resolutions: []Resolution{r1, r2},
+	})
+	if a != b {
+		t.Errorf("equivalent queries got different signatures:\n%s\n%s", a, b)
+	}
+	c := querySignature([]string{"a", "b"}, []string{"c"}, Clause{
+		Classes:     []feature.Class{feature.Salient},
+		Resolutions: []Resolution{r1, r2},
+	})
+	if a == c {
+		t.Error("different class filters must not share a signature")
+	}
+	d := querySignature([]string{"a"}, []string{"c"}, Clause{Resolutions: []Resolution{r1, r2}})
+	if a == d {
+		t.Error("different sources must not share a signature")
+	}
+
+	// End to end: the permuted spelling is a cache hit.
+	f := stressFW(t)
+	q1 := Query{Sources: []string{"wind", "trips"}, Clause: Clause{
+		Permutations: 30,
+		Classes:      []feature.Class{feature.Salient, feature.Extreme},
+		Resolutions:  []Resolution{r1, r2},
+	}}
+	if _, stats, err := f.Query(q1); err != nil || stats.CacheHit {
+		t.Fatalf("first query: err=%v cacheHit=%v", err, stats.CacheHit)
+	}
+	q2 := Query{Sources: []string{"trips", "wind", "wind"}, Clause: Clause{
+		Permutations: 30,
+		Classes:      []feature.Class{feature.Extreme, feature.Salient},
+		Resolutions:  []Resolution{r2, r1},
+	}}
+	if _, stats, err := f.Query(q2); err != nil || !stats.CacheHit {
+		t.Errorf("permuted spelling should hit the cache: err=%v stats=%+v", err, stats)
+	}
+}
+
+// TestSkipSignificanceStats: with SkipSignificance no pair passes a
+// significance test, so Significant must be 0 and Kept counts the returned
+// candidates; without it the two counters agree.
+func TestSkipSignificanceStats(t *testing.T) {
+	f := stressFW(t)
+	rels, stats, err := f.Query(Query{Clause: Clause{SkipSignificance: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Significant != 0 {
+		t.Errorf("SkipSignificance: Significant = %d, want 0 (no test ran)", stats.Significant)
+	}
+	if stats.Kept != len(rels) {
+		t.Errorf("Kept = %d, want %d (len of result)", stats.Kept, len(rels))
+	}
+	if len(rels) == 0 {
+		t.Fatal("expected candidate relationships")
+	}
+	rels2, stats2, err := f.Query(Query{Clause: Clause{Permutations: 30}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.Significant != stats2.Kept || stats2.Kept != len(rels2) {
+		t.Errorf("full test: Significant (%d) and Kept (%d) must both equal len (%d)",
+			stats2.Significant, stats2.Kept, len(rels2))
+	}
+}
+
+// TestConcurrentMonteCarloParity: a framework configured with many workers
+// over a tiny plan hands spare cores to the Monte Carlo test; p-values must
+// equal the single-worker framework's exactly.
+func TestConcurrentMonteCarloParity(t *testing.T) {
+	build := func(workers int) *Framework {
+		f, err := New(Options{City: testCity(t), Workers: workers, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wind, trips := plantedPair(10, randomHours(17, 40), nil)
+		for _, e := range []error{f.AddDataset(wind), f.AddDataset(trips)} {
+			if e != nil {
+				t.Fatal(e)
+			}
+		}
+		if _, err := f.BuildIndex(); err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	q := Query{Clause: Clause{
+		Permutations: 400,
+		Resolutions:  []Resolution{{Spatial: spatial.City, Temporal: temporal.Hour}},
+	}}
+	seq, _, err := build(1).Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, _, err := build(16).Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("worker count changed query results:\nw=1:  %v\nw=16: %v", seq, par)
+	}
+	if len(seq) == 0 {
+		t.Fatal("expected relationships")
+	}
+}

@@ -22,7 +22,9 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -92,8 +94,26 @@ type IndexStats struct {
 }
 
 // Framework is the Data Polygamy engine for one corpus.
+//
+// # Concurrency
+//
+// A Framework separates exclusive (index-mutating) operations from shared
+// (read-only) ones. AddDataset, BuildIndex, and LoadIndex take the state
+// lock exclusively; concurrent readers block until they finish. Once
+// BuildIndex has succeeded, Query, Entries, Datasets, DatasetIndexStats,
+// Graph, NumFunctions, Indexed, and SaveIndex are all safe to call from any
+// number of goroutines: the index, shared timelines, and domain graphs are
+// immutable between builds, and the query cache is guarded by its own mutex
+// with single-flight deduplication — N identical in-flight queries trigger
+// one evaluation, and the other N−1 wait for its result (QueryStats reports
+// those as Coalesced cache hits).
 type Framework struct {
 	opts Options
+
+	// mu is the state lock: AddDataset, BuildIndex, and LoadIndex hold it
+	// exclusively; every read path (including the whole of Query) shares
+	// it. Fields below mu are written only under the exclusive lock.
+	mu sync.RWMutex
 
 	datasets map[string]*dataset.Dataset
 	order    []string
@@ -108,7 +128,13 @@ type Framework struct {
 	index *Index
 	built bool // BuildIndex or LoadIndex has succeeded at least once
 
-	cache map[string]*cachedResult
+	// cacheMu guards cache and inflight. It nests inside mu (Query touches
+	// it while holding the read lock) and is never held across a query
+	// evaluation: an in-flight leader publishes its result through the
+	// call's done channel, so waiters block on the channel, not the mutex.
+	cacheMu  sync.Mutex
+	cache    map[string]*cachedResult
+	inflight map[string]*inflightQuery
 }
 
 // New creates a framework over the given city.
@@ -139,7 +165,16 @@ func New(opts Options) (*Framework, error) {
 		timelines: make(map[temporal.Resolution]*temporal.Timeline),
 		graphs:    make(map[Resolution]*stgraph.Graph),
 		cache:     make(map[string]*cachedResult),
+		inflight:  make(map[string]*inflightQuery),
 	}, nil
+}
+
+// workers returns the effective worker-pool size.
+func (f *Framework) workers() int {
+	if f.opts.Workers <= 0 {
+		return runtime.NumCPU()
+	}
+	return f.opts.Workers
 }
 
 // AddDataset registers a data set with the corpus. Adding after BuildIndex
@@ -149,10 +184,16 @@ func New(opts Options) (*Framework, error) {
 // timeline and forces a full rebuild. Cached query results that involve the
 // new data set (none can, for a genuinely new name) are invalidated; the
 // rest stay valid.
+//
+// AddDataset takes the state lock exclusively: it blocks until in-flight
+// reads drain and must not be interleaved with them from the caller's side
+// (see the Framework concurrency contract).
 func (f *Framework) AddDataset(d *dataset.Dataset) error {
 	if err := d.Validate(); err != nil {
 		return err
 	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if _, dup := f.datasets[d.Name]; dup {
 		return fmt.Errorf("core: duplicate dataset %q", d.Name)
 	}
@@ -180,16 +221,21 @@ func (f *Framework) AddDataset(d *dataset.Dataset) error {
 }
 
 // resetIndex drops all derived state: index entries, shared timelines and
-// graphs, and the query cache. The registered data sets are kept.
+// graphs, and the query cache. The registered data sets are kept. The
+// caller must hold the state lock exclusively.
 func (f *Framework) resetIndex() {
 	f.index = newIndex()
 	f.timelines = make(map[temporal.Resolution]*temporal.Timeline)
 	f.graphs = make(map[Resolution]*stgraph.Graph)
+	f.cacheMu.Lock()
 	f.cache = make(map[string]*cachedResult)
+	f.cacheMu.Unlock()
 }
 
 // Datasets returns the registered data set names in insertion order.
 func (f *Framework) Datasets() []string {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	return append([]string{}, f.order...)
 }
 
@@ -269,7 +315,13 @@ type funcTask struct {
 // merge-tree indexing, so the corpus of raw functions is never materialised
 // at a phase barrier (peak memory is bounded by the worker count, not the
 // corpus size).
+//
+// BuildIndex takes the state lock exclusively; reads started afterwards
+// observe either the previous or the fully built index, never a partial
+// one.
 func (f *Framework) BuildIndex() (IndexStats, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	var stats IndexStats
 	stats.Datasets = len(f.order)
 	todo := f.unindexed()
@@ -354,30 +406,46 @@ func (f *Framework) BuildIndex() (IndexStats, error) {
 	return stats, nil
 }
 
+// indexedLocked reports whether the index covers every registered data
+// set. The caller must hold the state lock (shared or exclusive).
+func (f *Framework) indexedLocked() bool { return f.built && len(f.unindexed()) == 0 }
+
 // Indexed reports whether the index covers every registered data set.
-func (f *Framework) Indexed() bool { return f.built && len(f.unindexed()) == 0 }
+func (f *Framework) Indexed() bool {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.indexedLocked()
+}
 
 // Entries returns the indexed function entries of a data set at a
 // resolution (nil when absent).
 func (f *Framework) Entries(ds string, res Resolution) []*FunctionEntry {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	return f.index.at(ds, res)
 }
 
 // DatasetIndexStats returns the per-data-set index statistics, reporting
 // ok = false for data sets that are not (yet) indexed.
 func (f *Framework) DatasetIndexStats(ds string) (DatasetStats, bool) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	return f.index.datasetStats(ds)
 }
 
 // Graph returns the shared domain graph at res, if one was built during
 // indexing.
 func (f *Framework) Graph(res Resolution) (*stgraph.Graph, bool) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	g, ok := f.graphs[res]
 	return g, ok
 }
 
 // NumFunctions returns the total number of indexed scalar functions.
 func (f *Framework) NumFunctions() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	return f.index.numFunctions()
 }
 

@@ -143,6 +143,11 @@ type DatasetStats struct {
 // Index stores the feature entries of every indexed function. It supports
 // incremental growth: entries are added per data set, and a data set can be
 // dropped and re-added without touching the others.
+//
+// An Index is not internally synchronised: it mutates only during
+// BuildIndex/LoadIndex, which hold the Framework's state lock exclusively,
+// and is immutable — safe for lock-free concurrent reads — between builds
+// (see the Framework concurrency contract).
 type Index struct {
 	// entries[dataset][Resolution] -> function entries at that resolution,
 	// sorted by Key within each resolution.

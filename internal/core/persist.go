@@ -79,7 +79,9 @@ const snapshotVersion = 1
 // indexed function) to w. The corpus data itself is not stored; LoadIndex
 // requires the same data sets to be registered.
 func (f *Framework) SaveIndex(w io.Writer) error {
-	if !f.Indexed() {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if !f.indexedLocked() {
 		return fmt.Errorf("core: SaveIndex requires a built index")
 	}
 	snap := indexSnapshot{
@@ -132,7 +134,11 @@ func (f *Framework) SaveIndex(w io.Writer) error {
 // LoadIndex restores an index previously written with SaveIndex. The
 // framework must have the same data sets registered (names and corpus time
 // range are verified); domain graphs are rebuilt from the city.
+//
+// LoadIndex takes the state lock exclusively, like BuildIndex.
 func (f *Framework) LoadIndex(r io.Reader) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	var snap indexSnapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return fmt.Errorf("core: decoding index: %w", err)
@@ -189,6 +195,8 @@ func (f *Framework) LoadIndex(r io.Reader) error {
 	}
 	f.index = ix
 	f.built = true
+	f.cacheMu.Lock()
 	f.cache = make(map[string]*cachedResult)
+	f.cacheMu.Unlock()
 	return nil
 }

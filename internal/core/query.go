@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 	"time"
@@ -82,9 +83,14 @@ type QueryStats struct {
 	PairsConsidered int // candidate (function, function, resolution, class) tuples
 	Pruned          int // candidates the planner skipped without evaluation
 	Evaluated       int // pairs with any feature relation
-	Significant     int // pairs passing the significance test
+	Significant     int // pairs passing the significance test (0 under SkipSignificance)
+	Kept            int // relationships returned (== Significant unless SkipSignificance)
 	CacheHit        bool
-	Duration        time.Duration
+	// Coalesced marks a cache hit that was deduplicated against an
+	// identical in-flight query: this caller waited for the concurrent
+	// evaluation instead of starting its own.
+	Coalesced bool
+	Duration  time.Duration
 }
 
 // cachedResult is one memoised query: its relationships, the stats of the
@@ -96,10 +102,24 @@ type cachedResult struct {
 	involved map[string]bool
 }
 
+// inflightQuery is one query evaluation being deduplicated (singleflight):
+// the first caller with a signature becomes the leader and evaluates;
+// concurrent callers with the same signature block on done and read the
+// result fields afterwards.
+type inflightQuery struct {
+	done  chan struct{}
+	rels  []Relationship
+	stats QueryStats
+	err   error
+}
+
 // invalidateCacheInvolving drops cached results that involve any of the
 // named data sets, leaving the rest valid. Incremental indexing calls this
-// with the newly indexed names.
+// with the newly indexed names; the caller holds the state lock
+// exclusively, so no query is in flight.
 func (f *Framework) invalidateCacheInvolving(names ...string) {
+	f.cacheMu.Lock()
+	defer f.cacheMu.Unlock()
 	for sig, c := range f.cache {
 		for _, n := range names {
 			if c.involved[n] {
@@ -112,10 +132,19 @@ func (f *Framework) invalidateCacheInvolving(names ...string) {
 
 // Query runs the relationship operator and returns the statistically
 // significant relationships satisfying the clause, together with stats.
-// Results are cached per query signature (Appendix C).
+// Results are cached per canonicalised query signature (Appendix C), and
+// identical concurrent queries are deduplicated: one evaluates, the rest
+// wait for its result. Query is safe to call from many goroutines once
+// BuildIndex has succeeded; see the Framework concurrency contract.
+//
+// Callers must not mutate the returned slice: it is shared with the cache
+// and with concurrent callers of the same query.
 func (f *Framework) Query(q Query) ([]Relationship, QueryStats, error) {
+	t0 := time.Now()
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	var stats QueryStats
-	if !f.Indexed() {
+	if !f.indexedLocked() {
 		return nil, stats, fmt.Errorf("core: BuildIndex must run before Query")
 	}
 	sources := q.Sources
@@ -131,29 +160,100 @@ func (f *Framework) Query(q Query) ([]Relationship, QueryStats, error) {
 			return nil, stats, fmt.Errorf("core: unknown dataset %q", n)
 		}
 	}
-	t0 := time.Now()
 	sig := querySignature(sources, targets, q.Clause)
+
+	f.cacheMu.Lock()
 	if c, ok := f.cache[sig]; ok {
+		f.cacheMu.Unlock()
 		stats = c.stats
 		stats.CacheHit = true
 		stats.Duration = time.Since(t0)
 		return c.rels, stats, nil
 	}
+	if call, ok := f.inflight[sig]; ok {
+		// An identical query is being evaluated right now: wait for the
+		// leader instead of duplicating the work. The leader cannot be
+		// blocked by us — it only needs the shared state lock (already
+		// held by both) and cacheMu, which we release here.
+		f.cacheMu.Unlock()
+		<-call.done
+		if call.err != nil {
+			return nil, stats, call.err
+		}
+		stats = call.stats
+		stats.CacheHit = true
+		stats.Coalesced = true
+		stats.Duration = time.Since(t0)
+		return call.rels, stats, nil
+	}
+	call := &inflightQuery{done: make(chan struct{})}
+	f.inflight[sig] = call
+	f.cacheMu.Unlock()
 
-	classes := q.Clause.Classes
+	// The leader must release its waiters even if evaluation panics (a
+	// recovered handler goroutine must not wedge the signature forever):
+	// publication and inflight cleanup run in a defer, and a panic turns
+	// into an error for the waiters while still propagating here.
+	var (
+		rels      []Relationship
+		rstats    QueryStats
+		err       error
+		completed bool
+	)
+	defer func() {
+		if !completed && err == nil {
+			err = fmt.Errorf("core: query evaluation panicked")
+		}
+		call.rels, call.stats, call.err = rels, rstats, err
+		f.cacheMu.Lock()
+		delete(f.inflight, sig)
+		if completed && err == nil {
+			involved := make(map[string]bool, len(sources)+len(targets))
+			for _, n := range sources {
+				involved[n] = true
+			}
+			for _, n := range targets {
+				involved[n] = true
+			}
+			f.cache[sig] = &cachedResult{rels: rels, stats: rstats, involved: involved}
+		}
+		f.cacheMu.Unlock()
+		close(call.done)
+	}()
+	rels, rstats, err = f.evaluateQuery(sources, targets, q.Clause, t0)
+	completed = true
+	return rels, rstats, err
+}
+
+// evaluateQuery plans and executes one relationship query (the leader path
+// of Query). The caller holds the shared state lock.
+func (f *Framework) evaluateQuery(sources, targets []string, clause Clause, t0 time.Time) ([]Relationship, QueryStats, error) {
+	var stats QueryStats
+	classes := clause.Classes
 	if classes == nil {
 		classes = []feature.Class{feature.Salient, feature.Extreme}
 	}
 
 	// Planner: enumerate and prune candidate tuples (map phase of job 3).
-	plan := f.plan(sources, targets, q.Clause, classes)
+	plan := f.plan(sources, targets, clause, classes)
 	stats.PairsConsidered = plan.considered
 	stats.Pruned = plan.pruned
+
+	// When the plan has fewer tasks than workers, the per-pair pool alone
+	// cannot saturate the machine: hand the spare parallelism down to each
+	// pair's Monte Carlo test. Chunked per-seed permutation streams keep
+	// the p-values byte-identical to a sequential run.
+	mcWorkers := 1
+	if n := len(plan.tasks); n > 0 {
+		if w := f.workers() / n; w > mcWorkers {
+			mcWorkers = w
+		}
+	}
 
 	// Reduce phase of job 3: evaluate each surviving candidate.
 	results, err := mapreduce.ForEach(mapreduce.Config{Workers: f.opts.Workers}, plan.tasks,
 		func(t pairTask) (*Relationship, error) {
-			return f.evaluatePair(t, q.Clause)
+			return f.evaluatePair(t, clause, mcWorkers)
 		})
 	if err != nil {
 		return nil, stats, err
@@ -164,8 +264,11 @@ func (f *Framework) Query(q Query) ([]Relationship, QueryStats, error) {
 			continue
 		}
 		stats.Evaluated++
-		if r.Significant || q.Clause.SkipSignificance {
+		if r.Significant {
 			stats.Significant++
+		}
+		if r.Significant || clause.SkipSignificance {
+			stats.Kept++
 			out = append(out, *r)
 		}
 	}
@@ -179,21 +282,15 @@ func (f *Framework) Query(q Query) ([]Relationship, QueryStats, error) {
 		return out[i].Class < out[j].Class
 	})
 	stats.Duration = time.Since(t0)
-	involved := make(map[string]bool, len(sources)+len(targets))
-	for _, n := range sources {
-		involved[n] = true
-	}
-	for _, n := range targets {
-		involved[n] = true
-	}
-	f.cache[sig] = &cachedResult{rels: out, stats: stats, involved: involved}
 	return out, stats, nil
 }
 
 // evaluatePair computes measures for one candidate pair and applies clause
 // filters plus the significance test. It returns nil when the pair has no
-// feature relations or fails a filter.
-func (f *Framework) evaluatePair(t pairTask, clause Clause) (*Relationship, error) {
+// feature relations or fails a filter. mcWorkers goroutines evaluate the
+// Monte Carlo permutation chunks (1 = sequential; the p-value is identical
+// either way).
+func (f *Framework) evaluatePair(t pairTask, clause Clause, mcWorkers int) (*Relationship, error) {
 	s1, s2 := t.e1.set(t.class), t.e2.set(t.class)
 	all1, all2 := t.e1.union(t.class), t.e2.union(t.class)
 	sigma := t.sigma
@@ -233,6 +330,7 @@ func (f *Framework) evaluatePair(t pairTask, clause Clause) (*Relationship, erro
 		Alpha:        clause.Alpha,
 		Seed:         t.seed,
 		Kind:         clause.TestKind,
+		Workers:      mcWorkers,
 	})
 	rel.PValue = res.PValue
 	rel.Significant = res.Significant
@@ -252,12 +350,53 @@ func intersectResolutions(a, b []Resolution) []Resolution {
 	return out
 }
 
+// querySignature canonicalises a query into its cache key: name lists are
+// sorted and deduplicated, clause class and resolution lists likewise, and
+// nil Classes is expanded to its default so that every spelling of the same
+// query — [Salient, Extreme] vs [Extreme, Salient] vs nil, duplicated data
+// set names, permuted resolutions — hits the same cache entry.
 func querySignature(sources, targets []string, c Clause) string {
-	s := append([]string{}, sources...)
-	t := append([]string{}, targets...)
-	sort.Strings(s)
-	sort.Strings(t)
-	return fmt.Sprintf("s=%s|t=%s|c=%+v", strings.Join(s, ","), strings.Join(t, ","), c)
+	classes := c.Classes
+	if classes == nil {
+		classes = []feature.Class{feature.Salient, feature.Extreme}
+	}
+	cls := append([]feature.Class{}, classes...)
+	sort.Slice(cls, func(i, j int) bool { return cls[i] < cls[j] })
+	cls = slices.Compact(cls)
+	clsParts := make([]string, len(cls))
+	for i, cl := range cls {
+		clsParts[i] = cl.String()
+	}
+
+	// nil Resolutions means "every common resolution of each pair", which
+	// cannot be expanded here; it keeps its own marker.
+	resStr := "all"
+	if c.Resolutions != nil {
+		rs := append([]Resolution{}, c.Resolutions...)
+		sort.Slice(rs, func(i, j int) bool {
+			if rs[i].Spatial != rs[j].Spatial {
+				return rs[i].Spatial < rs[j].Spatial
+			}
+			return rs[i].Temporal < rs[j].Temporal
+		})
+		rs = slices.Compact(rs)
+		parts := make([]string, len(rs))
+		for i, r := range rs {
+			parts[i] = r.String()
+		}
+		resStr = strings.Join(parts, ";")
+	}
+	return fmt.Sprintf("s=%s|t=%s|score=%g|strength=%g|alpha=%g|perms=%d|skip=%t|kind=%d|noprune=%t|classes=%s|res=%s",
+		strings.Join(dedupeSorted(sources), ","), strings.Join(dedupeSorted(targets), ","),
+		c.MinScore, c.MinStrength, c.Alpha, c.Permutations, c.SkipSignificance,
+		c.TestKind, c.DisablePruning, strings.Join(clsParts, ";"), resStr)
+}
+
+// dedupeSorted returns a sorted copy of names with duplicates removed.
+func dedupeSorted(names []string) []string {
+	out := append([]string{}, names...)
+	sort.Strings(out)
+	return slices.Compact(out)
 }
 
 func abs(v float64) float64 {

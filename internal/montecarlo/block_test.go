@@ -67,6 +67,43 @@ func TestBlockRespectsRuns(t *testing.T) {
 	}
 }
 
+// TestBlockStepPermBijection: the temporal block permutation must be a
+// bijection over the steps even when nSteps is not divisible by the block
+// length — the short tail block must not wrap onto steps owned by another
+// block (the old % nSteps fallback collided there and biased the null
+// distribution).
+func TestBlockStepPermBijection(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, nSteps := range []int{10, 11, 97, 100, 101, 499, 500, 501, 5000, 5003} {
+		l := blockLength(nSteps)
+		nBlocks := (nSteps + l - 1) / l
+		for trial := 0; trial < 20; trial++ {
+			sp := blockStepPerm(nSteps, l, rng.Perm(nBlocks))
+			if len(sp) != nSteps {
+				t.Fatalf("nSteps=%d: len(stepPerm) = %d", nSteps, len(sp))
+			}
+			if !isBijection(sp) {
+				t.Fatalf("nSteps=%d l=%d: block step permutation is not a bijection", nSteps, l)
+			}
+		}
+	}
+}
+
+// TestBlockStepPermKeepsBlocksIntact: within a block, consecutive steps
+// stay consecutive (the point of block permutation: preserve within-block
+// dependence).
+func TestBlockStepPermKeepsBlocksIntact(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	nSteps, l := 103, blockLength(103)
+	nBlocks := (nSteps + l - 1) / l
+	sp := blockStepPerm(nSteps, l, rng.Perm(nBlocks))
+	for s := 0; s+1 < nSteps; s++ {
+		if s/l == (s+1)/l && sp[s+1] != sp[s]+1 {
+			t.Fatalf("steps %d,%d share block %d but map to %d,%d", s, s+1, s/l, sp[s], sp[s+1])
+		}
+	}
+}
+
 // TestBlockIsBijectionOnFeatures: a block permutation must not lose or
 // duplicate feature mass (total visited relations conserve set sizes).
 func TestBlockSigmaInRange(t *testing.T) {

@@ -22,6 +22,7 @@ package montecarlo
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"github.com/urbandata/datapolygamy/internal/feature"
 	"github.com/urbandata/datapolygamy/internal/stgraph"
@@ -80,6 +81,13 @@ type Config struct {
 	Alpha        float64 // significance level; 0 => DefaultAlpha
 	Seed         int64   // RNG seed for reproducibility
 	Kind         Kind    // Restricted or Standard
+
+	// Workers is the number of goroutines evaluating permutation chunks;
+	// <= 1 runs sequentially. The permutations are partitioned into
+	// fixed-size chunks whose RNGs are seeded deterministically from Seed
+	// and the chunk index, so the Result is byte-identical for every
+	// Workers value (including the sequential path).
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -216,6 +224,62 @@ func shiftedTau(a *feature.Set, pos2, neg2 []int, sigma func(v int) int) float64
 	return float64(p-n) / float64(sigmaBoth)
 }
 
+// permChunk is the number of randomizations per independently seeded chunk.
+// Chunking is a function of Permutations alone — never of Workers — so the
+// sequential and parallel paths evaluate identical RNG streams and produce
+// byte-identical p-values.
+const permChunk = 50
+
+// chunkSeed derives the RNG seed of one permutation chunk from the test
+// seed (a splitmix64 step keyed by the chunk index, so chunk streams are
+// decorrelated even for adjacent seeds).
+func chunkSeed(seed int64, chunk int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(chunk+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// splitmix is a splitmix64 rand.Source64. Seeding is constant-time, which
+// matters here: every permutation chunk gets a fresh RNG, and the standard
+// library's default source pays a 607-word warm-up per seed — measurably
+// slowing a 20-chunk test down.
+type splitmix struct{ state uint64 }
+
+func (s *splitmix) Seed(seed int64) { s.state = uint64(seed) }
+
+func (s *splitmix) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *splitmix) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+// blockStepPerm builds the temporal bijection of one Block randomization:
+// the blocks [b*l, (b+1)*l) are laid out consecutively in the order given
+// by blockPerm, so when nSteps is not divisible by l the short tail block
+// simply occupies fewer output steps instead of wrapping onto steps owned
+// by another block. The result maps old step -> new step and is always a
+// bijection over [0, nSteps).
+func blockStepPerm(nSteps, l int, blockPerm []int) []int {
+	sp := make([]int, nSteps)
+	pos := 0
+	for _, b := range blockPerm {
+		end := (b + 1) * l
+		if end > nSteps {
+			end = nSteps
+		}
+		for s := b * l; s < end; s++ {
+			sp[s] = pos
+			pos++
+		}
+	}
+	return sp
+}
+
 // Test runs the Monte Carlo significance test for the relationship between
 // two feature sets on the shared domain graph g, given the observed score
 // tauObserved.
@@ -225,55 +289,115 @@ func shiftedTau(a *feature.Set, pos2, neg2 []int, sigma func(v int) int) float64
 // additionally rotated to respect temporal wrap-around. For pure time
 // series (one region), only the circular time rotation is used.
 // Standard mode permutes all vertices uniformly.
+//
+// The randomizations run in fixed-size chunks with per-chunk deterministic
+// seeds; Config.Workers spreads the chunks over goroutines without changing
+// the result (see Config).
 func Test(a, b *feature.Set, g *stgraph.Graph, tauObserved float64, cfg Config) Result {
 	cfg = cfg.withDefaults()
 	if a.NumVertices() != g.NumVertices() || b.NumVertices() != g.NumVertices() {
 		panic(fmt.Sprintf("montecarlo: feature sets (%d, %d vertices) do not match graph (%d)",
 			a.NumVertices(), b.NumVertices(), g.NumVertices()))
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	pos2 := b.Positive.Ones()
-	neg2 := b.Negative.Ones()
-
-	nRegions := g.NumRegions()
-	nSteps := g.NumSteps()
-	nVerts := g.NumVertices()
 	if tauObserved == 0 {
 		return Result{PValue: 1, Significant: false, TauObserved: 0, Shifts: cfg.Permutations}
 	}
+	run := &testRun{
+		a:    a,
+		pos2: b.Positive.Ones(),
+		neg2: b.Negative.Ones(),
+		g:    g,
+		tau:  tauObserved,
+		cfg:  cfg,
+	}
+	nChunks := (cfg.Permutations + permChunk - 1) / permChunk
+	counts := make([]int, nChunks)
+	if w := min(cfg.Workers, nChunks); w > 1 {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for wi := 0; wi < w; wi++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for ci := range idx {
+					counts[ci] = run.chunk(ci)
+				}
+			}()
+		}
+		for ci := range counts {
+			idx <- ci
+		}
+		close(idx)
+		wg.Wait()
+	} else {
+		for ci := range counts {
+			counts[ci] = run.chunk(ci)
+		}
+	}
+	extreme := 0
+	for _, c := range counts {
+		extreme += c
+	}
+	p := float64(1+extreme) / float64(1+cfg.Permutations)
+	return Result{
+		PValue:      p,
+		Significant: p <= cfg.Alpha,
+		TauObserved: tauObserved,
+		Shifts:      cfg.Permutations,
+	}
+}
 
+// testRun carries the immutable inputs of one significance test across its
+// permutation chunks. The chunk body is a top-level method (not a closure
+// inside Test) so the hot sigma closures stay shallow enough for the
+// compiler to keep inlining Graph.Vertex/RegionStep.
+type testRun struct {
+	a          *feature.Set
+	pos2, neg2 []int
+	g          *stgraph.Graph
+	tau        float64
+	cfg        Config
+}
+
+// chunk counts the extreme randomizations among permutation indices
+// [ci*permChunk, min((ci+1)*permChunk, |m|)) using the chunk's own
+// deterministically seeded RNG.
+func (t *testRun) chunk(ci int) int {
+	rng := rand.New(&splitmix{state: uint64(chunkSeed(t.cfg.Seed, ci))})
+	g := t.g
+	nRegions := g.NumRegions()
+	nSteps := g.NumSteps()
+	nVerts := g.NumVertices()
+	n := t.cfg.Permutations - ci*permChunk
+	if n > permChunk {
+		n = permChunk
+	}
 	extreme := 0
 	var fullPerm []int // reused for Standard mode
-	for k := 0; k < cfg.Permutations; k++ {
+	for k := 0; k < n; k++ {
 		var sigma func(v int) int
-		switch cfg.Kind {
+		switch t.cfg.Kind {
 		case Standard:
 			if fullPerm == nil {
 				fullPerm = make([]int, nVerts)
 			}
-			p := rng.Perm(nVerts)
-			copy(fullPerm, p)
+			copy(fullPerm, rng.Perm(nVerts))
 			perm := fullPerm
 			sigma = func(v int) int { return perm[v] }
 		case Block:
 			l := blockLength(nSteps)
 			nBlocks := (nSteps + l - 1) / l
-			blockPerm := rng.Perm(nBlocks)
+			stepPerm := blockStepPerm(nSteps, l, rng.Perm(nBlocks))
 			var spatPerm []int
 			if nRegions > 1 {
 				spatPerm = ToroidalShift(g.SpatialAdjacency(), rng)
 			}
 			sigma = func(v int) int {
 				r, s := g.RegionStep(v)
-				b, o := s/l, s%l
-				ns := blockPerm[b]*l + o
-				if ns >= nSteps {
-					ns = ns % nSteps
-				}
 				if spatPerm != nil {
 					r = spatPerm[r]
 				}
-				return g.Vertex(r, ns)
+				return g.Vertex(r, stepPerm[s])
 			}
 		default: // Restricted
 			rot := 0
@@ -293,16 +417,10 @@ func Test(a, b *feature.Set, g *stgraph.Graph, tauObserved float64, cfg Config) 
 				}
 			}
 		}
-		tauK := shiftedTau(a, pos2, neg2, sigma)
-		if (tauObserved < 0 && tauK <= tauObserved) || (tauObserved > 0 && tauK >= tauObserved) {
+		tauK := shiftedTau(t.a, t.pos2, t.neg2, sigma)
+		if (t.tau < 0 && tauK <= t.tau) || (t.tau > 0 && tauK >= t.tau) {
 			extreme++
 		}
 	}
-	p := float64(1+extreme) / float64(1+cfg.Permutations)
-	return Result{
-		PValue:      p,
-		Significant: p <= cfg.Alpha,
-		TauObserved: tauObserved,
-		Shifts:      cfg.Permutations,
-	}
+	return extreme
 }

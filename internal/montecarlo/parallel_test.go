@@ -1,0 +1,86 @@
+package montecarlo
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/urbandata/datapolygamy/internal/bitvec"
+	"github.com/urbandata/datapolygamy/internal/feature"
+	"github.com/urbandata/datapolygamy/internal/stgraph"
+)
+
+// spatialSets builds a pair of overlapping mixed-sign feature sets over a
+// multi-region space-time graph.
+func spatialSets(rng *rand.Rand, nVerts int) (*feature.Set, *feature.Set) {
+	mk := func() *feature.Set {
+		return &feature.Set{Positive: bitvec.New(nVerts), Negative: bitvec.New(nVerts)}
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 60; i++ {
+		v := rng.Intn(nVerts)
+		a.Positive.Set(v)
+		b.Positive.Set(v)
+		w := rng.Intn(nVerts)
+		a.Negative.Set(w)
+		b.Negative.Set(w)
+	}
+	return a, b
+}
+
+// TestParallelParity: the parallel test must produce byte-identical results
+// to the sequential path for every worker count, every kind, and both
+// chunk-aligned and ragged permutation counts. This is the contract that
+// lets the query layer hand spare cores to the Monte Carlo test without
+// perturbing p-values.
+func TestParallelParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	n := 1500
+	var pos, neg []int
+	for i := 0; i < 60; i++ {
+		pos = append(pos, rng.Intn(n))
+		neg = append(neg, rng.Intn(n))
+	}
+	a, b, g := mkSets(t, n, pos, neg, pos, neg)
+
+	// A spatial variant exercises the ToroidalShift path too.
+	gs, err := stgraph.New(25, 64, grid(5, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, bs := spatialSets(rng, gs.NumVertices())
+
+	for _, kind := range []Kind{Restricted, Standard, Block} {
+		for _, perms := range []int{1, 49, 50, 51, 100, 237, 1000} {
+			seq := Test(a, b, g, 0.8, Config{Permutations: perms, Seed: 7, Kind: kind, Workers: 1})
+			for _, w := range []int{0, 2, 4, 8, 16} {
+				par := Test(a, b, g, 0.8, Config{Permutations: perms, Seed: 7, Kind: kind, Workers: w})
+				if seq != par {
+					t.Errorf("kind=%v perms=%d workers=%d: parallel %+v != sequential %+v",
+						kind, perms, w, par, seq)
+				}
+			}
+			// Spatial domain (multi-region sigma construction).
+			seqS := Test(as, bs, gs, 0.5, Config{Permutations: perms, Seed: 11, Kind: kind, Workers: 1})
+			parS := Test(as, bs, gs, 0.5, Config{Permutations: perms, Seed: 11, Kind: kind, Workers: 8})
+			if seqS != parS {
+				t.Errorf("spatial kind=%v perms=%d: parallel %+v != sequential %+v",
+					kind, perms, parS, seqS)
+			}
+		}
+	}
+}
+
+// TestChunkSeedDistinct: chunk seeds must differ across chunks and base
+// seeds (no stream reuse between chunks).
+func TestChunkSeedDistinct(t *testing.T) {
+	seen := map[int64]bool{}
+	for _, seed := range []int64{0, 1, 2, -5, 1 << 40} {
+		for ci := 0; ci < 64; ci++ {
+			s := chunkSeed(seed, ci)
+			if seen[s] {
+				t.Fatalf("duplicate chunk seed %d (seed=%d chunk=%d)", s, seed, ci)
+			}
+			seen[s] = true
+		}
+	}
+}

@@ -43,6 +43,13 @@ import (
 )
 
 // Framework is the Data Polygamy engine for one corpus of data sets.
+//
+// Once BuildIndex has succeeded, Query and every other read method are
+// safe for concurrent use from any number of goroutines; AddDataset,
+// BuildIndex, and LoadIndex take the framework's state lock exclusively.
+// Identical concurrent queries are deduplicated: one evaluation runs and
+// the other callers wait for its result (QueryStats.Coalesced). See the
+// core.Framework documentation for the full concurrency contract.
 type Framework = core.Framework
 
 // Options configures a Framework.
@@ -131,6 +138,10 @@ type TestKind = montecarlo.Kind
 const (
 	RestrictedTest = montecarlo.Restricted
 	StandardTest   = montecarlo.Standard
+	// BlockTest permutes whole temporal blocks (the block-bootstrap family
+	// the paper cites): within-block dependence is preserved, long-range
+	// alignment is broken.
+	BlockTest = montecarlo.Block
 )
 
 // ScalarKind distinguishes density, unique, and attribute functions.
