@@ -289,6 +289,33 @@ func BenchmarkFigure9QueryRate(b *testing.B) {
 	}
 }
 
+// BenchmarkRelGraphBuild measures materializing the corpus-wide
+// relationship graph (internal/relgraph): every data set pair planned,
+// pruned, evaluated, and significance-tested at (week, city), then
+// assembled into the adjacency structure.
+func BenchmarkRelGraphBuild(b *testing.B) {
+	_, _, fw := benchSetup(b)
+	clause := core.Clause{
+		Permutations: 100,
+		Resolutions:  []core.Resolution{{Spatial: spatial.City, Temporal: temporal.Week}},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A unique epsilon per build gives each iteration a fresh clause
+		// signature, so the per-pair edge cache cannot short-circuit the
+		// timed build (same trick as the query-rate benchmark).
+		clause.Alpha = 0.05 + float64(benchQuerySeq.Add(1))*1e-9
+		stats, err := fw.BuildGraph(clause)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.PairsComputed != stats.Pairs || stats.Pairs == 0 {
+			b.Fatalf("expected a full build over all pairs, got %+v", stats)
+		}
+	}
+}
+
 // BenchmarkConcurrentCachedQuery measures the concurrent serving hot path:
 // many goroutines hitting one Framework with an identical cached query
 // (what polygamyd serves after warm-up). The singleflight cache must make

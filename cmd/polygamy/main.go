@@ -1,19 +1,28 @@
 // Command polygamy indexes a corpus of CSV data sets and answers
-// relationship queries from the command line.
+// relationship queries — or materializes the corpus-wide relationship
+// graph — from the command line.
 //
 // Usage:
 //
 //	polygamy -data dir/ -sources taxi -min-score 0.6
+//	polygamy -data dir/ -json -min-score 0.6            # machine-readable results
+//	polygamy -data dir/ -graph -graph-format dot        # Graphviz graph export
+//	polygamy -data dir/ -graph -graph-format json       # JSON graph export
 //
 // Each file in the data directory must be a data set in the CSV format of
 // internal/dataset (WriteCSV). The tool builds the merge-tree index over
-// all data sets, runs the relationship operator with the given clause, and
-// prints the statistically significant relationships.
+// all data sets and then either runs the relationship operator with the
+// given clause and prints the statistically significant relationships
+// (human-readable, or JSON with -json), or — with -graph — materializes
+// the relationship graph over every data set pair and writes it to stdout
+// in DOT or JSON form.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -24,77 +33,125 @@ import (
 	"github.com/urbandata/datapolygamy/internal/spatial"
 )
 
+// cliOptions is the flag set of one polygamy invocation.
+type cliOptions struct {
+	dataDir  string
+	queryStr string
+	sources  string
+	targets  string
+	minScore float64
+	minRho   float64
+	perms    int
+	alpha    float64
+	seed     int64
+	grid     int
+	workers  int
+	noPrune  bool
+	stats    bool
+
+	jsonOut     bool   // machine-readable output on stdout
+	graph       bool   // materialize the relationship graph instead of querying
+	graphFormat string // "dot" or "json"
+
+	stdout io.Writer // test seam; os.Stdout in main
+}
+
 func main() {
-	var (
-		dataDir  = flag.String("data", "", "directory of data set CSV files (required)")
-		queryStr = flag.String("query", "", `textual query, e.g. "find relationships between taxi and all where score >= 0.6 at (hour, city)" (overrides the flag-based clause)`)
-		sources  = flag.String("sources", "", "comma-separated source data sets (default: all)")
-		targets  = flag.String("targets", "", "comma-separated target data sets (default: all)")
-		minScore = flag.Float64("min-score", 0, "minimum |tau|")
-		minRho   = flag.Float64("min-strength", 0, "minimum rho")
-		perms    = flag.Int("perms", 1000, "Monte Carlo permutations")
-		alpha    = flag.Float64("alpha", 0.05, "significance level")
-		seed     = flag.Int64("seed", 1, "city / randomization seed")
-		grid     = flag.Int("grid", 96, "synthetic city grid side used to place GPS data")
-		workers  = flag.Int("workers", 0, "worker pool size (0 = NumCPU)")
-		noPrune  = flag.Bool("no-prune", false, "disable the query planner's candidate pruning (results are identical; for verification)")
-		stats    = flag.Bool("stats", false, "print per-data-set index statistics after indexing")
-	)
+	var o cliOptions
+	flag.StringVar(&o.dataDir, "data", "", "directory of data set CSV files (required)")
+	flag.StringVar(&o.queryStr, "query", "", `textual query, e.g. "find relationships between taxi and all where score >= 0.6 at (hour, city)" (overrides the flag-based clause)`)
+	flag.StringVar(&o.sources, "sources", "", "comma-separated source data sets (default: all)")
+	flag.StringVar(&o.targets, "targets", "", "comma-separated target data sets (default: all)")
+	flag.Float64Var(&o.minScore, "min-score", 0, "minimum |tau|")
+	flag.Float64Var(&o.minRho, "min-strength", 0, "minimum rho")
+	flag.IntVar(&o.perms, "perms", 1000, "Monte Carlo permutations")
+	flag.Float64Var(&o.alpha, "alpha", 0.05, "significance level")
+	flag.Int64Var(&o.seed, "seed", 1, "city / randomization seed")
+	flag.IntVar(&o.grid, "grid", 96, "synthetic city grid side used to place GPS data")
+	flag.IntVar(&o.workers, "workers", 0, "worker pool size (0 = NumCPU)")
+	flag.BoolVar(&o.noPrune, "no-prune", false, "disable the query planner's candidate pruning (results are identical; for verification)")
+	flag.BoolVar(&o.stats, "stats", false, "print per-data-set index statistics after indexing")
+	flag.BoolVar(&o.jsonOut, "json", false, "write results to stdout as JSON instead of text")
+	flag.BoolVar(&o.graph, "graph", false, "materialize the corpus-wide relationship graph and export it instead of answering a query")
+	flag.StringVar(&o.graphFormat, "graph-format", "", "graph export format: dot or json (default dot, or json when -json is set)")
 	flag.Parse()
-	if *dataDir == "" {
+	if o.dataDir == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*dataDir, *queryStr, *sources, *targets, *minScore, *minRho, *perms, *alpha, *seed, *grid, *workers, *noPrune, *stats); err != nil {
+	o.stdout = os.Stdout
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "polygamy:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataDir, queryStr, sources, targets string, minScore, minRho float64, perms int, alpha float64, seed int64, grid, workers int, noPrune, showStats bool) error {
+func run(o cliOptions) error {
+	if o.stdout == nil {
+		o.stdout = os.Stdout
+	}
+	if o.graphFormat == "" {
+		// -json asks for machine-readable output; honor it in graph mode.
+		if o.jsonOut {
+			o.graphFormat = "json"
+		} else {
+			o.graphFormat = "dot"
+		}
+	}
+	if o.graphFormat != "dot" && o.graphFormat != "json" {
+		return fmt.Errorf("unknown -graph-format %q (want dot or json)", o.graphFormat)
+	}
+	if o.graph && o.jsonOut && o.graphFormat != "json" {
+		return fmt.Errorf("-json conflicts with -graph-format %s", o.graphFormat)
+	}
 	city, err := spatial.Generate(spatial.Config{
-		Seed: seed, GridW: grid, GridH: grid,
-		Neighborhoods: grid * 3, ZipCodes: grid * 3,
+		Seed: o.seed, GridW: o.grid, GridH: o.grid,
+		Neighborhoods: o.grid * 3, ZipCodes: o.grid * 3,
 	})
 	if err != nil {
 		return err
 	}
-	fw, err := core.New(core.Options{City: city, Workers: workers, Seed: seed})
+	fw, err := core.New(core.Options{City: city, Workers: o.workers, Seed: o.seed})
 	if err != nil {
 		return err
 	}
 	// Parse the query up front so a malformed one fails before the
 	// (potentially long) index build.
 	var q core.Query
-	if queryStr != "" {
-		q, err = queryparse.Parse(queryStr)
+	if o.queryStr != "" {
+		q, err = queryparse.Parse(o.queryStr)
 		if err != nil {
 			return err
 		}
 		if q.Clause.Permutations == 0 {
-			q.Clause.Permutations = perms
+			q.Clause.Permutations = o.perms
 		}
 	} else {
 		q = core.Query{Clause: core.Clause{
-			MinScore:     minScore,
-			MinStrength:  minRho,
-			Permutations: perms,
-			Alpha:        alpha,
+			MinScore:     o.minScore,
+			MinStrength:  o.minRho,
+			Permutations: o.perms,
+			Alpha:        o.alpha,
 		}}
-		if sources != "" {
-			q.Sources = splitNames(sources)
+		if o.sources != "" {
+			q.Sources = splitNames(o.sources)
 		}
-		if targets != "" {
-			q.Targets = splitNames(targets)
+		if o.targets != "" {
+			q.Targets = splitNames(o.targets)
 		}
 	}
-	q.Clause.DisablePruning = noPrune
-	files, err := filepath.Glob(filepath.Join(dataDir, "*.csv"))
+	q.Clause.DisablePruning = o.noPrune
+	if o.graph && (len(q.Sources) > 0 || len(q.Targets) > 0) {
+		// The graph is corpus-wide by definition; silently dropping a
+		// source/target restriction would misrepresent the output.
+		return fmt.Errorf("-graph materializes the graph over all data sets; -sources/-targets (or a between-clause naming data sets) are not supported with it")
+	}
+	files, err := filepath.Glob(filepath.Join(o.dataDir, "*.csv"))
 	if err != nil {
 		return err
 	}
 	if len(files) == 0 {
-		return fmt.Errorf("no .csv files in %s", dataDir)
+		return fmt.Errorf("no .csv files in %s", o.dataDir)
 	}
 	for _, path := range files {
 		f, err := os.Open(path)
@@ -119,7 +176,7 @@ func run(dataDir, queryStr, sources, targets string, minScore, minRho float64, p
 	fmt.Fprintf(os.Stderr, "indexed %d functions in %v (%v compute + %v feature identification across workers)\n",
 		stats.Functions, stats.WallDuration.Round(1e6),
 		stats.ComputeDuration.Round(1e6), stats.IndexDuration.Round(1e6))
-	if showStats {
+	if o.stats {
 		for _, name := range fw.Datasets() {
 			ds, ok := fw.DatasetIndexStats(name)
 			if !ok {
@@ -129,18 +186,97 @@ func run(dataDir, queryStr, sources, targets string, minScore, minRho float64, p
 				name, ds.Functions, ds.Resolutions, ds.CriticalPoints, ds.SalientFeatures, ds.ExtremeFeatures)
 		}
 	}
+	if o.graph {
+		return runGraph(fw, q.Clause, o)
+	}
+	return runQuery(fw, q, o)
+}
 
+// runQuery answers one relationship query and writes the results as text
+// or, with -json, as a machine-readable document.
+func runQuery(fw *core.Framework, q core.Query, o cliOptions) error {
 	rels, qstats, err := fw.Query(q)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "considered %d candidate pairs (%d pruned by planner, %d evaluated) in %v\n",
 		qstats.PairsConsidered, qstats.Pruned, qstats.Evaluated, qstats.Duration.Round(1e6))
+	if o.jsonOut {
+		return writeQueryJSON(o.stdout, rels, qstats)
+	}
 	for _, r := range rels {
-		fmt.Println(r)
+		fmt.Fprintln(o.stdout, r)
 	}
 	fmt.Fprintf(os.Stderr, "%d statistically significant relationships\n", len(rels))
 	return nil
+}
+
+// runGraph materializes the relationship graph under the query's clause
+// and exports it to stdout in the requested format.
+func runGraph(fw *core.Framework, clause core.Clause, o cliOptions) error {
+	gstats, err := fw.BuildGraph(clause)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "materialized relationship graph: %d edges over %d data set pairs (%d candidates, %d pruned) in %v\n",
+		gstats.Edges, gstats.Pairs, gstats.PairsConsidered, gstats.Pruned, gstats.WallDuration.Round(1e6))
+	g, _ := fw.RelGraph()
+	if o.graphFormat == "json" {
+		return g.WriteJSON(o.stdout)
+	}
+	return g.WriteDOT(o.stdout)
+}
+
+// relationshipJSON is the machine-readable form of one relationship. It is
+// kept field-for-field in sync by hand with relationshipWire in
+// cmd/polygamyd/server.go so CLI and server consumers can share parsers.
+type relationshipJSON struct {
+	Function1   string  `json:"function1"`
+	Function2   string  `json:"function2"`
+	Dataset1    string  `json:"dataset1"`
+	Dataset2    string  `json:"dataset2"`
+	Spec1       string  `json:"spec1"`
+	Spec2       string  `json:"spec2"`
+	Spatial     string  `json:"spatial"`
+	Temporal    string  `json:"temporal"`
+	Class       string  `json:"class"`
+	Score       float64 `json:"score"`
+	Strength    float64 `json:"strength"`
+	PValue      float64 `json:"pValue"`
+	Significant bool    `json:"significant"`
+}
+
+// writeQueryJSON renders query results as a {relationships, stats}
+// document.
+func writeQueryJSON(w io.Writer, rels []core.Relationship, stats core.QueryStats) error {
+	doc := struct {
+		Relationships []relationshipJSON `json:"relationships"`
+		Stats         struct {
+			PairsConsidered int    `json:"pairsConsidered"`
+			Pruned          int    `json:"pruned"`
+			Evaluated       int    `json:"evaluated"`
+			Significant     int    `json:"significant"`
+			Kept            int    `json:"kept"`
+			Duration        string `json:"duration"`
+		} `json:"stats"`
+	}{Relationships: make([]relationshipJSON, 0, len(rels))}
+	for _, r := range rels {
+		doc.Relationships = append(doc.Relationships, relationshipJSON{
+			Function1: r.Function1, Function2: r.Function2,
+			Dataset1: r.Dataset1, Dataset2: r.Dataset2,
+			Spec1: r.Spec1, Spec2: r.Spec2,
+			Spatial: r.Res.Spatial.String(), Temporal: r.Res.Temporal.String(),
+			Class: r.Class.String(), Score: r.Score, Strength: r.Strength,
+			PValue: r.PValue, Significant: r.Significant,
+		})
+	}
+	doc.Stats.PairsConsidered = stats.PairsConsidered
+	doc.Stats.Pruned = stats.Pruned
+	doc.Stats.Evaluated = stats.Evaluated
+	doc.Stats.Significant = stats.Significant
+	doc.Stats.Kept = stats.Kept
+	doc.Stats.Duration = stats.Duration.String()
+	return json.NewEncoder(w).Encode(doc)
 }
 
 func splitNames(s string) []string {

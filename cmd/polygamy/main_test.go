@@ -1,9 +1,13 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"io"
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -52,11 +56,20 @@ func writeCorpus(t *testing.T, dir string) {
 	}
 }
 
+// baseOptions returns the CLI options shared by the end-to-end tests.
+func baseOptions(dir string) cliOptions {
+	return cliOptions{
+		dataDir: dir, perms: 150, alpha: 0.05, seed: 1, grid: 24, workers: 4,
+		stdout: io.Discard,
+	}
+}
+
 func TestPolygamyCLIEndToEnd(t *testing.T) {
 	dir := t.TempDir()
 	writeCorpus(t, dir)
-	err := run(dir, "", "alpha", "", 0.2, 0, 150, 0.05, 1, 24, 4, false, true)
-	if err != nil {
+	o := baseOptions(dir)
+	o.sources, o.minScore, o.stats = "alpha", 0.2, true
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -64,26 +77,124 @@ func TestPolygamyCLIEndToEnd(t *testing.T) {
 func TestPolygamyCLITextualQuery(t *testing.T) {
 	dir := t.TempDir()
 	writeCorpus(t, dir)
-	err := run(dir,
-		"find relationships between alpha and beta where score >= 0.2 and permutations = 100 at (hour, city)",
-		"", "", 0, 0, 150, 0.05, 1, 24, 4, false, false)
-	if err != nil {
+	o := baseOptions(dir)
+	o.queryStr = "find relationships between alpha and beta where score >= 0.2 and permutations = 100 at (hour, city)"
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(dir, "gibberish query", "", "", 0, 0, 10, 0.05, 1, 24, 1, false, false); err == nil {
+	o.queryStr = "gibberish query"
+	if err := run(o); err == nil {
 		t.Error("expected parse error for gibberish query")
 	}
 }
 
+func TestPolygamyCLIJSONOutput(t *testing.T) {
+	dir := t.TempDir()
+	writeCorpus(t, dir)
+	var buf bytes.Buffer
+	o := baseOptions(dir)
+	o.jsonOut, o.minScore, o.stdout = true, 0.2, &buf
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Relationships []struct {
+			Dataset1 string  `json:"dataset1"`
+			Score    float64 `json:"score"`
+			Class    string  `json:"class"`
+		} `json:"relationships"`
+		Stats struct {
+			PairsConsidered int `json:"pairsConsidered"`
+		} `json:"stats"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.Relationships) == 0 || doc.Stats.PairsConsidered == 0 {
+		t.Errorf("JSON doc = %+v", doc)
+	}
+	if doc.Relationships[0].Class == "" {
+		t.Error("relationship class not spelled out")
+	}
+}
+
+func TestPolygamyCLIGraphMode(t *testing.T) {
+	dir := t.TempDir()
+	writeCorpus(t, dir)
+
+	var dot bytes.Buffer
+	o := baseOptions(dir)
+	o.graph, o.minScore, o.stdout = true, 0.2, &dot
+	o.graphFormat = "dot"
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dot.String(), "graph polygamy {") || !strings.Contains(dot.String(), "--") {
+		t.Errorf("DOT export looks wrong:\n%s", dot.String())
+	}
+
+	var jsonOut bytes.Buffer
+	o.stdout, o.graphFormat = &jsonOut, "json"
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Edges []struct {
+			Dataset1 string `json:"dataset1"`
+		} `json:"edges"`
+		Datasets []string `json:"datasets"`
+	}
+	if err := json.Unmarshal(jsonOut.Bytes(), &doc); err != nil {
+		t.Fatalf("graph export is not JSON: %v\n%s", err, jsonOut.String())
+	}
+	if len(doc.Edges) == 0 || len(doc.Datasets) != 2 {
+		t.Errorf("graph JSON doc = %+v", doc)
+	}
+
+	// -json alone must select the JSON graph export, not DOT.
+	var viaJSONFlag bytes.Buffer
+	o.stdout, o.graphFormat, o.jsonOut = &viaJSONFlag, "", true
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(viaJSONFlag.Bytes(), jsonOut.Bytes()) {
+		t.Error("-graph -json output differs from -graph -graph-format json")
+	}
+	o.jsonOut = false
+
+	o.graphFormat = "gif"
+	if err := run(o); err == nil {
+		t.Error("expected error for unknown graph format")
+	}
+	o.graphFormat, o.jsonOut = "dot", true
+	if err := run(o); err == nil {
+		t.Error("expected error for -json with -graph-format dot")
+	}
+	o.jsonOut = false
+
+	// The graph is corpus-wide: restricting it must be rejected, not
+	// silently ignored.
+	o.graphFormat = "dot"
+	o.sources = "alpha"
+	if err := run(o); err == nil {
+		t.Error("expected error for -graph with -sources")
+	}
+	o.sources = ""
+	o.queryStr = "find relationships between alpha and beta"
+	if err := run(o); err == nil {
+		t.Error("expected error for -graph with a between-clause naming data sets")
+	}
+}
+
 func TestPolygamyCLIErrors(t *testing.T) {
-	if err := run(t.TempDir(), "", "", "", 0, 0, 10, 0.05, 1, 24, 1, false, false); err == nil {
+	if err := run(baseOptions(t.TempDir())); err == nil {
 		t.Error("expected error for empty data directory")
 	}
 	dir := t.TempDir()
 	if err := os.WriteFile(filepath.Join(dir, "bad.csv"), []byte("not,a,dataset\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(dir, "", "", "", 0, 0, 10, 0.05, 1, 24, 1, false, false); err == nil {
+	if err := run(baseOptions(dir)); err == nil {
 		t.Error("expected error for malformed CSV")
 	}
 }

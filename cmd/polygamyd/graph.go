@@ -1,0 +1,217 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"github.com/urbandata/datapolygamy/internal/relgraph"
+)
+
+// This file is the serving surface of the materialized relationship graph:
+// build it once (POST /v1/graph/build), then explore it with cheap reads —
+// the graph is an immutable value, so every GET below is a lock-free walk
+// over a snapshot even while a rebuild runs.
+//
+//	POST /v1/graph/build      {"clause":{...}} (optional body) — build or
+//	                          incrementally extend the graph
+//	GET  /v1/graph/stats      sizes, degree distribution, hubs, rollup
+//	GET  /v1/graph/neighbors  ?function=<key> — edges incident to a function
+//	                          ?dataset=<name>[&hops=k] — edges incident to a
+//	                          data set, plus k-hop reachability when hops is
+//	                          given
+//	GET  /v1/graph/top        ?k=10&by=score|strength — top-k edges
+
+type graphStatsWire struct {
+	Datasets        int    `json:"datasets"`
+	Pairs           int    `json:"pairs"`
+	PairsComputed   int    `json:"pairsComputed"`
+	PairsReused     int    `json:"pairsReused"`
+	PairsConsidered int    `json:"pairsConsidered"`
+	Pruned          int    `json:"pruned"`
+	Evaluated       int    `json:"evaluated"`
+	Edges           int    `json:"edges"`
+	Duration        string `json:"duration"`
+}
+
+type graphEdgeWire struct {
+	Function1 string  `json:"function1"`
+	Function2 string  `json:"function2"`
+	Dataset1  string  `json:"dataset1"`
+	Dataset2  string  `json:"dataset2"`
+	Spatial   string  `json:"spatial"`
+	Temporal  string  `json:"temporal"`
+	Class     string  `json:"class"`
+	Tau       float64 `json:"tau"`
+	Rho       float64 `json:"rho"`
+	PValue    float64 `json:"pValue"`
+}
+
+func wireEdges(edges []relgraph.Edge) []graphEdgeWire {
+	out := make([]graphEdgeWire, 0, len(edges))
+	for _, e := range edges {
+		out = append(out, graphEdgeWire{
+			Function1: e.Function1, Function2: e.Function2,
+			Dataset1: e.Dataset1, Dataset2: e.Dataset2,
+			Spatial: e.SRes.String(), Temporal: e.TRes.String(), Class: e.Class.String(),
+			Tau: e.Tau, Rho: e.Rho, PValue: e.PValue,
+		})
+	}
+	return out
+}
+
+// graph returns the current graph or writes the standard "not built"
+// error.
+func (s *server) graph(w http.ResponseWriter) (*relgraph.Graph, bool) {
+	g, ok := s.fw.RelGraph()
+	if !ok {
+		writeJSON(w, http.StatusConflict,
+			errorResponse{Error: "relationship graph not built; POST /v1/graph/build first"})
+	}
+	return g, ok
+}
+
+func (s *server) handleGraphBuild(w http.ResponseWriter, r *http.Request) {
+	// The body is optional: empty means the zero clause (paper defaults).
+	var req struct {
+		Clause clauseRequest `json:"clause"`
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		s.failures.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "decoding request: " + err.Error()})
+		return
+	}
+	clause, err := parseClause(req.Clause)
+	if err != nil {
+		s.failures.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	stats, err := s.fw.BuildGraph(clause)
+	if err != nil {
+		s.failures.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	s.graphBuilds.Add(1)
+	writeJSON(w, http.StatusOK, graphStatsWire{
+		Datasets:        stats.Datasets,
+		Pairs:           stats.Pairs,
+		PairsComputed:   stats.PairsComputed,
+		PairsReused:     stats.PairsReused,
+		PairsConsidered: stats.PairsConsidered,
+		Pruned:          stats.Pruned,
+		Evaluated:       stats.Evaluated,
+		Edges:           stats.Edges,
+		Duration:        stats.WallDuration.String(),
+	})
+}
+
+func (s *server) handleGraphStats(w http.ResponseWriter, r *http.Request) {
+	g, ok := s.graph(w)
+	if !ok {
+		return
+	}
+	st := g.Stats()
+	type hubWire struct {
+		Name   string `json:"name"`
+		Degree int    `json:"degree"`
+	}
+	hubs := func(hs []relgraph.Hub) []hubWire {
+		out := make([]hubWire, 0, len(hs))
+		for _, h := range hs {
+			out = append(out, hubWire(h))
+		}
+		return out
+	}
+	type rollupWire struct {
+		Dataset1  string  `json:"dataset1"`
+		Dataset2  string  `json:"dataset2"`
+		Edges     int     `json:"edges"`
+		MaxAbsTau float64 `json:"maxAbsTau"`
+		MaxRho    float64 `json:"maxRho"`
+		MinPValue float64 `json:"minPValue"`
+	}
+	rollup := make([]rollupWire, 0)
+	for _, rel := range g.Rollup() {
+		rollup = append(rollup, rollupWire(rel))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"nodes":        st.Nodes,
+		"edges":        st.Edges,
+		"datasets":     st.Datasets,
+		"minDegree":    st.MinDegree,
+		"maxDegree":    st.MaxDegree,
+		"meanDegree":   st.MeanDegree,
+		"topFunctions": hubs(st.TopFunctions),
+		"topDatasets":  hubs(st.TopDatasets),
+		"rollup":       rollup,
+	})
+}
+
+func (s *server) handleGraphNeighbors(w http.ResponseWriter, r *http.Request) {
+	g, ok := s.graph(w)
+	if !ok {
+		return
+	}
+	fn := r.URL.Query().Get("function")
+	ds := r.URL.Query().Get("dataset")
+	if (fn == "") == (ds == "") {
+		s.failures.Add(1)
+		writeJSON(w, http.StatusBadRequest,
+			errorResponse{Error: "exactly one of ?function= or ?dataset= is required"})
+		return
+	}
+	resp := map[string]any{}
+	if fn != "" {
+		resp["edges"] = wireEdges(g.Neighbors(fn))
+	} else {
+		resp["edges"] = wireEdges(g.DatasetEdges(ds))
+		if hopsStr := r.URL.Query().Get("hops"); hopsStr != "" {
+			hops, err := strconv.Atoi(hopsStr)
+			if err != nil || hops < 1 {
+				s.failures.Add(1)
+				writeJSON(w, http.StatusBadRequest,
+					errorResponse{Error: fmt.Sprintf("bad hops %q (want a positive integer)", hopsStr)})
+				return
+			}
+			resp["hops"] = g.KHop(ds, hops)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleGraphTop(w http.ResponseWriter, r *http.Request) {
+	g, ok := s.graph(w)
+	if !ok {
+		return
+	}
+	k := 10
+	if kStr := r.URL.Query().Get("k"); kStr != "" {
+		v, err := strconv.Atoi(kStr)
+		if err != nil || v < 1 {
+			s.failures.Add(1)
+			writeJSON(w, http.StatusBadRequest,
+				errorResponse{Error: fmt.Sprintf("bad k %q (want a positive integer)", kStr)})
+			return
+		}
+		k = v
+	}
+	by := relgraph.ByScore
+	switch r.URL.Query().Get("by") {
+	case "", "score":
+	case "strength":
+		by = relgraph.ByStrength
+	default:
+		s.failures.Add(1)
+		writeJSON(w, http.StatusBadRequest,
+			errorResponse{Error: "bad by parameter (want score or strength)"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"edges": wireEdges(g.TopK(k, by))})
+}

@@ -14,6 +14,13 @@
 //	GET  /v1/query?q=  the paper's textual query form, e.g.
 //	                   "find relationships between taxi and weather
 //	                    where score >= 0.6 at (hour, city)"
+//	POST /v1/graph/build      materialize the corpus-wide relationship graph
+//	GET  /v1/graph/stats      graph sizes, degree distribution, hubs, rollup
+//	GET  /v1/graph/neighbors  ?function= or ?dataset=[&hops=k] exploration
+//	GET  /v1/graph/top        ?k=10&by=score|strength edge ranking
+//
+// On SIGINT/SIGTERM the server stops accepting connections and drains
+// in-flight queries (up to -drain) before exiting.
 //
 // The corpus is either a directory of CSV data sets (-data, the format of
 // cmd/polygamy) or, by default, the synthetic NYC-style urban collection
@@ -26,12 +33,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	"github.com/urbandata/datapolygamy/internal/core"
@@ -49,6 +61,8 @@ func main() {
 		months  = flag.Int("months", 6, "synthetic corpus length in months")
 		scale   = flag.Float64("scale", 0.3, "synthetic corpus record-volume multiplier")
 		workers = flag.Int("workers", 0, "worker pool size (0 = NumCPU)")
+		graph   = flag.Bool("graph", false, "materialize the relationship graph at startup (otherwise POST /v1/graph/build)")
+		drain   = flag.Duration("drain", 15*time.Second, "in-flight query drain timeout on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 	fw, err := buildFramework(*dataDir, *seed, *grid, *months, *scale, *workers)
@@ -56,19 +70,65 @@ func main() {
 		fmt.Fprintln(os.Stderr, "polygamyd:", err)
 		os.Exit(1)
 	}
+	if *graph {
+		t0 := time.Now()
+		gs, err := fw.BuildGraph(core.Clause{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "polygamyd:", err)
+			os.Exit(1)
+		}
+		log.Printf("polygamyd: materialized relationship graph (%d edges over %d pairs) in %v",
+			gs.Edges, gs.Pairs, time.Since(t0).Round(time.Millisecond))
+	}
 	hs := &http.Server{
-		Addr:              *addr,
 		Handler:           newServer(fw),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
-	log.Printf("polygamyd: serving %d data sets (%d functions) on %s",
-		len(fw.Datasets()), fw.NumFunctions(), *addr)
-	if err := hs.ListenAndServe(); err != nil {
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "polygamyd:", err)
 		os.Exit(1)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	log.Printf("polygamyd: serving %d data sets (%d functions) on %s",
+		len(fw.Datasets()), fw.NumFunctions(), ln.Addr())
+	if err := serveUntilShutdown(ctx, hs, ln, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "polygamyd:", err)
+		os.Exit(1)
+	}
+}
+
+// serveUntilShutdown serves on ln until the context is cancelled (SIGINT or
+// SIGTERM in main), then shuts the server down gracefully: the listener
+// closes immediately and in-flight queries get up to drain to finish. A
+// server that fails outright (e.g. the listener dies) returns its error
+// without waiting for a signal.
+func serveUntilShutdown(ctx context.Context, hs *http.Server, ln net.Listener, drain time.Duration) error {
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("polygamyd: shutdown requested, draining in-flight queries (up to %v)", drain)
+	shutCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("draining: %w", err)
+	}
+	// Surface the Serve goroutine's exit; ErrServerClosed is the clean path.
+	if err := <-errCh; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Printf("polygamyd: drained, bye")
+	return nil
 }
 
 // buildFramework assembles and indexes the corpus: CSVs from dataDir when

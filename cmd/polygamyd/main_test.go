@@ -2,9 +2,11 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"math/rand"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
@@ -310,5 +312,178 @@ func TestServerStress(t *testing.T) {
 	}
 	if stats.CacheHits == 0 {
 		t.Error("expected repeated queries to produce cache hits")
+	}
+}
+
+// TestServerGraphEndpoints exercises the relationship-graph surface: reads
+// before a build are rejected, a build materializes the graph, and the
+// read endpoints agree with each other afterwards.
+func TestServerGraphEndpoints(t *testing.T) {
+	srv := httptest.NewServer(newServer(testFramework(t)))
+	defer srv.Close()
+	client := srv.Client()
+
+	get := func(path string) (map[string]json.RawMessage, int) {
+		t.Helper()
+		resp, err := client.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]json.RawMessage
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out, resp.StatusCode
+	}
+
+	// Reads before the build are 409s.
+	for _, path := range []string{"/v1/graph/stats", "/v1/graph/top", "/v1/graph/neighbors?dataset=wind"} {
+		if _, code := get(path); code != http.StatusConflict {
+			t.Errorf("%s before build: status %d, want 409", path, code)
+		}
+	}
+
+	// Build with a cheap clause.
+	body := []byte(`{"clause":{"permutations":100}}`)
+	resp, err := client.Post(srv.URL+"/v1/graph/build", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bs graphStatsWire
+	if err := json.NewDecoder(resp.Body).Decode(&bs); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("graph build status = %d", resp.StatusCode)
+	}
+	if bs.Pairs != 1 || bs.PairsComputed != 1 || bs.Edges == 0 {
+		t.Fatalf("graph build stats = %+v", bs)
+	}
+
+	// A repeated build with the same clause reuses every pair.
+	resp, err = client.Post(srv.URL+"/v1/graph/build", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bs2 graphStatsWire
+	if err := json.NewDecoder(resp.Body).Decode(&bs2); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if bs2.PairsReused != 1 || bs2.PairsComputed != 0 {
+		t.Errorf("repeat build stats = %+v, want pure reuse", bs2)
+	}
+
+	// Stats reflect the built graph.
+	st, code := get("/v1/graph/stats")
+	if code != http.StatusOK {
+		t.Fatalf("graph stats status = %d", code)
+	}
+	var edges int
+	if err := json.Unmarshal(st["edges"], &edges); err != nil || edges != bs.Edges {
+		t.Errorf("stats edges = %s, want %d", st["edges"], bs.Edges)
+	}
+
+	// Top-k and neighbors agree on the edge universe.
+	top, code := get("/v1/graph/top?k=100&by=strength")
+	if code != http.StatusOK {
+		t.Fatalf("graph top status = %d", code)
+	}
+	var topEdges []graphEdgeWire
+	if err := json.Unmarshal(top["edges"], &topEdges); err != nil {
+		t.Fatal(err)
+	}
+	if len(topEdges) != bs.Edges {
+		t.Errorf("top returned %d edges, graph has %d", len(topEdges), bs.Edges)
+	}
+	nb, code := get("/v1/graph/neighbors?dataset=wind&hops=2")
+	if code != http.StatusOK {
+		t.Fatalf("graph neighbors status = %d", code)
+	}
+	var nbEdges []graphEdgeWire
+	if err := json.Unmarshal(nb["edges"], &nbEdges); err != nil {
+		t.Fatal(err)
+	}
+	if len(nbEdges) != bs.Edges {
+		t.Errorf("wind has %d incident edges, want %d (two-data-set corpus)", len(nbEdges), bs.Edges)
+	}
+	var hops map[string]int
+	if err := json.Unmarshal(nb["hops"], &hops); err != nil {
+		t.Fatal(err)
+	}
+	if hops["wind"] != 0 || hops["trips"] != 1 {
+		t.Errorf("hops = %v", hops)
+	}
+
+	// Function-level neighbors.
+	fn := url.QueryEscape(topEdges[0].Function1)
+	fnb, code := get("/v1/graph/neighbors?function=" + fn)
+	if code != http.StatusOK {
+		t.Fatalf("function neighbors status = %d", code)
+	}
+	var fnEdges []graphEdgeWire
+	if err := json.Unmarshal(fnb["edges"], &fnEdges); err != nil {
+		t.Fatal(err)
+	}
+	if len(fnEdges) == 0 {
+		t.Error("function neighbors empty for a function with an edge")
+	}
+
+	// Bad parameters are 400s.
+	for _, path := range []string{
+		"/v1/graph/neighbors",
+		"/v1/graph/neighbors?function=x&dataset=y",
+		"/v1/graph/neighbors?dataset=wind&hops=zero",
+		"/v1/graph/top?k=-1",
+		"/v1/graph/top?by=vibes",
+	} {
+		if _, code := get(path); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", path, code)
+		}
+	}
+}
+
+// TestServeUntilShutdown proves the graceful-shutdown path: a cancelled
+// context stops the listener, drains, and returns nil.
+func TestServeUntilShutdown(t *testing.T) {
+	hs := &http.Server{Handler: newServer(testFramework(t))}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- serveUntilShutdown(ctx, hs, ln, 5*time.Second) }()
+
+	// The server must be live before we shut it down.
+	base := "http://" + ln.Addr().String()
+	var resp *http.Response
+	for i := 0; i < 50; i++ {
+		resp, err = http.Get(base + "/healthz")
+		if err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serveUntilShutdown did not return after cancel")
+	}
+	// A dead listener surfaces as an error without a signal.
+	if err := serveUntilShutdown(context.Background(), &http.Server{Handler: newServer(testFramework(t))}, ln, time.Second); err == nil {
+		t.Error("expected error serving on a closed listener")
 	}
 }

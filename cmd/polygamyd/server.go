@@ -23,10 +23,11 @@ type server struct {
 	mux     *http.ServeMux
 	started time.Time
 
-	queries   atomic.Int64 // relationship queries answered
-	cacheHits atomic.Int64 // served from the query cache
-	coalesced atomic.Int64 // deduplicated against an in-flight evaluation
-	failures  atomic.Int64 // queries rejected or failed
+	queries     atomic.Int64 // relationship queries answered
+	cacheHits   atomic.Int64 // served from the query cache
+	coalesced   atomic.Int64 // deduplicated against an in-flight evaluation
+	failures    atomic.Int64 // queries rejected or failed
+	graphBuilds atomic.Int64 // graph builds completed
 }
 
 func newServer(fw *core.Framework) *server {
@@ -36,6 +37,10 @@ func newServer(fw *core.Framework) *server {
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("GET /v1/query", s.handleQueryText)
+	s.mux.HandleFunc("POST /v1/graph/build", s.handleGraphBuild)
+	s.mux.HandleFunc("GET /v1/graph/stats", s.handleGraphStats)
+	s.mux.HandleFunc("GET /v1/graph/neighbors", s.handleGraphNeighbors)
+	s.mux.HandleFunc("GET /v1/graph/top", s.handleGraphTop)
 	return s
 }
 
@@ -174,13 +179,14 @@ func (s *server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"uptime":    time.Since(s.started).Round(time.Millisecond).String(),
-		"datasets":  len(s.fw.Datasets()),
-		"functions": s.fw.NumFunctions(),
-		"queries":   s.queries.Load(),
-		"cacheHits": s.cacheHits.Load(),
-		"coalesced": s.coalesced.Load(),
-		"failures":  s.failures.Load(),
+		"uptime":      time.Since(s.started).Round(time.Millisecond).String(),
+		"datasets":    len(s.fw.Datasets()),
+		"functions":   s.fw.NumFunctions(),
+		"queries":     s.queries.Load(),
+		"cacheHits":   s.cacheHits.Load(),
+		"coalesced":   s.coalesced.Load(),
+		"failures":    s.failures.Load(),
+		"graphBuilds": s.graphBuilds.Load(),
 	})
 }
 

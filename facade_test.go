@@ -58,3 +58,63 @@ func TestCityFromPolygonsFacade(t *testing.T) {
 		t.Error("two squares share a neighborhood")
 	}
 }
+
+func TestRelationshipGraphFacade(t *testing.T) {
+	fw := buildCorpus(t)
+	if _, err := fw.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fw.RelGraph(); ok {
+		t.Fatal("RelGraph available before BuildGraph")
+	}
+	stats, err := fw.BuildGraph(Clause{Permutations: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Pairs != 1 || stats.PairsComputed != 1 {
+		t.Errorf("build stats = %+v", stats)
+	}
+	g, ok := fw.RelGraph()
+	if !ok {
+		t.Fatal("RelGraph not available after BuildGraph")
+	}
+	if g.NumEdges() == 0 {
+		t.Fatal("corpus fixtures should produce graph edges")
+	}
+	if top := g.TopK(1, RankByScore); len(top) != 1 {
+		t.Errorf("TopK = %v", top)
+	}
+	roll := g.Rollup()
+	if len(roll) != 1 || roll[0].Dataset1 != "taxi" || roll[0].Dataset2 != "wind" {
+		t.Errorf("rollup = %+v", roll)
+	}
+	if hops := g.KHop("taxi", 1); hops["wind"] != 1 {
+		t.Errorf("KHop = %v", hops)
+	}
+
+	// Save/Load round-trip through the facade.
+	var buf bytes.Buffer
+	if err := fw.SaveGraph(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fw2 := buildCorpus(t)
+	if err := fw2.LoadGraph(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, ok := fw2.RelGraph()
+	if !ok || !g2.Equal(g) {
+		t.Error("graph Save/Load through the facade changed the graph")
+	}
+}
+
+func TestFormatQueryFacade(t *testing.T) {
+	q := Query{Sources: []string{"taxi"}, Clause: Clause{MinScore: 0.6}}
+	text := FormatQuery(q)
+	got, err := ParseQuery(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Clause.MinScore != 0.6 || len(got.Sources) != 1 || got.Sources[0] != "taxi" {
+		t.Errorf("FormatQuery round trip = %+v (text %q)", got, text)
+	}
+}

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"errors"
 	"reflect"
 	"sync"
 	"sync/atomic"
 	"testing"
 
 	"github.com/urbandata/datapolygamy/internal/feature"
+	"github.com/urbandata/datapolygamy/internal/relgraph"
 	"github.com/urbandata/datapolygamy/internal/spatial"
 	"github.com/urbandata/datapolygamy/internal/temporal"
 )
@@ -260,5 +262,109 @@ func TestConcurrentMonteCarloParity(t *testing.T) {
 	}
 	if len(seq) == 0 {
 		t.Fatal("expected relationships")
+	}
+}
+
+// TestConcurrentGraphBuildQueryStress interleaves BuildGraph calls, graph
+// reads, and relationship queries from many goroutines. Run under -race
+// this proves the relationship-graph subsystem honors the framework's
+// locking contract: builders run under the shared state lock (queries keep
+// flowing) serialized on the builder mutex, and a graph value obtained
+// from RelGraph stays internally consistent while builds replace it.
+func TestConcurrentGraphBuildQueryStress(t *testing.T) {
+	f := stressFW(t)
+	clauses := []Clause{
+		{Permutations: 30},
+		{Permutations: 30, MinScore: 0.5},
+		{SkipSignificance: true},
+	}
+	if _, err := f.BuildGraph(clauses[0]); err != nil {
+		t.Fatal(err)
+	}
+	queries := stressQueries()
+
+	const rounds = 6
+	var wg sync.WaitGroup
+	errCh := make(chan error, 16)
+	fail := func(err error) {
+		select {
+		case errCh <- err:
+		default:
+		}
+	}
+
+	// Builders: cycle through clauses, forcing full rebuilds and reuses.
+	for b := 0; b < 2; b++ {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if _, err := f.BuildGraph(clauses[(b+r)%len(clauses)]); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}(b)
+	}
+	// Graph readers: every read walks whatever graph is current.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds*4; r++ {
+				graph, ok := f.RelGraph()
+				if !ok {
+					fail(errors.New("RelGraph unavailable mid-stress"))
+					return
+				}
+				st := graph.Stats()
+				if st.Edges != graph.NumEdges() {
+					fail(errors.New("graph stats disagree with edge count"))
+					return
+				}
+				for _, ds := range graph.Datasets() {
+					graph.KHop(ds, 2)
+					graph.DatasetEdges(ds)
+				}
+				graph.TopK(5, relgraph.ByScore)
+				graph.Rollup()
+			}
+		}()
+	}
+	// Query traffic concurrent with the builds.
+	for q := 0; q < 4; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for i := range queries {
+					if _, _, err := f.Query(queries[(i+q)%len(queries)]); err != nil {
+						fail(err)
+						return
+					}
+				}
+			}
+		}(q)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+
+	// After the dust settles, a final build must agree with a fresh
+	// framework's from-scratch graph (determinism survives the stress).
+	if _, err := f.BuildGraph(clauses[0]); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := f.RelGraph()
+	f2 := stressFW(t)
+	if _, err := f2.BuildGraph(clauses[0]); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := f2.RelGraph()
+	if !got.Equal(want) {
+		t.Error("graph after concurrent stress differs from a from-scratch build")
 	}
 }

@@ -5,7 +5,7 @@
 // queried with the relationship operator under optional clause filters and
 // restricted Monte Carlo significance testing.
 //
-// The engine is organised in three layers (see DESIGN.md):
+// The engine is organised in four layers (see DESIGN.md):
 //
 //   - the streaming pipeline layer (internal/mapreduce Pipeline): scalar
 //     function computation and feature identification — the paper's first
@@ -17,7 +17,11 @@
 //   - the query planner layer (planner.go): relationship queries are turned
 //     into a pruned task list using per-entry feature occupancy summaries,
 //     so provably unsatisfiable pairs never reach evaluation or the Monte
-//     Carlo test (the paper's third job).
+//     Carlo test (the paper's third job);
+//   - the relationship graph layer (relgraph.go + internal/relgraph): the
+//     corpus-wide many-many relationship graph, materialized over all data
+//     set pairs, persisted alongside the index, and maintained
+//     incrementally as data sets are added.
 package core
 
 import (
@@ -31,6 +35,7 @@ import (
 	"github.com/urbandata/datapolygamy/internal/dataset"
 	"github.com/urbandata/datapolygamy/internal/feature"
 	"github.com/urbandata/datapolygamy/internal/mapreduce"
+	"github.com/urbandata/datapolygamy/internal/relgraph"
 	"github.com/urbandata/datapolygamy/internal/scalar"
 	"github.com/urbandata/datapolygamy/internal/spatial"
 	"github.com/urbandata/datapolygamy/internal/stgraph"
@@ -98,15 +103,18 @@ type IndexStats struct {
 // # Concurrency
 //
 // A Framework separates exclusive (index-mutating) operations from shared
-// (read-only) ones. AddDataset, BuildIndex, and LoadIndex take the state
-// lock exclusively; concurrent readers block until they finish. Once
-// BuildIndex has succeeded, Query, Entries, Datasets, DatasetIndexStats,
-// Graph, NumFunctions, Indexed, and SaveIndex are all safe to call from any
-// number of goroutines: the index, shared timelines, and domain graphs are
-// immutable between builds, and the query cache is guarded by its own mutex
-// with single-flight deduplication — N identical in-flight queries trigger
-// one evaluation, and the other N−1 wait for its result (QueryStats reports
-// those as Coalesced cache hits).
+// (read-only) ones. AddDataset, BuildIndex, LoadIndex, and LoadGraph take
+// the state lock exclusively; concurrent readers block until they finish.
+// Once BuildIndex has succeeded, Query, Entries, Datasets,
+// DatasetIndexStats, Graph, RelGraph, NumFunctions, Indexed, SaveIndex,
+// and SaveGraph are all safe to call from any number of goroutines: the
+// index, shared timelines, and domain graphs are immutable between builds,
+// and the query cache is guarded by its own mutex with single-flight
+// deduplication — N identical in-flight queries trigger one evaluation,
+// and the other N−1 wait for its result (QueryStats reports those as
+// Coalesced cache hits). BuildGraph runs under the shared lock too —
+// builders serialize on their own mutex, so materializing the relationship
+// graph never stalls query traffic.
 type Framework struct {
 	opts Options
 
@@ -127,6 +135,17 @@ type Framework struct {
 
 	index *Index
 	built bool // BuildIndex or LoadIndex has succeeded at least once
+
+	// Materialized relationship graph (see relgraph.go). graphMu serializes
+	// graph builders and guards the per-pair edge cache and its clause
+	// signature; it nests inside mu (BuildGraph and SaveGraph take it while
+	// holding the read lock), so a long graph build never blocks query
+	// traffic. relGraph is the published graph — an immutable value replaced
+	// wholesale at the end of a build, read without any lock.
+	graphMu    sync.Mutex
+	graphEdges map[graphPair][]relgraph.Edge
+	graphSig   string
+	relGraph   atomic.Pointer[relgraph.Graph]
 
 	// cacheMu guards cache and inflight. It nests inside mu (Query touches
 	// it while holding the read lock) and is never held across a query
@@ -221,12 +240,14 @@ func (f *Framework) AddDataset(d *dataset.Dataset) error {
 }
 
 // resetIndex drops all derived state: index entries, shared timelines and
-// graphs, and the query cache. The registered data sets are kept. The
-// caller must hold the state lock exclusively.
+// graphs, the query cache, and the materialized relationship graph. The
+// registered data sets are kept. The caller must hold the state lock
+// exclusively.
 func (f *Framework) resetIndex() {
 	f.index = newIndex()
 	f.timelines = make(map[temporal.Resolution]*temporal.Timeline)
 	f.graphs = make(map[Resolution]*stgraph.Graph)
+	f.resetGraph()
 	f.cacheMu.Lock()
 	f.cache = make(map[string]*cachedResult)
 	f.cacheMu.Unlock()

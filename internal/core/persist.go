@@ -195,6 +195,9 @@ func (f *Framework) LoadIndex(r io.Reader) error {
 	}
 	f.index = ix
 	f.built = true
+	// The index was replaced wholesale; the materialized relationship graph
+	// derives from it, so drop it too (LoadGraph, if any, must come after).
+	f.resetGraph()
 	f.cacheMu.Lock()
 	f.cache = make(map[string]*cachedResult)
 	f.cacheMu.Unlock()

@@ -1,0 +1,331 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"github.com/urbandata/datapolygamy/internal/feature"
+	"github.com/urbandata/datapolygamy/internal/mapreduce"
+	"github.com/urbandata/datapolygamy/internal/relgraph"
+)
+
+// This file is the relationship-graph layer of the framework: BuildGraph
+// materializes the corpus-wide many-many relationship graph — the paper's
+// headline artifact — by driving the query planner over every data set
+// pair, and the framework keeps it as a persistent, incrementally
+// maintained structure.
+//
+// Incrementality mirrors the index contract: edges are cached per unordered
+// data set pair, so after AddDataset + BuildIndex a BuildGraph call
+// recomputes only the pairs incident to the new data set (the existing
+// pairs' entries are untouched, so their edges cannot have changed). A full
+// recompute happens only when the clause changes or the index itself fully
+// rebuilds (corpus time-range extension drops all derived state). Per-pair
+// Monte Carlo seeds are derived from the pair identity (pairSeed), so an
+// incrementally maintained graph is identical to a from-scratch rebuild,
+// and every edge is byte-identical to what a direct Query for that pair
+// returns.
+//
+// Locking: a build only reads post-BuildIndex-immutable state, so
+// BuildGraph holds the state lock shared — concurrent queries keep
+// flowing — and serializes against other builders (and SaveGraph) on
+// graphMu, which guards the pair cache. The finished graph is published
+// through an atomic pointer: RelGraph never blocks, and a reader-held
+// graph stays consistent while a rebuild replaces it.
+
+// GraphStats reports what one BuildGraph call did. With incremental
+// maintenance, the planner and evaluation counters cover only the pairs
+// computed by that call; reused pairs contribute their cached edges
+// without re-evaluation.
+type GraphStats struct {
+	Datasets      int // data sets in the corpus
+	Pairs         int // unordered data set pairs covered by the graph
+	PairsComputed int // pairs evaluated by this call
+	PairsReused   int // pairs whose cached edges were kept
+
+	PairsConsidered int // candidate tuples enumerated for computed pairs
+	Pruned          int // candidates the planner skipped
+	Evaluated       int // candidates with any feature relation
+
+	Edges        int // edges in the materialized graph
+	WallDuration time.Duration
+}
+
+// graphSignature canonicalises the clause a graph is built under; edges
+// cached under one signature are never reused for another.
+func graphSignature(clause Clause) string {
+	return querySignature(nil, nil, clause)
+}
+
+// graphPair is the unordered data set pair key of the edge cache
+// (A < B). A struct key keeps arbitrary data set names collision-free.
+type graphPair struct {
+	A, B string
+}
+
+func makeGraphPair(a, b string) graphPair {
+	if b < a {
+		a, b = b, a
+	}
+	return graphPair{A: a, B: b}
+}
+
+// BuildGraph brings the materialized relationship graph up to date with the
+// indexed corpus: every unordered data set pair is evaluated at every
+// common resolution and feature class under the given clause (the zero
+// Clause applies the paper's defaults), and the significant relationships
+// become graph edges. Pairs already covered by the current graph — built
+// with the same clause — are reused, so after an incremental AddDataset +
+// BuildIndex only the new data set's pairs are computed.
+//
+// BuildGraph holds the state lock shared, so queries proceed concurrently
+// with a build; concurrent BuildGraph calls serialize on the builder
+// mutex. A graph obtained from RelGraph before the call remains valid
+// (graphs are immutable values).
+func (f *Framework) BuildGraph(clause Clause) (GraphStats, error) {
+	t0 := time.Now()
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	var st GraphStats
+	if !f.indexedLocked() {
+		return st, fmt.Errorf("core: BuildIndex must run before BuildGraph")
+	}
+	f.graphMu.Lock()
+	defer f.graphMu.Unlock()
+	sig := graphSignature(clause)
+	if f.graphSig != sig || f.graphEdges == nil {
+		f.graphEdges = make(map[graphPair][]relgraph.Edge)
+		f.graphSig = sig
+	}
+	st.Datasets = len(f.order)
+	classes := clause.Classes
+	if classes == nil {
+		classes = []feature.Class{feature.Salient, feature.Extreme}
+	}
+
+	// Enumerate the unordered pairs not yet covered and plan each one with
+	// the shared query planner (pruning included); all surviving tasks run
+	// as one batch so the worker pool sees the whole build at once.
+	var tasks []pairTask
+	missing := make(map[graphPair]bool)
+	for i, a := range f.order {
+		for _, b := range f.order[i+1:] {
+			st.Pairs++
+			key := makeGraphPair(a, b)
+			if _, ok := f.graphEdges[key]; ok {
+				st.PairsReused++
+				continue
+			}
+			missing[key] = true
+			pl := f.plan([]string{a}, []string{b}, clause, classes)
+			st.PairsConsidered += pl.considered
+			st.Pruned += pl.pruned
+			tasks = append(tasks, pl.tasks...)
+		}
+	}
+	st.PairsComputed = len(missing)
+
+	// Pure reuse: nothing changed, so the published graph is already the
+	// aggregation of the cache — skip the O(E log E) reassembly.
+	if len(missing) == 0 {
+		if g := f.relGraph.Load(); g != nil {
+			st.Edges = g.NumEdges()
+			st.WallDuration = time.Since(t0)
+			return st, nil
+		}
+	}
+
+	if len(missing) > 0 {
+		mcWorkers := 1
+		if n := len(tasks); n > 0 {
+			if w := f.workers() / n; w > mcWorkers {
+				mcWorkers = w
+			}
+		}
+		results, err := mapreduce.ForEach(mapreduce.Config{Workers: f.opts.Workers}, tasks,
+			func(t pairTask) (*Relationship, error) {
+				return f.evaluatePair(t, clause, mcWorkers)
+			})
+		if err != nil {
+			return st, err
+		}
+		// Record every computed pair — including empty ones, so fruitless
+		// pairs are not re-evaluated on the next build.
+		newEdges := make(map[graphPair][]relgraph.Edge, len(missing))
+		for key := range missing {
+			newEdges[key] = []relgraph.Edge{}
+		}
+		for _, r := range results {
+			if r == nil {
+				continue
+			}
+			st.Evaluated++
+			if !r.Significant && !clause.SkipSignificance {
+				continue
+			}
+			key := makeGraphPair(r.Dataset1, r.Dataset2)
+			newEdges[key] = append(newEdges[key], relationshipEdge(*r))
+		}
+		for key, es := range newEdges {
+			relgraph.SortEdges(es)
+			f.graphEdges[key] = es
+		}
+	}
+
+	var all []relgraph.Edge
+	for _, es := range f.graphEdges {
+		all = append(all, es...)
+	}
+	g := relgraph.New(all)
+	f.relGraph.Store(g)
+	st.Edges = g.NumEdges()
+	st.WallDuration = time.Since(t0)
+	return st, nil
+}
+
+// relationshipEdge converts one query-layer relationship into a graph edge.
+func relationshipEdge(r Relationship) relgraph.Edge {
+	return relgraph.Edge{
+		Function1: r.Function1, Function2: r.Function2,
+		Dataset1: r.Dataset1, Dataset2: r.Dataset2,
+		Spec1: r.Spec1, Spec2: r.Spec2,
+		SRes: r.Res.Spatial, TRes: r.Res.Temporal, Class: r.Class,
+		Tau: r.Score, Rho: r.Strength, PValue: r.PValue,
+	}
+}
+
+// RelGraph returns the materialized relationship graph, or ok = false when
+// BuildGraph (or LoadGraph) has not run. It never blocks — not even on an
+// in-flight build — and the returned graph is an immutable value: it stays
+// valid and consistent while a concurrent BuildGraph replaces the
+// framework's current graph.
+func (f *Framework) RelGraph() (*relgraph.Graph, bool) {
+	g := f.relGraph.Load()
+	return g, g != nil
+}
+
+// resetGraph drops the materialized graph and its per-pair edge cache. The
+// caller must hold the state lock exclusively (which also excludes any
+// in-flight builder, since builders hold the shared lock).
+func (f *Framework) resetGraph() {
+	f.graphMu.Lock()
+	f.graphEdges = nil
+	f.graphSig = ""
+	f.graphMu.Unlock()
+	f.relGraph.Store(nil)
+}
+
+// graphPairSnapshot is one data set pair's cached edges in a graph
+// snapshot.
+type graphPairSnapshot struct {
+	A, B  string
+	Edges []relgraph.Edge
+}
+
+// frameworkGraphSnapshot is the on-disk representation of a materialized
+// graph: the clause signature and corpus fingerprint it was built under
+// plus the per-pair edge cache, so a loaded graph supports incremental
+// maintenance exactly like the original — and is never grafted onto a
+// framework whose edges it could not have come from.
+type frameworkGraphSnapshot struct {
+	Version      int
+	Sig          string
+	Seed         int64
+	MinTS, MaxTS int64
+	Pairs        []graphPairSnapshot
+}
+
+const graphSnapshotVersion = 1
+
+// SaveGraph writes the materialized relationship graph alongside the index
+// snapshot (SaveIndex): the per-pair edge cache, the clause signature, and
+// the corpus fingerprint, so a LoadGraph round-trip preserves the graph
+// exactly and keeps incremental BuildGraph calls cheap.
+func (f *Framework) SaveGraph(w io.Writer) error {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	f.graphMu.Lock()
+	defer f.graphMu.Unlock()
+	if f.relGraph.Load() == nil {
+		return fmt.Errorf("core: SaveGraph requires a built graph (run BuildGraph)")
+	}
+	snap := frameworkGraphSnapshot{
+		Version: graphSnapshotVersion,
+		Sig:     f.graphSig,
+		Seed:    f.opts.Seed,
+		MinTS:   f.minTS,
+		MaxTS:   f.maxTS,
+	}
+	keys := make([]graphPair, 0, len(f.graphEdges))
+	for key := range f.graphEdges {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].A != keys[j].A {
+			return keys[i].A < keys[j].A
+		}
+		return keys[i].B < keys[j].B
+	})
+	for _, key := range keys {
+		snap.Pairs = append(snap.Pairs, graphPairSnapshot{A: key.A, B: key.B, Edges: f.graphEdges[key]})
+	}
+	return gob.NewEncoder(w).Encode(&snap)
+}
+
+// LoadGraph restores a graph previously written with SaveGraph. The
+// framework must have the snapshot's data sets registered and match its
+// corpus fingerprint — the Monte Carlo seed and corpus time range — so
+// loaded edges are exactly what this framework's own BuildGraph would have
+// produced (and incremental maintenance stays byte-identical). The index
+// need not be built yet: graph reads work immediately, and the next
+// BuildGraph extends the loaded pair cache incrementally.
+//
+// LoadGraph takes the state lock exclusively, like LoadIndex.
+func (f *Framework) LoadGraph(r io.Reader) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var snap frameworkGraphSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("core: decoding graph: %w", err)
+	}
+	if snap.Version != graphSnapshotVersion {
+		return fmt.Errorf("core: graph version %d, want %d", snap.Version, graphSnapshotVersion)
+	}
+	if snap.Seed != f.opts.Seed {
+		return fmt.Errorf("core: graph was built with seed %d, framework has %d", snap.Seed, f.opts.Seed)
+	}
+	if snap.MinTS != f.minTS || snap.MaxTS != f.maxTS {
+		return fmt.Errorf("core: graph corpus time range [%d,%d] does not match [%d,%d]",
+			snap.MinTS, snap.MaxTS, f.minTS, f.maxTS)
+	}
+	edges := make(map[graphPair][]relgraph.Edge, len(snap.Pairs))
+	var all []relgraph.Edge
+	for _, p := range snap.Pairs {
+		// SaveGraph writes pairs in canonical (A < B) order; anything else
+		// would dodge the duplicate check and miss BuildGraph's canonical
+		// cache lookups, leaving a stale entry that double-counts edges.
+		if p.A >= p.B {
+			return fmt.Errorf("core: graph snapshot pair %q|%q is not in canonical order", p.A, p.B)
+		}
+		for _, ds := range [2]string{p.A, p.B} {
+			if _, ok := f.datasets[ds]; !ok {
+				return fmt.Errorf("core: graph covers unregistered dataset %q", ds)
+			}
+		}
+		key := graphPair{A: p.A, B: p.B}
+		if _, dup := edges[key]; dup {
+			return fmt.Errorf("core: graph snapshot repeats pair %q|%q", p.A, p.B)
+		}
+		edges[key] = p.Edges
+		all = append(all, p.Edges...)
+	}
+	f.graphMu.Lock()
+	f.graphEdges = edges
+	f.graphSig = snap.Sig
+	f.graphMu.Unlock()
+	f.relGraph.Store(relgraph.New(all))
+	return nil
+}

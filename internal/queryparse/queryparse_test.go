@@ -1,6 +1,7 @@
 package queryparse
 
 import (
+	"reflect"
 	"testing"
 
 	"github.com/urbandata/datapolygamy/internal/core"
@@ -156,5 +157,109 @@ func TestParseErrors(t *testing.T) {
 		if _, err := Parse(in); err == nil {
 			t.Errorf("expected error for %q", in)
 		}
+	}
+}
+
+// TestFormatExamples pins the rendered form of a representative query.
+func TestFormatExamples(t *testing.T) {
+	cases := []struct {
+		q    core.Query
+		want string
+	}{
+		{core.Query{}, "find relationships between all and all"},
+		{core.Query{Sources: []string{"taxi"}, Targets: []string{"weather"}},
+			"find relationships between taxi and weather"},
+		{
+			core.Query{
+				Sources: []string{"taxi", "citibike"},
+				Clause: core.Clause{
+					MinScore:     0.6,
+					MinStrength:  0.3,
+					Permutations: 500,
+					TestKind:     montecarlo.Standard,
+					Resolutions: []core.Resolution{
+						{Spatial: spatial.City, Temporal: temporal.Hour},
+					},
+					Classes: []feature.Class{feature.Extreme},
+				},
+			},
+			"find relationships between taxi, citibike and all" +
+				" where score >= 0.6 and strength >= 0.3 and permutations = 500 and test = standard" +
+				" at (hour, city) using extreme features",
+		},
+	}
+	for _, c := range cases {
+		if got := Format(c.q); got != c.want {
+			t.Errorf("Format = %q\nwant     %q", got, c.want)
+		}
+	}
+}
+
+// TestFormatParseRoundTrip is the property test over the clause matrix:
+// for every representable query, Parse(Format(q)) must reproduce q
+// exactly — same collections, same clause, field for field.
+func TestFormatParseRoundTrip(t *testing.T) {
+	hourCity := core.Resolution{Spatial: spatial.City, Temporal: temporal.Hour}
+	dayNbhd := core.Resolution{Spatial: spatial.Neighborhood, Temporal: temporal.Day}
+	weekZip := core.Resolution{Spatial: spatial.ZipCode, Temporal: temporal.Week}
+
+	sourceOpts := [][]string{nil, {"taxi"}, {"taxi", "citibike"}}
+	targetOpts := [][]string{nil, {"weather"}, {"weather", "gas_prices"}}
+	scoreOpts := []float64{0, 0.6, 0.125}
+	strengthOpts := []float64{0, 0.3}
+	alphaOpts := []float64{0, 0.01}
+	permOpts := []int{0, 250}
+	testOpts := []montecarlo.Kind{montecarlo.Restricted, montecarlo.Standard, montecarlo.Block}
+	resOpts := [][]core.Resolution{nil, {hourCity}, {hourCity, dayNbhd, weekZip}}
+	classOpts := [][]feature.Class{
+		nil,
+		{feature.Salient},
+		{feature.Extreme},
+		{feature.Salient, feature.Extreme},
+	}
+
+	n := 0
+	for _, sources := range sourceOpts {
+		for _, targets := range targetOpts {
+			for _, score := range scoreOpts {
+				for _, strength := range strengthOpts {
+					for _, alpha := range alphaOpts {
+						for _, perms := range permOpts {
+							for _, kind := range testOpts {
+								for _, res := range resOpts {
+									for _, classes := range classOpts {
+										q := core.Query{
+											Sources: sources,
+											Targets: targets,
+											Clause: core.Clause{
+												MinScore:     score,
+												MinStrength:  strength,
+												Alpha:        alpha,
+												Permutations: perms,
+												TestKind:     kind,
+												Resolutions:  res,
+												Classes:      classes,
+											},
+										}
+										text := Format(q)
+										got, err := Parse(text)
+										if err != nil {
+											t.Fatalf("Parse(%q): %v", text, err)
+										}
+										if !reflect.DeepEqual(got, q) {
+											t.Fatalf("round trip through %q:\n got %+v\nwant %+v", text, got, q)
+										}
+										n++
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	if n < 1000 {
+		t.Errorf("clause matrix covered only %d combinations", n)
 	}
 }

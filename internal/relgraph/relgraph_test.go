@@ -1,0 +1,250 @@
+package relgraph
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/urbandata/datapolygamy/internal/feature"
+	"github.com/urbandata/datapolygamy/internal/spatial"
+	"github.com/urbandata/datapolygamy/internal/temporal"
+)
+
+// edge builds a test edge between two function keys "<ds>/<spec>".
+func edge(f1, f2 string, class feature.Class, tau, rho, p float64) Edge {
+	split := func(key string) (ds, spec string) {
+		parts := strings.SplitN(key, "/", 2)
+		return parts[0], parts[1]
+	}
+	d1, s1 := split(f1)
+	d2, s2 := split(f2)
+	return Edge{
+		Function1: f1, Function2: f2,
+		Dataset1: d1, Dataset2: d2,
+		Spec1: s1, Spec2: s2,
+		SRes: spatial.City, TRes: temporal.Hour, Class: class,
+		Tau: tau, Rho: rho, PValue: p,
+	}
+}
+
+func testGraph() *Graph {
+	return New([]Edge{
+		edge("taxi/density", "weather/wind", feature.Salient, -0.9, 0.8, 0.001),
+		edge("taxi/density", "weather/wind", feature.Extreme, -0.7, 0.5, 0.010),
+		edge("weather/wind", "citibike/trips", feature.Salient, 0.6, 0.4, 0.020),
+		edge("citibike/trips", "events/count", feature.Extreme, 0.95, 0.9, 0.002),
+	})
+}
+
+func TestNewCanonicalises(t *testing.T) {
+	// The same edges in reversed orientation and shuffled order must build
+	// an identical graph.
+	fwd := testGraph()
+	var rev []Edge
+	for _, e := range fwd.Edges() {
+		e.Function1, e.Function2 = e.Function2, e.Function1
+		e.Dataset1, e.Dataset2 = e.Dataset2, e.Dataset1
+		e.Spec1, e.Spec2 = e.Spec2, e.Spec1
+		rev = append([]Edge{e}, rev...)
+	}
+	if g := New(rev); !g.Equal(fwd) {
+		t.Error("reversed/shuffled edges built a different graph")
+	}
+}
+
+func TestGraphShape(t *testing.T) {
+	g := testGraph()
+	if g.NumNodes() != 4 || g.NumEdges() != 4 {
+		t.Fatalf("nodes=%d edges=%d, want 4/4", g.NumNodes(), g.NumEdges())
+	}
+	want := []string{"citibike", "events", "taxi", "weather"}
+	got := g.Datasets()
+	if len(got) != len(want) {
+		t.Fatalf("datasets = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("datasets[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	g := testGraph()
+	n := g.Neighbors("weather/wind")
+	if len(n) != 3 {
+		t.Fatalf("weather/wind has %d incident edges, want 3", len(n))
+	}
+	for _, e := range n {
+		if e.Function1 != "weather/wind" && e.Function2 != "weather/wind" {
+			t.Errorf("edge %v not incident to weather/wind", e)
+		}
+	}
+	if g.Neighbors("nope/none") != nil {
+		t.Error("unknown function should have nil neighbors")
+	}
+}
+
+func TestDatasetEdges(t *testing.T) {
+	g := testGraph()
+	if n := len(g.DatasetEdges("taxi")); n != 2 {
+		t.Errorf("taxi has %d incident edges, want 2", n)
+	}
+	if n := len(g.DatasetEdges("citibike")); n != 2 {
+		t.Errorf("citibike has %d incident edges, want 2", n)
+	}
+	if g.DatasetEdges("nope") != nil {
+		t.Error("unknown dataset should have nil edges")
+	}
+}
+
+func TestTopK(t *testing.T) {
+	g := testGraph()
+	top := g.TopK(2, ByScore)
+	if len(top) != 2 {
+		t.Fatalf("TopK returned %d edges", len(top))
+	}
+	if top[0].Tau != 0.95 || top[1].Tau != -0.9 {
+		t.Errorf("TopK by score = %.2f, %.2f; want 0.95, -0.90", top[0].Tau, top[1].Tau)
+	}
+	top = g.TopK(1, ByStrength)
+	if top[0].Rho != 0.9 {
+		t.Errorf("TopK by strength = %.2f, want 0.90", top[0].Rho)
+	}
+	if n := len(g.TopK(0, ByScore)); n != g.NumEdges() {
+		t.Errorf("TopK(0) returned %d edges, want all %d", n, g.NumEdges())
+	}
+}
+
+func TestRollup(t *testing.T) {
+	g := testGraph()
+	roll := g.Rollup()
+	if len(roll) != 3 {
+		t.Fatalf("rollup has %d relations, want 3", len(roll))
+	}
+	// taxi|weather aggregates two edges (one per class).
+	var tw *DatasetRelation
+	for i := range roll {
+		if roll[i].Dataset1 == "taxi" && roll[i].Dataset2 == "weather" {
+			tw = &roll[i]
+		}
+		if roll[i].Dataset1 >= roll[i].Dataset2 {
+			t.Errorf("rollup pair %q/%q not ordered", roll[i].Dataset1, roll[i].Dataset2)
+		}
+	}
+	if tw == nil {
+		t.Fatal("taxi|weather relation missing")
+	}
+	if tw.Edges != 2 || tw.MaxAbsTau != 0.9 || tw.MaxRho != 0.8 || tw.MinPValue != 0.001 {
+		t.Errorf("taxi|weather rollup = %+v", *tw)
+	}
+}
+
+func TestKHop(t *testing.T) {
+	g := testGraph()
+	hops := g.KHop("taxi", 2)
+	want := map[string]int{"taxi": 0, "weather": 1, "citibike": 2}
+	if len(hops) != len(want) {
+		t.Fatalf("KHop(taxi, 2) = %v", hops)
+	}
+	for ds, d := range want {
+		if hops[ds] != d {
+			t.Errorf("KHop[%s] = %d, want %d", ds, hops[ds], d)
+		}
+	}
+	if hops := g.KHop("taxi", 3); hops["events"] != 3 {
+		t.Errorf("KHop(taxi, 3)[events] = %d, want 3", hops["events"])
+	}
+	if g.KHop("nope", 2) != nil {
+		t.Error("unknown start should yield nil")
+	}
+}
+
+func TestStats(t *testing.T) {
+	g := testGraph()
+	st := g.Stats()
+	if st.Nodes != 4 || st.Edges != 4 || st.Datasets != 4 {
+		t.Errorf("stats sizes = %+v", st)
+	}
+	if st.MaxDegree != 3 || st.MinDegree != 1 {
+		t.Errorf("degrees = [%d, %d], want [1, 3]", st.MinDegree, st.MaxDegree)
+	}
+	if st.MeanDegree != 2 {
+		t.Errorf("mean degree = %v, want 2", st.MeanDegree)
+	}
+	if len(st.TopFunctions) == 0 || st.TopFunctions[0].Name != "weather/wind" {
+		t.Errorf("top function = %+v, want weather/wind", st.TopFunctions)
+	}
+	empty := New(nil).Stats()
+	if empty.Nodes != 0 || empty.Edges != 0 {
+		t.Errorf("empty stats = %+v", empty)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	g := testGraph()
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g2.Equal(g) {
+		t.Error("Save/Load round-trip changed the graph")
+	}
+	if _, err := Load(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Error("expected error loading junk")
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := testGraph()
+	var a, b bytes.Buffer
+	if err := g.WriteDOT(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WriteDOT(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("DOT export is not deterministic")
+	}
+	out := a.String()
+	for _, want := range []string{"graph polygamy {", `"taxi/density" -- "weather/wind"`, `label="taxi"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	g := testGraph()
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Nodes []struct {
+			Key    string `json:"key"`
+			Degree int    `json:"degree"`
+		} `json:"nodes"`
+		Edges []struct {
+			Class string  `json:"class"`
+			Tau   float64 `json:"tau"`
+		} `json:"edges"`
+		Datasets []string `json:"datasets"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Nodes) != 4 || len(doc.Edges) != 4 || len(doc.Datasets) != 4 {
+		t.Errorf("JSON doc sizes: %d nodes, %d edges, %d datasets",
+			len(doc.Nodes), len(doc.Edges), len(doc.Datasets))
+	}
+	if doc.Edges[0].Class == "" {
+		t.Error("edge class not spelled out in JSON")
+	}
+}

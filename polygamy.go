@@ -37,6 +37,7 @@ import (
 	"github.com/urbandata/datapolygamy/internal/feature"
 	"github.com/urbandata/datapolygamy/internal/montecarlo"
 	"github.com/urbandata/datapolygamy/internal/queryparse"
+	"github.com/urbandata/datapolygamy/internal/relgraph"
 	"github.com/urbandata/datapolygamy/internal/scalar"
 	"github.com/urbandata/datapolygamy/internal/spatial"
 	"github.com/urbandata/datapolygamy/internal/temporal"
@@ -188,3 +189,49 @@ func Missing() float64 { return dataset.Missing() }
 //	  at (hour, city)
 //	  using extreme features
 func ParseQuery(s string) (Query, error) { return queryparse.Parse(s) }
+
+// FormatQuery renders a query back into the textual form ParseQuery
+// accepts; for queries expressible in the grammar, ParseQuery(FormatQuery(q))
+// reproduces q exactly.
+func FormatQuery(q Query) string { return queryparse.Format(q) }
+
+// RelationshipGraph is the materialized corpus-wide relationship graph —
+// the paper's many-many artifact (Section 1) as a queryable value. Build
+// one with Framework.BuildGraph and read it with Framework.RelGraph; a
+// graph is immutable and safe for lock-free concurrent reads.
+type RelationshipGraph = relgraph.Graph
+
+// GraphEdge is one materialized relationship (tau, rho, p-value at a
+// resolution and feature class) between two scalar functions.
+type GraphEdge = relgraph.Edge
+
+// GraphNode is one graph vertex: a scalar function participating in at
+// least one relationship.
+type GraphNode = relgraph.Node
+
+// GraphStats reports what one Framework.BuildGraph call did, including the
+// incremental split between computed and reused data set pairs.
+type GraphStats = core.GraphStats
+
+// GraphSummary describes a graph's shape: sizes, degree distribution, and
+// hub functions and data sets (see RelationshipGraph.Stats).
+type GraphSummary = relgraph.Stats
+
+// GraphHub is one high-degree function or data set in a GraphSummary.
+type GraphHub = relgraph.Hub
+
+// DatasetRelation is a data-set-level rollup of graph edges (see
+// RelationshipGraph.Rollup).
+type DatasetRelation = relgraph.DatasetRelation
+
+// GraphRankBy selects the edge-ranking criterion of
+// RelationshipGraph.TopK.
+type GraphRankBy = relgraph.RankBy
+
+// Edge-ranking criteria.
+const (
+	// RankByScore ranks edges by |tau| descending.
+	RankByScore = relgraph.ByScore
+	// RankByStrength ranks edges by rho descending.
+	RankByStrength = relgraph.ByStrength
+)
