@@ -31,23 +31,26 @@ import (
 	"github.com/urbandata/datapolygamy/internal/dataset"
 	"github.com/urbandata/datapolygamy/internal/queryparse"
 	"github.com/urbandata/datapolygamy/internal/spatial"
+	"github.com/urbandata/datapolygamy/internal/stats"
 )
 
 // cliOptions is the flag set of one polygamy invocation.
 type cliOptions struct {
-	dataDir  string
-	queryStr string
-	sources  string
-	targets  string
-	minScore float64
-	minRho   float64
-	perms    int
-	alpha    float64
-	seed     int64
-	grid     int
-	workers  int
-	noPrune  bool
-	stats    bool
+	dataDir    string
+	queryStr   string
+	sources    string
+	targets    string
+	minScore   float64
+	minRho     float64
+	perms      int
+	alpha      float64
+	correction string
+	maxQ       float64
+	seed       int64
+	grid       int
+	workers    int
+	noPrune    bool
+	stats      bool
 
 	jsonOut     bool   // machine-readable output on stdout
 	graph       bool   // materialize the relationship graph instead of querying
@@ -66,6 +69,8 @@ func main() {
 	flag.Float64Var(&o.minRho, "min-strength", 0, "minimum rho")
 	flag.IntVar(&o.perms, "perms", 1000, "Monte Carlo permutations")
 	flag.Float64Var(&o.alpha, "alpha", 0.05, "significance level")
+	flag.StringVar(&o.correction, "correction", "none", "multiple-hypothesis correction across tested pairs: none, bh (Benjamini-Hochberg), or by (Benjamini-Yekutieli)")
+	flag.Float64Var(&o.maxQ, "max-q", 0, "keep only relationships with q-value <= max-q (0 = no filter)")
 	flag.Int64Var(&o.seed, "seed", 1, "city / randomization seed")
 	flag.IntVar(&o.grid, "grid", 96, "synthetic city grid side used to place GPS data")
 	flag.IntVar(&o.workers, "workers", 0, "worker pool size (0 = NumCPU)")
@@ -115,6 +120,14 @@ func run(o cliOptions) error {
 	if err != nil {
 		return err
 	}
+	corr, err := stats.ParseCorrection(o.correction)
+	if err != nil {
+		return err
+	}
+	// !(>= 0) also rejects NaN, which would silently disable the filter.
+	if !(o.maxQ >= 0) {
+		return fmt.Errorf("-max-q must be >= 0, got %g", o.maxQ)
+	}
 	// Parse the query up front so a malformed one fails before the
 	// (potentially long) index build.
 	var q core.Query
@@ -126,12 +139,25 @@ func run(o cliOptions) error {
 		if q.Clause.Permutations == 0 {
 			q.Clause.Permutations = o.perms
 		}
+		// The flags provide defaults the where-clause overrides (like
+		// -perms above). A clause cannot distinguish an explicit
+		// "correction = none" from no correction condition at all, so with
+		// -correction set the only way to run uncorrected is to drop the
+		// flag; same for "qvalue <= 0" vs -max-q.
+		if q.Clause.Correction == stats.None {
+			q.Clause.Correction = corr
+		}
+		if q.Clause.MaxQ == 0 {
+			q.Clause.MaxQ = o.maxQ
+		}
 	} else {
 		q = core.Query{Clause: core.Clause{
 			MinScore:     o.minScore,
 			MinStrength:  o.minRho,
 			Permutations: o.perms,
 			Alpha:        o.alpha,
+			Correction:   corr,
+			MaxQ:         o.maxQ,
 		}}
 		if o.sources != "" {
 			q.Sources = splitNames(o.sources)
@@ -169,13 +195,13 @@ func run(o cliOptions) error {
 		fmt.Fprintf(os.Stderr, "loaded %s: %d tuples, %d scalar functions\n",
 			d.Name, len(d.Tuples), d.NumScalarFunctions())
 	}
-	stats, err := fw.BuildIndex()
+	istats, err := fw.BuildIndex()
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "indexed %d functions in %v (%v compute + %v feature identification across workers)\n",
-		stats.Functions, stats.WallDuration.Round(1e6),
-		stats.ComputeDuration.Round(1e6), stats.IndexDuration.Round(1e6))
+		istats.Functions, istats.WallDuration.Round(1e6),
+		istats.ComputeDuration.Round(1e6), istats.IndexDuration.Round(1e6))
 	if o.stats {
 		for _, name := range fw.Datasets() {
 			ds, ok := fw.DatasetIndexStats(name)
@@ -243,6 +269,7 @@ type relationshipJSON struct {
 	Score       float64 `json:"score"`
 	Strength    float64 `json:"strength"`
 	PValue      float64 `json:"pValue"`
+	QValue      float64 `json:"qValue"`
 	Significant bool    `json:"significant"`
 }
 
@@ -267,7 +294,7 @@ func writeQueryJSON(w io.Writer, rels []core.Relationship, stats core.QueryStats
 			Spec1: r.Spec1, Spec2: r.Spec2,
 			Spatial: r.Res.Spatial.String(), Temporal: r.Res.Temporal.String(),
 			Class: r.Class.String(), Score: r.Score, Strength: r.Strength,
-			PValue: r.PValue, Significant: r.Significant,
+			PValue: r.PValue, QValue: r.QValue, Significant: r.Significant,
 		})
 	}
 	doc.Stats.PairsConsidered = stats.PairsConsidered

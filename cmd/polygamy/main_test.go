@@ -118,6 +118,97 @@ func TestPolygamyCLIJSONOutput(t *testing.T) {
 	}
 }
 
+// TestPolygamyCLICorrection runs the CLI with -correction bh / -max-q and
+// checks the JSON output carries q-values obeying the cutoff, and that the
+// corrected result set is a subset of the uncorrected one.
+func TestPolygamyCLICorrection(t *testing.T) {
+	dir := t.TempDir()
+	writeCorpus(t, dir)
+
+	decode := func(buf *bytes.Buffer) []relationshipJSON {
+		t.Helper()
+		var doc struct {
+			Relationships []relationshipJSON `json:"relationships"`
+		}
+		if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+			t.Fatalf("output is not JSON: %v\n%s", err, buf.String())
+		}
+		return doc.Relationships
+	}
+
+	var rawBuf bytes.Buffer
+	o := baseOptions(dir)
+	o.jsonOut, o.minScore, o.stdout = true, 0.2, &rawBuf
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	raw := decode(&rawBuf)
+	if len(raw) == 0 {
+		t.Fatal("uncorrected run found nothing; the corpus should relate")
+	}
+
+	var bhBuf bytes.Buffer
+	o = baseOptions(dir)
+	o.jsonOut, o.minScore, o.stdout = true, 0.2, &bhBuf
+	o.correction, o.maxQ = "bh", 0.05
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	bh := decode(&bhBuf)
+	if len(bh) > len(raw) {
+		t.Errorf("bh kept %d relationships, uncorrected %d", len(bh), len(raw))
+	}
+	for _, r := range bh {
+		if r.QValue < r.PValue {
+			t.Errorf("q = %g < p = %g in CLI output", r.QValue, r.PValue)
+		}
+		if r.QValue > 0.05 {
+			t.Errorf("q = %g survived -max-q 0.05", r.QValue)
+		}
+	}
+
+	// A where-clause correction wins over the flag: the bh query under a
+	// -correction by flag must match a plain bh run exactly.
+	var qBuf bytes.Buffer
+	o = baseOptions(dir)
+	o.jsonOut, o.stdout = true, &qBuf
+	o.correction = "by"
+	o.queryStr = "find relationships between alpha and beta where score >= 0.2 and permutations = 150 and correction = bh"
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	var bhOnly bytes.Buffer
+	o = baseOptions(dir)
+	o.jsonOut, o.stdout = true, &bhOnly
+	o.queryStr = "find relationships between alpha and beta where score >= 0.2 and permutations = 150 and correction = bh"
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	flagged, plain := decode(&qBuf), decode(&bhOnly)
+	if len(flagged) != len(plain) {
+		t.Fatalf("where-clause correction did not win over the flag: %d vs %d relationships",
+			len(flagged), len(plain))
+	}
+	for i := range plain {
+		if flagged[i] != plain[i] {
+			t.Errorf("relationship %d differs under a shadowed -correction flag: %+v vs %+v",
+				i, flagged[i], plain[i])
+		}
+	}
+
+	// Unknown corrections fail before the index build.
+	o = baseOptions(dir)
+	o.correction = "bonferroni"
+	if err := run(o); err == nil {
+		t.Error("expected error for -correction bonferroni")
+	}
+	o = baseOptions(dir)
+	o.maxQ = -1
+	if err := run(o); err == nil {
+		t.Error("expected error for negative -max-q")
+	}
+}
+
 func TestPolygamyCLIGraphMode(t *testing.T) {
 	dir := t.TempDir()
 	writeCorpus(t, dir)

@@ -23,7 +23,8 @@ import (
 //	                          ?dataset=<name>[&hops=k] — edges incident to a
 //	                          data set, plus k-hop reachability when hops is
 //	                          given
-//	GET  /v1/graph/top        ?k=10&by=score|strength — top-k edges
+//	GET  /v1/graph/top        ?k=10&by=score|strength|qvalue[&max_q=0.05] —
+//	                          top-k edges, optionally q-value-filtered
 
 type graphStatsWire struct {
 	Datasets        int    `json:"datasets"`
@@ -48,6 +49,7 @@ type graphEdgeWire struct {
 	Tau       float64 `json:"tau"`
 	Rho       float64 `json:"rho"`
 	PValue    float64 `json:"pValue"`
+	QValue    float64 `json:"qValue"`
 }
 
 func wireEdges(edges []relgraph.Edge) []graphEdgeWire {
@@ -57,7 +59,7 @@ func wireEdges(edges []relgraph.Edge) []graphEdgeWire {
 			Function1: e.Function1, Function2: e.Function2,
 			Dataset1: e.Dataset1, Dataset2: e.Dataset2,
 			Spatial: e.SRes.String(), Temporal: e.TRes.String(), Class: e.Class.String(),
-			Tau: e.Tau, Rho: e.Rho, PValue: e.PValue,
+			Tau: e.Tau, Rho: e.Rho, PValue: e.PValue, QValue: e.QValue,
 		})
 	}
 	return out
@@ -136,6 +138,7 @@ func (s *server) handleGraphStats(w http.ResponseWriter, r *http.Request) {
 		MaxAbsTau float64 `json:"maxAbsTau"`
 		MaxRho    float64 `json:"maxRho"`
 		MinPValue float64 `json:"minPValue"`
+		MinQValue float64 `json:"minQValue"`
 	}
 	rollup := make([]rollupWire, 0)
 	for _, rel := range g.Rollup() {
@@ -207,11 +210,26 @@ func (s *server) handleGraphTop(w http.ResponseWriter, r *http.Request) {
 	case "", "score":
 	case "strength":
 		by = relgraph.ByStrength
+	case "qvalue":
+		by = relgraph.ByQValue
 	default:
 		s.failures.Add(1)
 		writeJSON(w, http.StatusBadRequest,
-			errorResponse{Error: "bad by parameter (want score or strength)"})
+			errorResponse{Error: "bad by parameter (want score, strength, or qvalue)"})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"edges": wireEdges(g.TopK(k, by))})
+	maxQ := 0.0
+	if qStr := r.URL.Query().Get("max_q"); qStr != "" {
+		// !(v > 0) also rejects NaN, which would silently disable the
+		// filter while the client believes a cutoff was applied.
+		v, err := strconv.ParseFloat(qStr, 64)
+		if err != nil || !(v > 0) {
+			s.failures.Add(1)
+			writeJSON(w, http.StatusBadRequest,
+				errorResponse{Error: fmt.Sprintf("bad max_q %q (want a positive number)", qStr)})
+			return
+		}
+		maxQ = v
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"edges": wireEdges(g.TopKMaxQ(k, by, maxQ))})
 }

@@ -182,6 +182,8 @@ func TestServerRejectsBadRequests(t *testing.T) {
 		{"bad class", queryRequest{Clause: clauseRequest{Classes: []string{"weird"}}}},
 		{"bad resolution", queryRequest{Clause: clauseRequest{Resolutions: []resolutionWire{{Spatial: "galaxy", Temporal: "hour"}}}}},
 		{"bad test kind", queryRequest{Clause: clauseRequest{Test: "psychic"}}},
+		{"bad correction", queryRequest{Clause: clauseRequest{Correction: "bonferroni"}}},
+		{"negative max_q", queryRequest{Clause: clauseRequest{MaxQ: -0.1}}},
 	}
 	for _, tc := range cases {
 		if _, code := postQuery(t, client, srv.URL, tc.req); code != http.StatusBadRequest {
@@ -442,6 +444,108 @@ func TestServerGraphEndpoints(t *testing.T) {
 		if _, code := get(path); code != http.StatusBadRequest {
 			t.Errorf("%s: status %d, want 400", path, code)
 		}
+	}
+}
+
+// TestServerCorrection drives the FDR layer over the wire: corrected
+// queries carry q-values >= p-values and return a subset of the
+// uncorrected results, and the graph's top endpoint ranks and filters by
+// q-value.
+func TestServerCorrection(t *testing.T) {
+	srv := httptest.NewServer(newServer(testFramework(t)))
+	defer srv.Close()
+	client := srv.Client()
+
+	raw, code := postQuery(t, client, srv.URL, queryRequest{
+		Clause: clauseRequest{Permutations: 200},
+	})
+	if code != http.StatusOK || len(raw.Relationships) == 0 {
+		t.Fatalf("uncorrected query: status %d, %d relationships", code, len(raw.Relationships))
+	}
+	for _, r := range raw.Relationships {
+		if r.QValue != r.PValue {
+			t.Errorf("correction none: qValue %g != pValue %g on the wire", r.QValue, r.PValue)
+		}
+	}
+
+	bh, code := postQuery(t, client, srv.URL, queryRequest{
+		Clause: clauseRequest{Permutations: 200, Correction: "bh", MaxQ: 0.05},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("bh query status = %d", code)
+	}
+	if len(bh.Relationships) > len(raw.Relationships) {
+		t.Errorf("bh returned %d relationships, uncorrected %d", len(bh.Relationships), len(raw.Relationships))
+	}
+	for _, r := range bh.Relationships {
+		if r.QValue < r.PValue {
+			t.Errorf("bh: qValue %g < pValue %g", r.QValue, r.PValue)
+		}
+		if r.QValue > 0.05 {
+			t.Errorf("bh: qValue %g survived max_q 0.05", r.QValue)
+		}
+	}
+
+	// The textual form reaches the same layer.
+	q := url.QueryEscape("find relationships between wind and trips where permutations = 200 and correction = bh")
+	resp, err := client.Get(srv.URL + "/v1/query?q=" + q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tq queryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tq); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("textual corrected query status = %d", resp.StatusCode)
+	}
+
+	// Graph build under bh, then rank by q-value with a filter.
+	body := []byte(`{"clause":{"permutations":200,"correction":"bh"}}`)
+	resp, err = client.Post(srv.URL+"/v1/graph/build", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bs graphStatsWire
+	if err := json.NewDecoder(resp.Body).Decode(&bs); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || bs.Edges == 0 {
+		t.Fatalf("corrected graph build: status %d, stats %+v", resp.StatusCode, bs)
+	}
+	resp, err = client.Get(srv.URL + "/v1/graph/top?k=5&by=qvalue&max_q=0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var top struct {
+		Edges []graphEdgeWire `json:"edges"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&top); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("graph top by qvalue status = %d", resp.StatusCode)
+	}
+	for i, e := range top.Edges {
+		if e.QValue > 0.05 {
+			t.Errorf("top edge %d has qValue %g above max_q", i, e.QValue)
+		}
+		if i > 0 && e.QValue < top.Edges[i-1].QValue {
+			t.Errorf("top by qvalue not ascending at %d", i)
+		}
+	}
+	// Bad max_q is rejected.
+	resp, err = client.Get(srv.URL + "/v1/graph/top?max_q=-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("max_q=-1: status %d, want 400", resp.StatusCode)
 	}
 }
 

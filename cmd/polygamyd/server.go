@@ -13,6 +13,7 @@ import (
 	"github.com/urbandata/datapolygamy/internal/montecarlo"
 	"github.com/urbandata/datapolygamy/internal/queryparse"
 	"github.com/urbandata/datapolygamy/internal/spatial"
+	"github.com/urbandata/datapolygamy/internal/stats"
 	"github.com/urbandata/datapolygamy/internal/temporal"
 )
 
@@ -58,7 +59,9 @@ type clauseRequest struct {
 	Alpha            float64          `json:"alpha,omitempty"`
 	Permutations     int              `json:"permutations,omitempty"`
 	SkipSignificance bool             `json:"skipSignificance,omitempty"`
-	Test             string           `json:"test,omitempty"` // "restricted" (default), "standard", "block"
+	Test             string           `json:"test,omitempty"`       // "restricted" (default), "standard", "block"
+	Correction       string           `json:"correction,omitempty"` // "none" (default), "bh", "by"
+	MaxQ             float64          `json:"max_q,omitempty"`      // keep only q <= max_q (0 => no filter)
 }
 
 type resolutionWire struct {
@@ -85,6 +88,7 @@ type relationshipWire struct {
 	Score       float64 `json:"score"`
 	Strength    float64 `json:"strength"`
 	PValue      float64 `json:"pValue"`
+	QValue      float64 `json:"qValue"`
 	Significant bool    `json:"significant"`
 }
 
@@ -149,6 +153,15 @@ func parseClause(c clauseRequest) (core.Clause, error) {
 	default:
 		return out, fmt.Errorf("unknown test kind %q (want restricted, standard, or block)", c.Test)
 	}
+	corr, err := stats.ParseCorrection(c.Correction)
+	if err != nil {
+		return out, err
+	}
+	out.Correction = corr
+	if c.MaxQ < 0 {
+		return out, fmt.Errorf("max_q must be >= 0, got %g", c.MaxQ)
+	}
+	out.MaxQ = c.MaxQ
 	return out, nil
 }
 
@@ -266,6 +279,7 @@ func (s *server) answer(w http.ResponseWriter, q core.Query) {
 			Score:       rel.Score,
 			Strength:    rel.Strength,
 			PValue:      rel.PValue,
+			QValue:      rel.QValue,
 			Significant: rel.Significant,
 		})
 	}

@@ -107,6 +107,55 @@ func TestRelationshipGraphFacade(t *testing.T) {
 	}
 }
 
+// TestCorrectionFacade exercises the FDR surface through the public
+// facade: parsing correction names, corrected queries carrying q-values,
+// and q-value graph ranking.
+func TestCorrectionFacade(t *testing.T) {
+	for name, want := range map[string]Correction{
+		"": NoCorrection, "none": NoCorrection, "bh": BenjaminiHochberg, "by": BenjaminiYekutieli,
+	} {
+		got, err := ParseCorrection(name)
+		if err != nil || got != want {
+			t.Errorf("ParseCorrection(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseCorrection("holm"); err == nil {
+		t.Error("expected error for unknown correction")
+	}
+
+	q, err := ParseQuery("find relationships between taxi and wind where correction = bh and qvalue <= 0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Clause.Correction != BenjaminiHochberg || q.Clause.MaxQ != 0.1 {
+		t.Errorf("parsed corrected clause = %+v", q.Clause)
+	}
+
+	fw := buildCorpus(t)
+	if _, err := fw.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	rels, _, err := fw.Query(Query{Clause: Clause{Permutations: 150, Correction: BenjaminiHochberg}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rels {
+		if r.QValue < r.PValue {
+			t.Errorf("facade query: q = %g < p = %g", r.QValue, r.PValue)
+		}
+	}
+	if _, err := fw.BuildGraph(Clause{Permutations: 150, Correction: BenjaminiHochberg}); err != nil {
+		t.Fatal(err)
+	}
+	g, _ := fw.RelGraph()
+	top := g.TopK(3, RankByQValue)
+	for i := 1; i < len(top); i++ {
+		if top[i].QValue < top[i-1].QValue {
+			t.Error("RankByQValue not ascending through the facade")
+		}
+	}
+}
+
 func TestFormatQueryFacade(t *testing.T) {
 	q := Query{Sources: []string{"taxi"}, Clause: Clause{MinScore: 0.6}}
 	text := FormatQuery(q)

@@ -137,14 +137,17 @@ type Framework struct {
 	built bool // BuildIndex or LoadIndex has succeeded at least once
 
 	// Materialized relationship graph (see relgraph.go). graphMu serializes
-	// graph builders and guards the per-pair edge cache and its clause
-	// signature; it nests inside mu (BuildGraph and SaveGraph take it while
+	// graph builders and guards the per-pair candidate cache (every tested
+	// relationship with its raw p-value — the corpus-wide hypothesis family
+	// FDR control adjusts over), its clause signature, and the edge-selection
+	// rule; it nests inside mu (BuildGraph and SaveGraph take it while
 	// holding the read lock), so a long graph build never blocks query
 	// traffic. relGraph is the published graph — an immutable value replaced
 	// wholesale at the end of a build, read without any lock.
 	graphMu    sync.Mutex
-	graphEdges map[graphPair][]relgraph.Edge
+	graphCands map[graphPair][]relgraph.Edge
 	graphSig   string
+	graphSel   graphSelection
 	relGraph   atomic.Pointer[relgraph.Graph]
 
 	// cacheMu guards cache and inflight. It nests inside mu (Query touches

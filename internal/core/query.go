@@ -11,6 +11,7 @@ import (
 	"github.com/urbandata/datapolygamy/internal/mapreduce"
 	"github.com/urbandata/datapolygamy/internal/montecarlo"
 	"github.com/urbandata/datapolygamy/internal/relationship"
+	"github.com/urbandata/datapolygamy/internal/stats"
 )
 
 // Clause filters and parameterises a relationship query (Section 5.3).
@@ -38,6 +39,23 @@ type Clause struct {
 	SkipSignificance bool
 	// TestKind selects restricted (default) or standard permutation tests.
 	TestKind montecarlo.Kind
+	// Correction selects the multiple-hypothesis correction applied across
+	// the query's tested pairs (stats.None, stats.BH, or stats.BY). Under a
+	// correction, every evaluated pair receives a q-value computed over the
+	// whole tested family, and a relationship is significant when its
+	// q-value is <= Alpha; with None the q-value equals the raw p-value and
+	// the per-pair rule is unchanged.
+	Correction stats.Correction
+	// MaxQ additionally keeps only relationships with q-value <= MaxQ
+	// (0 => no filter). It has no effect under SkipSignificance, where no
+	// hypothesis is tested and every q-value is 1.
+	MaxQ float64
+	// Exhaustive disables the Monte Carlo test's adaptive early
+	// termination, evaluating all Permutations for every pair. Significant
+	// verdicts are identical either way (the early stop is decision-exact);
+	// only the reported p-values of insignificant pairs differ. This exists
+	// for verification and calibration, like DisablePruning.
+	Exhaustive bool
 	// DisablePruning makes the planner schedule every candidate tuple
 	// instead of skipping provably fruitless ones. Results are identical
 	// either way (pruning is sound); this exists for parity verification
@@ -67,14 +85,22 @@ type Relationship struct {
 	Strength float64 // rho
 	Measures relationship.Measures
 
-	PValue      float64
+	PValue float64
+	// QValue is the corrected p-value over the query's tested family
+	// (Clause.Correction); it equals PValue when no correction is applied
+	// and is always >= PValue otherwise.
+	QValue      float64
 	Significant bool
 }
 
 // String renders the relationship in the paper's reporting style.
 func (r Relationship) String() string {
-	return fmt.Sprintf("%s/%s ~ %s/%s %s [%s]: tau=%.2f rho=%.2f p=%.3f",
+	s := fmt.Sprintf("%s/%s ~ %s/%s %s [%s]: tau=%.2f rho=%.2f p=%.3f",
 		r.Dataset1, r.Spec1, r.Dataset2, r.Spec2, r.Res, r.Class, r.Score, r.Strength, r.PValue)
+	if r.QValue != r.PValue {
+		s += fmt.Sprintf(" q=%.3f", r.QValue)
+	}
+	return s
 }
 
 // QueryStats describes the work a query performed. A cache hit reports the
@@ -258,19 +284,30 @@ func (f *Framework) evaluateQuery(sources, targets []string, clause Clause, t0 t
 	if err != nil {
 		return nil, stats, err
 	}
-	var out []Relationship
+	var cands []*Relationship
 	for _, r := range results {
-		if r == nil {
-			continue
+		if r != nil {
+			cands = append(cands, r)
 		}
-		stats.Evaluated++
+	}
+	stats.Evaluated = len(cands)
+	// Multiple-hypothesis correction across the query's tested family: every
+	// evaluated pair — significant or not — contributes its p-value, and
+	// Significant is re-derived from the q-values.
+	applyCorrection(cands, clause)
+	var out []Relationship
+	for _, r := range cands {
 		if r.Significant {
 			stats.Significant++
 		}
-		if r.Significant || clause.SkipSignificance {
-			stats.Kept++
-			out = append(out, *r)
+		if !r.Significant && !clause.SkipSignificance {
+			continue
 		}
+		if !clause.SkipSignificance && clause.MaxQ > 0 && r.QValue > clause.MaxQ {
+			continue
+		}
+		stats.Kept++
+		out = append(out, *r)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Function1 != out[j].Function1 {
@@ -331,10 +368,43 @@ func (f *Framework) evaluatePair(t pairTask, clause Clause, mcWorkers int) (*Rel
 		Seed:         t.seed,
 		Kind:         clause.TestKind,
 		Workers:      mcWorkers,
+		Exhaustive:   clause.Exhaustive,
 	})
 	rel.PValue = res.PValue
 	rel.Significant = res.Significant
 	return rel, nil
+}
+
+// applyCorrection assigns q-values across the tested family of candidates
+// and re-derives each candidate's Significant flag from them: under a
+// correction a pair is significant when q <= alpha; with stats.None the
+// q-value equals the raw p-value, reproducing the per-pair rule. Under
+// SkipSignificance no hypothesis was tested, so the q-values mirror the
+// (unit) p-values untouched.
+//
+// The q-values are a function of the p-value *multiset* only — stable
+// under permutation, with ties receiving identical values — so the result
+// does not depend on evaluation or enumeration order.
+func applyCorrection(cands []*Relationship, clause Clause) {
+	if clause.SkipSignificance {
+		for _, r := range cands {
+			r.QValue = r.PValue
+		}
+		return
+	}
+	alpha := clause.Alpha
+	if alpha <= 0 {
+		alpha = montecarlo.DefaultAlpha
+	}
+	ps := make([]float64, len(cands))
+	for i, r := range cands {
+		ps[i] = r.PValue
+	}
+	qs := stats.Adjust(clause.Correction, ps)
+	for i, r := range cands {
+		r.QValue = qs[i]
+		r.Significant = qs[i] <= alpha
+	}
 }
 
 func intersectResolutions(a, b []Resolution) []Resolution {
@@ -386,10 +456,11 @@ func querySignature(sources, targets []string, c Clause) string {
 		}
 		resStr = strings.Join(parts, ";")
 	}
-	return fmt.Sprintf("s=%s|t=%s|score=%g|strength=%g|alpha=%g|perms=%d|skip=%t|kind=%d|noprune=%t|classes=%s|res=%s",
+	return fmt.Sprintf("s=%s|t=%s|score=%g|strength=%g|alpha=%g|perms=%d|skip=%t|kind=%d|corr=%s|maxq=%g|exhaustive=%t|noprune=%t|classes=%s|res=%s",
 		strings.Join(dedupeSorted(sources), ","), strings.Join(dedupeSorted(targets), ","),
 		c.MinScore, c.MinStrength, c.Alpha, c.Permutations, c.SkipSignificance,
-		c.TestKind, c.DisablePruning, strings.Join(clsParts, ";"), resStr)
+		c.TestKind, c.Correction, c.MaxQ, c.Exhaustive,
+		c.DisablePruning, strings.Join(clsParts, ";"), resStr)
 }
 
 // dedupeSorted returns a sorted copy of names with duplicates removed.

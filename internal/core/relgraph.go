@@ -9,7 +9,9 @@ import (
 
 	"github.com/urbandata/datapolygamy/internal/feature"
 	"github.com/urbandata/datapolygamy/internal/mapreduce"
+	"github.com/urbandata/datapolygamy/internal/montecarlo"
 	"github.com/urbandata/datapolygamy/internal/relgraph"
+	"github.com/urbandata/datapolygamy/internal/stats"
 )
 
 // This file is the relationship-graph layer of the framework: BuildGraph
@@ -18,16 +20,22 @@ import (
 // pair, and the framework keeps it as a persistent, incrementally
 // maintained structure.
 //
-// Incrementality mirrors the index contract: edges are cached per unordered
-// data set pair, so after AddDataset + BuildIndex a BuildGraph call
-// recomputes only the pairs incident to the new data set (the existing
-// pairs' entries are untouched, so their edges cannot have changed). A full
-// recompute happens only when the clause changes or the index itself fully
-// rebuilds (corpus time-range extension drops all derived state). Per-pair
-// Monte Carlo seeds are derived from the pair identity (pairSeed), so an
-// incrementally maintained graph is identical to a from-scratch rebuild,
-// and every edge is byte-identical to what a direct Query for that pair
-// returns.
+// Incrementality mirrors the index contract: *candidates* — every tested
+// relationship with its raw p-value, significant or not — are cached per
+// unordered data set pair, so after AddDataset + BuildIndex a BuildGraph
+// call recomputes only the pairs incident to the new data set (the
+// existing pairs' entries are untouched, so their p-values cannot have
+// changed). Caching the full tested family rather than just the
+// significant edges is what makes corpus-wide FDR control incremental:
+// q-values depend on every tested p-value, so assembleGraph re-adjusts
+// them over the whole cache on each build — a cheap O(E log E) pass over
+// cached numbers, with no Monte Carlo re-runs. A full recompute happens
+// only when the clause changes or the index itself fully rebuilds (corpus
+// time-range extension drops all derived state). Per-pair Monte Carlo
+// seeds are derived from the pair identity (pairSeed), so an incrementally
+// maintained graph — q-values included — is byte-identical to a
+// from-scratch rebuild, and under Correction: none every edge is
+// byte-identical to what a direct Query for that pair returns.
 //
 // Locking: a build only reads post-BuildIndex-immutable state, so
 // BuildGraph holds the state lock shared — concurrent queries keep
@@ -54,10 +62,73 @@ type GraphStats struct {
 	WallDuration time.Duration
 }
 
-// graphSignature canonicalises the clause a graph is built under; edges
-// cached under one signature are never reused for another.
+// graphSignature canonicalises the clause a graph's *candidate cache* is
+// built under; candidates cached under one signature are never reused for
+// another. Correction and MaxQ are deliberately excluded: the cache stores
+// the full tested family of raw p-values, which those two fields cannot
+// influence — they only select edges at assembly. Changing just the
+// correction therefore re-selects from the cached family (O(E log E))
+// instead of re-running the all-pairs Monte Carlo fan-out. Alpha stays in
+// the signature because the adaptive early stop — and thus the recorded
+// p-values of insignificant candidates — depends on it.
 func graphSignature(clause Clause) string {
+	clause.Correction = stats.None
+	clause.MaxQ = 0
 	return querySignature(nil, nil, clause)
+}
+
+// graphSelection is the edge-selection rule applied when assembling the
+// published graph from the candidate cache: the correction, its level, and
+// the optional q cutoff. It is remembered next to the cache (and persisted
+// in snapshots) so LoadGraph and pure-reuse builds select identically.
+type graphSelection struct {
+	alpha      float64
+	correction stats.Correction
+	maxQ       float64
+	skip       bool // SkipSignificance: keep every candidate
+}
+
+func selectionFromClause(c Clause) graphSelection {
+	alpha := c.Alpha
+	if alpha <= 0 {
+		alpha = montecarlo.DefaultAlpha
+	}
+	return graphSelection{alpha: alpha, correction: c.Correction, maxQ: c.MaxQ, skip: c.SkipSignificance}
+}
+
+// assembleGraph adjusts the cached candidates' p-values into q-values over
+// the corpus-wide tested family and materializes the graph of the
+// candidates surviving the selection rule. Candidates are copied, never
+// mutated: the cache stays q-free so a later build over a grown family can
+// re-adjust from the raw p-values.
+func assembleGraph(cands map[graphPair][]relgraph.Edge, sel graphSelection) *relgraph.Graph {
+	var all []relgraph.Edge
+	for _, es := range cands {
+		all = append(all, es...)
+	}
+	if sel.skip {
+		for i := range all {
+			all[i].QValue = all[i].PValue
+		}
+		return relgraph.New(all)
+	}
+	ps := make([]float64, len(all))
+	for i := range all {
+		ps[i] = all[i].PValue
+	}
+	qs := stats.Adjust(sel.correction, ps)
+	kept := all[:0]
+	for i, e := range all {
+		if qs[i] > sel.alpha {
+			continue
+		}
+		if sel.maxQ > 0 && qs[i] > sel.maxQ {
+			continue
+		}
+		e.QValue = qs[i]
+		kept = append(kept, e)
+	}
+	return relgraph.New(kept)
 }
 
 // graphPair is the unordered data set pair key of the edge cache
@@ -77,9 +148,15 @@ func makeGraphPair(a, b string) graphPair {
 // indexed corpus: every unordered data set pair is evaluated at every
 // common resolution and feature class under the given clause (the zero
 // Clause applies the paper's defaults), and the significant relationships
-// become graph edges. Pairs already covered by the current graph — built
-// with the same clause — are reused, so after an incremental AddDataset +
-// BuildIndex only the new data set's pairs are computed.
+// become graph edges. With Clause.Correction set, significance is decided
+// corpus-wide: q-values are adjusted over every tested pair in the corpus —
+// the many-many regime where per-pair alpha floods the graph with false
+// discoveries — and an edge survives when q <= alpha (and <= Clause.MaxQ,
+// when set). Pairs already covered by the current graph — built with the
+// same clause — are reused, so after an incremental AddDataset + BuildIndex
+// only the new data set's pairs are computed; q-values are still
+// re-adjusted over the full cached family, so the incremental graph is
+// byte-identical to a from-scratch rebuild.
 //
 // BuildGraph holds the state lock shared, so queries proceed concurrently
 // with a build; concurrent BuildGraph calls serialize on the builder
@@ -96,10 +173,11 @@ func (f *Framework) BuildGraph(clause Clause) (GraphStats, error) {
 	f.graphMu.Lock()
 	defer f.graphMu.Unlock()
 	sig := graphSignature(clause)
-	if f.graphSig != sig || f.graphEdges == nil {
-		f.graphEdges = make(map[graphPair][]relgraph.Edge)
+	if f.graphSig != sig || f.graphCands == nil {
+		f.graphCands = make(map[graphPair][]relgraph.Edge)
 		f.graphSig = sig
 	}
+	sel := selectionFromClause(clause)
 	st.Datasets = len(f.order)
 	classes := clause.Classes
 	if classes == nil {
@@ -115,7 +193,7 @@ func (f *Framework) BuildGraph(clause Clause) (GraphStats, error) {
 		for _, b := range f.order[i+1:] {
 			st.Pairs++
 			key := makeGraphPair(a, b)
-			if _, ok := f.graphEdges[key]; ok {
+			if _, ok := f.graphCands[key]; ok {
 				st.PairsReused++
 				continue
 			}
@@ -128,15 +206,19 @@ func (f *Framework) BuildGraph(clause Clause) (GraphStats, error) {
 	}
 	st.PairsComputed = len(missing)
 
-	// Pure reuse: nothing changed, so the published graph is already the
-	// aggregation of the cache — skip the O(E log E) reassembly.
-	if len(missing) == 0 {
+	// Pure reuse: same candidates *and* same selection rule, so the
+	// published graph is already the assembly of the cache — skip the
+	// O(E log E) reassembly. A changed selection (correction, alpha, q
+	// cutoff) falls through: the candidates are reusable but the edge set
+	// is not.
+	if len(missing) == 0 && sel == f.graphSel {
 		if g := f.relGraph.Load(); g != nil {
 			st.Edges = g.NumEdges()
 			st.WallDuration = time.Since(t0)
 			return st, nil
 		}
 	}
+	f.graphSel = sel
 
 	if len(missing) > 0 {
 		mcWorkers := 1
@@ -153,33 +235,29 @@ func (f *Framework) BuildGraph(clause Clause) (GraphStats, error) {
 			return st, err
 		}
 		// Record every computed pair — including empty ones, so fruitless
-		// pairs are not re-evaluated on the next build.
-		newEdges := make(map[graphPair][]relgraph.Edge, len(missing))
+		// pairs are not re-evaluated on the next build. Every *tested*
+		// candidate is cached with its raw p-value, significant or not:
+		// the insignificant ones are part of the corpus-wide hypothesis
+		// family and shift everyone's q-values.
+		newCands := make(map[graphPair][]relgraph.Edge, len(missing))
 		for key := range missing {
-			newEdges[key] = []relgraph.Edge{}
+			newCands[key] = []relgraph.Edge{}
 		}
 		for _, r := range results {
 			if r == nil {
 				continue
 			}
 			st.Evaluated++
-			if !r.Significant && !clause.SkipSignificance {
-				continue
-			}
 			key := makeGraphPair(r.Dataset1, r.Dataset2)
-			newEdges[key] = append(newEdges[key], relationshipEdge(*r))
+			newCands[key] = append(newCands[key], relationshipEdge(*r))
 		}
-		for key, es := range newEdges {
+		for key, es := range newCands {
 			relgraph.SortEdges(es)
-			f.graphEdges[key] = es
+			f.graphCands[key] = es
 		}
 	}
 
-	var all []relgraph.Edge
-	for _, es := range f.graphEdges {
-		all = append(all, es...)
-	}
-	g := relgraph.New(all)
+	g := assembleGraph(f.graphCands, f.graphSel)
 	f.relGraph.Store(g)
 	st.Edges = g.NumEdges()
 	st.WallDuration = time.Since(t0)
@@ -187,13 +265,16 @@ func (f *Framework) BuildGraph(clause Clause) (GraphStats, error) {
 }
 
 // relationshipEdge converts one query-layer relationship into a graph edge.
+// For candidates entering the pair cache the QValue is still zero (q-values
+// are assigned corpus-wide at assembly); for parity comparisons against
+// Query results it carries the query-scoped q-value through.
 func relationshipEdge(r Relationship) relgraph.Edge {
 	return relgraph.Edge{
 		Function1: r.Function1, Function2: r.Function2,
 		Dataset1: r.Dataset1, Dataset2: r.Dataset2,
 		Spec1: r.Spec1, Spec2: r.Spec2,
 		SRes: r.Res.Spatial, TRes: r.Res.Temporal, Class: r.Class,
-		Tau: r.Score, Rho: r.Strength, PValue: r.PValue,
+		Tau: r.Score, Rho: r.Strength, PValue: r.PValue, QValue: r.QValue,
 	}
 }
 
@@ -207,38 +288,52 @@ func (f *Framework) RelGraph() (*relgraph.Graph, bool) {
 	return g, g != nil
 }
 
-// resetGraph drops the materialized graph and its per-pair edge cache. The
-// caller must hold the state lock exclusively (which also excludes any
-// in-flight builder, since builders hold the shared lock).
+// resetGraph drops the materialized graph and its per-pair candidate
+// cache. The caller must hold the state lock exclusively (which also
+// excludes any in-flight builder, since builders hold the shared lock).
 func (f *Framework) resetGraph() {
 	f.graphMu.Lock()
-	f.graphEdges = nil
+	f.graphCands = nil
 	f.graphSig = ""
+	f.graphSel = graphSelection{}
 	f.graphMu.Unlock()
 	f.relGraph.Store(nil)
 }
 
-// graphPairSnapshot is one data set pair's cached edges in a graph
+// graphPairSnapshot is one data set pair's cached candidates in a graph
 // snapshot.
 type graphPairSnapshot struct {
 	A, B  string
-	Edges []relgraph.Edge
+	Cands []relgraph.Edge
 }
 
 // frameworkGraphSnapshot is the on-disk representation of a materialized
-// graph: the clause signature and corpus fingerprint it was built under
-// plus the per-pair edge cache, so a loaded graph supports incremental
-// maintenance exactly like the original — and is never grafted onto a
-// framework whose edges it could not have come from.
+// graph: the clause signature, corpus fingerprint, and edge-selection rule
+// it was built under plus the per-pair candidate cache, so a loaded graph
+// supports incremental maintenance — q-value recomputation included —
+// exactly like the original, and is never grafted onto a framework whose
+// candidates it could not have come from.
 type frameworkGraphSnapshot struct {
 	Version      int
 	Sig          string
 	Seed         int64
 	MinTS, MaxTS int64
-	Pairs        []graphPairSnapshot
+
+	// Selection rule (see graphSelection): how the published graph is
+	// assembled from the candidates.
+	Alpha      float64
+	Correction stats.Correction
+	MaxQ       float64
+	Skip       bool
+
+	Pairs []graphPairSnapshot
 }
 
-const graphSnapshotVersion = 1
+// graphSnapshotVersion 2 switched the snapshot from significant edges to
+// the full tested candidate family (FDR control needs every p-value) and
+// added the selection rule; version-1 snapshots cannot be assembled
+// correctly and are rejected.
+const graphSnapshotVersion = 2
 
 // SaveGraph writes the materialized relationship graph alongside the index
 // snapshot (SaveIndex): the per-pair edge cache, the clause signature, and
@@ -253,14 +348,18 @@ func (f *Framework) SaveGraph(w io.Writer) error {
 		return fmt.Errorf("core: SaveGraph requires a built graph (run BuildGraph)")
 	}
 	snap := frameworkGraphSnapshot{
-		Version: graphSnapshotVersion,
-		Sig:     f.graphSig,
-		Seed:    f.opts.Seed,
-		MinTS:   f.minTS,
-		MaxTS:   f.maxTS,
+		Version:    graphSnapshotVersion,
+		Sig:        f.graphSig,
+		Seed:       f.opts.Seed,
+		MinTS:      f.minTS,
+		MaxTS:      f.maxTS,
+		Alpha:      f.graphSel.alpha,
+		Correction: f.graphSel.correction,
+		MaxQ:       f.graphSel.maxQ,
+		Skip:       f.graphSel.skip,
 	}
-	keys := make([]graphPair, 0, len(f.graphEdges))
-	for key := range f.graphEdges {
+	keys := make([]graphPair, 0, len(f.graphCands))
+	for key := range f.graphCands {
 		keys = append(keys, key)
 	}
 	sort.Slice(keys, func(i, j int) bool {
@@ -270,7 +369,7 @@ func (f *Framework) SaveGraph(w io.Writer) error {
 		return keys[i].B < keys[j].B
 	})
 	for _, key := range keys {
-		snap.Pairs = append(snap.Pairs, graphPairSnapshot{A: key.A, B: key.B, Edges: f.graphEdges[key]})
+		snap.Pairs = append(snap.Pairs, graphPairSnapshot{A: key.A, B: key.B, Cands: f.graphCands[key]})
 	}
 	return gob.NewEncoder(w).Encode(&snap)
 }
@@ -301,8 +400,7 @@ func (f *Framework) LoadGraph(r io.Reader) error {
 		return fmt.Errorf("core: graph corpus time range [%d,%d] does not match [%d,%d]",
 			snap.MinTS, snap.MaxTS, f.minTS, f.maxTS)
 	}
-	edges := make(map[graphPair][]relgraph.Edge, len(snap.Pairs))
-	var all []relgraph.Edge
+	cands := make(map[graphPair][]relgraph.Edge, len(snap.Pairs))
 	for _, p := range snap.Pairs {
 		// SaveGraph writes pairs in canonical (A < B) order; anything else
 		// would dodge the duplicate check and miss BuildGraph's canonical
@@ -316,16 +414,17 @@ func (f *Framework) LoadGraph(r io.Reader) error {
 			}
 		}
 		key := graphPair{A: p.A, B: p.B}
-		if _, dup := edges[key]; dup {
+		if _, dup := cands[key]; dup {
 			return fmt.Errorf("core: graph snapshot repeats pair %q|%q", p.A, p.B)
 		}
-		edges[key] = p.Edges
-		all = append(all, p.Edges...)
+		cands[key] = p.Cands
 	}
+	sel := graphSelection{alpha: snap.Alpha, correction: snap.Correction, maxQ: snap.MaxQ, skip: snap.Skip}
 	f.graphMu.Lock()
-	f.graphEdges = edges
+	f.graphCands = cands
 	f.graphSig = snap.Sig
+	f.graphSel = sel
 	f.graphMu.Unlock()
-	f.relGraph.Store(relgraph.New(all))
+	f.relGraph.Store(assembleGraph(cands, sel))
 	return nil
 }

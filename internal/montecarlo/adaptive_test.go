@@ -1,0 +1,197 @@
+package montecarlo
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/urbandata/datapolygamy/internal/feature"
+	"github.com/urbandata/datapolygamy/internal/relationship"
+	"github.com/urbandata/datapolygamy/internal/stgraph"
+)
+
+func TestStopThreshold(t *testing.T) {
+	cases := []struct {
+		alpha float64
+		m     int
+		want  int
+	}{
+		{0.05, 1000, 51}, // ceil(0.05 * 1001) = ceil(50.05)
+		{0.05, 999, 50},  // ceil(0.05 * 1000) = 50 exactly
+		{0.01, 1000, 11}, // ceil(10.01)
+		{0.1, 200, 21},   // ceil(20.1)
+		{0.0001, 100, 1}, // any exceedance decides
+		{0.05, 19, 1},    // ceil(1.0) = 1
+		{0.5, 100, 51},   // ceil(50.5)
+	}
+	for _, c := range cases {
+		if got := stopThreshold(c.alpha, c.m); got != c.want {
+			t.Errorf("stopThreshold(%g, %d) = %d, want %d", c.alpha, c.m, got, c.want)
+		}
+	}
+	// Soundness of the bound itself: at the threshold, the p-value over the
+	// full |m| would exceed alpha even if no further exceedance occurred.
+	for _, c := range cases {
+		p := float64(1+c.want) / float64(1+c.m)
+		if p <= c.alpha {
+			t.Errorf("threshold %d at alpha=%g m=%d does not prove p > alpha (p=%g)",
+				c.want, c.alpha, c.m, p)
+		}
+	}
+}
+
+// TestAdaptiveExhaustiveParity is the tentpole's decision-exactness
+// contract: for every Monte Carlo kind and a sweep of seeds, the adaptive
+// (default) and exhaustive runs must agree on Significant, adaptive Shifts
+// must never exceed exhaustive Shifts, and the sweep must contain at least
+// one genuinely early-stopped case — otherwise the test proves nothing.
+func TestAdaptiveExhaustiveParity(t *testing.T) {
+	n := 1500
+	g, err := stgraph.New(1, n, [][]int{nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, err := stgraph.New(25, 60, grid(5, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type fixture struct {
+		name string
+		a, b *feature.Set
+		g    *stgraph.Graph
+	}
+	rng := rand.New(rand.NewSource(55))
+	// A dependent pair (co-occurring features: significant, never stops
+	// early) and an independent pair (insignificant: stops after a few
+	// chunks), on both a pure time series and a spatial domain.
+	var pos, neg []int
+	for i := 0; i < 70; i++ {
+		pos = append(pos, rng.Intn(n))
+		neg = append(neg, rng.Intn(n))
+	}
+	depA, depB, _ := mkSets(t, n, pos, neg, pos, neg)
+	indA, indB, _ := mkSets(t, n,
+		randIndices(rng, n, 40), randIndices(rng, n, 40),
+		randIndices(rng, n, 40), randIndices(rng, n, 40))
+	spA, spB := spatialSets(rng, gs.NumVertices())
+	fixtures := []fixture{
+		{"dependent-1d", depA, depB, g},
+		{"independent-1d", indA, indB, g},
+		{"spatial", spA, spB, gs},
+	}
+
+	earlyStops := 0
+	for _, fx := range fixtures {
+		m := relationship.Evaluate(fx.a, fx.b)
+		for _, kind := range []Kind{Restricted, Standard, Block} {
+			for seed := int64(0); seed < 8; seed++ {
+				for _, workers := range []int{1, 4} {
+					cfg := Config{Permutations: 400, Seed: seed, Kind: kind, Workers: workers}
+					adaptive := Test(fx.a, fx.b, fx.g, m.Tau, cfg)
+					cfg.Exhaustive = true
+					exhaustive := Test(fx.a, fx.b, fx.g, m.Tau, cfg)
+
+					if adaptive.Significant != exhaustive.Significant {
+						t.Errorf("%s kind=%v seed=%d workers=%d: adaptive significant=%t (p=%g, shifts=%d), exhaustive=%t (p=%g)",
+							fx.name, kind, seed, workers,
+							adaptive.Significant, adaptive.PValue, adaptive.Shifts,
+							exhaustive.Significant, exhaustive.PValue)
+					}
+					if adaptive.Shifts > exhaustive.Shifts {
+						t.Errorf("%s kind=%v seed=%d: adaptive shifts %d > exhaustive %d",
+							fx.name, kind, seed, adaptive.Shifts, exhaustive.Shifts)
+					}
+					if exhaustive.Shifts != 400 {
+						t.Errorf("%s kind=%v seed=%d: exhaustive shifts = %d, want 400",
+							fx.name, kind, seed, exhaustive.Shifts)
+					}
+					if adaptive.Shifts < exhaustive.Shifts {
+						earlyStops++
+						// An early stop must still report an insignificant,
+						// internally consistent p-value.
+						if adaptive.Significant {
+							t.Errorf("%s kind=%v seed=%d: early-stopped run claims significance", fx.name, kind, seed)
+						}
+						if adaptive.PValue <= DefaultAlpha {
+							t.Errorf("%s kind=%v seed=%d: truncated p = %g <= alpha", fx.name, kind, seed, adaptive.PValue)
+						}
+					}
+					// A significant verdict must come from the full stream.
+					if adaptive.Significant && adaptive.Shifts != 400 {
+						t.Errorf("%s kind=%v seed=%d: significant verdict from a truncated run (shifts=%d)",
+							fx.name, kind, seed, adaptive.Shifts)
+					}
+				}
+			}
+		}
+	}
+	if earlyStops == 0 {
+		t.Error("no case stopped early; the parity sweep exercised nothing")
+	}
+}
+
+// TestAdaptiveParallelParity: the adaptive path must stay byte-identical
+// across worker counts even when it stops early (the stopping chunk is a
+// function of the deterministic per-chunk counts, not of scheduling).
+func TestAdaptiveParallelParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	n := 2000
+	a, b, g := mkSets(t, n,
+		randIndices(rng, n, 50), randIndices(rng, n, 50),
+		randIndices(rng, n, 50), randIndices(rng, n, 50))
+	m := relationship.Evaluate(a, b)
+	for _, kind := range []Kind{Restricted, Standard, Block} {
+		for _, perms := range []int{60, 237, 1000} {
+			seq := Test(a, b, g, m.Tau, Config{Permutations: perms, Seed: 5, Kind: kind, Workers: 1})
+			for _, w := range []int{2, 4, 16} {
+				par := Test(a, b, g, m.Tau, Config{Permutations: perms, Seed: 5, Kind: kind, Workers: w})
+				if seq != par {
+					t.Errorf("kind=%v perms=%d workers=%d: %+v != sequential %+v", kind, perms, w, par, seq)
+				}
+			}
+		}
+	}
+}
+
+func randIndices(rng *rand.Rand, n, k int) []int {
+	out := make([]int, k)
+	for i := range out {
+		out[i] = rng.Intn(n)
+	}
+	return out
+}
+
+// BenchmarkAdaptiveMonteCarlo measures the point of adaptive termination:
+// on an insignificant pair — the overwhelming majority of candidates in a
+// corpus-wide BuildGraph — the adaptive test stops after a handful of
+// chunks while the exhaustive test grinds through all 1,000 permutations.
+func BenchmarkAdaptiveMonteCarlo(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	n := 24 * 365
+	g, err := stgraph.New(1, n, [][]int{nil})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s1, s2, _ := mkSets(b, n,
+		randIndices(rng, n, 50), randIndices(rng, n, 50),
+		randIndices(rng, n, 50), randIndices(rng, n, 50))
+	m := relationship.Evaluate(s1, s2)
+	if m.Tau == 0 {
+		b.Fatal("fixture tau is 0; the test would shortcut")
+	}
+	run := func(b *testing.B, exhaustive bool) {
+		shifts := 0
+		for i := 0; i < b.N; i++ {
+			res := Test(s1, s2, g, m.Tau, Config{
+				Permutations: 1000, Seed: int64(i), Exhaustive: exhaustive,
+			})
+			if res.Significant {
+				b.Fatal("fixture must be insignificant for the comparison to be fair")
+			}
+			shifts += res.Shifts
+		}
+		b.ReportMetric(float64(shifts)/float64(b.N), "shifts/op")
+	}
+	b.Run("adaptive", func(b *testing.B) { run(b, false) })
+	b.Run("exhaustive", func(b *testing.B) { run(b, true) })
+}

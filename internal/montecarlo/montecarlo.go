@@ -21,6 +21,7 @@ package montecarlo
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
 
@@ -88,6 +89,14 @@ type Config struct {
 	// and the chunk index, so the Result is byte-identical for every
 	// Workers value (including the sequential path).
 	Workers int
+
+	// Exhaustive disables adaptive early termination, forcing all
+	// Permutations to be evaluated. By default the test stops at a chunk
+	// boundary as soon as the exceedance count proves p > Alpha (see Test);
+	// the Significant verdict is identical either way, but an early-stopped
+	// run reports the (conservative, still valid) p-value of the truncated
+	// permutation stream and a smaller Shifts counter.
+	Exhaustive bool
 }
 
 func (c Config) withDefaults() Config {
@@ -100,7 +109,13 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Result reports the outcome of a significance test.
+// Result reports the outcome of a significance test. Shifts counts the
+// permutations actually evaluated: equal to Config.Permutations for an
+// exhaustive (or significant — the verdict is only ever decided early in
+// the insignificant direction) run, smaller when adaptive early
+// termination stopped the test, and 0 for the tau = 0 shortcut. PValue is
+// always computed over the evaluated permutations, so it is exact for full
+// runs and a valid conservative p-value for truncated ones.
 type Result struct {
 	PValue      float64
 	Significant bool
@@ -280,6 +295,37 @@ func blockStepPerm(nSteps, l int, blockPerm []int) []int {
 	return sp
 }
 
+// stopThreshold is the exceedance count that decides a test early: once
+// extreme >= ceil(alpha*(m+1)), every possible completion of the
+// permutation stream has 1+extreme > alpha*(m+1), hence
+// p = (1+extreme_final)/(1+m) > alpha — the exceedance count only grows,
+// so the verdict "not significant" is already exact. The bound is
+// one-sided by construction: a test can never be declared *significant*
+// early, because the remaining permutations could still push the count
+// over the threshold.
+func stopThreshold(alpha float64, m int) int {
+	return int(math.Ceil(alpha * float64(m+1)))
+}
+
+// foldCounts replays per-chunk exceedance counts in deterministic chunk
+// order, applying the early-stopping rule exactly as a sequential scan
+// would: accumulate chunk by chunk and stop at the end of the first chunk
+// whose cumulative count reaches threshold. It returns the accumulated
+// exceedances and the number of permutations covered. Both the sequential
+// and the parallel paths reduce through this one function, which is what
+// keeps their Results byte-identical: the stopping point is a pure
+// function of the (deterministic) per-chunk counts, never of scheduling.
+func foldCounts(counts []int, m, threshold int, exhaustive bool) (extreme, shifts int) {
+	for ci, c := range counts {
+		extreme += c
+		shifts = min((ci+1)*permChunk, m)
+		if !exhaustive && extreme >= threshold {
+			break
+		}
+	}
+	return extreme, shifts
+}
+
 // Test runs the Monte Carlo significance test for the relationship between
 // two feature sets on the shared domain graph g, given the observed score
 // tauObserved.
@@ -293,6 +339,16 @@ func blockStepPerm(nSteps, l int, blockPerm []int) []int {
 // The randomizations run in fixed-size chunks with per-chunk deterministic
 // seeds; Config.Workers spreads the chunks over goroutines without changing
 // the result (see Config).
+//
+// Unless Config.Exhaustive is set, the test terminates adaptively: it
+// stops at the first chunk boundary where the exceedance count reaches
+// stopThreshold, which proves p > Alpha no matter how the remaining
+// permutations would fall. The Significant verdict is therefore identical
+// to an exhaustive run for every input and seed (asserted by
+// TestAdaptiveExhaustiveParity); only insignificant tests stop early, so
+// significant pairs always report their exact full-|m| p-value, while
+// stopped tests report the conservative p-value of the truncated stream
+// over Result.Shifts permutations.
 func Test(a, b *feature.Set, g *stgraph.Graph, tauObserved float64, cfg Config) Result {
 	cfg = cfg.withDefaults()
 	if a.NumVertices() != g.NumVertices() || b.NumVertices() != g.NumVertices() {
@@ -300,7 +356,7 @@ func Test(a, b *feature.Set, g *stgraph.Graph, tauObserved float64, cfg Config) 
 			a.NumVertices(), b.NumVertices(), g.NumVertices()))
 	}
 	if tauObserved == 0 {
-		return Result{PValue: 1, Significant: false, TauObserved: 0, Shifts: cfg.Permutations}
+		return Result{PValue: 1, Significant: false, TauObserved: 0, Shifts: 0}
 	}
 	run := &testRun{
 		a:    a,
@@ -311,40 +367,80 @@ func Test(a, b *feature.Set, g *stgraph.Graph, tauObserved float64, cfg Config) 
 		cfg:  cfg,
 	}
 	nChunks := (cfg.Permutations + permChunk - 1) / permChunk
+	threshold := stopThreshold(cfg.Alpha, cfg.Permutations)
 	counts := make([]int, nChunks)
 	if w := min(cfg.Workers, nChunks); w > 1 {
-		idx := make(chan int)
-		var wg sync.WaitGroup
-		for wi := 0; wi < w; wi++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for ci := range idx {
-					counts[ci] = run.chunk(ci)
-				}
-			}()
-		}
-		for ci := range counts {
-			idx <- ci
-		}
-		close(idx)
-		wg.Wait()
+		run.parallel(w, counts, threshold)
 	} else {
+		ex := 0
 		for ci := range counts {
 			counts[ci] = run.chunk(ci)
+			ex += counts[ci]
+			if !cfg.Exhaustive && ex >= threshold {
+				break
+			}
 		}
 	}
-	extreme := 0
-	for _, c := range counts {
-		extreme += c
-	}
-	p := float64(1+extreme) / float64(1+cfg.Permutations)
+	extreme, shifts := foldCounts(counts, cfg.Permutations, threshold, cfg.Exhaustive)
+	p := float64(1+extreme) / float64(1+shifts)
 	return Result{
 		PValue:      p,
 		Significant: p <= cfg.Alpha,
 		TauObserved: tauObserved,
-		Shifts:      cfg.Permutations,
+		Shifts:      shifts,
 	}
+}
+
+// parallel evaluates permutation chunks on w goroutines, filling counts.
+// Early stopping is coordinated through the completed *prefix* of chunks:
+// dispatch halts once the chunks 0..c are all done and their cumulative
+// exceedances reach threshold — the same condition foldCounts re-derives
+// afterwards. Workers may finish chunks beyond the stopping point (at most
+// about one in-flight chunk each); those counts are recorded but lie past
+// where foldCounts stops, so they can never influence the Result.
+func (t *testRun) parallel(w int, counts []int, threshold int) {
+	var (
+		mu       sync.Mutex
+		done     = make([]bool, len(counts))
+		prefix   int
+		prefixEx int
+		stopped  bool
+	)
+	report := func(ci, c int) {
+		mu.Lock()
+		defer mu.Unlock()
+		counts[ci] = c
+		done[ci] = true
+		for !stopped && prefix < len(counts) && done[prefix] {
+			prefixEx += counts[prefix]
+			prefix++
+			if !t.cfg.Exhaustive && prefixEx >= threshold {
+				stopped = true
+			}
+		}
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for wi := 0; wi < w; wi++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ci := range idx {
+				report(ci, t.chunk(ci))
+			}
+		}()
+	}
+	for ci := range counts {
+		mu.Lock()
+		s := stopped
+		mu.Unlock()
+		if s {
+			break
+		}
+		idx <- ci
+	}
+	close(idx)
+	wg.Wait()
 }
 
 // testRun carries the immutable inputs of one significance test across its

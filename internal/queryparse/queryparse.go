@@ -8,6 +8,7 @@
 //	find relationships between taxi and weather
 //	find relationships between taxi, citibike and all
 //	  where score >= 0.6 and strength >= 0.3 and alpha = 0.01
+//	    and correction = bh and qvalue <= 0.1
 //	  at (hour, city), (day, neighborhood)
 //	  using extreme features
 //
@@ -18,6 +19,7 @@ package queryparse
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
@@ -25,6 +27,7 @@ import (
 	"github.com/urbandata/datapolygamy/internal/feature"
 	"github.com/urbandata/datapolygamy/internal/montecarlo"
 	"github.com/urbandata/datapolygamy/internal/spatial"
+	"github.com/urbandata/datapolygamy/internal/stats"
 	"github.com/urbandata/datapolygamy/internal/temporal"
 )
 
@@ -36,7 +39,13 @@ func Parse(input string) (core.Query, error) {
 	if !strings.HasPrefix(s, prefix) {
 		return q, fmt.Errorf("queryparse: query must start with %q", prefix)
 	}
-	s = strings.TrimSpace(strings.TrimPrefix(s, prefix))
+	s = strings.TrimPrefix(s, prefix)
+	// The prefix must end at a word boundary: "between000 and ..." is not a
+	// between-clause.
+	if s != "" && s[0] != ' ' && s[0] != '\t' && s[0] != '\n' && s[0] != '\r' {
+		return q, fmt.Errorf("queryparse: query must start with %q", prefix)
+	}
+	s = strings.TrimSpace(s)
 
 	// Split off the optional clause sections. Find the earliest keyword.
 	body, sections := splitSections(s)
@@ -75,7 +84,7 @@ func Parse(input string) (core.Query, error) {
 // expressible in the grammar — lower-case data set names, the clause
 // fields the where-grammar covers — Parse(Format(q)) reproduces q exactly
 // (see the round-trip property test). Clause fields outside the grammar
-// (SkipSignificance, DisablePruning) are not rendered.
+// (SkipSignificance, Exhaustive, DisablePruning) are not rendered.
 func Format(q core.Query) string {
 	var b strings.Builder
 	b.WriteString("find relationships between ")
@@ -102,6 +111,12 @@ func Format(q core.Query) string {
 		conds = append(conds, "test = standard")
 	case montecarlo.Block:
 		conds = append(conds, "test = block")
+	}
+	if q.Clause.Correction != stats.None {
+		conds = append(conds, "correction = "+q.Clause.Correction.String())
+	}
+	if q.Clause.MaxQ != 0 {
+		conds = append(conds, "qvalue <= "+num(q.Clause.MaxQ))
 	}
 	if len(conds) > 0 {
 		b.WriteString(" where ")
@@ -188,6 +203,14 @@ func parseBetween(s string) (sources, targets []string, err error) {
 	if len(sources) == 1 && sources[0] == "all" {
 		sources = nil
 	}
+	// "and" separates the two collections, so it can never be a data set
+	// name: a list containing it ("a and b and c", "a, and") is ambiguous
+	// garbage that Format could not render back faithfully.
+	for _, name := range append(append([]string{}, sources...), targets...) {
+		if name == "and" {
+			return nil, nil, fmt.Errorf("queryparse: %q is a reserved word, not a data set name in %q", "and", s)
+		}
+	}
 	return sources, targets, nil
 }
 
@@ -202,7 +225,8 @@ func parseNameList(s string) []string {
 }
 
 // parseWhere handles "score >= 0.6 and strength >= 0.3 and alpha = 0.05
-// and permutations = 500 and test = standard".
+// and permutations = 500 and test = standard and correction = bh and
+// qvalue <= 0.1".
 func parseWhere(s string, c *core.Clause) error {
 	for _, cond := range strings.Split(s, " and ") {
 		fields := strings.Fields(cond)
@@ -229,10 +253,25 @@ func parseWhere(s string, c *core.Clause) error {
 				return fmt.Errorf("queryparse: unknown test kind %q", valStr)
 			}
 			continue
+		case "correction":
+			if op != "=" {
+				return fmt.Errorf("queryparse: correction needs '=', got %q", op)
+			}
+			corr, err := stats.ParseCorrection(valStr)
+			if err != nil {
+				return fmt.Errorf("queryparse: %w", err)
+			}
+			c.Correction = corr
+			continue
 		}
 		val, err := strconv.ParseFloat(valStr, 64)
 		if err != nil {
 			return fmt.Errorf("queryparse: bad number %q in condition", valStr)
+		}
+		// NaN would poison clause comparisons (and Inf is never a sensible
+		// threshold); reject non-finite numbers outright.
+		if math.IsNaN(val) || math.IsInf(val, 0) {
+			return fmt.Errorf("queryparse: non-finite number %q in condition", valStr)
 		}
 		switch name {
 		case "score":
@@ -254,7 +293,15 @@ func parseWhere(s string, c *core.Clause) error {
 			if op != "=" {
 				return fmt.Errorf("queryparse: permutations needs '=', got %q", op)
 			}
+			if val != math.Trunc(val) || val < 0 || val > 1e9 {
+				return fmt.Errorf("queryparse: permutations must be an integer in [0, 1e9], got %q", valStr)
+			}
 			c.Permutations = int(val)
+		case "qvalue":
+			if op != "<=" && op != "<" {
+				return fmt.Errorf("queryparse: qvalue supports '<=' only, got %q", op)
+			}
+			c.MaxQ = val
 		default:
 			return fmt.Errorf("queryparse: unknown condition %q", name)
 		}

@@ -8,6 +8,7 @@ import (
 	"github.com/urbandata/datapolygamy/internal/feature"
 	"github.com/urbandata/datapolygamy/internal/montecarlo"
 	"github.com/urbandata/datapolygamy/internal/spatial"
+	"github.com/urbandata/datapolygamy/internal/stats"
 	"github.com/urbandata/datapolygamy/internal/temporal"
 )
 
@@ -82,6 +83,33 @@ func TestParseTestKind(t *testing.T) {
 	}
 }
 
+func TestParseCorrection(t *testing.T) {
+	q, err := Parse("find relationships between a and b where correction = bh and qvalue <= 0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Clause.Correction != stats.BH {
+		t.Errorf("Correction = %v, want BH", q.Clause.Correction)
+	}
+	if q.Clause.MaxQ != 0.1 {
+		t.Errorf("MaxQ = %v, want 0.1", q.Clause.MaxQ)
+	}
+	q, err = Parse("find relationships between a and b where correction = by")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Clause.Correction != stats.BY {
+		t.Errorf("Correction = %v, want BY", q.Clause.Correction)
+	}
+	q, err = Parse("find relationships between a and b where correction = none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Clause.Correction != stats.None {
+		t.Errorf("Correction = %v, want None", q.Clause.Correction)
+	}
+}
+
 func TestParseResolutions(t *testing.T) {
 	q, err := Parse("find relationships between taxi and weather at (hour, city), (day, neighborhood)")
 	if err != nil {
@@ -146,6 +174,14 @@ func TestParseErrors(t *testing.T) {
 		"find relationships between a and b where alpha >= 0.05",
 		"find relationships between a and b where permutations >= 100",
 		"find relationships between a and b where test = fancy",
+		"find relationships between a and b where correction = bonferroni",
+		"find relationships between a and b where correction >= bh",
+		"find relationships between a and b where qvalue >= 0.1",
+		"find relationships between a and b where qvalue <= nan",
+		"find relationships between a and b where score >= inf",
+		"find relationships between a and b where permutations = 2.5",
+		"find relationships between a and b where permutations = -10",
+		"find relationships between a and b where permutations = 1e300",
 		"find relationships between a and b at hour city",
 		"find relationships between a and b at (fortnight, city)",
 		"find relationships between a and b at (hour, borough)",
@@ -195,10 +231,11 @@ func TestFormatExamples(t *testing.T) {
 	}
 }
 
-// TestFormatParseRoundTrip is the property test over the clause matrix:
-// for every representable query, Parse(Format(q)) must reproduce q
-// exactly — same collections, same clause, field for field.
-func TestFormatParseRoundTrip(t *testing.T) {
+// matrixQueries enumerates the representable-query matrix shared by the
+// round-trip property test and the FuzzParse seed corpus: every
+// combination of collections, clause thresholds, test kinds, corrections,
+// resolutions, and feature classes the grammar can express.
+func matrixQueries() []core.Query {
 	hourCity := core.Resolution{Spatial: spatial.City, Temporal: temporal.Hour}
 	dayNbhd := core.Resolution{Spatial: spatial.Neighborhood, Temporal: temporal.Day}
 	weekZip := core.Resolution{Spatial: spatial.ZipCode, Temporal: temporal.Week}
@@ -210,6 +247,8 @@ func TestFormatParseRoundTrip(t *testing.T) {
 	alphaOpts := []float64{0, 0.01}
 	permOpts := []int{0, 250}
 	testOpts := []montecarlo.Kind{montecarlo.Restricted, montecarlo.Standard, montecarlo.Block}
+	corrOpts := []stats.Correction{stats.None, stats.BH, stats.BY}
+	maxQOpts := []float64{0, 0.2}
 	resOpts := [][]core.Resolution{nil, {hourCity}, {hourCity, dayNbhd, weekZip}}
 	classOpts := [][]feature.Class{
 		nil,
@@ -218,7 +257,7 @@ func TestFormatParseRoundTrip(t *testing.T) {
 		{feature.Salient, feature.Extreme},
 	}
 
-	n := 0
+	var out []core.Query
 	for _, sources := range sourceOpts {
 		for _, targets := range targetOpts {
 			for _, score := range scoreOpts {
@@ -226,30 +265,27 @@ func TestFormatParseRoundTrip(t *testing.T) {
 					for _, alpha := range alphaOpts {
 						for _, perms := range permOpts {
 							for _, kind := range testOpts {
-								for _, res := range resOpts {
-									for _, classes := range classOpts {
-										q := core.Query{
-											Sources: sources,
-											Targets: targets,
-											Clause: core.Clause{
-												MinScore:     score,
-												MinStrength:  strength,
-												Alpha:        alpha,
-												Permutations: perms,
-												TestKind:     kind,
-												Resolutions:  res,
-												Classes:      classes,
-											},
+								for _, corr := range corrOpts {
+									for _, maxQ := range maxQOpts {
+										for _, res := range resOpts {
+											for _, classes := range classOpts {
+												out = append(out, core.Query{
+													Sources: sources,
+													Targets: targets,
+													Clause: core.Clause{
+														MinScore:     score,
+														MinStrength:  strength,
+														Alpha:        alpha,
+														Permutations: perms,
+														TestKind:     kind,
+														Correction:   corr,
+														MaxQ:         maxQ,
+														Resolutions:  res,
+														Classes:      classes,
+													},
+												})
+											}
 										}
-										text := Format(q)
-										got, err := Parse(text)
-										if err != nil {
-											t.Fatalf("Parse(%q): %v", text, err)
-										}
-										if !reflect.DeepEqual(got, q) {
-											t.Fatalf("round trip through %q:\n got %+v\nwant %+v", text, got, q)
-										}
-										n++
 									}
 								}
 							}
@@ -259,7 +295,25 @@ func TestFormatParseRoundTrip(t *testing.T) {
 			}
 		}
 	}
-	if n < 1000 {
-		t.Errorf("clause matrix covered only %d combinations", n)
+	return out
+}
+
+// TestFormatParseRoundTrip is the property test over the clause matrix:
+// for every representable query, Parse(Format(q)) must reproduce q
+// exactly — same collections, same clause, field for field.
+func TestFormatParseRoundTrip(t *testing.T) {
+	qs := matrixQueries()
+	for _, q := range qs {
+		text := Format(q)
+		got, err := Parse(text)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", text, err)
+		}
+		if !reflect.DeepEqual(got, q) {
+			t.Fatalf("round trip through %q:\n got %+v\nwant %+v", text, got, q)
+		}
+	}
+	if len(qs) < 1000 {
+		t.Errorf("clause matrix covered only %d combinations", len(qs))
 	}
 }

@@ -68,6 +68,7 @@ type jsonEdge struct {
 	Tau       float64 `json:"tau"`
 	Rho       float64 `json:"rho"`
 	PValue    float64 `json:"pValue"`
+	QValue    float64 `json:"qValue"`
 }
 
 // MarshalJSON renders the graph as a {nodes, edges, datasets} document with
@@ -89,7 +90,7 @@ func (g *Graph) MarshalJSON() ([]byte, error) {
 			Function1: e.Function1, Function2: e.Function2,
 			Dataset1: e.Dataset1, Dataset2: e.Dataset2,
 			Spatial: e.SRes.String(), Temporal: e.TRes.String(), Class: e.Class.String(),
-			Tau: e.Tau, Rho: e.Rho, PValue: e.PValue,
+			Tau: e.Tau, Rho: e.Rho, PValue: e.PValue, QValue: e.QValue,
 		})
 	}
 	return json.Marshal(doc)

@@ -39,12 +39,20 @@ type Edge struct {
 	Tau    float64 // relationship score
 	Rho    float64 // relationship strength
 	PValue float64
+	// QValue is the corrected p-value over the family the graph was built
+	// from (core.Clause.Correction); equal to PValue when no correction was
+	// applied. Like tau, rho, and the p-value it is symmetric in the pair.
+	QValue float64
 }
 
 // String renders the edge in the paper's reporting style.
 func (e Edge) String() string {
-	return fmt.Sprintf("%s ~ %s (%s, %s) [%s]: tau=%.2f rho=%.2f p=%.3f",
+	s := fmt.Sprintf("%s ~ %s (%s, %s) [%s]: tau=%.2f rho=%.2f p=%.3f",
 		e.Function1, e.Function2, e.TRes, e.SRes, e.Class, e.Tau, e.Rho, e.PValue)
+	if e.QValue != e.PValue {
+		s += fmt.Sprintf(" q=%.3f", e.QValue)
+	}
+	return s
 }
 
 // canonical returns the edge with Function1 <= Function2.
@@ -189,26 +197,49 @@ const (
 	ByScore RankBy = iota
 	// ByStrength ranks by rho descending.
 	ByStrength
+	// ByQValue ranks by q-value ascending (most significant first).
+	ByQValue
 )
 
 func (r RankBy) String() string {
-	if r == ByStrength {
+	switch r {
+	case ByStrength:
 		return "strength"
+	case ByQValue:
+		return "qvalue"
+	default:
+		return "score"
 	}
-	return "score"
 }
 
 // TopK returns the k highest-ranked edges by the given criterion, ties
 // broken by canonical edge order so the result is deterministic. k <= 0 or
 // k > NumEdges returns all edges ranked.
 func (g *Graph) TopK(k int, by RankBy) []Edge {
+	return g.TopKMaxQ(k, by, 0)
+}
+
+// TopKMaxQ is TopK restricted to edges with q-value <= maxQ; maxQ <= 0
+// applies no filter. Combined with ByQValue this answers "the k most
+// trustworthy relationships under the graph's correction".
+func (g *Graph) TopKMaxQ(k int, by RankBy, maxQ float64) []Edge {
 	rank := func(e Edge) float64 {
-		if by == ByStrength {
+		switch by {
+		case ByStrength:
 			return e.Rho
+		case ByQValue:
+			return -e.QValue // ascending: smaller q ranks higher
+		default:
+			return abs(e.Tau)
 		}
-		return abs(e.Tau)
 	}
-	out := append([]Edge{}, g.edges...)
+	var out []Edge
+	for _, e := range g.edges {
+		if maxQ > 0 && e.QValue > maxQ {
+			continue
+		}
+		out = append(out, e)
+	}
 	sort.SliceStable(out, func(i, j int) bool { return rank(out[i]) > rank(out[j]) })
 	if k > 0 && k < len(out) {
 		out = out[:k]
@@ -225,14 +256,25 @@ type DatasetRelation struct {
 	MaxAbsTau          float64
 	MaxRho             float64
 	MinPValue          float64
+	MinQValue          float64
 }
 
 // Rollup aggregates edges to data-set granularity, sorted by the data set
 // pair.
 func (g *Graph) Rollup() []DatasetRelation {
+	return g.RollupMaxQ(0)
+}
+
+// RollupMaxQ is Rollup restricted to edges with q-value <= maxQ; maxQ <= 0
+// applies no filter. Data set pairs whose every edge is filtered out do not
+// appear in the result.
+func (g *Graph) RollupMaxQ(maxQ float64) []DatasetRelation {
 	agg := make(map[string]*DatasetRelation)
 	var keys []string
 	for _, e := range g.edges {
+		if maxQ > 0 && e.QValue > maxQ {
+			continue
+		}
 		a, b := e.Dataset1, e.Dataset2
 		if b < a {
 			a, b = b, a
@@ -240,7 +282,7 @@ func (g *Graph) Rollup() []DatasetRelation {
 		k := a + "|" + b
 		r, ok := agg[k]
 		if !ok {
-			r = &DatasetRelation{Dataset1: a, Dataset2: b, MinPValue: e.PValue}
+			r = &DatasetRelation{Dataset1: a, Dataset2: b, MinPValue: e.PValue, MinQValue: e.QValue}
 			agg[k] = r
 			keys = append(keys, k)
 		}
@@ -253,6 +295,9 @@ func (g *Graph) Rollup() []DatasetRelation {
 		}
 		if e.PValue < r.MinPValue {
 			r.MinPValue = e.PValue
+		}
+		if e.QValue < r.MinQValue {
+			r.MinQValue = e.QValue
 		}
 	}
 	sort.Strings(keys)
@@ -383,7 +428,9 @@ type graphSnapshot struct {
 	Edges   []Edge
 }
 
-const snapshotVersion = 1
+// snapshotVersion 2 added Edge.QValue; version-1 snapshots would silently
+// decode with q = 0 ("maximally significant"), so they are rejected.
+const snapshotVersion = 2
 
 // Save writes the graph to w. The snapshot is the canonical edge list, so
 // a Load round-trip reproduces the graph exactly (Equal returns true).

@@ -24,7 +24,7 @@ func edge(f1, f2 string, class feature.Class, tau, rho, p float64) Edge {
 		Dataset1: d1, Dataset2: d2,
 		Spec1: s1, Spec2: s2,
 		SRes: spatial.City, TRes: temporal.Hour, Class: class,
-		Tau: tau, Rho: rho, PValue: p,
+		Tau: tau, Rho: rho, PValue: p, QValue: 2 * p, // a corrected family has q >= p
 	}
 }
 
@@ -117,6 +117,36 @@ func TestTopK(t *testing.T) {
 	}
 }
 
+func TestTopKByQValue(t *testing.T) {
+	g := testGraph()
+	top := g.TopK(0, ByQValue)
+	if len(top) != g.NumEdges() {
+		t.Fatalf("TopK(0, ByQValue) returned %d edges", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].QValue < top[i-1].QValue {
+			t.Fatalf("ByQValue not ascending: q[%d]=%g after q[%d]=%g",
+				i, top[i].QValue, i-1, top[i-1].QValue)
+		}
+	}
+	if top[0].QValue != 0.002 {
+		t.Errorf("most significant edge q = %g, want 0.002", top[0].QValue)
+	}
+	// The q filter keeps exactly the edges at or below the cutoff.
+	few := g.TopKMaxQ(0, ByScore, 0.005)
+	if len(few) != 2 {
+		t.Fatalf("TopKMaxQ(0.005) kept %d edges, want 2", len(few))
+	}
+	for _, e := range few {
+		if e.QValue > 0.005 {
+			t.Errorf("edge with q = %g survived maxQ = 0.005", e.QValue)
+		}
+	}
+	if n := len(g.TopKMaxQ(1, ByQValue, 0.005)); n != 1 {
+		t.Errorf("TopKMaxQ(k=1) returned %d edges", n)
+	}
+}
+
 func TestRollup(t *testing.T) {
 	g := testGraph()
 	roll := g.Rollup()
@@ -138,6 +168,28 @@ func TestRollup(t *testing.T) {
 	}
 	if tw.Edges != 2 || tw.MaxAbsTau != 0.9 || tw.MaxRho != 0.8 || tw.MinPValue != 0.001 {
 		t.Errorf("taxi|weather rollup = %+v", *tw)
+	}
+	if tw.MinQValue != 0.002 {
+		t.Errorf("taxi|weather MinQValue = %g, want 0.002", tw.MinQValue)
+	}
+}
+
+func TestRollupMaxQ(t *testing.T) {
+	g := testGraph()
+	// q-values are 2p: {0.002, 0.02, 0.04, 0.004}. A cutoff of 0.01 keeps
+	// only taxi|weather (salient) and citibike|events.
+	roll := g.RollupMaxQ(0.01)
+	if len(roll) != 2 {
+		t.Fatalf("RollupMaxQ(0.01) = %+v, want 2 relations", roll)
+	}
+	for _, r := range roll {
+		if r.Edges != 1 {
+			t.Errorf("relation %s|%s aggregates %d edges, want 1 after the q filter",
+				r.Dataset1, r.Dataset2, r.Edges)
+		}
+		if r.MinQValue > 0.01 {
+			t.Errorf("relation %s|%s MinQValue = %g exceeds the cutoff", r.Dataset1, r.Dataset2, r.MinQValue)
+		}
 	}
 }
 

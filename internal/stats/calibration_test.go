@@ -1,0 +1,142 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/urbandata/datapolygamy/internal/bitvec"
+	"github.com/urbandata/datapolygamy/internal/feature"
+	"github.com/urbandata/datapolygamy/internal/montecarlo"
+	"github.com/urbandata/datapolygamy/internal/relationship"
+	"github.com/urbandata/datapolygamy/internal/stgraph"
+)
+
+// TestNullCorpusCalibration is the end-to-end statistical calibration test
+// of the significance layer: a null corpus of mutually independent
+// synthetic data sets (random feature sets over a shared domain — no true
+// relationships exist) is pushed through the real Monte Carlo machinery,
+// and the resulting p-values are checked against both decision rules:
+//
+//   - Correction: none — the per-pair false-positive rate must track alpha
+//     (permutation p-values are valid, so the rate is at most alpha up to
+//     sampling error and p-value discreteness);
+//   - Correction: bh — the empirical false discovery proportion across
+//     families must track the FDR target (with an all-null family, any
+//     rejection is a false discovery, so the per-family FDP is the
+//     indicator of any rejection).
+//
+// Table-driven across alpha in {0.01, 0.05, 0.1}. The p-values are computed
+// once (exhaustively, so they do not depend on any alpha) and shared by all
+// table entries.
+func TestNullCorpusCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration is slow")
+	}
+	const (
+		families  = 50
+		perFamily = 12
+		n         = 1500
+		perms     = 200
+	)
+	g, err := stgraph.New(1, n, [][]int{nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1234))
+	nullSet := func() *feature.Set {
+		s := &feature.Set{Positive: bitvec.New(n), Negative: bitvec.New(n)}
+		for i := 0; i < 40; i++ {
+			s.Positive.Set(rng.Intn(n))
+			s.Negative.Set(rng.Intn(n))
+		}
+		return s
+	}
+
+	// One p-value per independent pair; exhaustive so the value is exact
+	// and alpha-independent.
+	pvals := make([][]float64, families)
+	for fi := range pvals {
+		pvals[fi] = make([]float64, perFamily)
+		for hi := range pvals[fi] {
+			a, b := nullSet(), nullSet()
+			m := relationship.Evaluate(a, b)
+			res := montecarlo.Test(a, b, g, m.Tau, montecarlo.Config{
+				Permutations: perms,
+				Seed:         int64(1000*fi + hi),
+				Exhaustive:   true,
+			})
+			pvals[fi][hi] = res.PValue
+		}
+	}
+
+	total := families * perFamily
+	for _, alpha := range []float64{0.01, 0.05, 0.1} {
+		t.Run(fmt.Sprintf("alpha=%g", alpha), func(t *testing.T) {
+			// Correction: none — raw per-pair rejections across the corpus.
+			raw := 0
+			for _, fam := range pvals {
+				for _, p := range fam {
+					if p <= alpha {
+						raw++
+					}
+				}
+			}
+			rate := float64(raw) / float64(total)
+			// Valid p-values keep the rate at or below alpha; allow binomial
+			// sampling error plus the 1/(perms+1) discreteness granule.
+			slack := 4*math.Sqrt(alpha*(1-alpha)/float64(total)) + 1/float64(perms+1)
+			if rate > alpha+slack {
+				t.Errorf("correction=none: false-positive rate %.4f exceeds alpha %.2f + slack %.4f",
+					rate, alpha, slack)
+			}
+
+			// Correction: bh — per-family FDP; all hypotheses are null, so
+			// the FDP is 1 when the family rejects anything, 0 otherwise,
+			// and its mean must track the FDR target.
+			fdpSum := 0.0
+			for _, fam := range pvals {
+				qs := Adjust(BH, fam)
+				for _, q := range qs {
+					if q <= alpha {
+						fdpSum++
+						break
+					}
+				}
+			}
+			fdr := fdpSum / families
+			fdrSlack := 4*math.Sqrt(alpha*(1-alpha)/families) + 0.01
+			if fdr > alpha+fdrSlack {
+				t.Errorf("correction=bh: empirical FDR %.4f exceeds target %.2f + slack %.4f",
+					fdr, alpha, fdrSlack)
+			}
+			// BH never rejects more than the raw rule at the same level.
+			bhRej := 0
+			for _, fam := range pvals {
+				for _, q := range Adjust(BH, fam) {
+					if q <= alpha {
+						bhRej++
+					}
+				}
+			}
+			if bhRej > raw {
+				t.Errorf("BH rejected %d pairs, raw alpha rejected %d; BH must be a subset", bhRej, raw)
+			}
+		})
+	}
+
+	// Non-degeneracy: the machinery does reject *something* at the loosest
+	// level — calibration, not catatonia.
+	loose := 0
+	for _, fam := range pvals {
+		for _, p := range fam {
+			if p <= 0.1 {
+				loose++
+			}
+		}
+	}
+	if loose == 0 {
+		t.Error("no rejections at alpha = 0.1 across 600 null pairs; p-values look degenerate")
+	}
+}

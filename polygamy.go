@@ -40,6 +40,7 @@ import (
 	"github.com/urbandata/datapolygamy/internal/relgraph"
 	"github.com/urbandata/datapolygamy/internal/scalar"
 	"github.com/urbandata/datapolygamy/internal/spatial"
+	"github.com/urbandata/datapolygamy/internal/stats"
 	"github.com/urbandata/datapolygamy/internal/temporal"
 )
 
@@ -131,6 +132,28 @@ type SpatialResolution = spatial.Resolution
 
 // TemporalResolution is a temporal resolution (Second .. Month).
 type TemporalResolution = temporal.Resolution
+
+// Correction selects the multiple-hypothesis correction applied across a
+// query's (or graph build's) tested pairs — see Clause.Correction. Under a
+// correction, relationships carry q-values (adjusted p-values) and are
+// significant when q <= alpha, controlling the false discovery rate over
+// the whole tested family instead of per pair.
+type Correction = stats.Correction
+
+// Multiple-hypothesis corrections.
+const (
+	// NoCorrection applies the paper's per-pair rule: q = p.
+	NoCorrection = stats.None
+	// BenjaminiHochberg controls the FDR under independence or positive
+	// dependence.
+	BenjaminiHochberg = stats.BH
+	// BenjaminiYekutieli controls the FDR under arbitrary dependence.
+	BenjaminiYekutieli = stats.BY
+)
+
+// ParseCorrection parses a correction name ("none", "bh", "by"; the empty
+// string means none).
+func ParseCorrection(s string) (Correction, error) { return stats.ParseCorrection(s) }
 
 // TestKind selects the permutation scheme of the significance test.
 type TestKind = montecarlo.Kind
@@ -234,4 +257,7 @@ const (
 	RankByScore = relgraph.ByScore
 	// RankByStrength ranks edges by rho descending.
 	RankByStrength = relgraph.ByStrength
+	// RankByQValue ranks edges by q-value ascending (most trustworthy
+	// first).
+	RankByQValue = relgraph.ByQValue
 )
