@@ -44,10 +44,10 @@ func run(out string, seed int64, months int, scale float64, grid, openN int) err
 	if err := os.MkdirAll(out, 0o755); err != nil {
 		return err
 	}
-	city, err := spatial.Generate(spatial.Config{
-		Seed: seed, GridW: grid, GridH: grid,
-		Neighborhoods: grid * 3, ZipCodes: grid * 3,
-	})
+	// The canonical seed+grid city configuration shared with polygamy and
+	// polygamyd: region IDs in the generated CSVs only make sense over the
+	// exact city those tools will rebuild from the same seed and grid.
+	city, err := spatial.Generate(spatial.GridConfig(seed, grid))
 	if err != nil {
 		return err
 	}

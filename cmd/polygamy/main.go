@@ -26,6 +26,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"github.com/urbandata/datapolygamy/internal/core"
 	"github.com/urbandata/datapolygamy/internal/dataset"
@@ -56,6 +57,9 @@ type cliOptions struct {
 	graph       bool   // materialize the relationship graph instead of querying
 	graphFormat string // "dot" or "json"
 
+	savePath string // write a snapshot container after the work
+	loadPath string // load a snapshot container instead of building the index
+
 	stdout io.Writer // test seam; os.Stdout in main
 }
 
@@ -79,6 +83,8 @@ func main() {
 	flag.BoolVar(&o.jsonOut, "json", false, "write results to stdout as JSON instead of text")
 	flag.BoolVar(&o.graph, "graph", false, "materialize the corpus-wide relationship graph and export it instead of answering a query")
 	flag.StringVar(&o.graphFormat, "graph-format", "", "graph export format: dot or json (default dot, or json when -json is set)")
+	flag.StringVar(&o.savePath, "save", "", "write a snapshot container (index + graph when built) to this path after the work")
+	flag.StringVar(&o.loadPath, "load", "", "load a snapshot container instead of building the index (the same corpus, seed, and grid are required)")
 	flag.Parse()
 	if o.dataDir == "" {
 		flag.Usage()
@@ -109,10 +115,9 @@ func run(o cliOptions) error {
 	if o.graph && o.jsonOut && o.graphFormat != "json" {
 		return fmt.Errorf("-json conflicts with -graph-format %s", o.graphFormat)
 	}
-	city, err := spatial.Generate(spatial.Config{
-		Seed: o.seed, GridW: o.grid, GridH: o.grid,
-		Neighborhoods: o.grid * 3, ZipCodes: o.grid * 3,
-	})
+	// The canonical seed+grid city configuration shared with gendata and
+	// polygamyd, so snapshots written here warm-start the server.
+	city, err := spatial.Generate(spatial.GridConfig(o.seed, o.grid))
 	if err != nil {
 		return err
 	}
@@ -195,13 +200,22 @@ func run(o cliOptions) error {
 		fmt.Fprintf(os.Stderr, "loaded %s: %d tuples, %d scalar functions\n",
 			d.Name, len(d.Tuples), d.NumScalarFunctions())
 	}
-	istats, err := fw.BuildIndex()
-	if err != nil {
-		return err
+	if o.loadPath != "" {
+		t0 := time.Now()
+		if err := fw.Load(o.loadPath); err != nil {
+			return fmt.Errorf("loading snapshot %s: %w", o.loadPath, err)
+		}
+		fmt.Fprintf(os.Stderr, "loaded snapshot %s (%d functions) in %v — no rebuild\n",
+			o.loadPath, fw.NumFunctions(), time.Since(t0).Round(1e6))
+	} else {
+		istats, err := fw.BuildIndex()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "indexed %d functions in %v (%v compute + %v feature identification across workers)\n",
+			istats.Functions, istats.WallDuration.Round(1e6),
+			istats.ComputeDuration.Round(1e6), istats.IndexDuration.Round(1e6))
 	}
-	fmt.Fprintf(os.Stderr, "indexed %d functions in %v (%v compute + %v feature identification across workers)\n",
-		istats.Functions, istats.WallDuration.Round(1e6),
-		istats.ComputeDuration.Round(1e6), istats.IndexDuration.Round(1e6))
 	if o.stats {
 		for _, name := range fw.Datasets() {
 			ds, ok := fw.DatasetIndexStats(name)
@@ -213,9 +227,23 @@ func run(o cliOptions) error {
 		}
 	}
 	if o.graph {
-		return runGraph(fw, q.Clause, o)
+		err = runGraph(fw, q.Clause, o)
+	} else {
+		err = runQuery(fw, q, o)
 	}
-	return runQuery(fw, q, o)
+	if err != nil {
+		return err
+	}
+	// Save last, so a -graph run's materialized graph lands in the
+	// snapshot and a later polygamyd -snapshot (or polygamy -load) start
+	// is fully warm.
+	if o.savePath != "" {
+		if err := fw.Save(o.savePath); err != nil {
+			return fmt.Errorf("writing snapshot %s: %w", o.savePath, err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote snapshot %s\n", o.savePath)
+	}
+	return nil
 }
 
 // runQuery answers one relationship query and writes the results as text

@@ -296,3 +296,91 @@ func TestSplitNames(t *testing.T) {
 		t.Errorf("splitNames = %v", got)
 	}
 }
+
+// TestPolygamyCLISaveLoad drives the snapshot flags end to end: a -save
+// run writes the container, a -load run answers the same query from it
+// with identical JSON output, and a corrupted snapshot is rejected.
+func TestPolygamyCLISaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	writeCorpus(t, dir)
+	snap := filepath.Join(t.TempDir(), "corpus.snap")
+
+	var cold bytes.Buffer
+	o := baseOptions(dir)
+	o.jsonOut, o.minScore, o.savePath, o.stdout = true, 0.2, snap, &cold
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatalf("-save did not write the snapshot: %v", err)
+	}
+
+	var warm bytes.Buffer
+	o2 := baseOptions(dir)
+	o2.jsonOut, o2.minScore, o2.loadPath, o2.stdout = true, 0.2, snap, &warm
+	if err := run(o2); err != nil {
+		t.Fatal(err)
+	}
+	// Compare the relationship payloads; the stats carry wall-clock
+	// durations that legitimately differ between runs.
+	rels := func(raw []byte) json.RawMessage {
+		t.Helper()
+		var doc struct {
+			Relationships json.RawMessage `json:"relationships"`
+		}
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			t.Fatal(err)
+		}
+		return doc.Relationships
+	}
+	if string(rels(cold.Bytes())) != string(rels(warm.Bytes())) {
+		t.Fatalf("-load results differ from the build that wrote the snapshot:\n cold %s\n warm %s",
+			cold.String(), warm.String())
+	}
+
+	// A different seed means a different corpus fingerprint: rejected.
+	o3 := baseOptions(dir)
+	o3.seed, o3.loadPath = 2, snap
+	if err := run(o3); err == nil || !strings.Contains(err.Error(), "seed") {
+		t.Errorf("-load with wrong seed: err = %v", err)
+	}
+
+	// A truncated snapshot is rejected with a store-level error.
+	data, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(snap, data[:len(data)-9], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o4 := baseOptions(dir)
+	o4.loadPath = snap
+	if err := run(o4); err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Errorf("-load of truncated snapshot: err = %v", err)
+	}
+}
+
+// TestPolygamyCLIGraphSave asserts a -graph run's snapshot carries the
+// materialized graph: the -load run re-exports it without recomputing.
+func TestPolygamyCLIGraphSave(t *testing.T) {
+	dir := t.TempDir()
+	writeCorpus(t, dir)
+	snap := filepath.Join(t.TempDir(), "graph.snap")
+
+	var cold bytes.Buffer
+	o := baseOptions(dir)
+	o.graph, o.jsonOut, o.savePath, o.stdout = true, true, snap, &cold
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+
+	var warm bytes.Buffer
+	o2 := baseOptions(dir)
+	o2.graph, o2.jsonOut, o2.loadPath, o2.stdout = true, true, snap, &warm
+	if err := run(o2); err != nil {
+		t.Fatal(err)
+	}
+	if cold.String() != warm.String() {
+		t.Fatal("graph export differs between the saving run and the loading run")
+	}
+}

@@ -1,10 +1,7 @@
 package main
 
 import (
-	"encoding/json"
-	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"strconv"
 
@@ -81,11 +78,7 @@ func (s *server) handleGraphBuild(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		Clause clauseRequest `json:"clause"`
 	}
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
-		s.failures.Add(1)
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "decoding request: " + err.Error()})
+	if !s.decodeJSON(w, r, &req, true) {
 		return
 	}
 	clause, err := parseClause(req.Clause)
@@ -101,6 +94,11 @@ func (s *server) handleGraphBuild(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.graphBuilds.Add(1)
+	// Remember the clause so runtime ingestions refresh the graph under
+	// the operator's chosen selection (see runIngest).
+	s.graphClauseMu.Lock()
+	s.graphClause = clause
+	s.graphClauseMu.Unlock()
 	writeJSON(w, http.StatusOK, graphStatsWire{
 		Datasets:        stats.Datasets,
 		Pairs:           stats.Pairs,

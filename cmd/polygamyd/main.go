@@ -18,6 +18,10 @@
 //	GET  /v1/graph/stats      graph sizes, degree distribution, hubs, rollup
 //	GET  /v1/graph/neighbors  ?function= or ?dataset=[&hops=k] exploration
 //	GET  /v1/graph/top        ?k=10&by=score|strength edge ranking
+//	POST /v1/datasets         ingest one CSV data set into the live corpus
+//	                          (runs as a background job; returns 202 + job ID)
+//	GET  /v1/jobs             background jobs, newest first
+//	GET  /v1/jobs/{id}        one job's status and result
 //
 // On SIGINT/SIGTERM the server stops accepting connections and drains
 // in-flight queries (up to -drain) before exiting.
@@ -26,10 +30,16 @@
 // cmd/polygamy) or, by default, the synthetic NYC-style urban collection
 // (-months, -scale) used throughout the experiments.
 //
+// With -snapshot, polygamyd warm-starts: if the snapshot container exists
+// and matches the corpus, the index (and graph, when saved) are loaded
+// instead of rebuilt; otherwise the server cold-builds and then writes the
+// snapshot, so the next restart is warm. Runtime ingestion keeps the
+// snapshot fresh after each accepted data set.
+//
 // Usage:
 //
 //	polygamyd -addr :8571 -months 6 -scale 0.3
-//	polygamyd -addr :8571 -data corpus/
+//	polygamyd -addr :8571 -data corpus/ -snapshot corpus.snap
 package main
 
 import (
@@ -54,36 +64,45 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8571", "listen address")
-		dataDir = flag.String("data", "", "directory of data set CSV files (default: synthetic urban corpus)")
-		seed    = flag.Int64("seed", 1, "city / randomization seed")
-		grid    = flag.Int("grid", 32, "synthetic city grid side")
-		months  = flag.Int("months", 6, "synthetic corpus length in months")
-		scale   = flag.Float64("scale", 0.3, "synthetic corpus record-volume multiplier")
-		workers = flag.Int("workers", 0, "worker pool size (0 = NumCPU)")
-		graph   = flag.Bool("graph", false, "materialize the relationship graph at startup (otherwise POST /v1/graph/build)")
-		drain   = flag.Duration("drain", 15*time.Second, "in-flight query drain timeout on SIGINT/SIGTERM")
+		addr     = flag.String("addr", ":8571", "listen address")
+		dataDir  = flag.String("data", "", "directory of data set CSV files (default: synthetic urban corpus)")
+		seed     = flag.Int64("seed", 1, "city / randomization seed")
+		grid     = flag.Int("grid", 32, "synthetic city grid side")
+		months   = flag.Int("months", 6, "synthetic corpus length in months")
+		scale    = flag.Float64("scale", 0.3, "synthetic corpus record-volume multiplier")
+		workers  = flag.Int("workers", 0, "worker pool size (0 = NumCPU)")
+		graph    = flag.Bool("graph", false, "materialize the relationship graph at startup (otherwise POST /v1/graph/build)")
+		drain    = flag.Duration("drain", 15*time.Second, "in-flight query drain timeout on SIGINT/SIGTERM")
+		snapshot = flag.String("snapshot", "", "snapshot container path: warm-start from it when present, write it after cold builds and ingestions")
+		writeTO  = flag.Duration("write-timeout", 5*time.Minute, "HTTP response write timeout (bounds the slowest handler, e.g. a synchronous graph build)")
+		readTO   = flag.Duration("read-timeout", 2*time.Minute, "HTTP request read timeout (bounds the whole body; must accommodate a slow client uploading a CSV data set)")
 	)
 	flag.Parse()
-	fw, err := buildFramework(*dataDir, *seed, *grid, *months, *scale, *workers)
+	fw, err := assembleFramework(*dataDir, *seed, *grid, *months, *scale, *workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "polygamyd:", err)
 		os.Exit(1)
 	}
-	if *graph {
-		t0 := time.Now()
-		gs, err := fw.BuildGraph(core.Clause{})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "polygamyd:", err)
-			os.Exit(1)
-		}
-		log.Printf("polygamyd: materialized relationship graph (%d edges over %d pairs) in %v",
-			gs.Edges, gs.Pairs, time.Since(t0).Round(time.Millisecond))
+	warm, err := prepareFramework(fw, *snapshot, *graph)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "polygamyd:", err)
+		os.Exit(1)
+	}
+	srv := newServer(fw)
+	srv.snapshotPath = *snapshot
+	srv.warmStart = warm
+	if c, ok := fw.GraphClause(); ok {
+		// A graph restored from the snapshot (or built at startup) must be
+		// refreshed under its own clause after ingestions, not the zero
+		// clause — otherwise the candidate cache would be discarded and
+		// the selection silently changed.
+		srv.graphClause = c
 	}
 	hs := &http.Server{
-		Handler:           newServer(fw),
+		Handler:           srv,
 		ReadHeaderTimeout: 10 * time.Second,
-		ReadTimeout:       30 * time.Second,
+		ReadTimeout:       *readTO,
+		WriteTimeout:      *writeTO,
 		IdleTimeout:       2 * time.Minute,
 	}
 	ln, err := net.Listen("tcp", *addr)
@@ -99,6 +118,56 @@ func main() {
 		fmt.Fprintln(os.Stderr, "polygamyd:", err)
 		os.Exit(1)
 	}
+}
+
+// prepareFramework brings the assembled corpus to a serving-ready state:
+// a warm start from the snapshot when one exists and matches, a cold
+// build otherwise — followed by writing the snapshot so the next start is
+// warm. Returns whether the start was warm.
+func prepareFramework(fw *core.Framework, snapshot string, graph bool) (bool, error) {
+	warm := false
+	if snapshot != "" {
+		if _, err := os.Stat(snapshot); err == nil {
+			t0 := time.Now()
+			if err := fw.Load(snapshot); err != nil {
+				log.Printf("polygamyd: snapshot %s unusable (%v); falling back to cold build", snapshot, err)
+			} else {
+				warm = true
+				_, hasGraph := fw.RelGraph()
+				log.Printf("polygamyd: warm start: loaded %d functions (graph: %t) from %s in %v — no rebuild",
+					fw.NumFunctions(), hasGraph, snapshot, time.Since(t0).Round(time.Millisecond))
+			}
+		}
+	}
+	if !warm {
+		t0 := time.Now()
+		stats, err := fw.BuildIndex()
+		if err != nil {
+			return false, err
+		}
+		log.Printf("polygamyd: cold start: indexed %d functions in %v",
+			stats.Functions, time.Since(t0).Round(time.Millisecond))
+	}
+	builtGraph := false
+	if _, built := fw.RelGraph(); graph && !built {
+		t0 := time.Now()
+		gs, err := fw.BuildGraph(core.Clause{})
+		if err != nil {
+			return false, err
+		}
+		builtGraph = true
+		log.Printf("polygamyd: materialized relationship graph (%d edges over %d pairs) in %v",
+			gs.Edges, gs.Pairs, time.Since(t0).Round(time.Millisecond))
+	}
+	// (Re)write the snapshot whenever this start derived something it did
+	// not load: a cold build, or a graph the loaded snapshot lacked.
+	if snapshot != "" && (!warm || builtGraph) {
+		if err := fw.Save(snapshot); err != nil {
+			return false, fmt.Errorf("writing snapshot %s: %w", snapshot, err)
+		}
+		log.Printf("polygamyd: wrote snapshot %s (next start is warm)", snapshot)
+	}
+	return warm, nil
 }
 
 // serveUntilShutdown serves on ln until the context is cancelled (SIGINT or
@@ -131,13 +200,13 @@ func serveUntilShutdown(ctx context.Context, hs *http.Server, ln net.Listener, d
 	return nil
 }
 
-// buildFramework assembles and indexes the corpus: CSVs from dataDir when
-// given, otherwise the synthetic urban collection.
-func buildFramework(dataDir string, seed int64, grid, months int, scale float64, workers int) (*core.Framework, error) {
-	city, err := spatial.Generate(spatial.Config{
-		Seed: seed, GridW: grid, GridH: grid,
-		Neighborhoods: grid * 2, ZipCodes: grid * 2,
-	})
+// assembleFramework registers the corpus — CSVs from dataDir when given,
+// otherwise the synthetic urban collection — without building the index:
+// indexing (or a warm snapshot load) is prepareFramework's job. The city
+// comes from the canonical seed+grid configuration shared with gendata
+// and the polygamy CLI, so their snapshots are interchangeable.
+func assembleFramework(dataDir string, seed int64, grid, months int, scale float64, workers int) (*core.Framework, error) {
+	city, err := spatial.Generate(spatial.GridConfig(seed, grid))
 	if err != nil {
 		return nil, err
 	}
@@ -185,11 +254,5 @@ func buildFramework(dataDir string, seed int64, grid, months int, scale float64,
 			}
 		}
 	}
-	t0 := time.Now()
-	stats, err := fw.BuildIndex()
-	if err != nil {
-		return nil, err
-	}
-	log.Printf("polygamyd: indexed %d functions in %v", stats.Functions, time.Since(t0).Round(time.Millisecond))
 	return fw, nil
 }

@@ -20,18 +20,10 @@ import (
 	"github.com/urbandata/datapolygamy/internal/temporal"
 )
 
-// testFramework builds a small two-data-set corpus with a planted
-// relationship: wind and trips deviate together at the same event hours.
-func testFramework(t *testing.T) *core.Framework {
+// testCorpus builds the two planted data sets of the test corpus: wind
+// and trips deviate together at the same event hours.
+func testCorpus(t *testing.T) []*dataset.Dataset {
 	t.Helper()
-	city, err := spatial.Generate(spatial.Config{Seed: 3, GridW: 24, GridH: 24, Neighborhoods: 8, ZipCodes: 10})
-	if err != nil {
-		t.Fatal(err)
-	}
-	fw, err := core.New(core.Options{City: city, Workers: 4, Seed: 5})
-	if err != nil {
-		t.Fatal(err)
-	}
 	rng := rand.New(rand.NewSource(12))
 	wind := &dataset.Dataset{
 		Name: "wind", SpatialRes: spatial.City, TemporalRes: temporal.Hour,
@@ -41,32 +33,56 @@ func testFramework(t *testing.T) *core.Framework {
 		Name: "trips", SpatialRes: spatial.City, TemporalRes: temporal.Hour,
 		Attrs: []string{"count"},
 	}
-	const hours = 24 * 7 * 52
 	events := map[int]bool{}
 	for len(events) < 40 {
-		events[rng.Intn(hours)] = true
+		events[rng.Intn(testCorpusHours)] = true
 	}
-	start := time.Date(2012, time.January, 1, 0, 0, 0, 0, time.UTC)
-	for i := 0; i < hours; i++ {
+	for i := 0; i < testCorpusHours; i++ {
 		w := 10 + rng.NormFloat64()*0.4
 		c := 400 + rng.NormFloat64()*3
 		if events[i] {
 			w = 55 + rng.Float64()*10
 			c = 20 + rng.Float64()*4
 		}
-		ts := start.Add(time.Duration(i) * time.Hour).Unix()
+		ts := testCorpusStart.Add(time.Duration(i) * time.Hour).Unix()
 		wind.Tuples = append(wind.Tuples, dataset.Tuple{Region: 0, TS: ts, Values: []float64{w}})
 		trips.Tuples = append(trips.Tuples, dataset.Tuple{Region: 0, TS: ts, Values: []float64{c}})
 	}
-	for _, e := range []error{fw.AddDataset(wind), fw.AddDataset(trips)} {
-		if e != nil {
-			t.Fatal(e)
+	return []*dataset.Dataset{wind, trips}
+}
+
+// testCorpusHours and testCorpusStart pin the test corpus window, shared
+// by the ingestion fixtures (which must not extend the time range).
+const testCorpusHours = 24 * 7 * 52
+
+var testCorpusStart = time.Date(2012, time.January, 1, 0, 0, 0, 0, time.UTC)
+
+// testFrameworkWith builds an indexed framework over the planted corpus
+// plus any extra data sets.
+func testFrameworkWith(t *testing.T, extra ...*dataset.Dataset) *core.Framework {
+	t.Helper()
+	city, err := spatial.Generate(spatial.Config{Seed: 3, GridW: 24, GridH: 24, Neighborhoods: 8, ZipCodes: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := core.New(core.Options{City: city, Workers: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range append(testCorpus(t), extra...) {
+		if err := fw.AddDataset(d); err != nil {
+			t.Fatal(err)
 		}
 	}
 	if _, err := fw.BuildIndex(); err != nil {
 		t.Fatal(err)
 	}
 	return fw
+}
+
+func testFramework(t *testing.T) *core.Framework {
+	t.Helper()
+	return testFrameworkWith(t)
 }
 
 func postQuery(t *testing.T, client *http.Client, base string, req queryRequest) (queryResponse, int) {

@@ -2,19 +2,32 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/urbandata/datapolygamy/internal/core"
 	"github.com/urbandata/datapolygamy/internal/feature"
+	"github.com/urbandata/datapolygamy/internal/jobs"
 	"github.com/urbandata/datapolygamy/internal/montecarlo"
 	"github.com/urbandata/datapolygamy/internal/queryparse"
 	"github.com/urbandata/datapolygamy/internal/spatial"
 	"github.com/urbandata/datapolygamy/internal/stats"
 	"github.com/urbandata/datapolygamy/internal/temporal"
+)
+
+// Request-body caps, enforced with http.MaxBytesReader on every POST
+// handler: structured queries and graph-build clauses are tiny JSON
+// documents, while an ingested CSV data set can legitimately run to tens
+// of megabytes. Oversized bodies get 413 with a JSON error.
+const (
+	defaultMaxJSONBody   = 1 << 20  // POST /v1/query, /v1/graph/build
+	defaultMaxIngestBody = 64 << 20 // POST /v1/datasets (CSV)
 )
 
 // server is the HTTP shell around one indexed Framework. All handlers run
@@ -23,18 +36,38 @@ type server struct {
 	fw      *core.Framework
 	mux     *http.ServeMux
 	started time.Time
+	jobs    *jobs.Manager
+
+	// Corpus-lifecycle configuration, set before serving starts.
+	snapshotPath  string // re-save target after ingestion ("" = none)
+	warmStart     bool   // the index was loaded, not built
+	maxJSONBody   int64
+	maxIngestBody int64
+
+	// graphClause remembers the clause of the most recent successful graph
+	// build, so a runtime ingestion refreshes the graph under the same
+	// selection the operator chose.
+	graphClauseMu sync.Mutex
+	graphClause   core.Clause
 
 	queries     atomic.Int64 // relationship queries answered
 	cacheHits   atomic.Int64 // served from the query cache
 	coalesced   atomic.Int64 // deduplicated against an in-flight evaluation
 	failures    atomic.Int64 // queries rejected or failed
 	graphBuilds atomic.Int64 // graph builds completed
+	ingests     atomic.Int64 // ingestion jobs accepted
 }
 
 func newServer(fw *core.Framework) *server {
-	s := &server{fw: fw, mux: http.NewServeMux(), started: time.Now()}
+	s := &server{
+		fw: fw, mux: http.NewServeMux(), started: time.Now(),
+		jobs:          jobs.NewManager(),
+		maxJSONBody:   defaultMaxJSONBody,
+		maxIngestBody: defaultMaxIngestBody,
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
+	s.mux.HandleFunc("POST /v1/datasets", s.handleIngest)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("GET /v1/query", s.handleQueryText)
@@ -42,6 +75,8 @@ func newServer(fw *core.Framework) *server {
 	s.mux.HandleFunc("GET /v1/graph/stats", s.handleGraphStats)
 	s.mux.HandleFunc("GET /v1/graph/neighbors", s.handleGraphNeighbors)
 	s.mux.HandleFunc("GET /v1/graph/top", s.handleGraphTop)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	return s
 }
 
@@ -195,21 +230,42 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"uptime":      time.Since(s.started).Round(time.Millisecond).String(),
 		"datasets":    len(s.fw.Datasets()),
 		"functions":   s.fw.NumFunctions(),
+		"warmStart":   s.warmStart,
 		"queries":     s.queries.Load(),
 		"cacheHits":   s.cacheHits.Load(),
 		"coalesced":   s.coalesced.Load(),
 		"failures":    s.failures.Load(),
 		"graphBuilds": s.graphBuilds.Load(),
+		"ingests":     s.ingests.Load(),
 	})
+}
+
+// decodeJSON decodes a bounded JSON request body into v, writing the
+// error response — 413 for an oversized body, 400 otherwise — and
+// returning false on failure. allowEmpty treats an empty body as the zero
+// value (the graph-build endpoint's optional clause).
+func (s *server) decodeJSON(w http.ResponseWriter, r *http.Request, v any, allowEmpty bool) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxJSONBody)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	err := dec.Decode(v)
+	if err == nil || (allowEmpty && errors.Is(err, io.EOF)) {
+		return true
+	}
+	s.failures.Add(1)
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		writeJSON(w, http.StatusRequestEntityTooLarge,
+			errorResponse{Error: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit)})
+		return false
+	}
+	writeJSON(w, http.StatusBadRequest, errorResponse{Error: "decoding request: " + err.Error()})
+	return false
 }
 
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req queryRequest
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		s.failures.Add(1)
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "decoding request: " + err.Error()})
+	if !s.decodeJSON(w, r, &req, false) {
 		return
 	}
 	clause, err := parseClause(req.Clause)

@@ -2,7 +2,9 @@ package datapolygamy
 
 import (
 	"bytes"
+	"path/filepath"
 	"testing"
+	"time"
 )
 
 func TestParseQueryFacade(t *testing.T) {
@@ -165,5 +167,60 @@ func TestFormatQueryFacade(t *testing.T) {
 	}
 	if got.Clause.MinScore != 0.6 || len(got.Sources) != 1 || got.Sources[0] != "taxi" {
 		t.Errorf("FormatQuery round trip = %+v (text %q)", got, text)
+	}
+}
+
+func TestSnapshotLifecycleFacade(t *testing.T) {
+	fw := buildCorpus(t)
+	if _, err := fw.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw.BuildGraph(Clause{Permutations: 60}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "corpus.snap")
+	if err := fw.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// The manifest identifies the snapshot without loading it.
+	m, err := ReadSnapshotManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Fingerprint.Seed != 7 || len(m.Fingerprint.Datasets) != 2 {
+		t.Errorf("manifest fingerprint = %+v", m.Fingerprint)
+	}
+	if len(m.Sections) != 2 {
+		t.Errorf("manifest sections = %+v", m.Sections)
+	}
+
+	// A fresh framework over the same corpus warm-starts from it.
+	fw2 := buildCorpus(t)
+	if err := fw2.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	if !fw2.Indexed() || fw2.NumFunctions() != fw.NumFunctions() {
+		t.Error("loaded snapshot mismatch through facade")
+	}
+	if _, ok := fw2.RelGraph(); !ok {
+		t.Error("graph not restored through facade")
+	}
+}
+
+func TestJobManagerFacade(t *testing.T) {
+	m := NewJobManager()
+	j := m.Start("ingest", "taxi", func() (map[string]any, error) {
+		return map[string]any{"ok": true}, nil
+	})
+	if j.Status != JobPending {
+		t.Errorf("initial status = %v", j.Status)
+	}
+	got, done := m.Wait(j.ID, 5*time.Second)
+	if !done || got.Status != JobDone {
+		t.Fatalf("job = %+v", got)
+	}
+	if JobRunning.Terminal() || !JobFailed.Terminal() {
+		t.Error("JobStatus.Terminal misclassifies states")
 	}
 }

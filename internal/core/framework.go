@@ -148,7 +148,18 @@ type Framework struct {
 	graphCands map[graphPair][]relgraph.Edge
 	graphSig   string
 	graphSel   graphSelection
-	relGraph   atomic.Pointer[relgraph.Graph]
+	// graphClause is the clause the current candidate cache was built (or
+	// loaded) under, so callers refreshing the graph after a corpus change
+	// can reuse exactly the operator's selection (GraphClause).
+	graphClause Clause
+	relGraph    atomic.Pointer[relgraph.Graph]
+
+	// ingestMu serializes IngestDataset calls (see ingest.go): an ingestion
+	// computes the new data set's entries under the shared lock and splices
+	// them in under a brief exclusive lock, and the mutex keeps two
+	// ingestions from interleaving between those phases. It is taken before
+	// mu and never while holding it.
+	ingestMu sync.Mutex
 
 	// cacheMu guards cache and inflight. It nests inside mu (Query touches
 	// it while holding the read lock) and is never held across a query
@@ -216,6 +227,12 @@ func (f *Framework) AddDataset(d *dataset.Dataset) error {
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	return f.addDatasetLocked(d)
+}
+
+// addDatasetLocked is AddDataset under an already-held exclusive state
+// lock (shared with the ingestion fallback path).
+func (f *Framework) addDatasetLocked(d *dataset.Dataset) error {
 	if _, dup := f.datasets[d.Name]; dup {
 		return fmt.Errorf("core: duplicate dataset %q", d.Name)
 	}
@@ -346,6 +363,12 @@ type funcTask struct {
 func (f *Framework) BuildIndex() (IndexStats, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	return f.buildIndexLocked()
+}
+
+// buildIndexLocked is BuildIndex under an already-held exclusive state
+// lock (shared with the ingestion fallback path).
+func (f *Framework) buildIndexLocked() (IndexStats, error) {
 	var stats IndexStats
 	stats.Datasets = len(f.order)
 	todo := f.unindexed()
@@ -371,6 +394,41 @@ func (f *Framework) BuildIndex() (IndexStats, error) {
 		}
 	}
 
+	newEntries, pstats, err := f.runIndexPipeline(tasks,
+		func(tr temporal.Resolution) *temporal.Timeline { return f.timelines[tr] },
+		func(res Resolution) *stgraph.Graph { return f.graphs[res] })
+	if err != nil {
+		return stats, err
+	}
+	for _, e := range newEntries {
+		f.index.add(e)
+	}
+	for _, name := range todo {
+		f.index.sort(name)
+		f.index.markDone(name)
+	}
+
+	stats.Functions = pstats.Functions
+	stats.FeatureSets = pstats.FeatureSets
+	stats.ComputeDuration = pstats.ComputeDuration
+	stats.IndexDuration = pstats.IndexDuration
+	stats.WallDuration = pstats.WallDuration
+	f.built = true
+	f.invalidateCacheInvolving(todo...)
+	return stats, nil
+}
+
+// runIndexPipeline computes and feature-indexes the given function tasks
+// as one fused streaming pipeline and returns the resulting entries with
+// the pipeline counters of IndexStats filled in. The domain state a task
+// needs is resolved through the tl and gr lookups, so the pipeline can run
+// against the framework's shared maps (BuildIndex, under the exclusive
+// lock) or against a caller-captured snapshot of them (IngestDataset,
+// without any lock held — the lookups' targets are immutable).
+func (f *Framework) runIndexPipeline(tasks []funcTask,
+	tl func(temporal.Resolution) *temporal.Timeline,
+	gr func(Resolution) *stgraph.Graph) ([]*FunctionEntry, IndexStats, error) {
+	var stats IndexStats
 	t0 := time.Now()
 	var computeNS, featureNS, numFns atomic.Int64
 	p := mapreduce.NewPipeline(mapreduce.Config{Workers: f.opts.Workers})
@@ -381,7 +439,7 @@ func (f *Framework) BuildIndex() (IndexStats, error) {
 		func(t funcTask) ([]*scalar.Function, error) {
 			start := time.Now()
 			fn, err := scalar.ComputeOnDomain(t.ds, t.spec, f.opts.City, t.res.Spatial, t.res.Temporal,
-				f.timelines[t.res.Temporal], f.graphs[t.res])
+				tl(t.res.Temporal), gr(t.res))
 			if err != nil {
 				return nil, err
 			}
@@ -403,31 +461,22 @@ func (f *Framework) BuildIndex() (IndexStats, error) {
 		return e, nil
 	})
 
-	// Sink: accumulate the new entries; the index is only updated once the
-	// whole pipeline has succeeded, so a failed build leaves it untouched.
+	// Sink: accumulate the new entries; the caller's index is only updated
+	// once the whole pipeline has succeeded, so a failed build leaves it
+	// untouched.
 	var newEntries []*FunctionEntry
 	if err := mapreduce.Drain(entries, func(e *FunctionEntry) error {
 		newEntries = append(newEntries, e)
 		return nil
 	}); err != nil {
-		return stats, err
+		return nil, stats, err
 	}
-	for _, e := range newEntries {
-		f.index.add(e)
-	}
-	for _, name := range todo {
-		f.index.sort(name)
-		f.index.markDone(name)
-	}
-
 	stats.Functions = int(numFns.Load())
 	stats.FeatureSets = len(newEntries)
 	stats.ComputeDuration = time.Duration(computeNS.Load())
 	stats.IndexDuration = time.Duration(featureNS.Load())
 	stats.WallDuration = time.Since(t0)
-	f.built = true
-	f.invalidateCacheInvolving(todo...)
-	return stats, nil
+	return newEntries, stats, nil
 }
 
 // indexedLocked reports whether the index covers every registered data

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/urbandata/datapolygamy/internal/dataset"
+	"github.com/urbandata/datapolygamy/internal/scalar"
+	"github.com/urbandata/datapolygamy/internal/stgraph"
+	"github.com/urbandata/datapolygamy/internal/temporal"
+)
+
+// This file is the runtime-ingestion path of the corpus lifecycle layer:
+// IngestDataset adds a data set to a live, indexed framework while queries
+// keep flowing. AddDataset + BuildIndex do the same work correctly, but
+// BuildIndex holds the state lock exclusively for the whole scalar-compute
+// and feature-identification pipeline — on a serving framework that stalls
+// every reader for the duration. IngestDataset instead mirrors the
+// relationship-graph builder's pattern (relgraph.go): the expensive work
+// runs against an immutable snapshot of the domain state with no lock
+// held, and the result is published by a brief exclusive splice — an epoch
+// swap readers only ever observe as "the data set was not there, now it
+// is".
+//
+// The fast path applies when the framework is indexed and the new data set
+// does not extend the corpus time range (the common case for a long-lived
+// corpus: NYC's 300+ data sets share the city's observation window).
+// Extending the range changes every shared timeline, so that case — like
+// ingesting into an unbuilt framework — falls back to the exclusive
+// rebuild path. The result is identical to AddDataset + BuildIndex either
+// way; only the locking differs, which the equivalence tests pin down.
+
+// IngestDataset registers and indexes one new data set on a live
+// framework. Unlike AddDataset + BuildIndex, the expensive indexing
+// pipeline runs without the state lock; the exclusive lock is held only
+// for the final splice, so concurrent Query traffic is never blocked
+// behind the ingestion (the relationship graph is not rebuilt — run
+// BuildGraph afterwards to extend it incrementally with the new pairs).
+// IngestDataset calls serialize with each other; the resulting framework
+// state is byte-identical to a from-scratch build over the enlarged
+// corpus.
+func (f *Framework) IngestDataset(d *dataset.Dataset) (IndexStats, error) {
+	var stats IndexStats
+	if err := d.Validate(); err != nil {
+		return stats, err
+	}
+	f.ingestMu.Lock()
+	defer f.ingestMu.Unlock()
+
+	// Phase 1 — snapshot (brief shared lock): decide fast vs. fallback and
+	// capture the immutable domain state the pipeline needs.
+	f.mu.RLock()
+	if _, dup := f.datasets[d.Name]; dup {
+		f.mu.RUnlock()
+		return stats, fmt.Errorf("core: duplicate dataset %q", d.Name)
+	}
+	lo, hi, ok := d.TimeRange()
+	if !ok {
+		f.mu.RUnlock()
+		return stats, fmt.Errorf("core: dataset %q is empty", d.Name)
+	}
+	if !f.indexedLocked() || len(f.order) == 0 || lo < f.minTS || hi > f.maxTS {
+		// Unbuilt framework, or the corpus time range grows: every shared
+		// timeline changes length, so there is nothing to reuse — take the
+		// exclusive rebuild path.
+		f.mu.RUnlock()
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		return f.ingestRebuildLocked(d)
+	}
+	minTS, maxTS := f.minTS, f.maxTS
+	// Shallow-copy the domain maps: timelines and graphs are immutable
+	// once created, but the maps themselves mutate under the exclusive
+	// lock (e.g. a concurrent BuildIndex), so the pipeline must not read
+	// the shared maps after we release the lock.
+	timelines := make(map[temporal.Resolution]*temporal.Timeline, len(f.timelines))
+	for tr, tl := range f.timelines {
+		timelines[tr] = tl
+	}
+	graphs := make(map[Resolution]*stgraph.Graph, len(f.graphs))
+	for res, g := range f.graphs {
+		graphs[res] = g
+	}
+	resolutions := f.resolutionsFor(d)
+	f.mu.RUnlock()
+
+	// Phase 2 — compute (no lock): fill in domain state for resolutions
+	// the corpus has not used yet, then run the indexing pipeline against
+	// the captured snapshot. Queries proceed concurrently throughout.
+	var tasks []funcTask
+	for _, res := range resolutions {
+		if graphs[res] == nil {
+			tl := timelines[res.Temporal]
+			if tl == nil {
+				var err error
+				if tl, err = temporal.NewTimeline(minTS, maxTS, res.Temporal); err != nil {
+					return stats, err
+				}
+				timelines[res.Temporal] = tl
+			}
+			g, err := stgraph.New(f.opts.City.NumRegions(res.Spatial), tl.Len(), f.opts.City.Adjacency(res.Spatial))
+			if err != nil {
+				return stats, err
+			}
+			graphs[res] = g
+		}
+		for _, spec := range scalar.Specs(d) {
+			tasks = append(tasks, funcTask{ds: d, spec: spec, res: res})
+		}
+	}
+	entries, pstats, err := f.runIndexPipeline(tasks,
+		func(tr temporal.Resolution) *temporal.Timeline { return timelines[tr] },
+		func(res Resolution) *stgraph.Graph { return graphs[res] })
+	if err != nil {
+		return stats, err
+	}
+
+	// Phase 3 — splice (brief exclusive lock): publish the new data set.
+	// Readers block only for these map inserts and one sort, not for the
+	// pipeline above.
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, dup := f.datasets[d.Name]; dup {
+		return stats, fmt.Errorf("core: duplicate dataset %q", d.Name)
+	}
+	if f.minTS != minTS || f.maxTS != maxTS || !f.indexedLocked() {
+		// An exclusive operation (AddDataset, LoadIndex, ...) interleaved
+		// between our snapshot and the splice and changed the corpus
+		// domain: the computed entries may be over the wrong timelines.
+		// Correctness first — rebuild from the registered state.
+		return f.ingestRebuildLocked(d)
+	}
+	f.datasets[d.Name] = d
+	f.order = append(f.order, d.Name)
+	for tr, tl := range timelines {
+		if _, ok := f.timelines[tr]; !ok {
+			f.timelines[tr] = tl
+		}
+	}
+	for res, g := range graphs {
+		if _, ok := f.graphs[res]; !ok {
+			f.graphs[res] = g
+		}
+	}
+	for _, e := range entries {
+		f.index.add(e)
+	}
+	f.index.sort(d.Name)
+	f.index.markDone(d.Name)
+	f.invalidateCacheInvolving(d.Name)
+
+	stats = pstats
+	stats.Datasets = len(f.order)
+	stats.DatasetsIndexed = 1
+	stats.DatasetsReused = len(f.order) - 1
+	return stats, nil
+}
+
+// ingestRebuildLocked is IngestDataset's fallback: plain AddDataset +
+// BuildIndex under the already-held exclusive lock.
+func (f *Framework) ingestRebuildLocked(d *dataset.Dataset) (IndexStats, error) {
+	if err := f.addDatasetLocked(d); err != nil {
+		return IndexStats{}, err
+	}
+	return f.buildIndexLocked()
+}

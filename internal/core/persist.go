@@ -1,15 +1,23 @@
 package core
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
+	"sort"
 
 	"github.com/urbandata/datapolygamy/internal/bitvec"
 	"github.com/urbandata/datapolygamy/internal/feature"
 	"github.com/urbandata/datapolygamy/internal/spatial"
 	"github.com/urbandata/datapolygamy/internal/temporal"
 )
+
+// This file holds the index section codec: the gob snapshot an index is
+// persisted as, shared by the legacy per-part SaveIndex/LoadIndex writer
+// API and the unified snapshot container (store.go). The codec layer
+// (encodeIndexLocked / decodeIndexLocked) works on the in-memory state
+// under the caller's lock; the public methods add locking and transport.
 
 // decodeFeatureSet reconstructs a feature set from its binary vectors.
 func decodeFeatureSet(fs featureSnapshot) (*feature.Set, error) {
@@ -81,8 +89,19 @@ const snapshotVersion = 1
 func (f *Framework) SaveIndex(w io.Writer) error {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
+	data, err := f.encodeIndexLocked()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// encodeIndexLocked serialises the built index into its section payload.
+// The caller must hold the state lock (shared or exclusive).
+func (f *Framework) encodeIndexLocked() ([]byte, error) {
 	if !f.indexedLocked() {
-		return fmt.Errorf("core: SaveIndex requires a built index")
+		return nil, fmt.Errorf("core: SaveIndex requires a built index")
 	}
 	snap := indexSnapshot{
 		Version: snapshotVersion,
@@ -112,23 +131,36 @@ func (f *Framework) SaveIndex(w io.Writer) error {
 					}
 					var err error
 					if se.Salient.Positive, err = e.Salient.Positive.MarshalBinary(); err != nil {
-						return err
+						return nil, err
 					}
 					if se.Salient.Negative, err = e.Salient.Negative.MarshalBinary(); err != nil {
-						return err
+						return nil, err
 					}
 					if se.Extreme.Positive, err = e.Extreme.Positive.MarshalBinary(); err != nil {
-						return err
+						return nil, err
 					}
 					if se.Extreme.Negative, err = e.Extreme.Negative.MarshalBinary(); err != nil {
-						return err
+						return nil, err
 					}
 					snap.Entries = append(snap.Entries, se)
 				}
 			}
 		}
 	}
-	return gob.NewEncoder(w).Encode(&snap)
+	// The per-resolution map above iterates in nondeterministic order;
+	// canonicalise so identical state always snapshots the same entry
+	// sequence (keys embed the resolution, so they are unique per entry).
+	sort.Slice(snap.Entries, func(i, j int) bool {
+		if snap.Entries[i].Dataset != snap.Entries[j].Dataset {
+			return snap.Entries[i].Dataset < snap.Entries[j].Dataset
+		}
+		return snap.Entries[i].Key < snap.Entries[j].Key
+	})
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&snap); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
 // LoadIndex restores an index previously written with SaveIndex. The
@@ -139,6 +171,12 @@ func (f *Framework) SaveIndex(w io.Writer) error {
 func (f *Framework) LoadIndex(r io.Reader) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	return f.decodeIndexLocked(r)
+}
+
+// decodeIndexLocked restores the index from its section payload. The
+// caller must hold the state lock exclusively.
+func (f *Framework) decodeIndexLocked(r io.Reader) error {
 	var snap indexSnapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return fmt.Errorf("core: decoding index: %w", err)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -213,6 +214,7 @@ func (f *Framework) BuildGraph(clause Clause) (GraphStats, error) {
 	// is not.
 	if len(missing) == 0 && sel == f.graphSel {
 		if g := f.relGraph.Load(); g != nil {
+			f.graphClause = clause
 			st.Edges = g.NumEdges()
 			st.WallDuration = time.Since(t0)
 			return st, nil
@@ -259,9 +261,24 @@ func (f *Framework) BuildGraph(clause Clause) (GraphStats, error) {
 
 	g := assembleGraph(f.graphCands, f.graphSel)
 	f.relGraph.Store(g)
+	f.graphClause = clause
 	st.Edges = g.NumEdges()
 	st.WallDuration = time.Since(t0)
 	return st, nil
+}
+
+// GraphClause returns the clause the current materialized graph's
+// candidate cache was built (or loaded) under, and ok = false when no
+// graph exists. An incremental refresh after a corpus change — e.g. a
+// runtime ingestion — should pass exactly this clause to BuildGraph so
+// the cache is reused and the selection is unchanged.
+func (f *Framework) GraphClause() (Clause, bool) {
+	if f.relGraph.Load() == nil {
+		return Clause{}, false
+	}
+	f.graphMu.Lock()
+	defer f.graphMu.Unlock()
+	return f.graphClause, true
 }
 
 // relationshipEdge converts one query-layer relationship into a graph edge.
@@ -296,6 +313,7 @@ func (f *Framework) resetGraph() {
 	f.graphCands = nil
 	f.graphSig = ""
 	f.graphSel = graphSelection{}
+	f.graphClause = Clause{}
 	f.graphMu.Unlock()
 	f.relGraph.Store(nil)
 }
@@ -326,14 +344,20 @@ type frameworkGraphSnapshot struct {
 	MaxQ       float64
 	Skip       bool
 
+	// Clause is the originating clause of the candidate cache, so a
+	// loaded graph refreshes incrementally under exactly the clause it
+	// was built with (GraphClause).
+	Clause Clause
+
 	Pairs []graphPairSnapshot
 }
 
 // graphSnapshotVersion 2 switched the snapshot from significant edges to
 // the full tested candidate family (FDR control needs every p-value) and
-// added the selection rule; version-1 snapshots cannot be assembled
-// correctly and are rejected.
-const graphSnapshotVersion = 2
+// added the selection rule; version 3 added the originating clause
+// (decoding an older snapshot would silently report a zero GraphClause,
+// so both are rejected).
+const graphSnapshotVersion = 3
 
 // SaveGraph writes the materialized relationship graph alongside the index
 // snapshot (SaveIndex): the per-pair edge cache, the clause signature, and
@@ -342,10 +366,26 @@ const graphSnapshotVersion = 2
 func (f *Framework) SaveGraph(w io.Writer) error {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
+	data, _, err := f.encodeGraphLocked()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// encodeGraphLocked serialises the materialized graph (candidate cache,
+// clause signature, selection rule, originating clause) into its section
+// payload, also returning the clause signature captured in the same
+// critical section as the payload — a caller must not re-read f.graphSig
+// afterwards, or a concurrent BuildGraph could make the two disagree. The
+// caller must hold the state lock (shared or exclusive);
+// encodeGraphLocked takes the builder mutex itself.
+func (f *Framework) encodeGraphLocked() ([]byte, string, error) {
 	f.graphMu.Lock()
 	defer f.graphMu.Unlock()
 	if f.relGraph.Load() == nil {
-		return fmt.Errorf("core: SaveGraph requires a built graph (run BuildGraph)")
+		return nil, "", fmt.Errorf("core: SaveGraph requires a built graph (run BuildGraph)")
 	}
 	snap := frameworkGraphSnapshot{
 		Version:    graphSnapshotVersion,
@@ -357,6 +397,7 @@ func (f *Framework) SaveGraph(w io.Writer) error {
 		Correction: f.graphSel.correction,
 		MaxQ:       f.graphSel.maxQ,
 		Skip:       f.graphSel.skip,
+		Clause:     f.graphClause,
 	}
 	keys := make([]graphPair, 0, len(f.graphCands))
 	for key := range f.graphCands {
@@ -371,7 +412,11 @@ func (f *Framework) SaveGraph(w io.Writer) error {
 	for _, key := range keys {
 		snap.Pairs = append(snap.Pairs, graphPairSnapshot{A: key.A, B: key.B, Cands: f.graphCands[key]})
 	}
-	return gob.NewEncoder(w).Encode(&snap)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&snap); err != nil {
+		return nil, "", err
+	}
+	return buf.Bytes(), snap.Sig, nil
 }
 
 // LoadGraph restores a graph previously written with SaveGraph. The
@@ -386,18 +431,42 @@ func (f *Framework) SaveGraph(w io.Writer) error {
 func (f *Framework) LoadGraph(r io.Reader) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	staged, err := f.parseGraphSnapshotLocked(r)
+	if err != nil {
+		return err
+	}
+	f.applyGraphSnapshotLocked(staged)
+	return nil
+}
+
+// stagedGraph is a fully validated graph snapshot that has not been
+// applied to the framework yet. The parse/apply split lets Load validate
+// every snapshot section before mutating anything, so a failed load never
+// leaves the framework half-restored.
+type stagedGraph struct {
+	cands  map[graphPair][]relgraph.Edge
+	sig    string
+	sel    graphSelection
+	clause Clause
+}
+
+// parseGraphSnapshotLocked decodes and validates a graph section payload
+// against this framework without mutating any state. The caller must hold
+// the state lock (validation reads the corpus fingerprint fields).
+func (f *Framework) parseGraphSnapshotLocked(r io.Reader) (stagedGraph, error) {
+	var staged stagedGraph
 	var snap frameworkGraphSnapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
-		return fmt.Errorf("core: decoding graph: %w", err)
+		return staged, fmt.Errorf("core: decoding graph: %w", err)
 	}
 	if snap.Version != graphSnapshotVersion {
-		return fmt.Errorf("core: graph version %d, want %d", snap.Version, graphSnapshotVersion)
+		return staged, fmt.Errorf("core: graph version %d, want %d", snap.Version, graphSnapshotVersion)
 	}
 	if snap.Seed != f.opts.Seed {
-		return fmt.Errorf("core: graph was built with seed %d, framework has %d", snap.Seed, f.opts.Seed)
+		return staged, fmt.Errorf("core: graph was built with seed %d, framework has %d", snap.Seed, f.opts.Seed)
 	}
 	if snap.MinTS != f.minTS || snap.MaxTS != f.maxTS {
-		return fmt.Errorf("core: graph corpus time range [%d,%d] does not match [%d,%d]",
+		return staged, fmt.Errorf("core: graph corpus time range [%d,%d] does not match [%d,%d]",
 			snap.MinTS, snap.MaxTS, f.minTS, f.maxTS)
 	}
 	cands := make(map[graphPair][]relgraph.Edge, len(snap.Pairs))
@@ -406,25 +475,34 @@ func (f *Framework) LoadGraph(r io.Reader) error {
 		// would dodge the duplicate check and miss BuildGraph's canonical
 		// cache lookups, leaving a stale entry that double-counts edges.
 		if p.A >= p.B {
-			return fmt.Errorf("core: graph snapshot pair %q|%q is not in canonical order", p.A, p.B)
+			return staged, fmt.Errorf("core: graph snapshot pair %q|%q is not in canonical order", p.A, p.B)
 		}
 		for _, ds := range [2]string{p.A, p.B} {
 			if _, ok := f.datasets[ds]; !ok {
-				return fmt.Errorf("core: graph covers unregistered dataset %q", ds)
+				return staged, fmt.Errorf("core: graph covers unregistered dataset %q", ds)
 			}
 		}
 		key := graphPair{A: p.A, B: p.B}
 		if _, dup := cands[key]; dup {
-			return fmt.Errorf("core: graph snapshot repeats pair %q|%q", p.A, p.B)
+			return staged, fmt.Errorf("core: graph snapshot repeats pair %q|%q", p.A, p.B)
 		}
 		cands[key] = p.Cands
 	}
-	sel := graphSelection{alpha: snap.Alpha, correction: snap.Correction, maxQ: snap.MaxQ, skip: snap.Skip}
+	staged.cands = cands
+	staged.sig = snap.Sig
+	staged.sel = graphSelection{alpha: snap.Alpha, correction: snap.Correction, maxQ: snap.MaxQ, skip: snap.Skip}
+	staged.clause = snap.Clause
+	return staged, nil
+}
+
+// applyGraphSnapshotLocked publishes a staged graph snapshot. The caller
+// must hold the state lock exclusively. It cannot fail.
+func (f *Framework) applyGraphSnapshotLocked(staged stagedGraph) {
 	f.graphMu.Lock()
-	f.graphCands = cands
-	f.graphSig = snap.Sig
-	f.graphSel = sel
+	f.graphCands = staged.cands
+	f.graphSig = staged.sig
+	f.graphSel = staged.sel
+	f.graphClause = staged.clause
 	f.graphMu.Unlock()
-	f.relGraph.Store(assembleGraph(cands, sel))
-	return nil
+	f.relGraph.Store(assembleGraph(staged.cands, staged.sel))
 }

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+
+	"github.com/urbandata/datapolygamy/internal/dataset"
+	"github.com/urbandata/datapolygamy/internal/store"
+)
+
+// This file is the corpus lifecycle layer of the framework: one snapshot
+// container (internal/store) bundles everything a framework derives from
+// its corpus — the index snapshot and, when built, the relationship-graph
+// snapshot — behind unified Save / Load / Open entry points. The legacy
+// per-part io.Writer APIs (SaveIndex, LoadIndex, SaveGraph, LoadGraph)
+// remain and share the same section codecs, so both paths produce and
+// accept byte-identical section payloads.
+//
+// The container's manifest carries the corpus fingerprint (seed, time
+// range, data set names in insertion order). Load verifies it before
+// decoding any section, so a snapshot from a different corpus — or a
+// truncated, bit-flipped, or foreign file, rejected by the store layer
+// itself — fails with a precise error instead of a deep decode failure,
+// preserving the corpus-fingerprint rejection semantics of LoadIndex and
+// LoadGraph.
+
+// fingerprintLocked captures the corpus identity of this framework. The
+// caller must hold the state lock (shared or exclusive).
+func (f *Framework) fingerprintLocked() store.Fingerprint {
+	return store.Fingerprint{
+		Seed:     f.opts.Seed,
+		MinTS:    f.minTS,
+		MaxTS:    f.maxTS,
+		Datasets: append([]string{}, f.order...),
+	}
+}
+
+// checkFingerprintLocked verifies that a snapshot's fingerprint matches
+// this framework's corpus, reporting the first mismatch precisely.
+func (f *Framework) checkFingerprintLocked(fp store.Fingerprint) error {
+	if fp.Seed != f.opts.Seed {
+		return fmt.Errorf("core: snapshot was built with seed %d, framework has %d", fp.Seed, f.opts.Seed)
+	}
+	if len(fp.Datasets) != len(f.order) {
+		return fmt.Errorf("core: snapshot covers %d data sets, framework has %d", len(fp.Datasets), len(f.order))
+	}
+	for i, name := range fp.Datasets {
+		if f.order[i] != name {
+			return fmt.Errorf("core: snapshot data set %d is %q, framework has %q", i, name, f.order[i])
+		}
+	}
+	if fp.MinTS != f.minTS || fp.MaxTS != f.maxTS {
+		return fmt.Errorf("core: snapshot corpus time range [%d,%d] does not match [%d,%d]",
+			fp.MinTS, fp.MaxTS, f.minTS, f.maxTS)
+	}
+	return nil
+}
+
+// Save atomically writes the framework's derived state to path as one
+// snapshot container: the index section always, and the graph section when
+// the relationship graph has been built. The corpus data itself is not
+// stored — Load requires the same data sets to be registered — so a
+// snapshot stays small: bit vectors, thresholds, and cached Monte Carlo
+// candidates. The write goes through a temp file and os.Rename, so a crash
+// mid-save can never corrupt a previous snapshot at path.
+func (f *Framework) Save(path string) error {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	idx, err := f.encodeIndexLocked()
+	if err != nil {
+		return err
+	}
+	m := store.Manifest{Fingerprint: f.fingerprintLocked()}
+	sections := []store.Section{{Name: store.SectionIndex, Data: idx}}
+	if f.relGraph.Load() != nil {
+		// The clause signature comes out of the same critical section that
+		// encoded the payload: a concurrent BuildGraph (which also runs
+		// under the shared lock) must not make the manifest describe a
+		// different clause than the section it accompanies.
+		g, sig, err := f.encodeGraphLocked()
+		if err != nil {
+			return err
+		}
+		sections = append(sections, store.Section{Name: store.SectionGraph, Data: g})
+		m.ClauseSig = sig
+	}
+	return store.Write(path, m, sections)
+}
+
+// Load restores a snapshot written by Save into this framework. The
+// framework must have the snapshot's corpus registered: the manifest
+// fingerprint (seed, data set names, corpus time range) is verified before
+// any section is decoded, and the store layer has already rejected
+// truncated, bit-flipped, or foreign containers with section-level errors.
+// After a successful Load the framework is indexed — and holds the
+// materialized relationship graph, when one was saved — without any
+// rebuild; a failed Load leaves the framework unchanged.
+//
+// Load takes the state lock exclusively, like BuildIndex.
+func (f *Framework) Load(path string) error {
+	m, sections, err := store.Read(path)
+	if err != nil {
+		return err
+	}
+	idx, ok := sections[store.SectionIndex]
+	if !ok {
+		return fmt.Errorf("core: snapshot %s has no index section", path)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.checkFingerprintLocked(m.Fingerprint); err != nil {
+		return err
+	}
+	// Validate the graph section (when present) before the index is
+	// applied: a snapshot that half-loads — indexed but graphless — would
+	// look warm-started to the caller while having silently dropped the
+	// expensive all-pairs candidate cache, and a subsequent re-save would
+	// persist that loss.
+	var graph *stagedGraph
+	if g, ok := sections[store.SectionGraph]; ok {
+		staged, err := f.parseGraphSnapshotLocked(bytes.NewReader(g))
+		if err != nil {
+			return err
+		}
+		graph = &staged
+	}
+	if err := f.decodeIndexLocked(bytes.NewReader(idx)); err != nil {
+		return err
+	}
+	if graph != nil {
+		// decodeIndexLocked replaced the index wholesale and dropped the
+		// graph; publish the already-validated saved one.
+		f.applyGraphSnapshotLocked(*graph)
+	}
+	return nil
+}
+
+// OpenOptions configures Open: the framework options plus the corpus
+// itself, which a snapshot deliberately does not store (Section 5.2: the
+// index persists precomputed features, not data).
+type OpenOptions struct {
+	Options
+	// Datasets is the corpus, in the same order it was registered when the
+	// snapshot was saved.
+	Datasets []*dataset.Dataset
+}
+
+// Open constructs a framework over the given corpus and restores the
+// snapshot at path — the warm-start path: registering data sets is cheap,
+// and the expensive index build (and graph build, when one was saved) is
+// replaced by a verified snapshot load.
+func Open(path string, opts OpenOptions) (*Framework, error) {
+	f, err := New(opts.Options)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range opts.Datasets {
+		if err := f.AddDataset(d); err != nil {
+			return nil, err
+		}
+	}
+	if err := f.Load(path); err != nil {
+		return nil, err
+	}
+	return f, nil
+}

@@ -22,6 +22,18 @@ func DefaultConfig(seed int64) Config {
 	return Config{Seed: seed, GridW: 96, GridH: 96, Neighborhoods: 280, ZipCodes: 300}
 }
 
+// GridConfig returns the canonical configuration for a seed-and-grid-sized
+// synthetic city. Every tool that shares a corpus (gendata, polygamy,
+// polygamyd) must build the city from the same configuration: snapshots
+// and CSV region IDs are only meaningful over the exact city they were
+// produced with, so the seed and grid side alone must determine it.
+func GridConfig(seed int64, grid int) Config {
+	return Config{
+		Seed: seed, GridW: grid, GridH: grid,
+		Neighborhoods: grid * 3, ZipCodes: grid * 3,
+	}
+}
+
 // City is an irregular, non-convex synthetic city: a masked grid of fine
 // cells grouped into contiguous neighborhood and zip-code regions. It
 // provides the region partitions and adjacency graphs that the domain-graph

@@ -1,0 +1,288 @@
+// Package store implements the snapshot container of the corpus lifecycle
+// layer: one versioned, checksummed file bundling a framework's index
+// snapshot, its relationship-graph snapshot (when built), and a manifest
+// describing what the file holds and which corpus it belongs to.
+//
+// # Container layout
+//
+//	offset 0   magic        [8]byte  "DPOLYSNP"
+//	offset 8   version      uint32   container format version (little-endian)
+//	offset 12  manifestLen  uint32   length of the gob-encoded manifest
+//	offset 16  manifest     gob      Manifest (fingerprint, clause signature,
+//	                                 per-section name/length/CRC table)
+//	...        sections     bytes    section payloads, concatenated in
+//	                                 manifest order
+//
+// The manifest is written before the payloads, so a reader can inspect
+// what a container holds — and reject a foreign or stale one — without
+// decoding any section. Every section carries a CRC-32C checksum; Read
+// verifies all of them, so truncation and bit rot are detected at the
+// section level rather than surfacing as a gob decode error deep inside
+// the framework.
+//
+// # Atomicity
+//
+// Write stages the container in a temporary file in the destination
+// directory, syncs it, and publishes it with os.Rename. A crash at any
+// point before the rename leaves the previous snapshot untouched; there is
+// no moment at which the destination path holds a partial container.
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Magic identifies a Data Polygamy snapshot container.
+var magic = [8]byte{'D', 'P', 'O', 'L', 'Y', 'S', 'N', 'P'}
+
+// FormatVersion is the container format version this package reads and
+// writes. Bump it when the header or manifest layout changes; section
+// payloads carry their own application-level versions.
+const FormatVersion = 1
+
+// Well-known section names.
+const (
+	SectionIndex = "index"
+	SectionGraph = "graph"
+)
+
+// maxManifestLen bounds the manifest a reader will buffer, so a corrupt
+// length field cannot demand an absurd allocation.
+const maxManifestLen = 64 << 20
+
+// Sentinel errors; every failure returned by Read wraps one of these, so
+// callers can distinguish "not ours" from "ours but damaged".
+var (
+	// ErrNotSnapshot marks a file that is not a snapshot container at all
+	// (wrong magic, or shorter than the fixed header).
+	ErrNotSnapshot = errors.New("not a polygamy snapshot container")
+	// ErrVersion marks a container written by an incompatible format
+	// version.
+	ErrVersion = errors.New("unsupported snapshot container version")
+	// ErrCorrupt marks a container with valid magic and version whose
+	// contents are damaged: truncated payloads, checksum mismatches, or an
+	// undecodable manifest.
+	ErrCorrupt = errors.New("corrupt snapshot container")
+)
+
+// Fingerprint identifies the corpus a snapshot was produced from. A
+// snapshot is only loadable into a framework whose fingerprint matches:
+// the index stores precomputed features over the corpus's shared
+// timelines, and the Monte Carlo seed pins every cached p-value.
+type Fingerprint struct {
+	// Seed is the framework's city / randomization seed.
+	Seed int64
+	// MinTS and MaxTS are the corpus time range (Unix seconds).
+	MinTS, MaxTS int64
+	// Datasets are the registered data set names in insertion order.
+	Datasets []string
+}
+
+// SectionInfo describes one section in the container.
+type SectionInfo struct {
+	Name   string
+	Length int64
+	CRC    uint32 // CRC-32C (Castagnoli) of the payload
+}
+
+// Manifest describes a container: which corpus it belongs to, what was
+// persisted, and how to verify it.
+type Manifest struct {
+	// FormatVersion echoes the container header version for convenience.
+	FormatVersion int
+	// Fingerprint identifies the corpus.
+	Fingerprint Fingerprint
+	// ClauseSig is the canonical clause signature the graph section's
+	// candidate cache was built under; empty when no graph section is
+	// present.
+	ClauseSig string
+	// Sections lists the payloads in file order.
+	Sections []SectionInfo
+}
+
+// Section is one named payload to persist.
+type Section struct {
+	Name string
+	Data []byte
+}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Write atomically writes a container holding the given sections to path:
+// the container is staged in a temporary file next to path and published
+// with os.Rename, so a crash mid-write can never corrupt an existing
+// snapshot at path. The manifest's section table is filled in by Write;
+// any caller-provided table is ignored.
+func Write(path string, m Manifest, sections []Section) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: staging snapshot: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = writeContainer(tmp, m, sections); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("store: syncing snapshot: %w", err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("store: closing snapshot: %w", err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("store: publishing snapshot: %w", err)
+	}
+	// Best effort: make the rename itself durable. Failure to sync the
+	// directory does not un-publish the snapshot, so it is not an error.
+	if d, derr := os.Open(dir); derr == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}
+
+// writeContainer serialises the container to w. Split from Write so tests
+// can stage a container without publishing it (simulating a crash before
+// the rename).
+func writeContainer(w io.Writer, m Manifest, sections []Section) error {
+	m.FormatVersion = FormatVersion
+	m.Sections = m.Sections[:0]
+	for _, s := range sections {
+		m.Sections = append(m.Sections, SectionInfo{
+			Name:   s.Name,
+			Length: int64(len(s.Data)),
+			CRC:    crc32.Checksum(s.Data, castagnoli),
+		})
+	}
+	var mbuf bytes.Buffer
+	if err := gob.NewEncoder(&mbuf).Encode(&m); err != nil {
+		return fmt.Errorf("store: encoding manifest: %w", err)
+	}
+	var header [16]byte
+	copy(header[:8], magic[:])
+	binary.LittleEndian.PutUint32(header[8:12], FormatVersion)
+	binary.LittleEndian.PutUint32(header[12:16], uint32(mbuf.Len()))
+	if _, err := w.Write(header[:]); err != nil {
+		return fmt.Errorf("store: writing header: %w", err)
+	}
+	if _, err := w.Write(mbuf.Bytes()); err != nil {
+		return fmt.Errorf("store: writing manifest: %w", err)
+	}
+	for _, s := range sections {
+		if _, err := w.Write(s.Data); err != nil {
+			return fmt.Errorf("store: writing section %q: %w", s.Name, err)
+		}
+	}
+	return nil
+}
+
+// Read opens and fully verifies the container at path: magic, format
+// version, manifest, and every section's length and checksum. It returns
+// the manifest and the section payloads by name. Foreign files, containers
+// from other format versions, and truncated or bit-flipped containers are
+// rejected with errors wrapping ErrNotSnapshot, ErrVersion, and ErrCorrupt
+// respectively — naming the damaged section where one can be identified.
+func Read(path string) (Manifest, map[string][]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Manifest{}, nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return Manifest{}, nil, err
+	}
+	m, err := readManifest(f, path)
+	if err != nil {
+		return Manifest{}, nil, err
+	}
+	// Section lengths come from the (unchecksummed) manifest: bound each
+	// one by the bytes actually present in the file before allocating, so
+	// a corrupt length field is an ErrCorrupt, not a huge allocation or a
+	// makeslice panic.
+	remaining := fi.Size()
+	sections := make(map[string][]byte, len(m.Sections))
+	for _, info := range m.Sections {
+		if info.Length < 0 {
+			return Manifest{}, nil, fmt.Errorf("store: %s: section %q has negative length %d: %w",
+				path, info.Name, info.Length, ErrCorrupt)
+		}
+		if info.Length > remaining {
+			return Manifest{}, nil, fmt.Errorf("store: %s: section %q claims %d bytes but the file has at most %d left: %w",
+				path, info.Name, info.Length, remaining, ErrCorrupt)
+		}
+		remaining -= info.Length
+		if _, dup := sections[info.Name]; dup {
+			return Manifest{}, nil, fmt.Errorf("store: %s: duplicate section %q: %w", path, info.Name, ErrCorrupt)
+		}
+		data := make([]byte, info.Length)
+		if _, err := io.ReadFull(f, data); err != nil {
+			return Manifest{}, nil, fmt.Errorf("store: %s: section %q truncated (want %d bytes): %w",
+				path, info.Name, info.Length, ErrCorrupt)
+		}
+		if crc := crc32.Checksum(data, castagnoli); crc != info.CRC {
+			return Manifest{}, nil, fmt.Errorf("store: %s: section %q checksum mismatch (%08x != %08x): %w",
+				path, info.Name, crc, info.CRC, ErrCorrupt)
+		}
+		sections[info.Name] = data
+	}
+	// Trailing bytes mean the manifest does not describe the file we read:
+	// treat it as damage, not as forward compatibility.
+	var one [1]byte
+	if n, _ := f.Read(one[:]); n != 0 {
+		return Manifest{}, nil, fmt.Errorf("store: %s: trailing bytes after last section: %w", path, ErrCorrupt)
+	}
+	return m, sections, nil
+}
+
+// ReadManifest reads and verifies only the container header and manifest —
+// enough to identify a snapshot's corpus and contents without buffering
+// any section payload.
+func ReadManifest(path string) (Manifest, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Manifest{}, err
+	}
+	defer f.Close()
+	return readManifest(f, path)
+}
+
+func readManifest(r io.Reader, path string) (Manifest, error) {
+	var header [16]byte
+	if _, err := io.ReadFull(r, header[:]); err != nil {
+		return Manifest{}, fmt.Errorf("store: %s: file shorter than the container header: %w", path, ErrNotSnapshot)
+	}
+	if !bytes.Equal(header[:8], magic[:]) {
+		return Manifest{}, fmt.Errorf("store: %s: bad magic %q: %w", path, header[:8], ErrNotSnapshot)
+	}
+	if v := binary.LittleEndian.Uint32(header[8:12]); v != FormatVersion {
+		return Manifest{}, fmt.Errorf("store: %s: container version %d, this build reads %d: %w",
+			path, v, FormatVersion, ErrVersion)
+	}
+	mlen := binary.LittleEndian.Uint32(header[12:16])
+	if mlen > maxManifestLen {
+		return Manifest{}, fmt.Errorf("store: %s: manifest length %d exceeds limit: %w", path, mlen, ErrCorrupt)
+	}
+	mbuf := make([]byte, mlen)
+	if _, err := io.ReadFull(r, mbuf); err != nil {
+		return Manifest{}, fmt.Errorf("store: %s: manifest truncated (want %d bytes): %w", path, mlen, ErrCorrupt)
+	}
+	var m Manifest
+	if err := gob.NewDecoder(bytes.NewReader(mbuf)).Decode(&m); err != nil {
+		return Manifest{}, fmt.Errorf("store: %s: decoding manifest: %v: %w", path, err, ErrCorrupt)
+	}
+	return m, nil
+}

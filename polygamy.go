@@ -35,12 +35,14 @@ import (
 	"github.com/urbandata/datapolygamy/internal/core"
 	"github.com/urbandata/datapolygamy/internal/dataset"
 	"github.com/urbandata/datapolygamy/internal/feature"
+	"github.com/urbandata/datapolygamy/internal/jobs"
 	"github.com/urbandata/datapolygamy/internal/montecarlo"
 	"github.com/urbandata/datapolygamy/internal/queryparse"
 	"github.com/urbandata/datapolygamy/internal/relgraph"
 	"github.com/urbandata/datapolygamy/internal/scalar"
 	"github.com/urbandata/datapolygamy/internal/spatial"
 	"github.com/urbandata/datapolygamy/internal/stats"
+	"github.com/urbandata/datapolygamy/internal/store"
 	"github.com/urbandata/datapolygamy/internal/temporal"
 )
 
@@ -52,6 +54,11 @@ import (
 // Identical concurrent queries are deduplicated: one evaluation runs and
 // the other callers wait for its result (QueryStats.Coalesced). See the
 // core.Framework documentation for the full concurrency contract.
+//
+// A framework's derived state persists as one snapshot container:
+// Framework.Save writes it atomically, Framework.Load / Open restore it
+// (warm start), and Framework.IngestDataset adds a data set to a live
+// framework without blocking readers behind the indexing pipeline.
 type Framework = core.Framework
 
 // Options configures a Framework.
@@ -261,3 +268,53 @@ const (
 	// first).
 	RankByQValue = relgraph.ByQValue
 )
+
+// OpenOptions configures Open: the framework options plus the corpus data
+// sets, which a snapshot deliberately does not store (the index persists
+// precomputed features, not data — Section 5.2).
+type OpenOptions = core.OpenOptions
+
+// Open constructs a framework over the given corpus and restores the
+// snapshot container at path — the warm-start path: registering data sets
+// is cheap, and the expensive index (and graph) build is replaced by a
+// verified snapshot load. Framework.Save writes such a container
+// atomically; Framework.Load restores one into an existing framework.
+func Open(path string, opts OpenOptions) (*Framework, error) { return core.Open(path, opts) }
+
+// SnapshotManifest describes a snapshot container without decoding its
+// payload sections: format version, corpus fingerprint, graph clause
+// signature, and the per-section checksum table.
+type SnapshotManifest = store.Manifest
+
+// SnapshotFingerprint identifies the corpus a snapshot was produced from
+// (seed, time range, data set names); a snapshot only loads into a
+// framework whose fingerprint matches.
+type SnapshotFingerprint = store.Fingerprint
+
+// ReadSnapshotManifest reads and verifies only a snapshot container's
+// header and manifest — enough to identify its corpus and contents
+// without loading any section.
+func ReadSnapshotManifest(path string) (SnapshotManifest, error) { return store.ReadManifest(path) }
+
+// Job is one background operation of the serving layer's job registry
+// (runtime ingestion, graph refreshes); see JobManager.
+type Job = jobs.Job
+
+// JobStatus is a job's lifecycle state.
+type JobStatus = jobs.Status
+
+// Job lifecycle states.
+const (
+	JobPending = jobs.Pending
+	JobRunning = jobs.Running
+	JobDone    = jobs.Done
+	JobFailed  = jobs.Failed
+)
+
+// JobManager runs and tracks background jobs; polygamyd uses one for
+// runtime data set ingestion, and embedders can reuse it for their own
+// long-running corpus operations.
+type JobManager = jobs.Manager
+
+// NewJobManager returns an empty job registry.
+func NewJobManager() *JobManager { return jobs.NewManager() }
