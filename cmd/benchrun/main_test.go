@@ -1,0 +1,110 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestPercentile(t *testing.T) {
+	s := []int64{50, 10, 40, 30, 20}
+	cases := []struct {
+		p    int
+		want int64
+	}{{50, 30}, {99, 50}, {100, 50}, {1, 10}}
+	for _, tc := range cases {
+		if got := percentile(s, tc.p); got != tc.want {
+			t.Errorf("percentile(%d) = %d, want %d", tc.p, got, tc.want)
+		}
+	}
+	if got := percentile(nil, 50); got != 0 {
+		t.Errorf("percentile of no samples = %d, want 0", got)
+	}
+}
+
+// TestBenchrunEndToEnd runs the full measurement on a deliberately tiny
+// corpus and checks the report is complete and the compare gate works in
+// both directions.
+func TestBenchrunEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full benchmark pass is too slow for -short")
+	}
+	c := config{months: 1, scale: 0.05, grid: 8, seed: 7, perms: 10, opens: 2, queries: 1, factor: 2}
+	rep, err := run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != "datapolygamy-benchrun/v1" {
+		t.Errorf("schema = %q", rep.Schema)
+	}
+	if rep.Corpus.Datasets == 0 || rep.Corpus.Funcs == 0 {
+		t.Errorf("corpus = %+v", rep.Corpus)
+	}
+	for name, v := range map[string]int64{
+		"index_build_ns":        rep.M.IndexBuildNS,
+		"graph_build_ns":        rep.M.GraphBuildNS,
+		"snapshot_save_ns":      rep.M.SnapshotSaveNS,
+		"snapshot_bytes":        rep.M.SnapshotBytes,
+		"cold_open_ns":          rep.M.ColdOpenNS,
+		"warm_open_ns":          rep.M.WarmOpenNS,
+		"query_uncached_p50_ns": rep.M.QueryUncachedP50NS,
+		"query_uncached_p99_ns": rep.M.QueryUncachedP99NS,
+	} {
+		if v <= 0 {
+			t.Errorf("metric %s = %d, want > 0", name, v)
+		}
+	}
+	if rep.M.WarmOpenAllocs <= 0 {
+		t.Error("warm_open_allocs missing")
+	}
+
+	// The report must round-trip and satisfy its own compare gate.
+	base := filepath.Join(t.TempDir(), "base.json")
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(base, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cc := c
+	cc.compare = base
+	if err := compareBaseline(cc, rep); err != nil {
+		t.Errorf("report fails its own baseline: %v", err)
+	}
+
+	// A baseline claiming a much faster warm open must trip the gate.
+	fast := rep
+	fast.M.WarmOpenNS = rep.M.WarmOpenNS / 100
+	blob, _ = json.Marshal(fast)
+	if err := os.WriteFile(base, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := compareBaseline(cc, rep); err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Errorf("gate did not trip: %v", err)
+	}
+}
+
+func TestCompareBaselineErrors(t *testing.T) {
+	cur := report{Schema: "datapolygamy-benchrun/v1"}
+	c := config{compare: filepath.Join(t.TempDir(), "absent.json"), factor: 2}
+	if err := compareBaseline(c, cur); err == nil {
+		t.Error("missing baseline accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"something-else"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c.compare = bad
+	if err := compareBaseline(c, cur); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("foreign schema accepted: %v", err)
+	}
+	if err := os.WriteFile(bad, []byte(`{"schema":"datapolygamy-benchrun/v1"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := compareBaseline(c, cur); err == nil || !strings.Contains(err.Error(), "warm-open") {
+		t.Errorf("empty baseline accepted: %v", err)
+	}
+}

@@ -8,6 +8,7 @@
 //	polygamy -data dir/ -json -min-score 0.6            # machine-readable results
 //	polygamy -data dir/ -graph -graph-format dot        # Graphviz graph export
 //	polygamy -data dir/ -graph -graph-format json       # JSON graph export
+//	polygamy inspect corpus.snap                        # describe a snapshot container
 //
 // Each file in the data directory must be a data set in the CSV format of
 // internal/dataset (WriteCSV). The tool builds the merge-tree index over
@@ -64,6 +65,16 @@ type cliOptions struct {
 }
 
 func main() {
+	// Subcommands dispatch before the flag-based query interface; today
+	// the only one is `inspect`, which examines a snapshot container
+	// without loading a corpus.
+	if len(os.Args) > 1 && os.Args[1] == "inspect" {
+		if err := runInspect(os.Args[2:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "polygamy:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var o cliOptions
 	flag.StringVar(&o.dataDir, "data", "", "directory of data set CSV files (required)")
 	flag.StringVar(&o.queryStr, "query", "", `textual query, e.g. "find relationships between taxi and all where score >= 0.6 at (hour, city)" (overrides the flag-based clause)`)

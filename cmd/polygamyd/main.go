@@ -134,8 +134,15 @@ func prepareFramework(fw *core.Framework, snapshot string, graph bool) (bool, er
 			} else {
 				warm = true
 				_, hasGraph := fw.RelGraph()
-				log.Printf("polygamyd: warm start: loaded %d functions (graph: %t) from %s in %v — no rebuild",
-					fw.NumFunctions(), hasGraph, snapshot, time.Since(t0).Round(time.Millisecond))
+				mode := "gob decode"
+				if format, zeroCopy, ok := fw.LoadedSnapshot(); ok && format == 4 {
+					mode = "flat, copied"
+					if zeroCopy {
+						mode = "flat, zero-copy mmap"
+					}
+				}
+				log.Printf("polygamyd: warm start: loaded %d functions (graph: %t) from %s in %v (%s) — no rebuild",
+					fw.NumFunctions(), hasGraph, snapshot, time.Since(t0).Round(time.Millisecond), mode)
 			}
 		}
 	}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math/bits"
 	"strings"
+	"unsafe"
 )
 
 const wordBits = 64
@@ -21,6 +22,10 @@ const wordBits = 64
 type Vector struct {
 	words []uint64
 	n     int
+	// ro marks a zero-copy view (FromBytes) whose words alias caller-owned
+	// storage — typically a read-only mmap region. Mutating methods panic
+	// on such a vector instead of faulting on the mapping.
+	ro bool
 }
 
 // New returns a vector of n bits, all zero.
@@ -37,12 +42,14 @@ func (v *Vector) Len() int { return v.n }
 // Set sets bit i to 1.
 func (v *Vector) Set(i int) {
 	v.check(i)
+	v.checkWritable()
 	v.words[i/wordBits] |= 1 << uint(i%wordBits)
 }
 
 // Clear sets bit i to 0.
 func (v *Vector) Clear(i int) {
 	v.check(i)
+	v.checkWritable()
 	v.words[i/wordBits] &^= 1 << uint(i%wordBits)
 }
 
@@ -55,6 +62,12 @@ func (v *Vector) Get(i int) bool {
 func (v *Vector) check(i int) {
 	if i < 0 || i >= v.n {
 		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", i, v.n))
+	}
+}
+
+func (v *Vector) checkWritable() {
+	if v.ro {
+		panic("bitvec: write to a read-only view (FromBytes)")
 	}
 }
 
@@ -174,6 +187,7 @@ func (v *Vector) Any() bool {
 
 // Reset clears all bits in place.
 func (v *Vector) Reset() {
+	v.checkWritable()
 	for i := range v.words {
 		v.words[i] = 0
 	}
@@ -221,3 +235,82 @@ func (v *Vector) GobEncode() ([]byte, error) { return v.MarshalBinary() }
 
 // GobDecode implements gob.GobDecoder via UnmarshalBinary.
 func (v *Vector) GobDecode(data []byte) error { return v.UnmarshalBinary(data) }
+
+// NumWords returns the number of 64-bit storage words backing n bits.
+func NumWords(n int) int { return (n + wordBits - 1) / wordBits }
+
+// WordBytes returns the byte length of the vector's word storage.
+func (v *Vector) WordBytes() int { return 8 * len(v.words) }
+
+// AppendWords appends the vector's words to dst in little-endian order —
+// the flat snapshot encoding FromBytes maps back without a copy. Unlike
+// MarshalBinary, no length header is written; the caller records v.Len()
+// alongside the slab.
+func (v *Vector) AppendWords(dst []byte) []byte {
+	for _, w := range v.words {
+		dst = binary.LittleEndian.AppendUint64(dst, w)
+	}
+	return dst
+}
+
+// hostLittleEndian reports whether uint64 words in memory use the same
+// byte order as the flat snapshot encoding (little-endian). On the rare
+// big-endian host FromBytes falls back to copying.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// FromBytes builds a read-only n-bit vector over data, the little-endian
+// word slab written by AppendWords. When data is 8-byte aligned on a
+// little-endian host the returned vector aliases data directly — zero
+// copy, so a memory-mapped snapshot section is queried in place and its
+// pages are shared between processes; otherwise the words are copied.
+//
+// data must be exactly NumWords(n)*8 bytes and any bits beyond n in the
+// last word must be zero (every Vector maintains that invariant, so a
+// violation means the slab is corrupt). The caller must keep data alive —
+// and unchanged — for as long as the vector is in use. Mutating methods
+// (Set, Clear, Reset) panic on the returned view.
+func FromBytes(n int, data []byte) (*Vector, error) {
+	v := new(Vector)
+	if err := ViewBytes(v, n, data); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// ViewBytes is FromBytes into a caller-allocated Vector, so a decoder
+// viewing thousands of slabs can batch the Vector headers in one slice
+// instead of allocating each individually. On error dst is left zeroed.
+func ViewBytes(dst *Vector, n int, data []byte) error {
+	*dst = Vector{}
+	if n < 0 {
+		return fmt.Errorf("bitvec: negative length %d", n)
+	}
+	words := NumWords(n)
+	if len(data) != 8*words {
+		return fmt.Errorf("bitvec: %d bytes for %d bits, want %d", len(data), n, 8*words)
+	}
+	v := Vector{n: n, ro: true}
+	if words == 0 {
+		*dst = v
+		return nil
+	}
+	if hostLittleEndian && uintptr(unsafe.Pointer(&data[0]))%8 == 0 {
+		v.words = unsafe.Slice((*uint64)(unsafe.Pointer(&data[0])), words)
+	} else {
+		v.words = make([]uint64, words)
+		v.ro = false
+		for i := range v.words {
+			v.words[i] = binary.LittleEndian.Uint64(data[8*i:])
+		}
+	}
+	if tail := uint(n % wordBits); tail != 0 {
+		if v.words[words-1]>>tail != 0 {
+			return fmt.Errorf("bitvec: set bits beyond length %d", n)
+		}
+	}
+	*dst = v
+	return nil
+}

@@ -245,3 +245,116 @@ func BenchmarkAndCount(b *testing.B) {
 		_ = x.AndCount(y)
 	}
 }
+
+// ---- flat snapshot views (FromBytes / AppendWords) ----
+
+func TestAppendWordsFromBytesRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 1000} {
+		v := New(n)
+		for i := 0; i < n; i += 7 {
+			v.Set(i)
+		}
+		slab := v.AppendWords(make([]byte, 0, v.WordBytes()))
+		if len(slab) != 8*NumWords(n) {
+			t.Fatalf("n=%d: slab is %d bytes, want %d", n, len(slab), 8*NumWords(n))
+		}
+		got, err := FromBytes(n, slab)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !got.Equal(v) {
+			t.Errorf("n=%d: view differs from original", n)
+		}
+		if got.Count() != v.Count() {
+			t.Errorf("n=%d: Count %d, want %d", n, got.Count(), v.Count())
+		}
+	}
+}
+
+func TestFromBytesZeroCopyAliases(t *testing.T) {
+	v := New(128)
+	v.Set(3)
+	slab := v.AppendWords(nil) // make/append yields 8-aligned storage
+	view, err := FromBytes(128, slab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Get(64) {
+		t.Fatal("bit 64 unexpectedly set")
+	}
+	// Flip a bit in the backing slab: a zero-copy view must observe it.
+	slab[8] |= 1
+	if !view.Get(64) {
+		t.Skip("view copied (unaligned buffer or big-endian host); aliasing not applicable")
+	}
+}
+
+func TestFromBytesUnalignedCopies(t *testing.T) {
+	v := New(64)
+	v.Set(0)
+	buf := make([]byte, 16)
+	copy(buf[1:], v.AppendWords(nil))
+	view, err := FromBytes(64, buf[1:9])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !view.Get(0) || view.Count() != 1 {
+		t.Errorf("unaligned view decoded wrong: %v", view)
+	}
+}
+
+func TestFromBytesRejectsBadInput(t *testing.T) {
+	if _, err := FromBytes(-1, nil); err == nil {
+		t.Error("negative length accepted")
+	}
+	if _, err := FromBytes(64, make([]byte, 7)); err == nil {
+		t.Error("short slab accepted")
+	}
+	if _, err := FromBytes(64, make([]byte, 16)); err == nil {
+		t.Error("long slab accepted")
+	}
+	// Set bits beyond n mean the slab cannot have come from AppendWords.
+	slab := make([]byte, 8)
+	slab[7] = 0x80 // bit 63
+	if _, err := FromBytes(60, slab); err == nil {
+		t.Error("tail bits beyond length accepted")
+	}
+}
+
+func TestFromBytesViewIsReadOnly(t *testing.T) {
+	v := New(64)
+	v.Set(1)
+	view, err := FromBytes(64, v.AppendWords(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !view.ro {
+		t.Skip("view copied; writability is then acceptable")
+	}
+	for name, fn := range map[string]func(){
+		"Set":   func() { view.Set(2) },
+		"Clear": func() { view.Clear(1) },
+		"Reset": func() { view.Reset() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on a read-only view did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+	// Read-side operations (including allocating ops) still work.
+	if view.Count() != 1 || !view.Get(1) {
+		t.Error("read ops broken on read-only view")
+	}
+	if view.Or(New(64)).Count() != 1 {
+		t.Error("Or on read-only view broken")
+	}
+	if c := view.Clone(); !c.Equal(view) {
+		t.Error("Clone on read-only view broken")
+	} else {
+		c.Set(5) // clones are writable
+	}
+}

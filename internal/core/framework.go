@@ -39,6 +39,7 @@ import (
 	"github.com/urbandata/datapolygamy/internal/scalar"
 	"github.com/urbandata/datapolygamy/internal/spatial"
 	"github.com/urbandata/datapolygamy/internal/stgraph"
+	"github.com/urbandata/datapolygamy/internal/store"
 	"github.com/urbandata/datapolygamy/internal/temporal"
 )
 
@@ -168,6 +169,16 @@ type Framework struct {
 	cacheMu  sync.Mutex
 	cache    map[string]*cachedResult
 	inflight map[string]*inflightQuery
+
+	// mappings are the snapshot memory mappings adopted by Load: flat (v4)
+	// sections are viewed zero-copy, so the mapped file must outlive every
+	// reachable bit vector, string, and edge. They are released only by
+	// Close — not on re-Load, since lock-free readers may still hold state
+	// aliasing an older mapping. snapFormat / snapZeroCopy record how the
+	// last Load sourced its sections (see LoadedSnapshot).
+	mappings     []*store.Mapped
+	snapFormat   int
+	snapZeroCopy bool
 }
 
 // New creates a framework over the given city.

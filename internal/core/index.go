@@ -76,6 +76,27 @@ func (e *FunctionEntry) finalize() {
 	}
 }
 
+// finalizeWithUnions is finalize for entries whose feature unions were
+// persisted alongside the sets (flat snapshots): the unions are installed
+// as-is — typically zero-copy views into a snapshot mapping — and only the
+// occupancy popcounts are recomputed. Callers are responsible for the
+// unions actually being Positive ∪ Negative of the matching set; the
+// snapshot CRC guards them in transit.
+func (e *FunctionEntry) finalizeWithUnions(salientAll, extremeAll *bitvec.Vector) {
+	e.salientAll = salientAll
+	e.extremeAll = extremeAll
+	e.SalientOcc = Occupancy{
+		Pos: e.Salient.Positive.Count(),
+		Neg: e.Salient.Negative.Count(),
+		All: e.salientAll.Count(),
+	}
+	e.ExtremeOcc = Occupancy{
+		Pos: e.Extreme.Positive.Count(),
+		Neg: e.Extreme.Negative.Count(),
+		All: e.extremeAll.Count(),
+	}
+}
+
 // set returns the feature set of the given class.
 func (e *FunctionEntry) set(c feature.Class) *feature.Set {
 	if c == feature.Salient {

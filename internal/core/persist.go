@@ -5,7 +5,6 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
-	"sort"
 
 	"github.com/urbandata/datapolygamy/internal/bitvec"
 	"github.com/urbandata/datapolygamy/internal/feature"
@@ -35,8 +34,8 @@ func decodeFeatureSet(fs featureSnapshot) (*feature.Set, error) {
 // featureThresholds converts a snapshot back to feature.Thresholds.
 func featureThresholds(t thresholdsSnapshot) feature.Thresholds {
 	return feature.Thresholds{
-		PosBySeason: t.PosBySeason,
-		NegBySeason: t.NegBySeason,
+		PosBySeason: feature.SeasonThresholdsFromMap(t.PosBySeason),
+		NegBySeason: feature.SeasonThresholdsFromMap(t.NegBySeason),
 		ExtremePos:  t.ExtremePos,
 		ExtremeNeg:  t.ExtremeNeg,
 	}
@@ -109,53 +108,38 @@ func (f *Framework) encodeIndexLocked() ([]byte, error) {
 		MaxTS:   f.maxTS,
 		Order:   f.order,
 	}
-	for _, name := range f.order {
-		for _, byRes := range []map[Resolution][]*FunctionEntry{f.index.entries[name]} {
-			for _, es := range byRes {
-				for _, e := range es {
-					se := entrySnapshot{
-						Key:      e.Key,
-						Dataset:  e.Dataset,
-						SpecName: e.SpecName,
-						SRes:     e.Res.Spatial,
-						TRes:     e.Res.Temporal,
-						Thresholds: thresholdsSnapshot{
-							PosBySeason: e.Thresholds.PosBySeason,
-							NegBySeason: e.Thresholds.NegBySeason,
-							ExtremePos:  e.Thresholds.ExtremePos,
-							ExtremeNeg:  e.Thresholds.ExtremeNeg,
-						},
-						NumVertices:    e.NumVertices,
-						NumEdges:       e.NumEdges,
-						CriticalPoints: e.CriticalPoints,
-					}
-					var err error
-					if se.Salient.Positive, err = e.Salient.Positive.MarshalBinary(); err != nil {
-						return nil, err
-					}
-					if se.Salient.Negative, err = e.Salient.Negative.MarshalBinary(); err != nil {
-						return nil, err
-					}
-					if se.Extreme.Positive, err = e.Extreme.Positive.MarshalBinary(); err != nil {
-						return nil, err
-					}
-					if se.Extreme.Negative, err = e.Extreme.Negative.MarshalBinary(); err != nil {
-						return nil, err
-					}
-					snap.Entries = append(snap.Entries, se)
-				}
-			}
+	for _, e := range f.collectEntriesLocked() {
+		se := entrySnapshot{
+			Key:      e.Key,
+			Dataset:  e.Dataset,
+			SpecName: e.SpecName,
+			SRes:     e.Res.Spatial,
+			TRes:     e.Res.Temporal,
+			Thresholds: thresholdsSnapshot{
+				PosBySeason: e.Thresholds.PosBySeason.SeasonMap(),
+				NegBySeason: e.Thresholds.NegBySeason.SeasonMap(),
+				ExtremePos:  e.Thresholds.ExtremePos,
+				ExtremeNeg:  e.Thresholds.ExtremeNeg,
+			},
+			NumVertices:    e.NumVertices,
+			NumEdges:       e.NumEdges,
+			CriticalPoints: e.CriticalPoints,
 		}
+		var err error
+		if se.Salient.Positive, err = e.Salient.Positive.MarshalBinary(); err != nil {
+			return nil, err
+		}
+		if se.Salient.Negative, err = e.Salient.Negative.MarshalBinary(); err != nil {
+			return nil, err
+		}
+		if se.Extreme.Positive, err = e.Extreme.Positive.MarshalBinary(); err != nil {
+			return nil, err
+		}
+		if se.Extreme.Negative, err = e.Extreme.Negative.MarshalBinary(); err != nil {
+			return nil, err
+		}
+		snap.Entries = append(snap.Entries, se)
 	}
-	// The per-resolution map above iterates in nondeterministic order;
-	// canonicalise so identical state always snapshots the same entry
-	// sequence (keys embed the resolution, so they are unique per entry).
-	sort.Slice(snap.Entries, func(i, j int) bool {
-		if snap.Entries[i].Dataset != snap.Entries[j].Dataset {
-			return snap.Entries[i].Dataset < snap.Entries[j].Dataset
-		}
-		return snap.Entries[i].Key < snap.Entries[j].Key
-	})
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(&snap); err != nil {
 		return nil, err
@@ -184,50 +168,61 @@ func (f *Framework) decodeIndexLocked(r io.Reader) error {
 	if snap.Version != snapshotVersion {
 		return fmt.Errorf("core: index version %d, want %d", snap.Version, snapshotVersion)
 	}
-	if len(snap.Order) != len(f.order) {
-		return fmt.Errorf("core: index has %d data sets, framework has %d", len(snap.Order), len(f.order))
-	}
-	for i, name := range snap.Order {
-		if f.order[i] != name {
-			return fmt.Errorf("core: index data set %d is %q, framework has %q", i, name, f.order[i])
-		}
-	}
-	if snap.MinTS != f.minTS || snap.MaxTS != f.maxTS {
-		return fmt.Errorf("core: index time range [%d,%d] does not match corpus [%d,%d]",
-			snap.MinTS, snap.MaxTS, f.minTS, f.maxTS)
-	}
-	ix := newIndex()
+	entries := make([]*FunctionEntry, 0, len(snap.Entries))
 	for _, se := range snap.Entries {
-		res := Resolution{Spatial: se.SRes, Temporal: se.TRes}
-		g, err := f.graph(res)
-		if err != nil {
-			return err
-		}
 		e := &FunctionEntry{
 			Key:            se.Key,
 			Dataset:        se.Dataset,
 			SpecName:       se.SpecName,
-			Res:            res,
+			Res:            Resolution{Spatial: se.SRes, Temporal: se.TRes},
 			Thresholds:     featureThresholds(se.Thresholds),
 			NumVertices:    se.NumVertices,
 			NumEdges:       se.NumEdges,
 			CriticalPoints: se.CriticalPoints,
 		}
+		var err error
 		if e.Salient, err = decodeFeatureSet(se.Salient); err != nil {
 			return err
 		}
 		if e.Extreme, err = decodeFeatureSet(se.Extreme); err != nil {
 			return err
 		}
+		// Occupancy summaries and unions are derived, not stored: recompute.
+		e.finalize()
+		entries = append(entries, e)
+	}
+	return f.installIndexLocked(snap.MinTS, snap.MaxTS, snap.Order, entries)
+}
+
+// installIndexLocked validates a decoded index (gob or flat) against the
+// registered corpus and installs it, dropping the derived graph and query
+// cache. The caller must hold the state lock exclusively.
+func (f *Framework) installIndexLocked(minTS, maxTS int64, order []string, entries []*FunctionEntry) error {
+	if len(order) != len(f.order) {
+		return fmt.Errorf("core: index has %d data sets, framework has %d", len(order), len(f.order))
+	}
+	for i, name := range order {
+		if f.order[i] != name {
+			return fmt.Errorf("core: index data set %d is %q, framework has %q", i, name, f.order[i])
+		}
+	}
+	if minTS != f.minTS || maxTS != f.maxTS {
+		return fmt.Errorf("core: index time range [%d,%d] does not match corpus [%d,%d]",
+			minTS, maxTS, f.minTS, f.maxTS)
+	}
+	ix := newIndex()
+	for _, e := range entries {
+		g, err := f.graph(e.Res)
+		if err != nil {
+			return err
+		}
 		if e.Salient.NumVertices() != g.NumVertices() {
 			return fmt.Errorf("core: entry %s has %d vertices, graph has %d",
 				e.Key, e.Salient.NumVertices(), g.NumVertices())
 		}
-		// Occupancy summaries and unions are derived, not stored: recompute.
-		e.finalize()
 		ix.add(e)
 	}
-	for _, name := range snap.Order {
+	for _, name := range order {
 		ix.sort(name)
 		ix.markDone(name)
 	}

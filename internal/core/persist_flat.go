@@ -1,0 +1,442 @@
+package core
+
+// Flat section codecs — snapshot format v4. The gob codecs in persist.go
+// and relgraph.go decode every bit vector and edge into fresh heap
+// objects; at paper scale (hundreds of data sets) that is seconds of warm
+// start and a duplicated heap per process. The flat layout below writes
+// the same state as length-prefixed little-endian slabs with 8-byte
+// alignment, so a memory-mapped snapshot is *viewed* instead of decoded:
+// feature bit vectors alias the mapping (bitvec.FromBytes), strings alias
+// the mapping (store.SlabReader.String), and replicas on one host share
+// the page cache. Load sniffs each section payload's magic and falls back
+// to the gob codecs for v3-generation snapshots, so old containers keep
+// loading.
+//
+// Parsing is split from installation: parseFlatIndex / parseFlatGraph are
+// pure functions over a byte slice (fuzzed in persist_flat_test.go) whose
+// failures all wrap store.ErrCorrupt, and the framework-aware install
+// step reuses the same validation the gob path runs.
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"github.com/urbandata/datapolygamy/internal/bitvec"
+	"github.com/urbandata/datapolygamy/internal/feature"
+	"github.com/urbandata/datapolygamy/internal/montecarlo"
+	"github.com/urbandata/datapolygamy/internal/relgraph"
+	"github.com/urbandata/datapolygamy/internal/spatial"
+	"github.com/urbandata/datapolygamy/internal/stats"
+	"github.com/urbandata/datapolygamy/internal/store"
+	"github.com/urbandata/datapolygamy/internal/temporal"
+)
+
+// flatSnapshotVersion is the snapshot generation of the flat section
+// encoding. Generations 1–3 were gob (see snapshotVersion and
+// graphSnapshotVersion); 4 is the first flat, mmap-friendly one.
+const flatSnapshotVersion = 4
+
+// Section payload magics; Load sniffs these to pick the codec. The final
+// byte is the generation, so a future v5 layout is "not flat v4" rather
+// than a misparse.
+var (
+	flatIndexMagic = []byte("DPIXFLT\x04")
+	flatGraphMagic = []byte("DPGRFLT\x04")
+)
+
+// nilSlice is the length sentinel distinguishing a nil clause slice
+// (meaning "all") from an empty one.
+const nilSlice = ^uint64(0)
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("core: "+format+": %w", append(args, store.ErrCorrupt)...)
+}
+
+// ---- index section ----
+
+// collectEntriesLocked returns every index entry in the canonical snapshot
+// order (data set, then key). The caller must hold the state lock.
+func (f *Framework) collectEntriesLocked() []*FunctionEntry {
+	var out []*FunctionEntry
+	for _, name := range f.order {
+		for _, es := range f.index.entries[name] {
+			out = append(out, es...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dataset != out[j].Dataset {
+			return out[i].Dataset < out[j].Dataset
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// encodeFlatIndexLocked serialises the built index as a flat v4 section.
+// The caller must hold the state lock (shared or exclusive).
+func (f *Framework) encodeFlatIndexLocked() ([]byte, error) {
+	if !f.indexedLocked() {
+		return nil, fmt.Errorf("core: Save requires a built index")
+	}
+	entries := f.collectEntriesLocked()
+	est := 256
+	for _, e := range entries {
+		est += 256 + len(e.Key) + len(e.Dataset) + len(e.SpecName) +
+			6*(8+e.Salient.Positive.WordBytes())
+	}
+	w := store.NewSlabWriter(est)
+	w.Raw(flatIndexMagic)
+	w.U64(flatSnapshotVersion)
+	w.I64(f.minTS)
+	w.I64(f.maxTS)
+	w.U64(uint64(len(f.order)))
+	for _, name := range f.order {
+		w.String(name)
+	}
+	w.U64(uint64(len(entries)))
+	for _, e := range entries {
+		w.String(e.Key)
+		w.String(e.Dataset)
+		w.String(e.SpecName)
+		w.I64(int64(e.Res.Spatial))
+		w.I64(int64(e.Res.Temporal))
+		writeFlatThresholds(w, e.Thresholds)
+		w.I64(int64(e.NumVertices))
+		w.I64(int64(e.NumEdges))
+		w.I64(int64(e.CriticalPoints))
+		// The derived unions are persisted too: reloading them as views
+		// keeps the whole feature working set inside the shared mapping
+		// (occupancy summaries are recomputed by popcount at load).
+		for _, v := range []*bitvec.Vector{
+			e.Salient.Positive, e.Salient.Negative,
+			e.Extreme.Positive, e.Extreme.Negative,
+			e.union(feature.Salient), e.union(feature.Extreme),
+		} {
+			writeFlatVector(w, v)
+		}
+	}
+	return w.Finish(), nil
+}
+
+func writeFlatVector(w *store.SlabWriter, v *bitvec.Vector) {
+	w.U64(uint64(v.Len()))
+	w.AppendFunc(v.AppendWords)
+}
+
+// readFlatVector builds a zero-copy view of one bit-vector slab into the
+// caller-allocated dst (batched by parseFlatIndex).
+func readFlatVector(r *store.SlabReader, dst *bitvec.Vector) error {
+	n := r.Int()
+	b := r.Raw(8 * bitvec.NumWords(n))
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if err := bitvec.ViewBytes(dst, n, b); err != nil {
+		return corruptf("%v", err)
+	}
+	return nil
+}
+
+func writeFlatThresholds(w *store.SlabWriter, t feature.Thresholds) {
+	w.F64(t.ExtremePos)
+	w.F64(t.ExtremeNeg)
+	for _, s := range []feature.SeasonThresholds{t.PosBySeason, t.NegBySeason} {
+		w.U64(uint64(len(s)))
+		for _, st := range s {
+			w.I64(int64(st.Season))
+			w.F64(st.Theta)
+		}
+	}
+}
+
+// readFlatThresholds appends both season lists to the shared arena and
+// hands back capped subslices, so one backing array serves every entry in
+// the section instead of two allocations per entry.
+func readFlatThresholds(r *store.SlabReader, arena *[]feature.SeasonTheta) feature.Thresholds {
+	t := feature.Thresholds{ExtremePos: r.F64(), ExtremeNeg: r.F64()}
+	for _, dst := range []*feature.SeasonThresholds{&t.PosBySeason, &t.NegBySeason} {
+		n := r.Count(16)
+		start := len(*arena)
+		for i := 0; i < n && r.Err() == nil; i++ {
+			season := int(r.I64())
+			*arena = append(*arena, feature.SeasonTheta{Season: season, Theta: r.F64()})
+		}
+		*dst = feature.SeasonThresholds((*arena)[start:len(*arena):len(*arena)])
+	}
+	return t
+}
+
+// flatIndexSnap is a parsed flat index section: the snapshot's identity
+// plus fully built entries whose bit vectors view the payload in place.
+type flatIndexSnap struct {
+	minTS, maxTS int64
+	order        []string
+	entries      []*FunctionEntry
+}
+
+// parseFlatIndex decodes a flat index payload with no framework access and
+// no heap copies of the bit-vector slabs. Every failure — truncation, bad
+// counts, tail bits beyond a vector's length, mismatched vector lengths —
+// wraps store.ErrCorrupt.
+func parseFlatIndex(data []byte) (flatIndexSnap, error) {
+	var snap flatIndexSnap
+	if !bytes.HasPrefix(data, flatIndexMagic) {
+		return snap, corruptf("index section is not flat v4")
+	}
+	r := store.NewSlabReader(data)
+	r.Raw(len(flatIndexMagic))
+	if v := r.U64(); r.Err() == nil && v != flatSnapshotVersion {
+		return snap, corruptf("flat index version %d, want %d", v, flatSnapshotVersion)
+	}
+	snap.minTS = r.I64()
+	snap.maxTS = r.I64()
+	nOrder := r.Count(8)
+	snap.order = make([]string, 0, nOrder)
+	for i := 0; i < nOrder && r.Err() == nil; i++ {
+		snap.order = append(snap.order, r.String())
+	}
+	nEntries := r.Count(64)
+	// Entry, vector, and feature-set headers are batched into three slabs
+	// — warm open allocates O(1) headers instead of O(entries). The counts
+	// are bounded by Count, and the loop never outgrows the slabs, so the
+	// pointers taken below stay valid.
+	entryBuf := make([]FunctionEntry, nEntries)
+	vecBuf := make([]bitvec.Vector, 6*nEntries)
+	setBuf := make([]feature.Set, 2*nEntries)
+	// Season thresholds share one arena: most entries carry a couple of
+	// seasons per sign, so this usually grows a handful of times in total.
+	seasonArena := make([]feature.SeasonTheta, 0, 2*nEntries)
+	snap.entries = make([]*FunctionEntry, 0, nEntries)
+	for i := 0; i < nEntries && r.Err() == nil; i++ {
+		e := &entryBuf[i]
+		e.Key = r.String()
+		e.Dataset = r.String()
+		e.SpecName = r.String()
+		e.Res = Resolution{
+			Spatial:  spatial.Resolution(r.I64()),
+			Temporal: temporal.Resolution(r.I64()),
+		}
+		e.Thresholds = readFlatThresholds(r, &seasonArena)
+		e.NumVertices = int(r.I64())
+		e.NumEdges = int(r.I64())
+		e.CriticalPoints = int(r.I64())
+		vs := vecBuf[6*i : 6*i+6]
+		for j := range vs {
+			if err := readFlatVector(r, &vs[j]); err != nil {
+				return snap, err
+			}
+			if j > 0 && vs[j].Len() != vs[0].Len() {
+				return snap, corruptf("entry %s: vector %d has %d bits, want %d", e.Key, j, vs[j].Len(), vs[0].Len())
+			}
+		}
+		e.Salient = &setBuf[2*i]
+		e.Extreme = &setBuf[2*i+1]
+		*e.Salient = feature.Set{Positive: &vs[0], Negative: &vs[1]}
+		*e.Extreme = feature.Set{Positive: &vs[2], Negative: &vs[3]}
+		e.finalizeWithUnions(&vs[4], &vs[5])
+		snap.entries = append(snap.entries, e)
+	}
+	if err := r.Done(); err != nil {
+		return snap, err
+	}
+	return snap, nil
+}
+
+// decodeFlatIndexLocked parses a flat index payload and installs it, with
+// the same corpus validation as the gob path. The caller must hold the
+// state lock exclusively and keep the payload's backing storage alive for
+// the life of the index (Load adopts the snapshot mapping for that).
+func (f *Framework) decodeFlatIndexLocked(data []byte) error {
+	snap, err := parseFlatIndex(data)
+	if err != nil {
+		return err
+	}
+	return f.installIndexLocked(snap.minTS, snap.maxTS, snap.order, snap.entries)
+}
+
+// ---- graph section ----
+
+// encodeFlatGraphLocked serialises the materialized graph (candidate
+// cache, clause signature, selection rule, originating clause) as a flat
+// v4 section, returning the clause signature captured in the same critical
+// section as the payload. The caller must hold the state lock (shared or
+// exclusive); the builder mutex is taken here, like encodeGraphLocked.
+func (f *Framework) encodeFlatGraphLocked() ([]byte, string, error) {
+	f.graphMu.Lock()
+	defer f.graphMu.Unlock()
+	if f.relGraph.Load() == nil {
+		return nil, "", fmt.Errorf("core: Save requires a built graph (run BuildGraph)")
+	}
+	w := store.NewSlabWriter(4096)
+	w.Raw(flatGraphMagic)
+	w.U64(flatSnapshotVersion)
+	w.String(f.graphSig)
+	w.I64(f.opts.Seed)
+	w.I64(f.minTS)
+	w.I64(f.maxTS)
+	w.F64(f.graphSel.alpha)
+	w.I64(int64(f.graphSel.correction))
+	w.F64(f.graphSel.maxQ)
+	w.U64(b2u(f.graphSel.skip))
+	writeFlatClause(w, f.graphClause)
+	keys := make([]graphPair, 0, len(f.graphCands))
+	for key := range f.graphCands {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].A != keys[j].A {
+			return keys[i].A < keys[j].A
+		}
+		return keys[i].B < keys[j].B
+	})
+	w.U64(uint64(len(keys)))
+	for _, key := range keys {
+		w.String(key.A)
+		w.String(key.B)
+		cands := f.graphCands[key]
+		w.U64(uint64(len(cands)))
+		for _, e := range cands {
+			relgraph.AppendFlatEdge(w, e)
+		}
+	}
+	return w.Finish(), f.graphSig, nil
+}
+
+// parseFlatGraph decodes a flat graph payload with no framework access,
+// returning the same snapshot value the gob codec produces so both paths
+// share one validation step.
+func parseFlatGraph(data []byte) (frameworkGraphSnapshot, error) {
+	var snap frameworkGraphSnapshot
+	if !bytes.HasPrefix(data, flatGraphMagic) {
+		return snap, corruptf("graph section is not flat v4")
+	}
+	r := store.NewSlabReader(data)
+	r.Raw(len(flatGraphMagic))
+	if v := r.U64(); r.Err() == nil && v != flatSnapshotVersion {
+		return snap, corruptf("flat graph version %d, want %d", v, flatSnapshotVersion)
+	}
+	snap.Version = graphSnapshotVersion // normalized for the shared validation
+	snap.Sig = r.String()
+	snap.Seed = r.I64()
+	snap.MinTS = r.I64()
+	snap.MaxTS = r.I64()
+	snap.Alpha = r.F64()
+	snap.Correction = stats.Correction(r.I64())
+	snap.MaxQ = r.F64()
+	snap.Skip = r.U64() != 0
+	snap.Clause = readFlatClause(r)
+	nPairs := r.Count(24)
+	snap.Pairs = make([]graphPairSnapshot, 0, nPairs)
+	for i := 0; i < nPairs && r.Err() == nil; i++ {
+		p := graphPairSnapshot{A: r.String(), B: r.String()}
+		nEdges := r.Count(relgraph.FlatEdgeMinBytes)
+		p.Cands = make([]relgraph.Edge, 0, nEdges)
+		for j := 0; j < nEdges && r.Err() == nil; j++ {
+			p.Cands = append(p.Cands, relgraph.ReadFlatEdge(r))
+		}
+		snap.Pairs = append(snap.Pairs, p)
+	}
+	if err := r.Done(); err != nil {
+		return snap, err
+	}
+	return snap, nil
+}
+
+// parseFlatGraphLocked decodes and validates a flat graph payload against
+// this framework without mutating any state. The caller must hold the
+// state lock.
+func (f *Framework) parseFlatGraphLocked(data []byte) (stagedGraph, error) {
+	snap, err := parseFlatGraph(data)
+	if err != nil {
+		return stagedGraph{}, err
+	}
+	return f.stageGraphSnapshotLocked(snap)
+}
+
+// ---- clause codec ----
+
+// writeFlatClause lays out every Clause field explicitly; evolving the
+// clause requires a flat generation bump (the format has no field tags).
+func writeFlatClause(w *store.SlabWriter, c Clause) {
+	w.F64(c.MinScore)
+	w.F64(c.MinStrength)
+	if c.Classes == nil {
+		w.U64(nilSlice)
+	} else {
+		w.U64(uint64(len(c.Classes)))
+		for _, cl := range c.Classes {
+			w.I64(int64(cl))
+		}
+	}
+	if c.Resolutions == nil {
+		w.U64(nilSlice)
+	} else {
+		w.U64(uint64(len(c.Resolutions)))
+		for _, res := range c.Resolutions {
+			w.I64(int64(res.Spatial))
+			w.I64(int64(res.Temporal))
+		}
+	}
+	w.F64(c.Alpha)
+	w.I64(int64(c.Permutations))
+	w.U64(b2u(c.SkipSignificance))
+	w.I64(int64(c.TestKind))
+	w.I64(int64(c.Correction))
+	w.F64(c.MaxQ)
+	w.U64(b2u(c.Exhaustive))
+	w.U64(b2u(c.DisablePruning))
+}
+
+func readFlatClause(r *store.SlabReader) Clause {
+	var c Clause
+	c.MinScore = r.F64()
+	c.MinStrength = r.F64()
+	if n := r.U64(); n != nilSlice {
+		nn := boundCount(r, n, 8)
+		c.Classes = make([]feature.Class, 0, nn)
+		for i := 0; i < nn && r.Err() == nil; i++ {
+			c.Classes = append(c.Classes, feature.Class(r.I64()))
+		}
+	}
+	if n := r.U64(); n != nilSlice {
+		nn := boundCount(r, n, 16)
+		c.Resolutions = make([]Resolution, 0, nn)
+		for i := 0; i < nn && r.Err() == nil; i++ {
+			c.Resolutions = append(c.Resolutions, Resolution{
+				Spatial:  spatial.Resolution(r.I64()),
+				Temporal: temporal.Resolution(r.I64()),
+			})
+		}
+	}
+	c.Alpha = r.F64()
+	c.Permutations = int(r.I64())
+	c.SkipSignificance = r.U64() != 0
+	c.TestKind = montecarlo.Kind(r.I64())
+	c.Correction = stats.Correction(r.I64())
+	c.MaxQ = r.F64()
+	c.Exhaustive = r.U64() != 0
+	c.DisablePruning = r.U64() != 0
+	return c
+}
+
+// boundCount applies SlabReader.Count's allocation bound to a count that
+// was read with a nil sentinel in band.
+func boundCount(r *store.SlabReader, n uint64, minBytes int) int {
+	if max := uint64(r.Remaining() / minBytes); n > max {
+		// Poison the reader through a guaranteed-failing read.
+		r.Raw(r.Remaining() + 8)
+		return 0
+	}
+	return int(n)
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// isFlatSection reports whether a section payload uses the flat v4 codec.
+func isFlatSection(data, magic []byte) bool { return bytes.HasPrefix(data, magic) }

@@ -1,0 +1,367 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/urbandata/datapolygamy/internal/dataset"
+	"github.com/urbandata/datapolygamy/internal/feature"
+	"github.com/urbandata/datapolygamy/internal/spatial"
+	"github.com/urbandata/datapolygamy/internal/store"
+	"github.com/urbandata/datapolygamy/internal/temporal"
+)
+
+// flatSnapshotFramework builds, indexes, and graphs the planted corpus —
+// the state every flat-codec test round-trips.
+func flatSnapshotFramework(t testing.TB) *Framework {
+	t.Helper()
+	f, _ := snapshotCorpus(t)
+	if _, err := f.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.BuildGraph(Clause{Permutations: 60}); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func openPlanted(t testing.TB, path string) (*Framework, error) {
+	t.Helper()
+	wind, trips := plantedPair(30, randomHours(31, 60), nil)
+	return Open(path, OpenOptions{
+		Options:  Options{City: testCity(t), Workers: 2, Seed: 5},
+		Datasets: []*dataset.Dataset{wind, trips},
+	})
+}
+
+// TestFlatSectionCorruption exercises the flat decoder against payloads
+// whose container CRC is valid (rewritten after mutation) but whose flat
+// structure is damaged: every case must surface a section-level store
+// error — errors.Is(err, store.ErrCorrupt) — and never panic or load bad
+// data.
+func TestFlatSectionCorruption(t *testing.T) {
+	f := flatSnapshotFramework(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "corpus.snap")
+	if err := f.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	m, sections, err := store.Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// rewrite republishes the container with one section's payload replaced
+	// and all CRCs recomputed, so only the flat decoder can catch the damage.
+	rewrite := func(t *testing.T, name string, payload []byte) string {
+		t.Helper()
+		out := filepath.Join(t.TempDir(), "damaged.snap")
+		var secs []store.Section
+		for _, info := range m.Sections {
+			data := sections[info.Name]
+			if info.Name == name {
+				data = payload
+			}
+			secs = append(secs, store.Section{Name: info.Name, Data: data, Encoding: info.Encoding})
+		}
+		if err := store.Write(out, m, secs); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	idx := sections[store.SectionIndex]
+	graph := sections[store.SectionGraph]
+	cases := []struct {
+		name    string
+		section string
+		payload []byte
+	}{
+		{"index truncated mid-entry", store.SectionIndex, idx[:len(idx)-8]},
+		{"index truncated to magic", store.SectionIndex, idx[:8]},
+		{"index trailing bytes", store.SectionIndex, append(append([]byte(nil), idx...), make([]byte, 16)...)},
+		// Offset 32 is the data-set-order count (after magic, version,
+		// minTS, maxTS): flipping it demands an absurd element count.
+		{"index count corrupted", store.SectionIndex, flipWord(idx, 32)},
+		{"graph truncated", store.SectionGraph, graph[:len(graph)/2/8*8]},
+		{"graph trailing bytes", store.SectionGraph, append(append([]byte(nil), graph...), make([]byte, 8)...)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bad := rewrite(t, tc.section, tc.payload)
+			_, err := openPlanted(t, bad)
+			if err == nil {
+				t.Fatal("corrupt flat section loaded")
+			}
+			if !errors.Is(err, store.ErrCorrupt) {
+				t.Errorf("err = %v, does not wrap store.ErrCorrupt", err)
+			}
+		})
+	}
+
+	// A payload whose count words are garbage (every word flipped) must
+	// fail cleanly too — this is the fuzz property spot-checked.
+	garbled := append([]byte(nil), idx...)
+	for i := 16; i+8 <= len(garbled); i += 8 {
+		garbled[i] ^= 0xFF
+	}
+	bad := rewrite(t, store.SectionIndex, garbled)
+	if _, err := openPlanted(t, bad); err == nil {
+		t.Error("garbled flat index loaded")
+	}
+}
+
+func flipWord(payload []byte, off int) []byte {
+	out := append([]byte(nil), payload...)
+	for i := 0; i < 8 && off+i < len(out); i++ {
+		out[off+i] ^= 0xFF
+	}
+	return out
+}
+
+// TestLegacyGobSnapshotFallback is the end-to-end backward-compatibility
+// guarantee: a v3-generation snapshot — version-1 container, unaligned,
+// gob sections — still loads via the full-decode fallback and answers
+// queries identically to the flat path.
+func TestLegacyGobSnapshotFallback(t *testing.T) {
+	f := flatSnapshotFramework(t)
+
+	// Produce the legacy bytes exactly as the old Save did: gob sections
+	// from the legacy writer APIs, packed into a version-1 container.
+	var idx, gr bytes.Buffer
+	if err := f.SaveIndex(&idx); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SaveGraph(&gr); err != nil {
+		t.Fatal(err)
+	}
+	f.mu.RLock()
+	m := store.Manifest{Fingerprint: f.fingerprintLocked()}
+	f.mu.RUnlock()
+	m.FormatVersion = 1
+	sections := []store.Section{
+		{Name: store.SectionIndex, Data: idx.Bytes()},
+		{Name: store.SectionGraph, Data: gr.Bytes()},
+	}
+	castagnoli := crc32.MakeTable(crc32.Castagnoli)
+	for _, s := range sections {
+		m.Sections = append(m.Sections, store.SectionInfo{
+			Name: s.Name, Length: int64(len(s.Data)), CRC: crc32.Checksum(s.Data, castagnoli),
+		})
+	}
+	var mbuf bytes.Buffer
+	if err := gob.NewEncoder(&mbuf).Encode(&m); err != nil {
+		t.Fatal(err)
+	}
+	var file bytes.Buffer
+	file.WriteString("DPOLYSNP")
+	var word [4]byte
+	binary.LittleEndian.PutUint32(word[:], 1)
+	file.Write(word[:])
+	binary.LittleEndian.PutUint32(word[:], uint32(mbuf.Len()))
+	file.Write(word[:])
+	file.Write(mbuf.Bytes())
+	for _, s := range sections {
+		file.Write(s.Data)
+	}
+	legacy := filepath.Join(t.TempDir(), "legacy-v3.snap")
+	if err := os.WriteFile(legacy, file.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	g, err := openPlanted(t, legacy)
+	if err != nil {
+		t.Fatalf("legacy snapshot did not load: %v", err)
+	}
+	if format, zc, ok := g.LoadedSnapshot(); !ok || format != 3 || zc {
+		t.Errorf("LoadedSnapshot = (%d, %t, %t), want (3, false, true)", format, zc, ok)
+	}
+	clause := Clause{Permutations: 60}
+	want, _, err := f.Query(Query{Clause: clause})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := g.Query(Query{Clause: clause})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("legacy snapshot answers differently:\n want %v\n got  %v", want, got)
+	}
+	gw, ok1 := f.RelGraph()
+	gg, ok2 := g.RelGraph()
+	if !ok1 || !ok2 || !gw.Equal(gg) {
+		t.Error("legacy snapshot graph differs")
+	}
+}
+
+// TestFlatOpenAllocationsReduced is the tentpole acceptance criterion:
+// warm open of a flat v4 snapshot must allocate at least 5× less than the
+// gob fallback on the same corpus — the flat path views sections in place
+// instead of decoding them.
+func TestFlatOpenAllocationsReduced(t *testing.T) {
+	f := flatSnapshotFramework(t)
+	dir := t.TempDir()
+	flatPath := filepath.Join(dir, "flat.snap")
+	gobPath := filepath.Join(dir, "gob.snap")
+	if err := f.Save(flatPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.saveContainer(gobPath, false); err != nil {
+		t.Fatal(err)
+	}
+
+	wind, trips := plantedPair(30, randomHours(31, 60), nil)
+	g, err := New(Options{City: testCity(t), Workers: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []*dataset.Dataset{wind, trips} {
+		if err := g.AddDataset(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(func() { g.Close() })
+	measure := func(path string) float64 {
+		return testing.AllocsPerRun(5, func() {
+			if err := g.Load(path); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	gobAllocs := measure(gobPath)
+	flatAllocs := measure(flatPath)
+	t.Logf("warm open allocations: gob %.0f, flat %.0f (%.1fx)", gobAllocs, flatAllocs, gobAllocs/flatAllocs)
+	if gobAllocs < 5*flatAllocs {
+		t.Errorf("flat open allocates %.0f, gob %.0f: reduction %.1fx < required 5x",
+			flatAllocs, gobAllocs, gobAllocs/flatAllocs)
+	}
+}
+
+// seedFlatPayloads returns real encoder output for the fuzz corpora.
+func seedFlatPayloads(t testing.TB) (idx, graph []byte) {
+	t.Helper()
+	f := flatSnapshotFramework(t)
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	idx, err := f.encodeFlatIndexLocked()
+	if err != nil {
+		t.Fatal(err)
+	}
+	graph, _, err = f.encodeFlatGraphLocked()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx, graph
+}
+
+// FuzzParseFlatIndex: the flat index parser must never panic and must
+// fail only with errors wrapping store.ErrCorrupt on arbitrary input.
+func FuzzParseFlatIndex(f *testing.F) {
+	idx, _ := seedFlatPayloads(f)
+	f.Add(idx)
+	f.Add(idx[:len(idx)-8])
+	f.Add([]byte("DPIXFLT\x04"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if _, err := parseFlatIndex(data); err != nil && !errors.Is(err, store.ErrCorrupt) {
+			t.Errorf("non-ErrCorrupt failure: %v", err)
+		}
+	})
+}
+
+// FuzzParseFlatGraph: same property for the graph parser.
+func FuzzParseFlatGraph(f *testing.F) {
+	_, graph := seedFlatPayloads(f)
+	f.Add(graph)
+	f.Add(graph[:len(graph)/2])
+	f.Add([]byte("DPGRFLT\x04"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if _, err := parseFlatGraph(data); err != nil && !errors.Is(err, store.ErrCorrupt) {
+			t.Errorf("non-ErrCorrupt failure: %v", err)
+		}
+	})
+}
+
+// TestFlatVersionMismatch: a payload with the right magic but a future
+// format word must be rejected as corruption, not misparsed.
+func TestFlatVersionMismatch(t *testing.T) {
+	for _, magic := range [][]byte{flatIndexMagic, flatGraphMagic} {
+		payload := append(append([]byte(nil), magic...), make([]byte, 8)...)
+		binary.LittleEndian.PutUint64(payload[len(magic):], 99)
+		var err error
+		if bytes.Equal(magic, flatIndexMagic) {
+			_, err = parseFlatIndex(payload)
+		} else {
+			_, err = parseFlatGraph(payload)
+		}
+		if err == nil || !errors.Is(err, store.ErrCorrupt) {
+			t.Errorf("%q version 99: err = %v, want ErrCorrupt", magic, err)
+		}
+	}
+}
+
+// TestBoundCountPoisonsReader: an in-band count too large for the
+// remaining payload must poison the reader instead of driving a huge
+// allocation.
+func TestBoundCountPoisons(t *testing.T) {
+	var w store.SlabWriter
+	w.U64(42)
+	r := store.NewSlabReader(w.Finish())
+	if n := boundCount(r, 1<<40, 8); n != 0 || r.Err() == nil {
+		t.Errorf("boundCount(2^40) = %d, err = %v; want 0 and a sticky error", n, r.Err())
+	}
+	r = store.NewSlabReader(w.Finish())
+	if n := boundCount(r, 1, 8); n != 1 || r.Err() != nil {
+		t.Errorf("boundCount(1) = %d, err = %v; want 1 and no error", n, r.Err())
+	}
+}
+
+// TestFlatClauseRoundTrip pins the explicit clause layout: every field,
+// including the nil-vs-empty slice distinction and the boolean flags, must
+// survive a flat save/open.
+func TestFlatClauseRoundTrip(t *testing.T) {
+	f, _ := snapshotCorpus(t)
+	if _, err := f.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	clause := Clause{
+		MinScore:       0.1,
+		MinStrength:    0.05,
+		Classes:        []feature.Class{feature.Salient},
+		Resolutions:    []Resolution{{Spatial: spatial.City, Temporal: temporal.Hour}},
+		Alpha:          0.1,
+		Permutations:   40,
+		MaxQ:           0.9,
+		Exhaustive:     true,
+		DisablePruning: true,
+	}
+	if _, err := f.BuildGraph(clause); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "corpus.snap")
+	if err := f.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	g, err := openPlanted(t, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { g.Close() })
+	want, ok1 := f.GraphClause()
+	got, ok2 := g.GraphClause()
+	if !ok1 || !ok2 || !reflect.DeepEqual(want, got) {
+		t.Errorf("clause round-trip:\n want %+v (%t)\n got  %+v (%t)", want, ok1, got, ok2)
+	}
+	gw, _ := f.RelGraph()
+	gg, ok := g.RelGraph()
+	if !ok || !gw.Equal(gg) {
+		t.Error("graph under a rich clause differs after flat round-trip")
+	}
+}

@@ -454,11 +454,19 @@ type stagedGraph struct {
 // against this framework without mutating any state. The caller must hold
 // the state lock (validation reads the corpus fingerprint fields).
 func (f *Framework) parseGraphSnapshotLocked(r io.Reader) (stagedGraph, error) {
-	var staged stagedGraph
 	var snap frameworkGraphSnapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
-		return staged, fmt.Errorf("core: decoding graph: %w", err)
+		return stagedGraph{}, fmt.Errorf("core: decoding graph: %w", err)
 	}
+	return f.stageGraphSnapshotLocked(snap)
+}
+
+// stageGraphSnapshotLocked validates a decoded graph snapshot (gob or
+// flat) against this framework without mutating any state. The caller
+// must hold the state lock (validation reads the corpus fingerprint
+// fields).
+func (f *Framework) stageGraphSnapshotLocked(snap frameworkGraphSnapshot) (stagedGraph, error) {
+	var staged stagedGraph
 	if snap.Version != graphSnapshotVersion {
 		return staged, fmt.Errorf("core: graph version %d, want %d", snap.Version, graphSnapshotVersion)
 	}

@@ -63,25 +63,43 @@ func (f *Framework) checkFingerprintLocked(fp store.Fingerprint) error {
 // snapshot stays small: bit vectors, thresholds, and cached Monte Carlo
 // candidates. The write goes through a temp file and os.Rename, so a crash
 // mid-save can never corrupt a previous snapshot at path.
+//
+// Save writes snapshot format v4: flat, mmap-friendly section payloads
+// that Load views zero-copy instead of decoding. Snapshots written by the
+// gob generation (v3 and earlier) are still loaded via the full-decode
+// fallback.
 func (f *Framework) Save(path string) error {
+	return f.saveContainer(path, true)
+}
+
+// saveContainer is Save with the section encoding as a parameter: flat
+// (snapshot format v4, the only format Save writes) or the legacy gob
+// sections, which tests use to exercise the v3 fallback path.
+func (f *Framework) saveContainer(path string, flat bool) error {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
-	idx, err := f.encodeIndexLocked()
+	encoding := store.EncodingGob
+	encodeIndex, encodeGraph := f.encodeIndexLocked, f.encodeGraphLocked
+	if flat {
+		encoding = store.EncodingFlat
+		encodeIndex, encodeGraph = f.encodeFlatIndexLocked, f.encodeFlatGraphLocked
+	}
+	idx, err := encodeIndex()
 	if err != nil {
 		return err
 	}
 	m := store.Manifest{Fingerprint: f.fingerprintLocked()}
-	sections := []store.Section{{Name: store.SectionIndex, Data: idx}}
+	sections := []store.Section{{Name: store.SectionIndex, Data: idx, Encoding: encoding}}
 	if f.relGraph.Load() != nil {
 		// The clause signature comes out of the same critical section that
 		// encoded the payload: a concurrent BuildGraph (which also runs
 		// under the shared lock) must not make the manifest describe a
 		// different clause than the section it accompanies.
-		g, sig, err := f.encodeGraphLocked()
+		g, sig, err := encodeGraph()
 		if err != nil {
 			return err
 		}
-		sections = append(sections, store.Section{Name: store.SectionGraph, Data: g})
+		sections = append(sections, store.Section{Name: store.SectionGraph, Data: g, Encoding: encoding})
 		m.ClauseSig = sig
 	}
 	return store.Write(path, m, sections)
@@ -97,12 +115,26 @@ func (f *Framework) Save(path string) error {
 // rebuild; a failed Load leaves the framework unchanged.
 //
 // Load takes the state lock exclusively, like BuildIndex.
-func (f *Framework) Load(path string) error {
-	m, sections, err := store.Read(path)
+//
+// A v4 snapshot is memory-mapped and its flat sections are viewed in
+// place: bit vectors and strings alias the mapping, which the framework
+// keeps alive until Close — so processes serving the same snapshot share
+// one copy of its pages, and warm start decodes nothing but the manifest.
+// Gob sections (snapshot format v3 and earlier) take the full-decode
+// fallback, after which the mapping is released.
+func (f *Framework) Load(path string) (err error) {
+	mp, err := store.Map(path)
 	if err != nil {
 		return err
 	}
-	idx, ok := sections[store.SectionIndex]
+	adopted := false
+	defer func() {
+		if !adopted {
+			mp.Close()
+		}
+	}()
+	m := mp.Manifest()
+	idx, ok := mp.Section(store.SectionIndex)
 	if !ok {
 		return fmt.Errorf("core: snapshot %s has no index section", path)
 	}
@@ -111,28 +143,83 @@ func (f *Framework) Load(path string) error {
 	if err := f.checkFingerprintLocked(m.Fingerprint); err != nil {
 		return err
 	}
+	flatViews := false
 	// Validate the graph section (when present) before the index is
 	// applied: a snapshot that half-loads — indexed but graphless — would
 	// look warm-started to the caller while having silently dropped the
 	// expensive all-pairs candidate cache, and a subsequent re-save would
 	// persist that loss.
 	var graph *stagedGraph
-	if g, ok := sections[store.SectionGraph]; ok {
-		staged, err := f.parseGraphSnapshotLocked(bytes.NewReader(g))
+	if g, ok := mp.Section(store.SectionGraph); ok {
+		var staged stagedGraph
+		if isFlatSection(g, flatGraphMagic) {
+			staged, err = f.parseFlatGraphLocked(g)
+			flatViews = true
+		} else {
+			staged, err = f.parseGraphSnapshotLocked(bytes.NewReader(g))
+		}
 		if err != nil {
 			return err
 		}
 		graph = &staged
 	}
-	if err := f.decodeIndexLocked(bytes.NewReader(idx)); err != nil {
+	if isFlatSection(idx, flatIndexMagic) {
+		err = f.decodeFlatIndexLocked(idx)
+		flatViews = true
+	} else {
+		err = f.decodeIndexLocked(bytes.NewReader(idx))
+	}
+	if err != nil {
 		return err
 	}
 	if graph != nil {
-		// decodeIndexLocked replaced the index wholesale and dropped the
+		// The index decode replaced the index wholesale and dropped the
 		// graph; publish the already-validated saved one.
 		f.applyGraphSnapshotLocked(*graph)
 	}
+	if flatViews {
+		// Flat views alias the container buffer. A mmap-backed buffer must
+		// stay mapped for as long as any view can be reached — readers hold
+		// graphs and entries lock-free, so the mapping is adopted for the
+		// framework's lifetime (Close) rather than tied to this index
+		// generation. A heap-backed buffer (mmap unavailable) is kept via
+		// the same list for uniformity; its Close is a no-op and the GC
+		// tracks the aliases anyway.
+		f.mappings = append(f.mappings, mp)
+		adopted = true
+	}
+	f.snapFormat = m.SnapshotFormat()
+	f.snapZeroCopy = flatViews && mp.ZeroCopy()
 	return nil
+}
+
+// LoadedSnapshot reports how the last successful Load sourced its
+// sections: the snapshot generation (4 = flat, 3 = gob fallback) and
+// whether the flat sections are zero-copy views of a live memory mapping.
+// ok is false when the framework has never loaded a snapshot.
+func (f *Framework) LoadedSnapshot() (format int, zeroCopy bool, ok bool) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.snapFormat, f.snapZeroCopy, f.snapFormat != 0
+}
+
+// Close releases the snapshot mappings the framework has adopted across
+// its Loads. It must only be called when no reader can still hold state
+// obtained from this framework — entries, graphs, and query results may
+// alias a mapping. A framework that never loaded a flat snapshot has
+// nothing to release; Close is then a no-op. The framework must not be
+// used after Close.
+func (f *Framework) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var first error
+	for _, mp := range f.mappings {
+		if err := mp.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	f.mappings = nil
+	return first
 }
 
 // OpenOptions configures Open: the framework options plus the corpus

@@ -1,9 +1,6 @@
 package core
 
 import (
-	"bytes"
-	"encoding/gob"
-	"math"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -99,74 +96,91 @@ func TestSaveOpenQueryParity(t *testing.T) {
 	}
 }
 
-// TestSaveSectionParity pins the refactor invariant: the container's
-// sections decode to exactly what the legacy per-part writer APIs
-// produce, since both run through the same codecs. (Raw bytes are not
-// compared: gob serialises the season-threshold maps in nondeterministic
-// order, so two encodes of identical state can differ byte-wise.)
+// TestSaveSectionParity pins the format-transition invariant: the flat v4
+// container Save writes and a legacy gob container of the same state load
+// into semantically identical frameworks — same query results, same
+// materialized graph, same originating clause. (Raw section bytes cannot
+// be compared across encodings.)
 func TestSaveSectionParity(t *testing.T) {
 	f, _ := snapshotCorpus(t)
 	if _, err := f.BuildIndex(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f.BuildGraph(Clause{Permutations: 60}); err != nil {
+	clause := Clause{Permutations: 60}
+	if _, err := f.BuildGraph(clause); err != nil {
 		t.Fatal(err)
 	}
-	path := filepath.Join(t.TempDir(), "corpus.snap")
-	if err := f.Save(path); err != nil {
+	dir := t.TempDir()
+	flatPath := filepath.Join(dir, "flat.snap")
+	gobPath := filepath.Join(dir, "gob.snap")
+	if err := f.Save(flatPath); err != nil {
 		t.Fatal(err)
 	}
-	_, sections, err := store.Read(path)
+	if err := f.saveContainer(gobPath, false); err != nil {
+		t.Fatal(err)
+	}
+
+	// The default Save output really is the flat generation, and the gob
+	// seam really is the legacy one.
+	for path, want := range map[string]int{flatPath: 4, gobPath: 3} {
+		m, err := store.ReadManifest(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := m.SnapshotFormat(); got != want {
+			t.Errorf("%s: snapshot format %d, want %d", path, got, want)
+		}
+	}
+
+	open := func(path string) *Framework {
+		t.Helper()
+		wind, trips := plantedPair(30, randomHours(31, 60), nil)
+		g, err := Open(path, OpenOptions{
+			Options:  Options{City: testCity(t), Workers: 2, Seed: 5},
+			Datasets: []*dataset.Dataset{wind, trips},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	ff, fg := open(flatPath), open(gobPath)
+	if format, _, ok := ff.LoadedSnapshot(); !ok || format != 4 {
+		t.Errorf("flat open: LoadedSnapshot format = %d, want 4", format)
+	}
+	if format, zc, ok := fg.LoadedSnapshot(); !ok || format != 3 || zc {
+		t.Errorf("gob open: LoadedSnapshot = (%d, %t), want (3, false)", format, zc)
+	}
+
+	rf, _, err := ff.Query(Query{Clause: clause})
 	if err != nil {
 		t.Fatal(err)
 	}
-	var idx, gr bytes.Buffer
-	if err := f.SaveIndex(&idx); err != nil {
+	rg, _, err := fg.Query(Query{Clause: clause})
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := f.SaveGraph(&gr); err != nil {
-		t.Fatal(err)
+	if !reflect.DeepEqual(rf, rg) {
+		t.Errorf("flat and gob snapshots answer differently:\n flat %v\n gob  %v", rf, rg)
 	}
-	decodeIdx := func(data []byte) indexSnapshot {
-		t.Helper()
-		var snap indexSnapshot
-		if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
-			t.Fatal(err)
-		}
-		// Seasons (and extremes) with no features carry NaN thresholds;
-		// NaN != NaN would fail DeepEqual, so map them to a sentinel
-		// before comparing.
-		noNaN := func(v float64) float64 {
-			if math.IsNaN(v) {
-				return math.MaxFloat64
-			}
-			return v
-		}
-		for i := range snap.Entries {
-			th := &snap.Entries[i].Thresholds
-			for _, m := range []map[int]float64{th.PosBySeason, th.NegBySeason} {
-				for k, v := range m {
-					m[k] = noNaN(v)
-				}
-			}
-			th.ExtremePos = noNaN(th.ExtremePos)
-			th.ExtremeNeg = noNaN(th.ExtremeNeg)
-		}
-		return snap
+	gf, ok1 := ff.RelGraph()
+	gg, ok2 := fg.RelGraph()
+	if !ok1 || !ok2 || !gf.Equal(gg) {
+		t.Errorf("materialized graphs differ across encodings (ok=%t,%t)", ok1, ok2)
 	}
-	decodeGraph := func(data []byte) frameworkGraphSnapshot {
-		t.Helper()
-		var snap frameworkGraphSnapshot
-		if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
-			t.Fatal(err)
+	cf, _ := ff.GraphClause()
+	cg, _ := fg.GraphClause()
+	if !reflect.DeepEqual(cf, cg) || !reflect.DeepEqual(cf, clause) {
+		t.Errorf("GraphClause differs: flat %+v gob %+v want %+v", cf, cg, clause)
+	}
+	// Per-entry parity: thresholds, occupancy, and feature vectors all
+	// round-trip identically through both encodings.
+	for _, name := range ff.Datasets() {
+		sf, _ := ff.DatasetIndexStats(name)
+		sg, _ := fg.DatasetIndexStats(name)
+		if !reflect.DeepEqual(sf, sg) {
+			t.Errorf("%s: index stats differ: flat %+v gob %+v", name, sf, sg)
 		}
-		return snap
-	}
-	if !reflect.DeepEqual(decodeIdx(sections[store.SectionIndex]), decodeIdx(idx.Bytes())) {
-		t.Error("index section decodes differently from SaveIndex output")
-	}
-	if !reflect.DeepEqual(decodeGraph(sections[store.SectionGraph]), decodeGraph(gr.Bytes())) {
-		t.Error("graph section decodes differently from SaveGraph output")
 	}
 }
 

@@ -14,6 +14,7 @@ package feature
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"github.com/urbandata/datapolygamy/internal/bitvec"
 	"github.com/urbandata/datapolygamy/internal/mathx"
@@ -58,14 +59,62 @@ func (s *Set) All() *bitvec.Vector { return s.Positive.Or(s.Negative) }
 // Count returns (#positive, #negative).
 func (s *Set) Count() (int, int) { return s.Positive.Count(), s.Negative.Count() }
 
+// SeasonTheta pairs a seasonal interval key with the salient threshold
+// computed for that season.
+type SeasonTheta struct {
+	Season int
+	Theta  float64
+}
+
+// SeasonThresholds lists per-season salient thresholds in ascending Season
+// order. A plain sorted slice rather than a map: season counts are tiny
+// (one per distinct seasonal interval), lookups are binary searches, and a
+// snapshot decoder can batch thousands of them in one backing array.
+type SeasonThresholds []SeasonTheta
+
+// Theta returns the threshold for season, if one was computed.
+func (s SeasonThresholds) Theta(season int) (float64, bool) {
+	i, ok := sort.Find(len(s), func(i int) int { return season - s[i].Season })
+	if !ok {
+		return 0, false
+	}
+	return s[i].Theta, true
+}
+
+// SeasonMap returns the thresholds as a map, the shape the legacy gob
+// snapshot encoding stores.
+func (s SeasonThresholds) SeasonMap() map[int]float64 {
+	if s == nil {
+		return nil
+	}
+	out := make(map[int]float64, len(s))
+	for _, st := range s {
+		out[st.Season] = st.Theta
+	}
+	return out
+}
+
+// SeasonThresholdsFromMap converts a season→theta map into sorted form.
+func SeasonThresholdsFromMap(m map[int]float64) SeasonThresholds {
+	if m == nil {
+		return nil
+	}
+	out := make(SeasonThresholds, 0, len(m))
+	for season, theta := range m {
+		out = append(out, SeasonTheta{Season: season, Theta: theta})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Season < out[j].Season })
+	return out
+}
+
 // Thresholds records the automatically computed feature thresholds of one
 // function: per-season salient thresholds and global extreme thresholds.
 // NaN means "no threshold" (no features of that sign).
 type Thresholds struct {
-	// PosBySeason maps a seasonal interval key to theta+ for that season.
-	PosBySeason map[int]float64
-	// NegBySeason maps a seasonal interval key to theta- for that season.
-	NegBySeason map[int]float64
+	// PosBySeason holds theta+ per seasonal interval, sorted by season.
+	PosBySeason SeasonThresholds
+	// NegBySeason holds theta- per seasonal interval, sorted by season.
+	NegBySeason SeasonThresholds
 	// ExtremePos is the global Q3 + 1.5*IQR outlier threshold over salient
 	// maxima values; ExtremeNeg is Q1 - 1.5*IQR over salient minima values.
 	ExtremePos float64
@@ -176,7 +225,7 @@ func (e *Extractor) SplitTree() *topology.Tree { return e.split }
 // follows Section 3.3; when clustering cannot separate (one extremum, or
 // all persistences equal), the most persistent extrema are used if they
 // stand out, otherwise the season yields no salient features.
-func (e *Extractor) seasonThresholds(tree *topology.Tree) (map[int]float64, []float64) {
+func (e *Extractor) seasonThresholds(tree *topology.Tree) (SeasonThresholds, []float64) {
 	type leafInfo struct {
 		value       float64
 		persistence float64
@@ -190,7 +239,7 @@ func (e *Extractor) seasonThresholds(tree *topology.Tree) (map[int]float64, []fl
 			persistence: tree.Pairs[i].Persistence,
 		})
 	}
-	out := make(map[int]float64, len(bySeason))
+	out := make(SeasonThresholds, 0, len(bySeason))
 	var salientVals []float64
 	for season, leaves := range bySeason {
 		pers := make([]float64, len(leaves))
@@ -222,8 +271,9 @@ func (e *Extractor) seasonThresholds(tree *topology.Tree) (map[int]float64, []fl
 			}
 			salientVals = append(salientVals, l.value)
 		}
-		out[season] = threshold
+		out = append(out, SeasonTheta{Season: season, Theta: threshold})
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Season < out[j].Season })
 	return out, salientVals
 }
 
@@ -304,7 +354,7 @@ const MaxSeasonCoverage = 0.5
 // by the level-set definition and O(|V|) overall regardless of how many
 // seasonal intervals exist. (The output-sensitive merge-tree query remains
 // the path for interactive, user-supplied thresholds.)
-func (e *Extractor) extractSeasonal(tree *topology.Tree, bySeason map[int]float64, out *bitvec.Vector) {
+func (e *Extractor) extractSeasonal(tree *topology.Tree, bySeason SeasonThresholds, out *bitvec.Vector) {
 	if len(bySeason) == 0 {
 		return
 	}
@@ -321,7 +371,7 @@ func (e *Extractor) extractSeasonal(tree *topology.Tree, bySeason map[int]float6
 	seasonHits := make(map[int]int, len(bySeason))
 	for step, season := range e.stepSeason {
 		seasonSize[season] += nRegions
-		theta, ok := bySeason[season]
+		theta, ok := bySeason.Theta(season)
 		if !ok || math.IsNaN(theta) {
 			continue
 		}
@@ -336,7 +386,7 @@ func (e *Extractor) extractSeasonal(tree *topology.Tree, bySeason map[int]float6
 		if float64(seasonHits[season]) > MaxSeasonCoverage*float64(seasonSize[season]) {
 			continue // the level set is the norm, not a deviation
 		}
-		theta, ok := bySeason[season]
+		theta, ok := bySeason.Theta(season)
 		if !ok || math.IsNaN(theta) {
 			continue
 		}

@@ -135,18 +135,18 @@ func TestSalientThresholdValue(t *testing.T) {
 	if len(th.PosBySeason) != 1 {
 		t.Fatalf("PosBySeason has %d seasons, want 1", len(th.PosBySeason))
 	}
-	for _, theta := range th.PosBySeason {
-		if theta != 10 {
-			t.Errorf("theta+ = %g, want 10 (smallest high-persistence max)", theta)
+	for _, st := range th.PosBySeason {
+		if st.Theta != 10 {
+			t.Errorf("theta+ = %g, want 10 (smallest high-persistence max)", st.Theta)
 		}
 	}
 
 	nvals, _ := negSpikySeries()
 	nf := seriesFunction(t, jan2012(), nvals)
 	nth := NewExtractor(nf).Thresholds()
-	for _, theta := range nth.NegBySeason {
-		if theta != -10 {
-			t.Errorf("theta- = %g, want -10 (largest high-persistence min)", theta)
+	for _, st := range nth.NegBySeason {
+		if st.Theta != -10 {
+			t.Errorf("theta- = %g, want -10 (largest high-persistence min)", st.Theta)
 		}
 	}
 }
@@ -217,11 +217,11 @@ func TestSeasonalThresholds(t *testing.T) {
 	}
 	janKey := 2012*12 + 0
 	febKey := 2012*12 + 1
-	if th.PosBySeason[janKey] != 10 {
-		t.Errorf("January theta+ = %g, want 10", th.PosBySeason[janKey])
+	if theta, ok := th.PosBySeason.Theta(janKey); !ok || theta != 10 {
+		t.Errorf("January theta+ = %g (found %t), want 10", theta, ok)
 	}
-	if th.PosBySeason[febKey] != 4 {
-		t.Errorf("February theta+ = %g, want 4", th.PosBySeason[febKey])
+	if theta, ok := th.PosBySeason.Theta(febKey); !ok || theta != 4 {
+		t.Errorf("February theta+ = %g (found %t), want 4", theta, ok)
 	}
 	set := e.Extract(Salient)
 	for _, s := range append(append([]int{}, janSpikes...), febSpikes...) {

@@ -1,0 +1,50 @@
+package relgraph
+
+import (
+	"testing"
+
+	"github.com/urbandata/datapolygamy/internal/feature"
+	"github.com/urbandata/datapolygamy/internal/spatial"
+	"github.com/urbandata/datapolygamy/internal/store"
+	"github.com/urbandata/datapolygamy/internal/temporal"
+)
+
+func TestFlatEdgeRoundTrip(t *testing.T) {
+	edges := []Edge{
+		{
+			Function1: "taxi/density@city,hour", Function2: "weather/temp@city,hour",
+			Dataset1: "taxi", Dataset2: "weather", Spec1: "density", Spec2: "temp",
+			SRes: spatial.City, TRes: temporal.Hour, Class: feature.Salient,
+			Tau: -0.75, Rho: 0.5, PValue: 0.01, QValue: 0.02,
+		},
+		{}, // all-empty edge is the minimum encoding
+	}
+	var w store.SlabWriter
+	for _, e := range edges {
+		AppendFlatEdge(&w, e)
+	}
+	payload := w.Finish()
+	if len(payload) < len(edges)*FlatEdgeMinBytes {
+		t.Fatalf("payload %d bytes, below the documented minimum %d per edge", len(payload), FlatEdgeMinBytes)
+	}
+	r := store.NewSlabReader(payload)
+	for i, want := range edges {
+		got := ReadFlatEdge(r)
+		if err := r.Err(); err != nil {
+			t.Fatalf("edge %d: %v", i, err)
+		}
+		if got != want {
+			t.Errorf("edge %d round-trip:\n want %+v\n got  %+v", i, want, got)
+		}
+	}
+	if err := r.Done(); err != nil {
+		t.Errorf("trailing bytes after the last edge: %v", err)
+	}
+
+	// A truncated edge must fail through the sticky reader, not misread.
+	r = store.NewSlabReader(payload[:FlatEdgeMinBytes/2])
+	ReadFlatEdge(r)
+	if r.Err() == nil {
+		t.Error("truncated edge read cleanly")
+	}
+}

@@ -105,7 +105,7 @@ func SortEdges(es []Edge) {
 // sorted; the input slice is not retained or mutated.
 func New(edges []Edge) *Graph {
 	g := &Graph{
-		nodeByKey: make(map[string]int),
+		nodeByKey: make(map[string]int, 2*len(edges)),
 		dsEdges:   make(map[string][]int),
 		edges:     make([]Edge, len(edges)),
 	}
@@ -114,6 +114,9 @@ func New(edges []Edge) *Graph {
 	}
 	SortEdges(g.edges)
 
+	// First pass assigns node ids and counts degrees, so the adjacency
+	// lists can carve one shared backing array instead of growing each
+	// list by repeated appends (this runs on the warm-open path).
 	node := func(key, ds, spec string) int {
 		if id, ok := g.nodeByKey[key]; ok {
 			return id
@@ -121,27 +124,42 @@ func New(edges []Edge) *Graph {
 		id := len(g.nodes)
 		g.nodes = append(g.nodes, Node{Key: key, Dataset: ds, Spec: spec})
 		g.nodeByKey[key] = id
-		g.adj = append(g.adj, nil)
 		return id
 	}
-	dsSeen := make(map[string]bool)
+	dsCount := make(map[string]int)
+	for _, e := range g.edges {
+		g.nodes[node(e.Function1, e.Dataset1, e.Spec1)].Degree++
+		g.nodes[node(e.Function2, e.Dataset2, e.Spec2)].Degree++
+		dsCount[e.Dataset1]++
+		if e.Dataset2 != e.Dataset1 {
+			dsCount[e.Dataset2]++
+		}
+	}
+	adjBacking := make([]int, 0, 2*len(g.edges))
+	g.adj = make([][]int, len(g.nodes))
+	for i, n := range g.nodes {
+		off := len(adjBacking)
+		adjBacking = adjBacking[:off+n.Degree]
+		g.adj[i] = adjBacking[off : off : off+n.Degree]
+	}
+	dsBacking := make([]int, 0, 2*len(g.edges))
+	g.datasets = make([]string, 0, len(dsCount))
+	for ds, cnt := range dsCount {
+		off := len(dsBacking)
+		dsBacking = dsBacking[:off+cnt]
+		g.dsEdges[ds] = dsBacking[off : off : off+cnt]
+		g.datasets = append(g.datasets, ds)
+	}
+	sort.Strings(g.datasets)
 	for i, e := range g.edges {
-		n1 := node(e.Function1, e.Dataset1, e.Spec1)
-		n2 := node(e.Function2, e.Dataset2, e.Spec2)
+		n1, n2 := g.nodeByKey[e.Function1], g.nodeByKey[e.Function2]
 		g.adj[n1] = append(g.adj[n1], i)
 		g.adj[n2] = append(g.adj[n2], i)
-		g.nodes[n1].Degree++
-		g.nodes[n2].Degree++
 		g.dsEdges[e.Dataset1] = append(g.dsEdges[e.Dataset1], i)
 		if e.Dataset2 != e.Dataset1 {
 			g.dsEdges[e.Dataset2] = append(g.dsEdges[e.Dataset2], i)
 		}
-		dsSeen[e.Dataset1], dsSeen[e.Dataset2] = true, true
 	}
-	for ds := range dsSeen {
-		g.datasets = append(g.datasets, ds)
-	}
-	sort.Strings(g.datasets)
 	return g
 }
 

@@ -1,0 +1,173 @@
+package store
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSlabRoundTrip(t *testing.T) {
+	w := NewSlabWriter(64)
+	w.U64(42)
+	w.I64(-7)
+	w.F64(math.Pi)
+	w.F64(math.NaN())
+	w.String("hello")
+	w.String("")
+	w.Bytes([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	w.Raw([]byte{9, 9, 9, 9, 9, 9, 9, 9})
+	before := w.Len()
+	w.AppendFunc(func(dst []byte) []byte {
+		return append(dst, 8, 0, 0, 0, 0, 0, 0, 0)
+	})
+	if w.Len() != before+8 {
+		t.Fatalf("Len after AppendFunc = %d, want %d", w.Len(), before+8)
+	}
+	payload := w.Finish()
+	if len(payload)%8 != 0 {
+		t.Fatalf("payload length %d is not 8-aligned", len(payload))
+	}
+
+	r := NewSlabReader(payload)
+	if v := r.U64(); v != 42 {
+		t.Errorf("U64 = %d", v)
+	}
+	if v := r.I64(); v != -7 {
+		t.Errorf("I64 = %d", v)
+	}
+	if v := r.F64(); v != math.Pi {
+		t.Errorf("F64 = %v", v)
+	}
+	if v := r.F64(); !math.IsNaN(v) {
+		t.Errorf("NaN did not survive: %v", v)
+	}
+	if s := r.String(); s != "hello" {
+		t.Errorf("String = %q", s)
+	}
+	if s := r.String(); s != "" {
+		t.Errorf("empty String = %q", s)
+	}
+	if b := r.Bytes(); len(b) != 9 || b[0] != 1 || b[8] != 9 {
+		t.Errorf("Bytes = %v", b)
+	}
+	if b := r.Raw(8); len(b) != 8 || b[0] != 9 {
+		t.Errorf("Raw = %v", b)
+	}
+	if v := r.U64(); v != 8 {
+		t.Errorf("AppendFunc word = %d, want 8", v)
+	}
+	if err := r.Done(); err != nil {
+		t.Errorf("Done = %v", err)
+	}
+}
+
+func TestSlabWriterPanicsOnMisalignedRaw(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Raw of 3 bytes should panic")
+		}
+	}()
+	NewSlabWriter(0).Raw([]byte{1, 2, 3})
+}
+
+func TestSlabReaderTruncation(t *testing.T) {
+	w := NewSlabWriter(0)
+	w.String("some content here")
+	payload := w.Finish()
+
+	for cut := 0; cut < len(payload); cut++ {
+		r := NewSlabReader(payload[:cut])
+		_ = r.String()
+		if err := r.Err(); err == nil {
+			t.Errorf("cut at %d: no error", cut)
+		} else if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("cut at %d: err %v does not wrap ErrCorrupt", cut, err)
+		}
+	}
+}
+
+// TestSlabReaderStickyError pins the poisoning contract: after one failed
+// read every later read returns zero values and the first error wins.
+func TestSlabReaderStickyError(t *testing.T) {
+	r := NewSlabReader([]byte{1, 2, 3}) // shorter than one word
+	if v := r.U64(); v != 0 {
+		t.Errorf("failed U64 = %d, want 0", v)
+	}
+	first := r.Err()
+	if first == nil {
+		t.Fatal("no error after truncated read")
+	}
+	if v := r.U64(); v != 0 {
+		t.Errorf("post-failure U64 = %d, want 0", v)
+	}
+	if s := r.String(); s != "" {
+		t.Errorf("post-failure String = %q, want empty", s)
+	}
+	if r.Err() != first {
+		t.Errorf("first error was replaced: %v -> %v", first, r.Err())
+	}
+}
+
+// TestSlabReaderBoundsCount pins the anti-OOM guard: a corrupt count can
+// never demand more elements than the payload could physically hold.
+func TestSlabReaderBoundsCount(t *testing.T) {
+	w := NewSlabWriter(0)
+	w.U64(1 << 50) // absurd count
+	w.U64(7)
+	r := NewSlabReader(w.Finish())
+	if n := r.Count(8); n != 0 {
+		t.Errorf("Count = %d, want 0", n)
+	}
+	if err := r.Err(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestSlabReaderIntOverflow(t *testing.T) {
+	w := NewSlabWriter(0)
+	w.U64(math.MaxUint64)
+	r := NewSlabReader(w.Finish())
+	if v := r.Int(); v != 0 {
+		t.Errorf("Int = %d, want 0", v)
+	}
+	if err := r.Err(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestSlabReaderDoneRejectsTrailing(t *testing.T) {
+	w := NewSlabWriter(0)
+	w.U64(1)
+	w.U64(2)
+	r := NewSlabReader(w.Finish())
+	r.U64()
+	err := r.Done()
+	if !errors.Is(err, ErrCorrupt) || !strings.Contains(err.Error(), "trailing") {
+		t.Errorf("Done with unread bytes = %v", err)
+	}
+}
+
+// FuzzSlabReader drives the reader over arbitrary bytes with a decode
+// shape resembling the real section codecs: it must never panic, and any
+// failure must wrap ErrCorrupt.
+func FuzzSlabReader(f *testing.F) {
+	w := NewSlabWriter(0)
+	w.U64(3)
+	w.String("seed")
+	w.Bytes([]byte{1, 2, 3})
+	w.F64(2.5)
+	f.Add(w.Finish())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewSlabReader(data)
+		n := r.Count(8)
+		for i := 0; i < n && r.Err() == nil; i++ {
+			_ = r.String()
+			_ = r.F64()
+		}
+		_ = r.Bytes()
+		if err := r.Done(); err != nil && !errors.Is(err, ErrCorrupt) {
+			t.Errorf("non-ErrCorrupt failure: %v", err)
+		}
+	})
+}

@@ -1,0 +1,133 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"unsafe"
+)
+
+func TestMapRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corpus.snap")
+	if err := Write(path, testManifest(), testSections()); err != nil {
+		t.Fatal(err)
+	}
+	mp, err := Map(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mp.Close()
+	if mp.Manifest().ClauseSig != "alpha=0.05" {
+		t.Errorf("manifest = %+v", mp.Manifest())
+	}
+	for _, want := range testSections() {
+		got, ok := mp.Section(want.Name)
+		if !ok || !bytes.Equal(got, want.Data) {
+			t.Errorf("section %q differs through Map", want.Name)
+		}
+	}
+	if _, ok := mp.Section("absent"); ok {
+		t.Error("Section reported an absent name")
+	}
+	if err := mp.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	if err := mp.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+// TestMapSectionsAreAligned pins the tentpole invariant: every v4 section
+// payload starts on an 8-byte file offset, so uint64 slabs inside it can
+// be viewed in place.
+func TestMapSectionsAreAligned(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corpus.snap")
+	// Deliberately odd-length payloads so alignment needs real padding.
+	sections := []Section{
+		{Name: SectionIndex, Data: bytes.Repeat([]byte{7}, 1003)},
+		{Name: SectionGraph, Data: bytes.Repeat([]byte{9}, 41)},
+	}
+	if err := Write(path, testManifest(), sections); err != nil {
+		t.Fatal(err)
+	}
+	mp, err := Map(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mp.Close()
+	if !mp.ZeroCopy() {
+		t.Skip("mmap unavailable on this platform; alignment is moot")
+	}
+	// The address of each view is what bitvec.FromBytes keys its zero-copy
+	// decision on: assert every section starts 8-byte aligned in memory
+	// (mmap regions are page-aligned, so this is equivalent to the file
+	// offset being 8-aligned).
+	for _, s := range sections {
+		view, ok := mp.Section(s.Name)
+		if !ok || len(view) == 0 {
+			t.Fatalf("section %q missing or empty", s.Name)
+		}
+		if rem := uintptr(unsafe.Pointer(&view[0])) % 8; rem != 0 {
+			t.Errorf("section %q view is %d bytes off 8-byte alignment", s.Name, rem)
+		}
+	}
+}
+
+// TestMapRejectsCorruption: Map verifies exactly what Read verifies.
+func TestMapRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "corpus.snap")
+	if err := Write(path, testManifest(), testSections()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flip := append([]byte(nil), data...)
+	flip[len(flip)-3] ^= 0x40
+	bad := filepath.Join(dir, "bad.snap")
+	if err := os.WriteFile(bad, flip, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Map(bad); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("bit flip: Map err = %v, want ErrCorrupt", err)
+	}
+	if err := os.WriteFile(bad, data[:len(data)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Map(bad); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("truncation: Map err = %v, want ErrCorrupt", err)
+	}
+	if err := os.WriteFile(bad, []byte("junkfile"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Map(bad); !errors.Is(err, ErrNotSnapshot) {
+		t.Errorf("foreign: Map err = %v, want ErrNotSnapshot", err)
+	}
+}
+
+// TestMapRejectsNonzeroPadding: padding bytes are covered by no section
+// CRC, so the parser itself must verify they are zero.
+func TestMapRejectsNonzeroPadding(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corpus.snap")
+	// 13-byte payload forces 3 padding bytes after the section.
+	if err := Write(path, testManifest(), []Section{{Name: SectionIndex, Data: []byte("thirteen byte")}}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] = 0xFF // last byte is padding
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Map(path)
+	if !errors.Is(err, ErrCorrupt) || !strings.Contains(err.Error(), "padding") {
+		t.Errorf("nonzero padding: err = %v", err)
+	}
+}

@@ -1,0 +1,14 @@
+//go:build !unix
+
+package store
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapFile is unavailable on this platform; Map falls back to reading the
+// file into a private heap buffer.
+func mmapFile(f *os.File, size int) ([]byte, func() error, error) {
+	return nil, nil, errors.ErrUnsupported
+}

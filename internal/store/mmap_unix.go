@@ -1,0 +1,23 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only and shared, so every process
+// mapping the same snapshot shares one copy of its pages.
+func mmapFile(f *os.File, size int) ([]byte, func() error, error) {
+	if size == 0 {
+		// Zero-length mappings are invalid; a valid container is never
+		// empty, so hand back an empty buffer and let parsing reject it.
+		return nil, func() error { return nil }, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -3,22 +3,30 @@
 // snapshot, its relationship-graph snapshot (when built), and a manifest
 // describing what the file holds and which corpus it belongs to.
 //
-// # Container layout
+// # Container layout (format v4)
 //
 //	offset 0   magic        [8]byte  "DPOLYSNP"
 //	offset 8   version      uint32   container format version (little-endian)
 //	offset 12  manifestLen  uint32   length of the gob-encoded manifest
 //	offset 16  manifest     gob      Manifest (fingerprint, clause signature,
 //	                                 per-section name/length/CRC table)
-//	...        sections     bytes    section payloads, concatenated in
-//	                                 manifest order
+//	...        padding      zeros    to the next 8-byte boundary
+//	...        sections     bytes    section payloads in manifest order, each
+//	                                 zero-padded to an 8-byte boundary
+//
+// Since format v4 every section payload starts on an 8-byte file offset,
+// which is what lets Map hand out zero-copy views whose uint64 bit-vector
+// words alias the mapped file directly (see internal/bitvec.FromBytes).
+// Format v1 — the gob-snapshot generation — packed sections unaligned
+// immediately after the manifest; Read still accepts it, so old snapshots
+// keep loading (via the full-decode fallback in internal/core).
 //
 // The manifest is written before the payloads, so a reader can inspect
 // what a container holds — and reject a foreign or stale one — without
-// decoding any section. Every section carries a CRC-32C checksum; Read
-// verifies all of them, so truncation and bit rot are detected at the
-// section level rather than surfacing as a gob decode error deep inside
-// the framework.
+// decoding any section. Every section carries a CRC-32C checksum; Read and
+// Map verify all of them, so truncation and bit rot are detected at the
+// section level rather than surfacing as a decode error deep inside the
+// framework.
 //
 // # Atomicity
 //
@@ -43,10 +51,23 @@ import (
 // Magic identifies a Data Polygamy snapshot container.
 var magic = [8]byte{'D', 'P', 'O', 'L', 'Y', 'S', 'N', 'P'}
 
-// FormatVersion is the container format version this package reads and
-// writes. Bump it when the header or manifest layout changes; section
-// payloads carry their own application-level versions.
-const FormatVersion = 1
+// FormatVersion is the container format version this package writes.
+// Version 4 is the mmap-friendly generation: sections are 8-byte aligned
+// so flat payloads can be viewed in place. (Versions 2–3 were never
+// container versions; the number lines up with the snapshot generations —
+// v1–v3 gob sections, v4 flat sections — so "a v4 snapshot" is
+// unambiguous across layers.)
+const FormatVersion = 4
+
+// legacyVersion is the unaligned gob-era container layout, still readable.
+const legacyVersion = 1
+
+// Section payload encodings recorded in the manifest (informational; the
+// decoder sniffs each payload's own magic).
+const (
+	EncodingGob  = "gob"
+	EncodingFlat = "flat"
+)
 
 // Well-known section names.
 const (
@@ -57,6 +78,9 @@ const (
 // maxManifestLen bounds the manifest a reader will buffer, so a corrupt
 // length field cannot demand an absurd allocation.
 const maxManifestLen = 64 << 20
+
+// sectionAlign is the file-offset alignment of every v4 section payload.
+const sectionAlign = 8
 
 // Sentinel errors; every failure returned by Read wraps one of these, so
 // callers can distinguish "not ours" from "ours but damaged".
@@ -91,6 +115,9 @@ type SectionInfo struct {
 	Name   string
 	Length int64
 	CRC    uint32 // CRC-32C (Castagnoli) of the payload
+	// Encoding names the payload encoding (EncodingGob or EncodingFlat);
+	// empty in manifests written before format v4, which always held gob.
+	Encoding string
 }
 
 // Manifest describes a container: which corpus it belongs to, what was
@@ -108,19 +135,42 @@ type Manifest struct {
 	Sections []SectionInfo
 }
 
+// SnapshotFormat reports the manifest's snapshot generation: 4 when every
+// section uses the flat mmap-friendly encoding, 3 for the gob generation.
+func (m Manifest) SnapshotFormat() int {
+	if len(m.Sections) == 0 {
+		return m.FormatVersion
+	}
+	for _, s := range m.Sections {
+		if s.Encoding != EncodingFlat {
+			return 3
+		}
+	}
+	return 4
+}
+
 // Section is one named payload to persist.
 type Section struct {
 	Name string
 	Data []byte
+	// Encoding is recorded in the manifest's section table (EncodingGob
+	// when empty).
+	Encoding string
 }
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// align8 rounds n up to the next multiple of the section alignment.
+func align8(n int64) int64 {
+	return (n + sectionAlign - 1) &^ (sectionAlign - 1)
+}
 
 // Write atomically writes a container holding the given sections to path:
 // the container is staged in a temporary file next to path and published
 // with os.Rename, so a crash mid-write can never corrupt an existing
 // snapshot at path. The manifest's section table is filled in by Write;
-// any caller-provided table is ignored.
+// any caller-provided table is ignored (and left untouched — the caller's
+// Sections slice is never written through).
 func Write(path string, m Manifest, sections []Section) (err error) {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
@@ -154,17 +204,26 @@ func Write(path string, m Manifest, sections []Section) (err error) {
 	return nil
 }
 
+var zeroPad [sectionAlign]byte
+
 // writeContainer serialises the container to w. Split from Write so tests
 // can stage a container without publishing it (simulating a crash before
 // the rename).
 func writeContainer(w io.Writer, m Manifest, sections []Section) error {
 	m.FormatVersion = FormatVersion
-	m.Sections = m.Sections[:0]
+	// A fresh table, never the caller's backing array: reusing it would
+	// mutate the caller's Manifest.Sections in place.
+	m.Sections = make([]SectionInfo, 0, len(sections))
 	for _, s := range sections {
+		enc := s.Encoding
+		if enc == "" {
+			enc = EncodingGob
+		}
 		m.Sections = append(m.Sections, SectionInfo{
-			Name:   s.Name,
-			Length: int64(len(s.Data)),
-			CRC:    crc32.Checksum(s.Data, castagnoli),
+			Name:     s.Name,
+			Length:   int64(len(s.Data)),
+			CRC:      crc32.Checksum(s.Data, castagnoli),
+			Encoding: enc,
 		})
 	}
 	var mbuf bytes.Buffer
@@ -181,9 +240,28 @@ func writeContainer(w io.Writer, m Manifest, sections []Section) error {
 	if _, err := w.Write(mbuf.Bytes()); err != nil {
 		return fmt.Errorf("store: writing manifest: %w", err)
 	}
+	off := int64(16 + mbuf.Len())
+	pad := func() error {
+		n := align8(off) - off
+		if n == 0 {
+			return nil
+		}
+		if _, err := w.Write(zeroPad[:n]); err != nil {
+			return fmt.Errorf("store: writing padding: %w", err)
+		}
+		off += n
+		return nil
+	}
+	if err := pad(); err != nil {
+		return err
+	}
 	for _, s := range sections {
 		if _, err := w.Write(s.Data); err != nil {
 			return fmt.Errorf("store: writing section %q: %w", s.Name, err)
+		}
+		off += int64(len(s.Data))
+		if err := pad(); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -195,54 +273,75 @@ func writeContainer(w io.Writer, m Manifest, sections []Section) error {
 // from other format versions, and truncated or bit-flipped containers are
 // rejected with errors wrapping ErrNotSnapshot, ErrVersion, and ErrCorrupt
 // respectively — naming the damaged section where one can be identified.
+//
+// The returned payload slices alias one private buffer holding the file's
+// bytes; callers may retain them freely. For the zero-copy open path use
+// Map instead.
 func Read(path string) (Manifest, map[string][]byte, error) {
-	f, err := os.Open(path)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return Manifest{}, nil, err
 	}
-	defer f.Close()
-	fi, err := f.Stat()
+	return parseContainer(data, path)
+}
+
+// parseContainer verifies a whole in-memory container and returns section
+// views aliasing data. Shared by Read (heap buffer) and Map (mmap region).
+func parseContainer(data []byte, path string) (Manifest, map[string][]byte, error) {
+	br := bytes.NewReader(data)
+	m, err := readManifest(br, path)
 	if err != nil {
 		return Manifest{}, nil, err
 	}
-	m, err := readManifest(f, path)
-	if err != nil {
+	off := int64(len(data)) - int64(br.Len()) // header + manifest bytes consumed
+	skipPad := func() error {
+		if m.FormatVersion < FormatVersion {
+			return nil // v1 packs sections unaligned
+		}
+		end := align8(off)
+		if end > int64(len(data)) {
+			return fmt.Errorf("store: %s: truncated inside section padding: %w", path, ErrCorrupt)
+		}
+		for ; off < end; off++ {
+			if data[off] != 0 {
+				return fmt.Errorf("store: %s: nonzero section padding at offset %d: %w", path, off, ErrCorrupt)
+			}
+		}
+		return nil
+	}
+	if err := skipPad(); err != nil {
 		return Manifest{}, nil, err
 	}
-	// Section lengths come from the (unchecksummed) manifest: bound each
-	// one by the bytes actually present in the file before allocating, so
-	// a corrupt length field is an ErrCorrupt, not a huge allocation or a
-	// makeslice panic.
-	remaining := fi.Size()
 	sections := make(map[string][]byte, len(m.Sections))
 	for _, info := range m.Sections {
 		if info.Length < 0 {
 			return Manifest{}, nil, fmt.Errorf("store: %s: section %q has negative length %d: %w",
 				path, info.Name, info.Length, ErrCorrupt)
 		}
-		if info.Length > remaining {
-			return Manifest{}, nil, fmt.Errorf("store: %s: section %q claims %d bytes but the file has at most %d left: %w",
-				path, info.Name, info.Length, remaining, ErrCorrupt)
+		// The length comes from the (unchecksummed) manifest: bound it by
+		// the bytes actually present before slicing, so a corrupt length
+		// field is an ErrCorrupt, not a panic.
+		if info.Length > int64(len(data))-off {
+			return Manifest{}, nil, fmt.Errorf("store: %s: section %q truncated: claims %d bytes but the file has at most %d left: %w",
+				path, info.Name, info.Length, int64(len(data))-off, ErrCorrupt)
 		}
-		remaining -= info.Length
 		if _, dup := sections[info.Name]; dup {
 			return Manifest{}, nil, fmt.Errorf("store: %s: duplicate section %q: %w", path, info.Name, ErrCorrupt)
 		}
-		data := make([]byte, info.Length)
-		if _, err := io.ReadFull(f, data); err != nil {
-			return Manifest{}, nil, fmt.Errorf("store: %s: section %q truncated (want %d bytes): %w",
-				path, info.Name, info.Length, ErrCorrupt)
-		}
-		if crc := crc32.Checksum(data, castagnoli); crc != info.CRC {
+		payload := data[off : off+info.Length : off+info.Length]
+		if crc := crc32.Checksum(payload, castagnoli); crc != info.CRC {
 			return Manifest{}, nil, fmt.Errorf("store: %s: section %q checksum mismatch (%08x != %08x): %w",
 				path, info.Name, crc, info.CRC, ErrCorrupt)
 		}
-		sections[info.Name] = data
+		sections[info.Name] = payload
+		off += info.Length
+		if err := skipPad(); err != nil {
+			return Manifest{}, nil, err
+		}
 	}
 	// Trailing bytes mean the manifest does not describe the file we read:
 	// treat it as damage, not as forward compatibility.
-	var one [1]byte
-	if n, _ := f.Read(one[:]); n != 0 {
+	if off != int64(len(data)) {
 		return Manifest{}, nil, fmt.Errorf("store: %s: trailing bytes after last section: %w", path, ErrCorrupt)
 	}
 	return m, sections, nil
@@ -268,9 +367,10 @@ func readManifest(r io.Reader, path string) (Manifest, error) {
 	if !bytes.Equal(header[:8], magic[:]) {
 		return Manifest{}, fmt.Errorf("store: %s: bad magic %q: %w", path, header[:8], ErrNotSnapshot)
 	}
-	if v := binary.LittleEndian.Uint32(header[8:12]); v != FormatVersion {
-		return Manifest{}, fmt.Errorf("store: %s: container version %d, this build reads %d: %w",
-			path, v, FormatVersion, ErrVersion)
+	v := binary.LittleEndian.Uint32(header[8:12])
+	if v != FormatVersion && v != legacyVersion {
+		return Manifest{}, fmt.Errorf("store: %s: container version %d, this build reads %d and %d: %w",
+			path, v, legacyVersion, FormatVersion, ErrVersion)
 	}
 	mlen := binary.LittleEndian.Uint32(header[12:16])
 	if mlen > maxManifestLen {
@@ -284,5 +384,7 @@ func readManifest(r io.Reader, path string) (Manifest, error) {
 	if err := gob.NewDecoder(bytes.NewReader(mbuf)).Decode(&m); err != nil {
 		return Manifest{}, fmt.Errorf("store: %s: decoding manifest: %v: %w", path, err, ErrCorrupt)
 	}
+	// The header, not the manifest's own echo, is authoritative.
+	m.FormatVersion = int(v)
 	return m, nil
 }

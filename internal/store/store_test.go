@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"encoding/gob"
 	"errors"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"strings"
@@ -255,6 +256,102 @@ func TestReadRejectsTrailingGarbage(t *testing.T) {
 	}
 }
 
+// TestWriteDoesNotMutateCallerManifest is the regression test for a
+// slice-aliasing bug: writeContainer used to truncate-and-append over the
+// caller's Manifest.Sections backing array, silently rewriting the
+// caller's own section table.
+func TestWriteDoesNotMutateCallerManifest(t *testing.T) {
+	m := testManifest()
+	// A pre-populated table with spare capacity, exactly the shape the bug
+	// needed: len < cap, so in-place appends overwrite live entries.
+	m.Sections = append(make([]SectionInfo, 0, 8),
+		SectionInfo{Name: "caller-owned", Length: 123, CRC: 0xDEAD, Encoding: "gob"})
+	want := append([]SectionInfo(nil), m.Sections...)
+
+	path := filepath.Join(t.TempDir(), "corpus.snap")
+	if err := Write(path, m, testSections()); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Sections) != len(want) || m.Sections[0] != want[0] {
+		t.Errorf("Write mutated the caller's manifest sections: %+v, want %+v", m.Sections, want)
+	}
+	// And the written container carries the real table, not the caller's.
+	rm, _, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rm.Sections) != 2 || rm.Sections[0].Name != SectionIndex {
+		t.Errorf("written section table = %+v", rm.Sections)
+	}
+}
+
+// writeLegacyContainer stages a version-1 container: manifest and sections
+// packed back to back with no alignment padding — the layout every
+// pre-flat snapshot on disk has.
+func writeLegacyContainer(t *testing.T, path string, m Manifest, sections []Section) {
+	t.Helper()
+	m.FormatVersion = legacyVersion
+	m.Sections = nil
+	for _, s := range sections {
+		m.Sections = append(m.Sections, SectionInfo{
+			Name:   s.Name,
+			Length: int64(len(s.Data)),
+			CRC:    crc32.Checksum(s.Data, castagnoli),
+		})
+	}
+	var mbuf bytes.Buffer
+	if err := gob.NewEncoder(&mbuf).Encode(&m); err != nil {
+		t.Fatal(err)
+	}
+	var file bytes.Buffer
+	file.Write(magic[:])
+	var word [4]byte
+	binary.LittleEndian.PutUint32(word[:], legacyVersion)
+	file.Write(word[:])
+	binary.LittleEndian.PutUint32(word[:], uint32(mbuf.Len()))
+	file.Write(word[:])
+	file.Write(mbuf.Bytes())
+	for _, s := range sections {
+		file.Write(s.Data)
+	}
+	if err := os.WriteFile(path, file.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReadAcceptsLegacyV1Container pins backward compatibility: unaligned
+// version-1 containers still read (and map) correctly, with the header
+// version reported through the manifest.
+func TestReadAcceptsLegacyV1Container(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "legacy.snap")
+	writeLegacyContainer(t, path, testManifest(), testSections())
+	m, secs, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.FormatVersion != legacyVersion {
+		t.Errorf("FormatVersion = %d, want %d", m.FormatVersion, legacyVersion)
+	}
+	for _, want := range testSections() {
+		if !bytes.Equal(secs[want.Name], want.Data) {
+			t.Errorf("legacy section %q differs", want.Name)
+		}
+	}
+	// Map takes the same parse path.
+	mp, err := Map(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mp.Close()
+	if got, _ := mp.Section(SectionGraph); !bytes.Equal(got, testSections()[1].Data) {
+		t.Error("legacy graph section differs through Map")
+	}
+	// Legacy containers with no Encoding fields report the gob generation.
+	if got := m.SnapshotFormat(); got != 3 {
+		t.Errorf("SnapshotFormat = %d, want 3", got)
+	}
+}
+
 // TestReadRejectsLyingSectionLength hand-crafts a container whose
 // manifest claims an absurd section length: Read must reject it as
 // corrupt instead of attempting the allocation (the manifest itself has
@@ -276,6 +373,9 @@ func TestReadRejectsLyingSectionLength(t *testing.T) {
 	binary.LittleEndian.PutUint32(word[:], uint32(mbuf.Len()))
 	file.Write(word[:])
 	file.Write(mbuf.Bytes())
+	for file.Len()%8 != 0 {
+		file.WriteByte(0) // v4 pads to the section alignment after the manifest
+	}
 	file.WriteString("tiny payload")
 
 	path := filepath.Join(t.TempDir(), "lying.snap")
