@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"github.com/urbandata/datapolygamy/internal/core"
+	"github.com/urbandata/datapolygamy/internal/dataset"
 	"github.com/urbandata/datapolygamy/internal/spatial"
 	"github.com/urbandata/datapolygamy/internal/urban"
 )
@@ -55,6 +56,15 @@ type metrics struct {
 	QueryUncachedP99NS int64   `json:"query_uncached_p99_ns"`
 	QueryCachedP50NS   int64   `json:"query_cached_p50_ns"`
 	QueryCachedP99NS   int64   `json:"query_cached_p99_ns"`
+
+	// Append trajectory: a tile-aligned leap-year corpus grown by one
+	// slice per data set, each timed end to end (AppendSlice plus the
+	// delta graph refresh), against a from-scratch rebuild over the same
+	// merged corpus. The speedup is the acceptance metric of the tiled
+	// temporal domain: appends must not pay for old tiles.
+	AppendP50NS            int64   `json:"append_p50_ns"`
+	AppendRebuildNS        int64   `json:"append_rebuild_ns"`
+	AppendVsRebuildSpeedup float64 `json:"append_vs_rebuild_speedup"`
 }
 
 type config struct {
@@ -68,6 +78,9 @@ type config struct {
 	out     string
 	compare string
 	factor  float64
+
+	appendScale float64
+	appendDays  int
 }
 
 func main() {
@@ -82,6 +95,8 @@ func main() {
 	flag.StringVar(&c.out, "out", "", "write the JSON report here (default stdout)")
 	flag.StringVar(&c.compare, "compare", "", "baseline report: exit nonzero when warm open regresses beyond -factor against it")
 	flag.Float64Var(&c.factor, "factor", 2.0, "allowed warm-open slowdown versus the -compare baseline")
+	flag.Float64Var(&c.appendScale, "append-scale", 0.05, "record-volume scale of the append-vs-rebuild corpus (0 skips the append benchmark)")
+	flag.IntVar(&c.appendDays, "append-days", 7, "length of each appended slice in days")
 	flag.Parse()
 	rep, err := run(c)
 	if err != nil {
@@ -236,7 +251,102 @@ func run(c config) (report, error) {
 	rep.M.QueryUncachedP99NS = percentile(uncached, 99)
 	rep.M.QueryCachedP50NS = percentile(cached, 50)
 	rep.M.QueryCachedP99NS = percentile(cached, 99)
+
+	if c.appendScale > 0 {
+		if err := appendBench(c, city, &rep.M); err != nil {
+			return rep, err
+		}
+	}
 	return rep, nil
+}
+
+// appendBench measures corpus growth against corpus rebuild. The base
+// corpus spans exactly the 2012 leap year — 8784 hours, 366 days, 53 weeks,
+// 12 months: one full tile at every evaluation resolution — so a slice past
+// the corpus end opens a fresh tile and dirties only its own data set. Each
+// data set's slice is appended in turn and timed end to end (AppendSlice
+// plus the delta graph refresh); the reference is a cold BuildIndex +
+// BuildGraph over the merged corpus.
+func appendBench(c config, city *spatial.CityMap, m *metrics) error {
+	start := time.Date(2012, time.January, 1, 0, 0, 0, 0, time.UTC)
+	end := time.Date(2013, time.January, 1, 0, 0, 0, 0, time.UTC)
+	base, err := urban.Generate(urban.Config{Seed: c.seed, City: city, Start: start, End: end, Scale: c.appendScale})
+	if err != nil {
+		return err
+	}
+	slices, err := urban.Generate(urban.Config{
+		Seed: c.seed, City: city, Start: end, End: end.AddDate(0, 0, c.appendDays), Scale: c.appendScale,
+	})
+	if err != nil {
+		return err
+	}
+
+	build := func(ds []*dataset.Dataset) (*core.Framework, time.Duration, error) {
+		fw, err := core.New(core.Options{City: city, Seed: c.seed})
+		if err != nil {
+			return nil, 0, err
+		}
+		for _, d := range ds {
+			if err := fw.AddDataset(d); err != nil {
+				return nil, 0, err
+			}
+		}
+		t0 := time.Now()
+		if _, err := fw.BuildIndex(); err != nil {
+			return nil, 0, err
+		}
+		if _, err := fw.BuildGraph(core.Clause{Permutations: c.perms}); err != nil {
+			return nil, 0, err
+		}
+		return fw, time.Since(t0), nil
+	}
+
+	live, _, err := build(base.Datasets)
+	if err != nil {
+		return err
+	}
+	clause := core.Clause{Permutations: c.perms}
+	samples := make([]int64, 0, len(slices.Datasets))
+	for _, s := range slices.Datasets {
+		if len(s.Tuples) == 0 {
+			continue
+		}
+		t0 := time.Now()
+		st, err := live.AppendSlice(s)
+		if err != nil {
+			return fmt.Errorf("append %s: %v", s.Name, err)
+		}
+		if _, err := live.BuildGraph(clause); err != nil {
+			return err
+		}
+		if st.FellBack {
+			return fmt.Errorf("append %s fell back to a full rebuild; the measurement would compare rebuild to rebuild", s.Name)
+		}
+		samples = append(samples, time.Since(t0).Nanoseconds())
+	}
+	if len(samples) == 0 {
+		return fmt.Errorf("append benchmark produced no slices")
+	}
+
+	merged := base.Datasets
+	byName := map[string]*dataset.Dataset{}
+	for _, s := range slices.Datasets {
+		byName[s.Name] = s
+	}
+	for _, d := range merged {
+		if s := byName[d.Name]; s != nil {
+			d.Tuples = append(d.Tuples, s.Tuples...)
+		}
+	}
+	_, rebuild, err := build(merged)
+	if err != nil {
+		return err
+	}
+
+	m.AppendP50NS = percentile(samples, 50)
+	m.AppendRebuildNS = rebuild.Nanoseconds()
+	m.AppendVsRebuildSpeedup = float64(m.AppendRebuildNS) / float64(m.AppendP50NS)
+	return nil
 }
 
 // percentile reports the p-th percentile (nearest-rank) of samples.

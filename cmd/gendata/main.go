@@ -22,25 +22,31 @@ import (
 
 func main() {
 	var (
-		out    = flag.String("out", "", "output directory (required)")
-		seed   = flag.Int64("seed", 1, "generation seed")
-		months = flag.Int("months", 12, "window length in months from 2011-01")
-		scale  = flag.Float64("scale", 0.5, "record-volume scale")
-		grid   = flag.Int("grid", 48, "city grid side")
-		openN  = flag.Int("open", 0, "also generate N open-style data sets")
+		out      = flag.String("out", "", "output directory (required)")
+		seed     = flag.Int64("seed", 1, "generation seed")
+		startStr = flag.String("start", "2011-01", "window start month (YYYY-MM); later starts generate append slices for an existing corpus")
+		months   = flag.Int("months", 12, "window length in months from -start")
+		scale    = flag.Float64("scale", 0.5, "record-volume scale")
+		grid     = flag.Int("grid", 48, "city grid side")
+		openN    = flag.Int("open", 0, "also generate N open-style data sets")
 	)
 	flag.Parse()
 	if *out == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*out, *seed, *months, *scale, *grid, *openN); err != nil {
+	start, err := time.Parse("2006-01", *startStr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gendata: -start %q: want YYYY-MM\n", *startStr)
+		os.Exit(2)
+	}
+	if err := run(*out, *seed, start, *months, *scale, *grid, *openN); err != nil {
 		fmt.Fprintln(os.Stderr, "gendata:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out string, seed int64, months int, scale float64, grid, openN int) error {
+func run(out string, seed int64, start time.Time, months int, scale float64, grid, openN int) error {
 	if err := os.MkdirAll(out, 0o755); err != nil {
 		return err
 	}
@@ -51,7 +57,6 @@ func run(out string, seed int64, months int, scale float64, grid, openN int) err
 	if err != nil {
 		return err
 	}
-	start := time.Date(2011, time.January, 1, 0, 0, 0, 0, time.UTC)
 	col, err := urban.Generate(urban.Config{
 		Seed: seed, City: city, Start: start, End: start.AddDate(0, months, 0), Scale: scale,
 	})

@@ -4,13 +4,16 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"github.com/urbandata/datapolygamy/internal/dataset"
 )
 
+var testStart = time.Date(2011, time.January, 1, 0, 0, 0, 0, time.UTC)
+
 func TestGendataWritesCorpus(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(dir, 1, 2, 0.1, 24, 3); err != nil {
+	if err := run(dir, 1, testStart, 2, 0.1, 24, 3); err != nil {
 		t.Fatal(err)
 	}
 	files, err := filepath.Glob(filepath.Join(dir, "*.csv"))
@@ -39,7 +42,7 @@ func TestGendataWritesCorpus(t *testing.T) {
 }
 
 func TestGendataBadDir(t *testing.T) {
-	if err := run("/dev/null/nope", 1, 1, 0.1, 24, 0); err == nil {
+	if err := run("/dev/null/nope", 1, testStart, 1, 0.1, 24, 0); err == nil {
 		t.Error("expected error for unwritable directory")
 	}
 }

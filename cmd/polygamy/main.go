@@ -77,7 +77,7 @@ func main() {
 	}
 	var o cliOptions
 	flag.StringVar(&o.dataDir, "data", "", "directory of data set CSV files (required)")
-	flag.StringVar(&o.queryStr, "query", "", `textual query, e.g. "find relationships between taxi and all where score >= 0.6 at (hour, city)" (overrides the flag-based clause)`)
+	flag.StringVar(&o.queryStr, "query", "", `textual query, e.g. "find relationships between taxi and all where score >= 0.6 at (hour, city)"; a second between-clause windows the evaluation in time, e.g. "find relationships between taxi and all between 2012-06-01 and 2012-08-31" (overrides the flag-based clause)`)
 	flag.StringVar(&o.sources, "sources", "", "comma-separated source data sets (default: all)")
 	flag.StringVar(&o.targets, "targets", "", "comma-separated target data sets (default: all)")
 	flag.Float64Var(&o.minScore, "min-score", 0, "minimum |tau|")

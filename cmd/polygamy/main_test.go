@@ -88,6 +88,22 @@ func TestPolygamyCLITextualQuery(t *testing.T) {
 	}
 }
 
+func TestPolygamyCLIWindowedQuery(t *testing.T) {
+	dir := t.TempDir()
+	writeCorpus(t, dir)
+	o := baseOptions(dir)
+	// The corpus starts 2012-03-01 and runs 30 weeks; window the middle.
+	o.queryStr = "find relationships between alpha and beta between 2012-04-01 and 2012-07-01 where score >= 0.2 and permutations = 100"
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	// A window past the corpus is an empty evaluation, not an error.
+	o.queryStr = "find relationships between alpha and beta between 2031-01-01 and 2031-02-01"
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestPolygamyCLIJSONOutput(t *testing.T) {
 	dir := t.TempDir()
 	writeCorpus(t, dir)

@@ -56,6 +56,7 @@ type server struct {
 	failures    atomic.Int64 // queries rejected or failed
 	graphBuilds atomic.Int64 // graph builds completed
 	ingests     atomic.Int64 // ingestion jobs accepted
+	appends     atomic.Int64 // append jobs accepted
 }
 
 func newServer(fw *core.Framework) *server {
@@ -68,6 +69,7 @@ func newServer(fw *core.Framework) *server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
 	s.mux.HandleFunc("POST /v1/datasets", s.handleIngest)
+	s.mux.HandleFunc("POST /v1/datasets/{name}/append", s.handleAppend)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("GET /v1/query", s.handleQueryText)
@@ -237,6 +239,11 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"failures":    s.failures.Load(),
 		"graphBuilds": s.graphBuilds.Load(),
 		"ingests":     s.ingests.Load(),
+		"appends":     s.appends.Load(),
+		// rebuilds counts full derived-state discards over the framework's
+		// lifetime (range-extending AddDataset, fallback appends); an
+		// operator watching this sees exactly when incrementality was lost.
+		"rebuilds": s.fw.Rebuilds(),
 	})
 }
 

@@ -185,6 +185,108 @@ func (v *Vector) Any() bool {
 	return false
 }
 
+// Grow returns a writable copy of v extended to n bits (n >= v.Len()); the
+// appended bits are zero. It works on read-only views too — the words are
+// copied out of the mapped region — which is how zero-copy snapshot vectors
+// are tile-extended when a warm-opened corpus is appended to: existing bit
+// positions are preserved exactly, so step→bit mapping survives the append.
+func (v *Vector) Grow(n int) *Vector {
+	if n < v.n {
+		panic(fmt.Sprintf("bitvec: Grow to %d bits would shrink %d", n, v.n))
+	}
+	out := New(n)
+	copy(out.words, v.words)
+	return out
+}
+
+// lowMask returns a word with the k lowest bits set (k in [0, 64]).
+func lowMask(k int) uint64 {
+	if k >= wordBits {
+		return ^uint64(0)
+	}
+	return uint64(1)<<uint(k) - 1
+}
+
+// rangeBits reads k (<= 64) bits starting at bit offset off, returned in
+// the low bits of the result. Bits past v.Len() read as zero.
+func (v *Vector) rangeBits(off, k int) uint64 {
+	w, b := off/wordBits, off%wordBits
+	var x uint64
+	if w < len(v.words) {
+		x = v.words[w] >> uint(b)
+		if b+k > wordBits && w+1 < len(v.words) {
+			x |= v.words[w+1] << uint(wordBits-b)
+		}
+	}
+	return x & lowMask(k)
+}
+
+// CopyRange copies n bits from src starting at srcOff into v starting at
+// dstOff. Ranges must lie within the respective vectors; v must be
+// writable. Offsets need not be word-aligned — this is the bit blit that
+// stitches per-tile feature vectors into a full-domain vector at offset
+// tileStartStep*nRegions, and compacts supporting-tile windows for the
+// windowed Monte Carlo test.
+func (v *Vector) CopyRange(src *Vector, srcOff, dstOff, n int) {
+	v.checkWritable()
+	if n < 0 || srcOff < 0 || dstOff < 0 || srcOff+n > src.n || dstOff+n > v.n {
+		panic(fmt.Sprintf("bitvec: CopyRange src[%d:%d) of %d into dst[%d:%d) of %d",
+			srcOff, srcOff+n, src.n, dstOff, dstOff+n, v.n))
+	}
+	for n > 0 {
+		dw, db := dstOff/wordBits, dstOff%wordBits
+		take := wordBits - db
+		if take > n {
+			take = n
+		}
+		bits := src.rangeBits(srcOff, take)
+		mask := lowMask(take) << uint(db)
+		v.words[dw] = v.words[dw]&^mask | bits<<uint(db)
+		srcOff += take
+		dstOff += take
+		n -= take
+	}
+}
+
+// AnyRange reports whether any bit in [from, to) is set.
+func (v *Vector) AnyRange(from, to int) bool {
+	if from < 0 || to > v.n || from > to {
+		panic(fmt.Sprintf("bitvec: AnyRange [%d,%d) out of range [0,%d)", from, to, v.n))
+	}
+	for from < to {
+		w, b := from/wordBits, from%wordBits
+		take := wordBits - b
+		if take > to-from {
+			take = to - from
+		}
+		if v.words[w]&(lowMask(take)<<uint(b)) != 0 {
+			return true
+		}
+		from += take
+	}
+	return false
+}
+
+// MaskRange returns a writable copy of v with only the bits in [from, to)
+// kept (everything outside the range cleared). Windowed queries mask
+// feature sets to the clause's time window with it.
+func (v *Vector) MaskRange(from, to int) *Vector {
+	if from < 0 || to > v.n || from > to {
+		panic(fmt.Sprintf("bitvec: MaskRange [%d,%d) out of range [0,%d)", from, to, v.n))
+	}
+	out := New(v.n)
+	if from == to {
+		return out
+	}
+	loW, hiW := from/wordBits, (to-1)/wordBits
+	copy(out.words[loW:hiW+1], v.words[loW:hiW+1])
+	out.words[loW] &^= lowMask(from % wordBits)
+	if tail := to % wordBits; tail != 0 {
+		out.words[hiW] &= lowMask(tail)
+	}
+	return out
+}
+
 // Reset clears all bits in place.
 func (v *Vector) Reset() {
 	v.checkWritable()

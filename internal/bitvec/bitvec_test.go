@@ -358,3 +358,110 @@ func TestFromBytesViewIsReadOnly(t *testing.T) {
 		c.Set(5) // clones are writable
 	}
 }
+
+func TestGrow(t *testing.T) {
+	v := New(70)
+	v.Set(0)
+	v.Set(69)
+	g := v.Grow(200)
+	if g.Len() != 200 || g.Count() != 2 || !g.Get(0) || !g.Get(69) {
+		t.Fatalf("Grow lost bits: len %d count %d", g.Len(), g.Count())
+	}
+	g.Set(199) // grown vectors are writable
+	if v.Len() != 70 {
+		t.Error("Grow mutated the receiver")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("shrinking Grow did not panic")
+		}
+	}()
+	v.Grow(10)
+}
+
+func TestGrowReadOnlyView(t *testing.T) {
+	v := New(64)
+	v.Set(7)
+	data, _ := v.MarshalBinary()
+	view, err := FromBytes(64, data[8:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := view.Grow(128)
+	if !g.Get(7) || g.Count() != 1 {
+		t.Error("Grow on a read-only view lost bits")
+	}
+	g.Set(100) // must be writable even when the source was a view
+}
+
+// naiveCopyRange is the bit-by-bit oracle CopyRange is checked against.
+func naiveCopyRange(dst, src *Vector, srcOff, dstOff, n int) {
+	for i := 0; i < n; i++ {
+		if src.Get(srcOff + i) {
+			dst.Set(dstOff + i)
+		} else {
+			dst.Clear(dstOff + i)
+		}
+	}
+}
+
+func TestCopyRangeRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		sn := 1 + rng.Intn(300)
+		dn := 1 + rng.Intn(300)
+		src, a, b := New(sn), New(dn), New(dn)
+		for i := 0; i < sn; i++ {
+			if rng.Intn(2) == 0 {
+				src.Set(i)
+			}
+		}
+		for i := 0; i < dn; i++ {
+			if rng.Intn(2) == 0 {
+				a.Set(i)
+				b.Set(i)
+			}
+		}
+		n := rng.Intn(min(sn, dn) + 1)
+		srcOff := rng.Intn(sn - n + 1)
+		dstOff := rng.Intn(dn - n + 1)
+		a.CopyRange(src, srcOff, dstOff, n)
+		naiveCopyRange(b, src, srcOff, dstOff, n)
+		if !a.Equal(b) {
+			t.Fatalf("trial %d: CopyRange(src[%d:%d) -> dst[%d:%d)) mismatch",
+				trial, srcOff, srcOff+n, dstOff, dstOff+n)
+		}
+	}
+}
+
+func TestAnyRangeAndMaskRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(260)
+		v := New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(4) == 0 {
+				v.Set(i)
+			}
+		}
+		from := rng.Intn(n + 1)
+		to := from + rng.Intn(n-from+1)
+		wantAny := false
+		for i := from; i < to; i++ {
+			if v.Get(i) {
+				wantAny = true
+				break
+			}
+		}
+		if got := v.AnyRange(from, to); got != wantAny {
+			t.Fatalf("AnyRange(%d,%d) = %t, want %t (n=%d)", from, to, got, wantAny, n)
+		}
+		m := v.MaskRange(from, to)
+		for i := 0; i < n; i++ {
+			want := i >= from && i < to && v.Get(i)
+			if m.Get(i) != want {
+				t.Fatalf("MaskRange(%d,%d) bit %d = %t, want %t", from, to, i, m.Get(i), want)
+			}
+		}
+	}
+}

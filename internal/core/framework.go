@@ -26,6 +26,7 @@ package core
 
 import (
 	"fmt"
+	"log"
 	"runtime"
 	"sort"
 	"sync"
@@ -33,7 +34,6 @@ import (
 	"time"
 
 	"github.com/urbandata/datapolygamy/internal/dataset"
-	"github.com/urbandata/datapolygamy/internal/feature"
 	"github.com/urbandata/datapolygamy/internal/mapreduce"
 	"github.com/urbandata/datapolygamy/internal/relgraph"
 	"github.com/urbandata/datapolygamy/internal/scalar"
@@ -89,6 +89,13 @@ type IndexStats struct {
 	DatasetsReused  int // data sets whose existing entries were kept
 	Functions       int // scalar functions computed by this call
 	FeatureSets     int // feature sets extracted by this call
+
+	// Rebuilds is the framework-lifetime count of full derived-state
+	// teardowns (resetIndex): how many times the corpus was forced to
+	// re-derive every timeline, bit vector, and graph from scratch. A
+	// healthy append-only deployment keeps this at its warm-start value;
+	// a climbing counter is a rebuild storm (see Framework.Rebuilds).
+	Rebuilds int64
 
 	// ComputeDuration and IndexDuration are cumulative time spent across
 	// workers in scalar computation and feature identification. The two
@@ -169,6 +176,12 @@ type Framework struct {
 	cacheMu  sync.Mutex
 	cache    map[string]*cachedResult
 	inflight map[string]*inflightQuery
+
+	// rebuilds counts full derived-state teardowns (resetIndex) over the
+	// framework's lifetime, so operators can see rebuild storms (every
+	// teardown discards all bit vectors, caches, and the relationship
+	// graph). Reported by IndexStats.Rebuilds and Framework.Rebuilds.
+	rebuilds atomic.Int64
 
 	// mappings are the snapshot memory mappings adopted by Load: flat (v4)
 	// sections are viewed zero-copy, so the mapped file must outlive every
@@ -260,9 +273,16 @@ func (f *Framework) addDatasetLocked(d *dataset.Dataset) error {
 	}
 	f.datasets[d.Name] = d
 	f.order = append(f.order, d.Name)
-	if extends {
-		// The corpus time range grew: per-resolution timelines change
-		// length, so every existing bit vector is over the wrong domain.
+	if extends && (f.built || len(f.timelines) > 0) {
+		// The corpus time range grew under an existing index:
+		// per-resolution timelines change length, so every existing bit
+		// vector is over the wrong domain. This is the teardown path
+		// AppendSlice exists to avoid; count and log it — naming the
+		// triggering data set — so rebuild storms are visible to operators
+		// (/v1/stats). Range extensions during pre-build registration are
+		// not counted: there is no derived state to discard yet.
+		log.Printf("core: dataset %q extends corpus time range to [%d, %d]; discarding derived state (rebuild #%d)",
+			d.Name, f.minTS, f.maxTS, f.rebuilds.Load()+1)
 		f.resetIndex()
 	} else {
 		f.invalidateCacheInvolving(d.Name)
@@ -275,6 +295,7 @@ func (f *Framework) addDatasetLocked(d *dataset.Dataset) error {
 // registered data sets are kept. The caller must hold the state lock
 // exclusively.
 func (f *Framework) resetIndex() {
+	f.rebuilds.Add(1)
 	f.index = newIndex()
 	f.timelines = make(map[temporal.Resolution]*temporal.Timeline)
 	f.graphs = make(map[Resolution]*stgraph.Graph)
@@ -386,6 +407,7 @@ func (f *Framework) buildIndexLocked() (IndexStats, error) {
 	stats.DatasetsIndexed = len(todo)
 	stats.DatasetsReused = len(f.order) - len(todo)
 	if len(todo) == 0 {
+		stats.Rebuilds = f.rebuilds.Load()
 		f.built = true
 		return stats, nil
 	}
@@ -424,6 +446,7 @@ func (f *Framework) buildIndexLocked() (IndexStats, error) {
 	stats.ComputeDuration = pstats.ComputeDuration
 	stats.IndexDuration = pstats.IndexDuration
 	stats.WallDuration = pstats.WallDuration
+	stats.Rebuilds = f.rebuilds.Load()
 	f.built = true
 	f.invalidateCacheInvolving(todo...)
 	return stats, nil
@@ -444,33 +467,20 @@ func (f *Framework) runIndexPipeline(tasks []funcTask,
 	var computeNS, featureNS, numFns atomic.Int64
 	p := mapreduce.NewPipeline(mapreduce.Config{Workers: f.opts.Workers})
 
-	// Stage 1: scalar function computation (paper job 1), expanding each
-	// function with its gradient when enabled.
-	fns := mapreduce.FlatThrough(mapreduce.Emit(p, tasks),
-		func(t funcTask) ([]*scalar.Function, error) {
-			start := time.Now()
-			fn, err := scalar.ComputeOnDomain(t.ds, t.spec, f.opts.City, t.res.Spatial, t.res.Temporal,
-				tl(t.res.Temporal), gr(t.res))
+	// Each task runs the fused tiled build (tile.go): scalar computation
+	// (paper job 1) and feature identification (paper job 2) proceed tile by
+	// tile, each tile's function flowing straight into merge-tree indexing.
+	entries := mapreduce.FlatThrough(mapreduce.Emit(p, tasks),
+		func(t funcTask) ([]*FunctionEntry, error) {
+			es, tm, err := f.buildEntriesTiled(t, tl(t.res.Temporal), gr(t.res))
 			if err != nil {
 				return nil, err
 			}
-			out := []*scalar.Function{fn}
-			if f.opts.IncludeGradients {
-				out = append(out, scalar.Gradient(fn))
-			}
-			computeNS.Add(int64(time.Since(start)))
-			numFns.Add(int64(len(out)))
-			return out, nil
+			computeNS.Add(int64(tm.compute))
+			featureNS.Add(int64(tm.feature))
+			numFns.Add(int64(len(es)))
+			return es, nil
 		})
-
-	// Stage 2, fused: feature identification (paper job 2) — merge trees,
-	// thresholds, salient and extreme sets, occupancy summaries.
-	entries := mapreduce.Through(fns, func(fn *scalar.Function) (*FunctionEntry, error) {
-		start := time.Now()
-		e := newFunctionEntry(fn, feature.NewExtractor(fn))
-		featureNS.Add(int64(time.Since(start)))
-		return e, nil
-	})
 
 	// Sink: accumulate the new entries; the caller's index is only updated
 	// once the whole pipeline has succeeded, so a failed build leaves it
@@ -525,6 +535,10 @@ func (f *Framework) Graph(res Resolution) (*stgraph.Graph, bool) {
 	g, ok := f.graphs[res]
 	return g, ok
 }
+
+// Rebuilds returns the framework-lifetime count of full derived-state
+// teardowns (index, timelines, graphs, caches all dropped and re-derived).
+func (f *Framework) Rebuilds() int64 { return f.rebuilds.Load() }
 
 // NumFunctions returns the total number of indexed scalar functions.
 func (f *Framework) NumFunctions() int {

@@ -4,6 +4,7 @@ import (
 	"github.com/urbandata/datapolygamy/internal/bitvec"
 	"github.com/urbandata/datapolygamy/internal/feature"
 	"github.com/urbandata/datapolygamy/internal/scalar"
+	"github.com/urbandata/datapolygamy/internal/temporal"
 )
 
 // This file is the index layer of the framework: the Index type stores the
@@ -32,28 +33,53 @@ type FunctionEntry struct {
 
 	// NumVertices and NumEdges describe the domain graph.
 	NumVertices, NumEdges int
-	// CriticalPoints counts join+split tree critical vertices (index size).
+	// CriticalPoints counts join+split tree critical vertices (index size),
+	// summed over tiles.
 	CriticalPoints int
+
+	// NumSteps is the length of the temporal domain the entry was built
+	// over. Together with Res.Temporal it determines the tile partition
+	// (temporal.TileWidth); entries built before tiling (hand-constructed in
+	// tests) leave it 0 and are treated as a single opaque tile.
+	NumSteps int
+	// TileThresholds and TileCriticalPoints hold the per-tile extractor
+	// thresholds and merge-tree critical point counts, one element per tile.
+	// They are what an append reuses for untouched tiles; the entry-level
+	// Thresholds field is tile 0's.
+	TileThresholds     []feature.Thresholds
+	TileCriticalPoints []int
 
 	// Cached feature unions Σ = positive ∪ negative per class, shared by the
 	// planner and relationship evaluation so neither re-derives them per pair.
 	salientAll, extremeAll *bitvec.Vector
+
+	// Per-class tile occupancy bitmaps (bit t set ⇔ tile t contains at least
+	// one feature bit of that class), derived in finalize. The significance
+	// test of a pair runs over the union of both entries' occupied tiles —
+	// the supporting window — so a pair's p-value depends only on the tiles
+	// that back it and is invariant under appends that leave them untouched.
+	// nil (NumSteps 0) means unknown: treated as every tile occupied.
+	salientTiles, extremeTiles []uint64
 }
 
-// newFunctionEntry builds the index entry of one scalar function from its
-// feature extractor.
-func newFunctionEntry(fn *scalar.Function, ex *feature.Extractor) *FunctionEntry {
+// newFunctionEntry builds the index entry of one scalar function computed
+// over a single-tile domain of numSteps steps from its feature extractor.
+func newFunctionEntry(fn *scalar.Function, ex *feature.Extractor, numSteps int) *FunctionEntry {
+	crit := ex.JoinTree().NumCriticalPoints() + ex.SplitTree().NumCriticalPoints()
 	e := &FunctionEntry{
-		Key:            fn.Key(),
-		Dataset:        fn.Dataset,
-		SpecName:       fn.Name(),
-		Res:            Resolution{fn.SRes, fn.TRes},
-		Salient:        ex.Extract(feature.Salient),
-		Extreme:        ex.Extract(feature.Extreme),
-		Thresholds:     ex.Thresholds(),
-		NumVertices:    fn.Graph.NumVertices(),
-		NumEdges:       fn.Graph.NumEdges(),
-		CriticalPoints: ex.JoinTree().NumCriticalPoints() + ex.SplitTree().NumCriticalPoints(),
+		Key:                fn.Key(),
+		Dataset:            fn.Dataset,
+		SpecName:           fn.Name(),
+		Res:                Resolution{fn.SRes, fn.TRes},
+		Salient:            ex.Extract(feature.Salient),
+		Extreme:            ex.Extract(feature.Extreme),
+		Thresholds:         ex.Thresholds(),
+		NumVertices:        fn.Graph.NumVertices(),
+		NumEdges:           fn.Graph.NumEdges(),
+		CriticalPoints:     crit,
+		NumSteps:           numSteps,
+		TileThresholds:     []feature.Thresholds{ex.Thresholds()},
+		TileCriticalPoints: []int{crit},
 	}
 	e.finalize()
 	return e
@@ -74,6 +100,49 @@ func (e *FunctionEntry) finalize() {
 		Neg: e.Extreme.Negative.Count(),
 		All: e.extremeAll.Count(),
 	}
+	e.computeTileOccupancy()
+}
+
+// computeTileOccupancy derives the per-class tile occupancy bitmaps from the
+// cached unions. Entries with unknown domain length (NumSteps 0) keep nil
+// bitmaps, which readers treat as "every tile occupied".
+func (e *FunctionEntry) computeTileOccupancy() {
+	if e.NumSteps <= 0 || e.NumVertices%e.NumSteps != 0 {
+		e.salientTiles, e.extremeTiles = nil, nil
+		return
+	}
+	w := temporal.TileWidth(e.Res.Temporal)
+	nTiles := temporal.NumTilesFor(e.NumSteps, e.Res.Temporal)
+	r := e.NumVertices / e.NumSteps
+	e.salientTiles = tileOccupancyBits(e.salientAll, w, r, e.NumSteps, nTiles)
+	e.extremeTiles = tileOccupancyBits(e.extremeAll, w, r, e.NumSteps, nTiles)
+}
+
+// tileOccupancyBits scans one union vector tile by tile and returns the
+// occupancy bitset (bit t set ⇔ any feature bit inside tile t's vertex
+// range).
+func tileOccupancyBits(v *bitvec.Vector, w, r, nSteps, nTiles int) []uint64 {
+	out := make([]uint64, (nTiles+63)/64)
+	for t := 0; t < nTiles; t++ {
+		lo := t * w
+		hi := lo + w
+		if hi > nSteps {
+			hi = nSteps
+		}
+		if v.AnyRange(lo*r, hi*r) {
+			out[t/64] |= 1 << uint(t%64)
+		}
+	}
+	return out
+}
+
+// tileOcc returns the tile occupancy bitmap of the given class (nil when
+// unknown — treat as fully occupied).
+func (e *FunctionEntry) tileOcc(c feature.Class) []uint64 {
+	if c == feature.Salient {
+		return e.salientTiles
+	}
+	return e.extremeTiles
 }
 
 // finalizeWithUnions is finalize for entries whose feature unions were
@@ -95,6 +164,7 @@ func (e *FunctionEntry) finalizeWithUnions(salientAll, extremeAll *bitvec.Vector
 		Neg: e.Extreme.Negative.Count(),
 		All: e.extremeAll.Count(),
 	}
+	e.computeTileOccupancy()
 }
 
 // set returns the feature set of the given class.

@@ -71,7 +71,13 @@ func (f *Framework) IngestDataset(d *dataset.Dataset) (IndexStats, error) {
 	// Shallow-copy the domain maps: timelines and graphs are immutable
 	// once created, but the maps themselves mutate under the exclusive
 	// lock (e.g. a concurrent BuildIndex), so the pipeline must not read
-	// the shared maps after we release the lock.
+	// the shared maps after we release the lock. Tiling keeps this sound:
+	// AppendSlice never mutates a published Timeline or Graph — extension
+	// goes through temporal.Timeline.Extend, which returns a fresh copy —
+	// and it serializes with this function on ingestMu, so the captured
+	// pointers cannot change length mid-pipeline. If that serialization
+	// were ever relaxed, the minTS/maxTS recheck at the splice below is
+	// what catches a domain that moved underneath us.
 	timelines := make(map[temporal.Resolution]*temporal.Timeline, len(f.timelines))
 	for tr, tl := range f.timelines {
 		timelines[tr] = tl

@@ -66,6 +66,14 @@ type entrySnapshot struct {
 	NumVertices    int
 	NumEdges       int
 	CriticalPoints int
+
+	// Tile metadata (snapshot version 2): the temporal domain length and the
+	// per-tile thresholds and critical point counts, which an append reuses
+	// for untouched tiles. Without them a warm-opened corpus could not be
+	// appended to, so version-1 snapshots are rejected rather than upgraded.
+	NumSteps           int
+	TileThresholds     []thresholdsSnapshot
+	TileCriticalPoints []int
 }
 
 type featureSnapshot struct {
@@ -80,7 +88,9 @@ type thresholdsSnapshot struct {
 	ExtremeNeg  float64
 }
 
-const snapshotVersion = 1
+// snapshotVersion 2 added the per-entry tile metadata (NumSteps,
+// TileThresholds, TileCriticalPoints) that appending needs.
+const snapshotVersion = 2
 
 // SaveIndex writes the built index (feature sets and thresholds of every
 // indexed function) to w. The corpus data itself is not stored; LoadIndex
@@ -121,9 +131,19 @@ func (f *Framework) encodeIndexLocked() ([]byte, error) {
 				ExtremePos:  e.Thresholds.ExtremePos,
 				ExtremeNeg:  e.Thresholds.ExtremeNeg,
 			},
-			NumVertices:    e.NumVertices,
-			NumEdges:       e.NumEdges,
-			CriticalPoints: e.CriticalPoints,
+			NumVertices:        e.NumVertices,
+			NumEdges:           e.NumEdges,
+			CriticalPoints:     e.CriticalPoints,
+			NumSteps:           e.NumSteps,
+			TileCriticalPoints: append([]int{}, e.TileCriticalPoints...),
+		}
+		for _, th := range e.TileThresholds {
+			se.TileThresholds = append(se.TileThresholds, thresholdsSnapshot{
+				PosBySeason: th.PosBySeason.SeasonMap(),
+				NegBySeason: th.NegBySeason.SeasonMap(),
+				ExtremePos:  th.ExtremePos,
+				ExtremeNeg:  th.ExtremeNeg,
+			})
 		}
 		var err error
 		if se.Salient.Positive, err = e.Salient.Positive.MarshalBinary(); err != nil {
@@ -171,14 +191,19 @@ func (f *Framework) decodeIndexLocked(r io.Reader) error {
 	entries := make([]*FunctionEntry, 0, len(snap.Entries))
 	for _, se := range snap.Entries {
 		e := &FunctionEntry{
-			Key:            se.Key,
-			Dataset:        se.Dataset,
-			SpecName:       se.SpecName,
-			Res:            Resolution{Spatial: se.SRes, Temporal: se.TRes},
-			Thresholds:     featureThresholds(se.Thresholds),
-			NumVertices:    se.NumVertices,
-			NumEdges:       se.NumEdges,
-			CriticalPoints: se.CriticalPoints,
+			Key:                se.Key,
+			Dataset:            se.Dataset,
+			SpecName:           se.SpecName,
+			Res:                Resolution{Spatial: se.SRes, Temporal: se.TRes},
+			Thresholds:         featureThresholds(se.Thresholds),
+			NumVertices:        se.NumVertices,
+			NumEdges:           se.NumEdges,
+			CriticalPoints:     se.CriticalPoints,
+			NumSteps:           se.NumSteps,
+			TileCriticalPoints: append([]int{}, se.TileCriticalPoints...),
+		}
+		for _, th := range se.TileThresholds {
+			e.TileThresholds = append(e.TileThresholds, featureThresholds(th))
 		}
 		var err error
 		if e.Salient, err = decodeFeatureSet(se.Salient); err != nil {

@@ -34,15 +34,18 @@ import (
 
 // flatSnapshotVersion is the snapshot generation of the flat section
 // encoding. Generations 1–3 were gob (see snapshotVersion and
-// graphSnapshotVersion); 4 is the first flat, mmap-friendly one.
-const flatSnapshotVersion = 4
+// graphSnapshotVersion); 4 was the first flat, mmap-friendly one; 5 added
+// the per-entry tile table (NumSteps, per-tile thresholds and critical
+// points) that appending to a warm-opened corpus needs, and the query
+// window fields of the persisted clause.
+const flatSnapshotVersion = 5
 
 // Section payload magics; Load sniffs these to pick the codec. The final
-// byte is the generation, so a future v5 layout is "not flat v4" rather
+// byte is the generation, so an older v4 layout is "not flat v5" rather
 // than a misparse.
 var (
-	flatIndexMagic = []byte("DPIXFLT\x04")
-	flatGraphMagic = []byte("DPGRFLT\x04")
+	flatIndexMagic = []byte("DPIXFLT\x05")
+	flatGraphMagic = []byte("DPGRFLT\x05")
 )
 
 // nilSlice is the length sentinel distinguishing a nil clause slice
@@ -73,7 +76,7 @@ func (f *Framework) collectEntriesLocked() []*FunctionEntry {
 	return out
 }
 
-// encodeFlatIndexLocked serialises the built index as a flat v4 section.
+// encodeFlatIndexLocked serialises the built index as a flat v5 section.
 // The caller must hold the state lock (shared or exclusive).
 func (f *Framework) encodeFlatIndexLocked() ([]byte, error) {
 	if !f.indexedLocked() {
@@ -105,6 +108,19 @@ func (f *Framework) encodeFlatIndexLocked() ([]byte, error) {
 		w.I64(int64(e.NumVertices))
 		w.I64(int64(e.NumEdges))
 		w.I64(int64(e.CriticalPoints))
+		// Tile table (v5): domain length plus per-tile thresholds and
+		// critical point counts, so appends can reuse untouched tiles after
+		// a warm open.
+		if len(e.TileThresholds) != len(e.TileCriticalPoints) {
+			return nil, fmt.Errorf("core: entry %s has %d tile thresholds, %d tile critical point counts",
+				e.Key, len(e.TileThresholds), len(e.TileCriticalPoints))
+		}
+		w.I64(int64(e.NumSteps))
+		w.U64(uint64(len(e.TileThresholds)))
+		for ti, th := range e.TileThresholds {
+			writeFlatThresholds(w, th)
+			w.I64(int64(e.TileCriticalPoints[ti]))
+		}
 		// The derived unions are persisted too: reloading them as views
 		// keeps the whole feature working set inside the shared mapping
 		// (occupancy summaries are recomputed by popcount at load).
@@ -182,7 +198,7 @@ type flatIndexSnap struct {
 func parseFlatIndex(data []byte) (flatIndexSnap, error) {
 	var snap flatIndexSnap
 	if !bytes.HasPrefix(data, flatIndexMagic) {
-		return snap, corruptf("index section is not flat v4")
+		return snap, corruptf("index section is not flat v5")
 	}
 	r := store.NewSlabReader(data)
 	r.Raw(len(flatIndexMagic))
@@ -221,6 +237,14 @@ func parseFlatIndex(data []byte) (flatIndexSnap, error) {
 		e.NumVertices = int(r.I64())
 		e.NumEdges = int(r.I64())
 		e.CriticalPoints = int(r.I64())
+		e.NumSteps = int(r.I64())
+		nTiles := r.Count(24)
+		e.TileThresholds = make([]feature.Thresholds, 0, nTiles)
+		e.TileCriticalPoints = make([]int, 0, nTiles)
+		for t := 0; t < nTiles && r.Err() == nil; t++ {
+			e.TileThresholds = append(e.TileThresholds, readFlatThresholds(r, &seasonArena))
+			e.TileCriticalPoints = append(e.TileCriticalPoints, int(r.I64()))
+		}
 		vs := vecBuf[6*i : 6*i+6]
 		for j := range vs {
 			if err := readFlatVector(r, &vs[j]); err != nil {
@@ -309,7 +333,7 @@ func (f *Framework) encodeFlatGraphLocked() ([]byte, string, error) {
 func parseFlatGraph(data []byte) (frameworkGraphSnapshot, error) {
 	var snap frameworkGraphSnapshot
 	if !bytes.HasPrefix(data, flatGraphMagic) {
-		return snap, corruptf("graph section is not flat v4")
+		return snap, corruptf("graph section is not flat v5")
 	}
 	r := store.NewSlabReader(data)
 	r.Raw(len(flatGraphMagic))
@@ -386,6 +410,9 @@ func writeFlatClause(w *store.SlabWriter, c Clause) {
 	w.F64(c.MaxQ)
 	w.U64(b2u(c.Exhaustive))
 	w.U64(b2u(c.DisablePruning))
+	w.U64(b2u(c.Windowed))
+	w.I64(c.WindowFrom)
+	w.I64(c.WindowTo)
 }
 
 func readFlatClause(r *store.SlabReader) Clause {
@@ -417,6 +444,9 @@ func readFlatClause(r *store.SlabReader) Clause {
 	c.MaxQ = r.F64()
 	c.Exhaustive = r.U64() != 0
 	c.DisablePruning = r.U64() != 0
+	c.Windowed = r.U64() != 0
+	c.WindowFrom = r.I64()
+	c.WindowTo = r.I64()
 	return c
 }
 
@@ -438,5 +468,5 @@ func b2u(b bool) uint64 {
 	return 0
 }
 
-// isFlatSection reports whether a section payload uses the flat v4 codec.
+// isFlatSection reports whether a section payload uses the flat v5 codec.
 func isFlatSection(data, magic []byte) bool { return bytes.HasPrefix(data, magic) }

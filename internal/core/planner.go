@@ -33,12 +33,16 @@ const pruneMargin = 1e-9
 
 // pairTask is one relationship-evaluation work unit. sigma carries the
 // planner's precomputed |Σ1 ∩ Σ2| (-1 when the planner did not need it), so
-// the evaluator never recomputes the intersection.
+// the evaluator never recomputes the intersection. winLo/winHi are the
+// clause window's step range [winLo, winHi) at the task's temporal
+// resolution (meaningful only when the clause is windowed).
 type pairTask struct {
 	e1, e2 *FunctionEntry
 	class  feature.Class
 	seed   int64
 	sigma  int
+
+	winLo, winHi int
 }
 
 // queryPlan is the planner's output: the surviving task list plus counts of
@@ -75,10 +79,20 @@ func (f *Framework) plan(sources, targets []string, clause Clause, classes []fea
 				resolutions = intersectResolutions(resolutions, clause.Resolutions)
 			}
 			for _, res := range resolutions {
+				winLo, winHi := 0, 0
+				if clause.Windowed {
+					winLo, winHi = windowSteps(f.timelines[res.Temporal], clause.WindowFrom, clause.WindowTo)
+				}
 				for _, e1 := range f.index.at(a, res) {
 					for _, e2 := range f.index.at(b, res) {
 						for _, class := range classes {
 							pl.considered++
+							if clause.Windowed && winLo == winHi {
+								// Window misses this resolution's timeline
+								// entirely: nothing to evaluate.
+								pl.pruned++
+								continue
+							}
 							sigma := -1
 							if !clause.DisablePruning {
 								var skip bool
@@ -92,6 +106,7 @@ func (f *Framework) plan(sources, targets []string, clause Clause, classes []fea
 								e1: e1, e2: e2, class: class,
 								seed:  pairSeed(f.opts.Seed, e1.Key, e2.Key, class),
 								sigma: sigma,
+								winLo: winLo, winHi: winHi,
 							})
 						}
 					}
@@ -110,6 +125,17 @@ func prunePair(e1, e2 *FunctionEntry, class feature.Class, clause Clause) (skip 
 	o1, o2 := e1.occ(class), e2.occ(class)
 	if o1.All == 0 || o2.All == 0 {
 		return true, 0 // one side has no features: never Related
+	}
+	if clause.Windowed {
+		// Occupancy counts and intersections are over the full domain; under
+		// a window only vacuity arguments stay sound (a pair empty or
+		// disjoint globally is empty or disjoint in every window — the bound
+		// rules below are not monotone under masking). The evaluator
+		// recomputes sigma on the masked vectors.
+		if !e1.union(class).AndAny(e2.union(class)) {
+			return true, 0
+		}
+		return false, -1
 	}
 	sigmaHi := min(o1.All, o2.All)
 	if clause.MinStrength > 0 &&

@@ -61,6 +61,15 @@ type Clause struct {
 	// either way (pruning is sound); this exists for parity verification
 	// and planner benchmarking.
 	DisablePruning bool
+	// Windowed restricts the query to the time window [WindowFrom,
+	// WindowTo] (Unix seconds, both ends in their bins): feature bits
+	// outside the window are masked out before relationship evaluation, and
+	// the significance test runs over the window's supporting tiles. The
+	// grammar form is "between <t1> and <t2>". Occupancy-based planner
+	// bounds are global, not windowed, so they are disabled under a window
+	// (only emptiness and disjointness pruning stays on).
+	Windowed             bool
+	WindowFrom, WindowTo int64
 }
 
 // Query asks for relationships between two collections of data sets
@@ -331,6 +340,18 @@ func (f *Framework) evaluatePair(t pairTask, clause Clause, mcWorkers int) (*Rel
 	s1, s2 := t.e1.set(t.class), t.e2.set(t.class)
 	all1, all2 := t.e1.union(t.class), t.e2.union(t.class)
 	sigma := t.sigma
+	if clause.Windowed {
+		// Mask every feature vector to the window's vertex range; measures,
+		// filters, and the significance test below all see only windowed
+		// bits. The planner's sigma is global, so it is recomputed.
+		g := f.graphs[t.e1.Res]
+		lo, hi := t.winLo*g.NumRegions(), t.winHi*g.NumRegions()
+		s1 = &feature.Set{Positive: s1.Positive.MaskRange(lo, hi), Negative: s1.Negative.MaskRange(lo, hi)}
+		s2 = &feature.Set{Positive: s2.Positive.MaskRange(lo, hi), Negative: s2.Negative.MaskRange(lo, hi)}
+		all1 = all1.MaskRange(lo, hi)
+		all2 = all2.MaskRange(lo, hi)
+		sigma = -1
+	}
 	if sigma < 0 {
 		sigma = all1.AndCount(all2)
 	}
@@ -361,15 +382,10 @@ func (f *Framework) evaluatePair(t pairTask, clause Clause, mcWorkers int) (*Rel
 		rel.PValue = 1
 		return rel, nil
 	}
-	g := f.graphs[t.e1.Res]
-	res := montecarlo.Test(s1, s2, g, m.Tau, montecarlo.Config{
-		Permutations: clause.Permutations,
-		Alpha:        clause.Alpha,
-		Seed:         t.seed,
-		Kind:         clause.TestKind,
-		Workers:      mcWorkers,
-		Exhaustive:   clause.Exhaustive,
-	})
+	res, err := f.runSignificance(t, clause, s1, s2, all1, all2, m.Tau, mcWorkers)
+	if err != nil {
+		return nil, err
+	}
 	rel.PValue = res.PValue
 	rel.Significant = res.Significant
 	return rel, nil
@@ -456,11 +472,17 @@ func querySignature(sources, targets []string, c Clause) string {
 		}
 		resStr = strings.Join(parts, ";")
 	}
-	return fmt.Sprintf("s=%s|t=%s|score=%g|strength=%g|alpha=%g|perms=%d|skip=%t|kind=%d|corr=%s|maxq=%g|exhaustive=%t|noprune=%t|classes=%s|res=%s",
+	// Non-windowed queries keep a fixed marker rather than the (meaningless)
+	// from/to values, so every spelling of "no window" shares a cache entry.
+	winStr := "none"
+	if c.Windowed {
+		winStr = fmt.Sprintf("%d:%d", c.WindowFrom, c.WindowTo)
+	}
+	return fmt.Sprintf("s=%s|t=%s|score=%g|strength=%g|alpha=%g|perms=%d|skip=%t|kind=%d|corr=%s|maxq=%g|exhaustive=%t|noprune=%t|classes=%s|res=%s|win=%s",
 		strings.Join(dedupeSorted(sources), ","), strings.Join(dedupeSorted(targets), ","),
 		c.MinScore, c.MinStrength, c.Alpha, c.Permutations, c.SkipSignificance,
 		c.TestKind, c.Correction, c.MaxQ, c.Exhaustive,
-		c.DisablePruning, strings.Join(clsParts, ";"), resStr)
+		c.DisablePruning, strings.Join(clsParts, ";"), resStr, winStr)
 }
 
 // dedupeSorted returns a sorted copy of names with duplicates removed.

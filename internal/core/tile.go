@@ -1,0 +1,216 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/urbandata/datapolygamy/internal/bitvec"
+	"github.com/urbandata/datapolygamy/internal/feature"
+	"github.com/urbandata/datapolygamy/internal/scalar"
+	"github.com/urbandata/datapolygamy/internal/stgraph"
+	"github.com/urbandata/datapolygamy/internal/temporal"
+)
+
+// This file is the tiled build path of the index layer. The temporal domain
+// is partitioned into fixed-width tiles (temporal.TileWidth per resolution),
+// and every scalar function is computed, merge-tree indexed, and feature
+// extracted tile by tile: each tile's sub-function runs against a
+// sub-timeline and a tile-sized domain graph, so a tile's features are a
+// pure function of the tuples binning into its step range. The per-tile bit
+// vectors are stitched into the entry's full-domain vectors at the tile's
+// bit offset.
+//
+// Purity per tile is what makes appending time incremental: extending the
+// corpus recomputes only the tiles whose step range gained tuples — the old
+// last (possibly partial) tile and the new ones — and every earlier tile's
+// bits, thresholds, and critical points are reused verbatim (see append.go).
+// A from-scratch build of the extended corpus computes the same tiles the
+// same way, which is what keeps append-then-query byte-identical to
+// rebuild-then-query.
+
+// tileTimings carries the per-phase worker time of one tiled entry build.
+type tileTimings struct {
+	compute time.Duration // scalar computation (paper job 1)
+	feature time.Duration // merge trees + feature extraction (paper job 2)
+}
+
+// buildEntriesTiled computes the index entries of one funcTask (the base
+// function plus its gradient when enabled) over the full timeline, tile by
+// tile. It is the build-from-scratch form of rebuildEntryTiles.
+func (f *Framework) buildEntriesTiled(t funcTask, tl *temporal.Timeline, g *stgraph.Graph) ([]*FunctionEntry, tileTimings, error) {
+	return f.rebuildEntryTiles(t, tl, g, 0, nil)
+}
+
+// rebuildEntryTiles computes tiles [fromTile, tl.NumTiles()) of the task's
+// entries and returns the complete entries over the full timeline.
+//
+// When base is nil the whole domain is computed (fromTile must be 0). When
+// base holds the task's existing entries — one per variant, in variant
+// order (function, then gradient) — their bits and per-tile metadata for
+// tiles before fromTile are reused: the existing vectors are zero-extended
+// to the new domain and only the given tile range is recomputed and
+// re-stitched. This is the append path; base entries are never mutated.
+func (f *Framework) rebuildEntryTiles(t funcTask, tl *temporal.Timeline, g *stgraph.Graph, fromTile int, base []*FunctionEntry) ([]*FunctionEntry, tileTimings, error) {
+	var tm tileTimings
+	nTiles := tl.NumTiles()
+	if fromTile < 0 || fromTile >= nTiles {
+		return nil, tm, fmt.Errorf("core: tile range [%d,%d) out of bounds", fromTile, nTiles)
+	}
+	if base == nil && fromTile != 0 {
+		return nil, tm, fmt.Errorf("core: partial tile build requires base entries")
+	}
+
+	// Single-tile corpora (up to a year at every evaluation resolution) take
+	// the unsliced path: one computation over the full domain, exactly the
+	// pre-tiling pipeline. A 1-tile loop below would produce identical bits —
+	// the slice is the whole timeline — so this is purely a fast path.
+	if fromTile == 0 && nTiles == 1 {
+		return f.buildEntriesWholeDomain(t, tl, g, &tm)
+	}
+
+	nVariants := 1
+	if f.opts.IncludeGradients {
+		nVariants = 2
+	}
+	if base != nil && len(base) != nVariants {
+		return nil, tm, fmt.Errorf("core: %d base entries, want %d variants", len(base), nVariants)
+	}
+
+	S := tl.Len()
+	R := g.NumRegions()
+	nBits := g.NumVertices()
+
+	type acc struct {
+		key, specName      string
+		salPos, salNeg     *bitvec.Vector
+		extPos, extNeg     *bitvec.Vector
+		entryThresholds    feature.Thresholds
+		tileThresholds     []feature.Thresholds
+		tileCriticalPoints []int
+	}
+	accs := make([]*acc, nVariants)
+	for vi := range accs {
+		a := &acc{}
+		if base == nil {
+			a.salPos = bitvec.New(nBits)
+			a.salNeg = bitvec.New(nBits)
+			a.extPos = bitvec.New(nBits)
+			a.extNeg = bitvec.New(nBits)
+		} else {
+			b := base[vi]
+			if len(b.TileThresholds) < fromTile || len(b.TileCriticalPoints) < fromTile {
+				return nil, tm, fmt.Errorf("core: base entry %s has %d tiles, need %d", b.Key, len(b.TileThresholds), fromTile)
+			}
+			a.key = b.Key
+			a.specName = b.SpecName
+			a.entryThresholds = b.Thresholds
+			a.salPos = b.Salient.Positive.Grow(nBits)
+			a.salNeg = b.Salient.Negative.Grow(nBits)
+			a.extPos = b.Extreme.Positive.Grow(nBits)
+			a.extNeg = b.Extreme.Negative.Grow(nBits)
+			a.tileThresholds = append([]feature.Thresholds{}, b.TileThresholds[:fromTile]...)
+			a.tileCriticalPoints = append([]int{}, b.TileCriticalPoints[:fromTile]...)
+		}
+		accs[vi] = a
+	}
+
+	adj := g.SpatialAdjacency()
+	for ti := fromTile; ti < nTiles; ti++ {
+		lo, hi := tl.TileBounds(ti)
+		sub := tl.Slice(lo, hi)
+		tg, err := stgraph.New(R, hi-lo, adj)
+		if err != nil {
+			return nil, tm, err
+		}
+		start := time.Now()
+		fn, err := scalar.ComputeOnDomain(t.ds, t.spec, f.opts.City, t.res.Spatial, t.res.Temporal, sub, tg)
+		if err != nil {
+			return nil, tm, err
+		}
+		variants := []*scalar.Function{fn}
+		if f.opts.IncludeGradients {
+			variants = append(variants, scalar.Gradient(fn))
+		}
+		tm.compute += time.Since(start)
+
+		start = time.Now()
+		tileBits := (hi - lo) * R
+		off := lo * R
+		for vi, vfn := range variants {
+			a := accs[vi]
+			if a.key == "" {
+				a.key = vfn.Key()
+				a.specName = vfn.Name()
+			} else if a.key != vfn.Key() {
+				return nil, tm, fmt.Errorf("core: tile %d computed key %s, want %s", ti, vfn.Key(), a.key)
+			}
+			ex := feature.NewExtractor(vfn)
+			sal := ex.Extract(feature.Salient)
+			ext := ex.Extract(feature.Extreme)
+			a.salPos.CopyRange(sal.Positive, 0, off, tileBits)
+			a.salNeg.CopyRange(sal.Negative, 0, off, tileBits)
+			a.extPos.CopyRange(ext.Positive, 0, off, tileBits)
+			a.extNeg.CopyRange(ext.Negative, 0, off, tileBits)
+			a.tileThresholds = append(a.tileThresholds, ex.Thresholds())
+			a.tileCriticalPoints = append(a.tileCriticalPoints,
+				ex.JoinTree().NumCriticalPoints()+ex.SplitTree().NumCriticalPoints())
+			if ti == 0 {
+				a.entryThresholds = ex.Thresholds()
+			}
+		}
+		tm.feature += time.Since(start)
+	}
+
+	entries := make([]*FunctionEntry, nVariants)
+	for vi, a := range accs {
+		crit := 0
+		for _, c := range a.tileCriticalPoints {
+			crit += c
+		}
+		e := &FunctionEntry{
+			Key:      a.key,
+			Dataset:  t.ds.Name,
+			SpecName: a.specName,
+			Res:      t.res,
+			Salient:  &feature.Set{Positive: a.salPos, Negative: a.salNeg},
+			Extreme:  &feature.Set{Positive: a.extPos, Negative: a.extNeg},
+			// Entry-level thresholds are the first tile's (a multi-tile
+			// function has per-tile thresholds; see TileThresholds).
+			Thresholds:         a.entryThresholds,
+			NumVertices:        nBits,
+			NumEdges:           g.NumEdges(),
+			CriticalPoints:     crit,
+			NumSteps:           S,
+			TileThresholds:     a.tileThresholds,
+			TileCriticalPoints: a.tileCriticalPoints,
+		}
+		e.finalize()
+		entries[vi] = e
+	}
+	return entries, tm, nil
+}
+
+// buildEntriesWholeDomain is the single-tile fast path: the original
+// unsliced pipeline (one scalar computation and one extractor over the full
+// domain), with the tile metadata filled in as the one-tile degenerate case.
+func (f *Framework) buildEntriesWholeDomain(t funcTask, tl *temporal.Timeline, g *stgraph.Graph, tm *tileTimings) ([]*FunctionEntry, tileTimings, error) {
+	start := time.Now()
+	fn, err := scalar.ComputeOnDomain(t.ds, t.spec, f.opts.City, t.res.Spatial, t.res.Temporal, tl, g)
+	if err != nil {
+		return nil, *tm, err
+	}
+	fns := []*scalar.Function{fn}
+	if f.opts.IncludeGradients {
+		fns = append(fns, scalar.Gradient(fn))
+	}
+	tm.compute += time.Since(start)
+
+	start = time.Now()
+	entries := make([]*FunctionEntry, 0, len(fns))
+	for _, vfn := range fns {
+		e := newFunctionEntry(vfn, feature.NewExtractor(vfn), tl.Len())
+		entries = append(entries, e)
+	}
+	tm.feature += time.Since(start)
+	return entries, *tm, nil
+}

@@ -14,13 +14,19 @@ import (
 // the fuzzer starts from every grammar production.
 func FuzzParse(f *testing.F) {
 	for i, q := range matrixQueries() {
-		if i%9 == 0 { // ~5k of the full matrix; mutation covers the rest
+		if i%27 == 0 { // ~5k of the full matrix; mutation covers the rest
 			f.Add(Format(q))
 		}
 	}
 	for _, s := range []string{
 		"",
 		"find relationships between all",
+		"find relationships between taxi and weather between 2012-06-01 and 2012-08-31",
+		"find relationships between all between 2012-06-01t06:30:00 and 2012-06-01t18:00:00z",
+		"find relationships between a and b between 1338508800 and 1346371200 where score >= 0.5",
+		"find relationships between a and b between 2012-08-31 and 2012-06-01",
+		"find relationships between a and b between 2012-06-01",
+		"find relationships between a and b between now and then",
 		"find relationships between taxi, citibike and weather, gas_prices",
 		"find relationships between a and b where score >= 0.6 and strength > 0.3",
 		"find relationships between a and b where alpha = 0.01 and permutations = 500",

@@ -15,6 +15,12 @@
 // "all" (or omitting the second collection) matches every registered data
 // set. The clause parts — where / at / using — are optional and may appear
 // in any order after the between-clause.
+//
+// A second "between" introduces a time window restricting the evaluation to
+// the steps inside [t1, t2] (timestamps are UTC dates, date-times, or raw
+// unix seconds):
+//
+//	find relationships between taxi and weather between 2012-06-01 and 2012-08-31
 package queryparse
 
 import (
@@ -22,6 +28,7 @@ import (
 	"math"
 	"strconv"
 	"strings"
+	"time"
 
 	"github.com/urbandata/datapolygamy/internal/core"
 	"github.com/urbandata/datapolygamy/internal/feature"
@@ -74,6 +81,10 @@ func Parse(input string) (core.Query, error) {
 				return q, err
 			}
 			q.Clause.Classes = classes
+		case "between":
+			if err := parseWindow(sec.text, &q.Clause); err != nil {
+				return q, err
+			}
 		}
 	}
 	return q, nil
@@ -91,6 +102,12 @@ func Format(q core.Query) string {
 	b.WriteString(formatNames(q.Sources))
 	b.WriteString(" and ")
 	b.WriteString(formatNames(q.Targets))
+	if q.Clause.Windowed {
+		b.WriteString(" between ")
+		b.WriteString(formatTime(q.Clause.WindowFrom))
+		b.WriteString(" and ")
+		b.WriteString(formatTime(q.Clause.WindowTo))
+	}
 
 	var conds []string
 	num := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
@@ -164,7 +181,7 @@ func splitSections(s string) (string, []section) {
 	var cur *section
 	for i := 0; i < len(words); i++ {
 		w := words[i]
-		if w == "where" || w == "using" || (w == "at" && i > 0) {
+		if w == "where" || w == "using" || w == "between" || (w == "at" && i > 0) {
 			sections = append(sections, section{kind: w})
 			cur = &sections[len(sections)-1]
 			continue
@@ -307,6 +324,60 @@ func parseWhere(s string, c *core.Clause) error {
 		}
 	}
 	return nil
+}
+
+// parseWindow handles the time-window section "t1 and t2": the evaluation
+// is restricted to the temporal steps inside [t1, t2].
+func parseWindow(s string, c *core.Clause) error {
+	parts := strings.SplitN(strings.TrimSpace(s), " and ", 2)
+	if len(parts) != 2 {
+		return fmt.Errorf("queryparse: time window needs 'between <t1> and <t2>', got %q", strings.TrimSpace(s))
+	}
+	from, err := parseTime(parts[0])
+	if err != nil {
+		return err
+	}
+	to, err := parseTime(parts[1])
+	if err != nil {
+		return err
+	}
+	if from > to {
+		return fmt.Errorf("queryparse: time window starts after it ends (%s > %s)", formatTime(from), formatTime(to))
+	}
+	c.Windowed = true
+	c.WindowFrom, c.WindowTo = from, to
+	return nil
+}
+
+// parseTime reads one window bound: a UTC date ("2012-06-01"), a UTC
+// date-time ("2012-06-01t15:00:00", trailing "z" optional — Parse lowercases
+// its input), or raw unix seconds.
+func parseTime(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return n, nil
+	}
+	for _, layout := range []string{"2006-01-02", "2006-01-02t15:04:05", "2006-01-02t15:04"} {
+		if t, err := time.ParseInLocation(layout, strings.TrimSuffix(s, "z"), time.UTC); err == nil {
+			return t.Unix(), nil
+		}
+	}
+	return 0, fmt.Errorf("queryparse: cannot parse timestamp %q (want YYYY-MM-DD, YYYY-MM-DDtHH:MM:SS, or unix seconds)", s)
+}
+
+// formatTime renders a window bound canonically: the date form when the
+// instant is a UTC midnight, the full date-time form otherwise, raw unix
+// seconds for instants outside the date layouts' range. Each form parses
+// back to the same instant, keeping Parse∘Format∘Parse a fixed point.
+func formatTime(ts int64) string {
+	t := time.Unix(ts, 0).UTC()
+	if y := t.Year(); y < 1 || y > 9999 {
+		return strconv.FormatInt(ts, 10)
+	}
+	if h, m, s := t.Clock(); h == 0 && m == 0 && s == 0 {
+		return t.Format("2006-01-02")
+	}
+	return t.Format("2006-01-02t15:04:05")
 }
 
 // parseResolutions handles "(hour, city), (day, neighborhood)".

@@ -110,6 +110,38 @@ func TestParseCorrection(t *testing.T) {
 	}
 }
 
+func TestParseWindow(t *testing.T) {
+	q, err := Parse("find relationships between taxi and weather between 2012-06-01 and 2012-08-31")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Clause.Windowed || q.Clause.WindowFrom != 1338508800 || q.Clause.WindowTo != 1346371200 {
+		t.Errorf("window = %+v", q.Clause)
+	}
+	if len(q.Sources) != 1 || q.Sources[0] != "taxi" || len(q.Targets) != 1 || q.Targets[0] != "weather" {
+		t.Errorf("collections = %v %v", q.Sources, q.Targets)
+	}
+	q, err = Parse("find relationships between all between 1338508800 and 2012-06-01T15:30:00Z where score >= 0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Clause.Windowed || q.Clause.WindowFrom != 1338508800 || q.Clause.WindowTo != 1338564600 {
+		t.Errorf("window = %+v", q.Clause)
+	}
+	if q.Clause.MinScore != 0.5 {
+		t.Errorf("where clause lost next to the window: %+v", q.Clause)
+	}
+	for _, bad := range []string{
+		"find relationships between a and b between 2012-08-31 and 2012-06-01", // reversed
+		"find relationships between a and b between 2012-06-01",                // one bound
+		"find relationships between a and b between noon and midnight",         // not timestamps
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
 func TestParseResolutions(t *testing.T) {
 	q, err := Parse("find relationships between taxi and weather at (hour, city), (day, neighborhood)")
 	if err != nil {
@@ -249,6 +281,15 @@ func matrixQueries() []core.Query {
 	testOpts := []montecarlo.Kind{montecarlo.Restricted, montecarlo.Standard, montecarlo.Block}
 	corrOpts := []stats.Correction{stats.None, stats.BH, stats.BY}
 	maxQOpts := []float64{0, 0.2}
+	type window struct {
+		on       bool
+		from, to int64
+	}
+	windowOpts := []window{
+		{},
+		{on: true, from: 1338508800, to: 1346371200}, // 2012-06-01 .. 2012-08-31 (date form)
+		{on: true, from: 1338512400, to: 1338512405}, // mid-day instants (date-time form)
+	}
 	resOpts := [][]core.Resolution{nil, {hourCity}, {hourCity, dayNbhd, weekZip}}
 	classOpts := [][]feature.Class{
 		nil,
@@ -269,21 +310,26 @@ func matrixQueries() []core.Query {
 									for _, maxQ := range maxQOpts {
 										for _, res := range resOpts {
 											for _, classes := range classOpts {
-												out = append(out, core.Query{
-													Sources: sources,
-													Targets: targets,
-													Clause: core.Clause{
-														MinScore:     score,
-														MinStrength:  strength,
-														Alpha:        alpha,
-														Permutations: perms,
-														TestKind:     kind,
-														Correction:   corr,
-														MaxQ:         maxQ,
-														Resolutions:  res,
-														Classes:      classes,
-													},
-												})
+												for _, win := range windowOpts {
+													out = append(out, core.Query{
+														Sources: sources,
+														Targets: targets,
+														Clause: core.Clause{
+															MinScore:     score,
+															MinStrength:  strength,
+															Alpha:        alpha,
+															Permutations: perms,
+															TestKind:     kind,
+															Correction:   corr,
+															MaxQ:         maxQ,
+															Resolutions:  res,
+															Classes:      classes,
+															Windowed:     win.on,
+															WindowFrom:   win.from,
+															WindowTo:     win.to,
+														},
+													})
+												}
 											}
 										}
 									}

@@ -170,8 +170,45 @@ func floorDiv(a, b int64) int64 {
 	return q
 }
 
+// TileWidth returns the fixed number of time steps per temporal tile at
+// resolution r. Timelines are composed of fixed-width tiles so that
+// extending the corpus time range appends tiles (and grows at most the last,
+// partial one) without invalidating the step→index mapping of earlier
+// steps. Widths are chosen so a year-long corpus — the scale of the paper's
+// NYC studies and of this repo's test fixtures — fits in a single tile at
+// every evaluation resolution: a single-tile domain behaves exactly like
+// the pre-tiling global computation.
+func TileWidth(r Resolution) int {
+	switch r {
+	case Second:
+		return 604800 // one week of raw seconds
+	case Hour:
+		return 8784 // a leap year of hours
+	case Day:
+		return 366
+	case Week:
+		return 53
+	case Month:
+		return 12
+	}
+	panic(fmt.Sprintf("temporal: invalid resolution %d", int(r)))
+}
+
+// NumTilesFor returns the number of tiles covering nSteps steps at
+// resolution r (ceil division; 0 steps is 0 tiles).
+func NumTilesFor(nSteps int, r Resolution) int {
+	w := TileWidth(r)
+	return (nSteps + w - 1) / w
+}
+
 // Timeline is the ordered, contiguous set of time steps of a scalar function
 // at a fixed resolution. It maps timestamps to dense step indices and back.
+//
+// A timeline is logically partitioned into fixed-width tiles of
+// TileWidth(res) steps each; only the last tile may be partial. Tiles are
+// the unit of incremental indexing: appending time to a corpus recomputes
+// the last (possibly partial) tile and adds new ones, leaving every earlier
+// tile — and thus every earlier step index and feature bit — untouched.
 type Timeline struct {
 	res    Resolution
 	starts []int64 // start of each step, ascending
@@ -218,6 +255,67 @@ func (tl *Timeline) StepStart(i int) int64 { return tl.starts[i] }
 // SeasonOf returns the seasonal interval key of step i (see Seasons).
 func (tl *Timeline) SeasonOf(i int) int {
 	return SeasonKey(tl.starts[i], tl.res)
+}
+
+// NumTiles returns the number of fixed-width tiles composing the timeline.
+func (tl *Timeline) NumTiles() int { return NumTilesFor(len(tl.starts), tl.res) }
+
+// TileOfStep returns the tile index containing step i.
+func (tl *Timeline) TileOfStep(i int) int { return i / TileWidth(tl.res) }
+
+// TileBounds returns the step range [lo, hi) of tile t. The last tile may
+// be partial (hi - lo < TileWidth).
+func (tl *Timeline) TileBounds(t int) (lo, hi int) {
+	w := TileWidth(tl.res)
+	lo = t * w
+	hi = lo + w
+	if hi > len(tl.starts) {
+		hi = len(tl.starts)
+	}
+	return lo, hi
+}
+
+// Slice returns the sub-timeline of steps [lo, hi): same resolution, same
+// step starts, with indices re-based to 0. Tile-local scalar computation
+// runs against these slices so a tile's features are a pure function of the
+// tuples binning into it.
+func (tl *Timeline) Slice(lo, hi int) *Timeline {
+	if lo < 0 || hi > len(tl.starts) || lo >= hi {
+		panic(fmt.Sprintf("temporal: slice [%d,%d) out of range [0,%d)", lo, hi, len(tl.starts)))
+	}
+	out := &Timeline{res: tl.res, starts: tl.starts[lo:hi:hi], index: make(map[int64]int, hi-lo)}
+	for i, b := range out.starts {
+		out.index[b] = i
+	}
+	return out
+}
+
+// Extend returns a new timeline covering the original range extended to
+// newMaxTS: the existing steps keep their indices and starts, and new steps
+// are appended. The result is identical to NewTimeline(minTS, newMaxTS, res)
+// — bins form a deterministic chain from the first bin — which is what
+// keeps append-then-query byte-identical to a from-scratch rebuild.
+func (tl *Timeline) Extend(newMaxTS int64) (*Timeline, error) {
+	if len(tl.starts) == 0 {
+		return nil, fmt.Errorf("temporal: cannot extend an empty timeline")
+	}
+	last := tl.starts[len(tl.starts)-1]
+	if newMaxTS < last {
+		return nil, fmt.Errorf("temporal: newMaxTS %d precedes last step start %d", newMaxTS, last)
+	}
+	out := &Timeline{
+		res:    tl.res,
+		starts: append([]int64{}, tl.starts...),
+		index:  make(map[int64]int, len(tl.starts)),
+	}
+	for i, b := range out.starts {
+		out.index[b] = i
+	}
+	for b := NextBin(last, tl.res); b <= newMaxTS; b = NextBin(b, tl.res) {
+		out.index[b] = len(out.starts)
+		out.starts = append(out.starts, b)
+	}
+	return out, nil
 }
 
 // SeasonKey returns the seasonal-interval identifier for the time step

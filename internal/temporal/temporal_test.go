@@ -281,3 +281,88 @@ func TestFloorDivNegative(t *testing.T) {
 		t.Error("bin start after timestamp")
 	}
 }
+
+func TestTimelineTiles(t *testing.T) {
+	// 400 days of daily steps: two tiles at Day resolution (width 366).
+	start := ts(2011, time.January, 1, 0, 0, 0)
+	end := start + 399*86400
+	tl, err := NewTimeline(start, end, Day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.Len() != 400 {
+		t.Fatalf("Len = %d, want 400", tl.Len())
+	}
+	if tl.NumTiles() != 2 {
+		t.Fatalf("NumTiles = %d, want 2", tl.NumTiles())
+	}
+	if lo, hi := tl.TileBounds(0); lo != 0 || hi != 366 {
+		t.Errorf("TileBounds(0) = [%d,%d), want [0,366)", lo, hi)
+	}
+	if lo, hi := tl.TileBounds(1); lo != 366 || hi != 400 {
+		t.Errorf("TileBounds(1) = [%d,%d), want [366,400)", lo, hi)
+	}
+	if tl.TileOfStep(365) != 0 || tl.TileOfStep(366) != 1 {
+		t.Error("TileOfStep at the tile boundary is wrong")
+	}
+	sub := tl.Slice(366, 400)
+	if sub.Len() != 34 || sub.StepStart(0) != tl.StepStart(366) {
+		t.Errorf("Slice(366,400): len %d, start %d", sub.Len(), sub.StepStart(0))
+	}
+	if sub.Index(tl.StepStart(370)) != 4 {
+		t.Error("sliced timeline does not re-base indices")
+	}
+	if sub.Index(tl.StepStart(0)) != -1 {
+		t.Error("sliced timeline indexes steps outside its range")
+	}
+}
+
+func TestTimelineExtendEqualsRebuild(t *testing.T) {
+	start := ts(2011, time.January, 1, 0, 0, 0)
+	for _, r := range []Resolution{Hour, Day, Week, Month} {
+		old, err := NewTimeline(start, start+100*86400, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		newMax := start + 500*86400
+		ext, err := old.Extend(newMax)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := NewTimeline(start, newMax, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ext.Len() != fresh.Len() {
+			t.Fatalf("%s: extended len %d != rebuilt %d", r, ext.Len(), fresh.Len())
+		}
+		for i := 0; i < ext.Len(); i++ {
+			if ext.StepStart(i) != fresh.StepStart(i) {
+				t.Fatalf("%s: step %d start %d != %d", r, i, ext.StepStart(i), fresh.StepStart(i))
+			}
+		}
+		for i := 0; i < old.Len(); i++ {
+			if ext.StepStart(i) != old.StepStart(i) {
+				t.Fatalf("%s: extension moved step %d", r, i)
+			}
+		}
+		if ext.Index(fresh.StepStart(fresh.Len()-1)) != fresh.Len()-1 {
+			t.Errorf("%s: extended index lookup broken", r)
+		}
+	}
+}
+
+func TestTimelineExtendNoop(t *testing.T) {
+	start := ts(2011, time.January, 1, 0, 0, 0)
+	tl, _ := NewTimeline(start, start+10*86400, Day)
+	same, err := tl.Extend(start + 10*86400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.Len() != tl.Len() {
+		t.Errorf("no-op extend changed length: %d -> %d", tl.Len(), same.Len())
+	}
+	if _, err := tl.Extend(start - 86400); err == nil {
+		t.Error("extend into the past should fail")
+	}
+}

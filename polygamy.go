@@ -59,6 +59,9 @@ import (
 // Framework.Save writes it atomically, Framework.Load / Open restore it
 // (warm start), and Framework.IngestDataset adds a data set to a live
 // framework without blocking readers behind the indexing pipeline.
+// Framework.AppendSlice extends a registered data set with new time — the
+// tiled temporal domain recomputes only the affected tiles and re-tests
+// only the graph edges whose supporting window changed.
 type Framework = core.Framework
 
 // Options configures a Framework.
@@ -86,6 +89,11 @@ type IndexStats = core.IndexStats
 // DatasetStats reports the index footprint of one data set (see
 // Framework.DatasetIndexStats).
 type DatasetStats = core.DatasetStats
+
+// AppendStats reports what one Framework.AppendSlice call did: the tile
+// reuse split, the data sets whose features changed, and the graph pairs
+// invalidated for re-test.
+type AppendStats = core.AppendStats
 
 // Occupancy summarises one feature bit-vector family by popcounts; the
 // query planner prunes candidate pairs with these.
