@@ -32,7 +32,6 @@ func (s *server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	body := http.MaxBytesReader(w, r.Body, s.maxIngestBody)
 	d, err := dataset.ReadCSV(body)
 	if err != nil {
-		s.failures.Add(1)
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			writeJSON(w, http.StatusRequestEntityTooLarge,
@@ -44,7 +43,6 @@ func (s *server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	}
 	d.Name = name // the path identifies the target; the CSV name line is advisory
 	if err := d.Validate(); err != nil {
-		s.failures.Add(1)
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
@@ -56,7 +54,6 @@ func (s *server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if !registered {
-		s.failures.Add(1)
 		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown dataset %q", name)})
 		return
 	}

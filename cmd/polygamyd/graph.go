@@ -83,13 +83,11 @@ func (s *server) handleGraphBuild(w http.ResponseWriter, r *http.Request) {
 	}
 	clause, err := parseClause(req.Clause)
 	if err != nil {
-		s.failures.Add(1)
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
 	stats, err := s.fw.BuildGraph(clause)
 	if err != nil {
-		s.failures.Add(1)
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
@@ -163,7 +161,6 @@ func (s *server) handleGraphNeighbors(w http.ResponseWriter, r *http.Request) {
 	fn := r.URL.Query().Get("function")
 	ds := r.URL.Query().Get("dataset")
 	if (fn == "") == (ds == "") {
-		s.failures.Add(1)
 		writeJSON(w, http.StatusBadRequest,
 			errorResponse{Error: "exactly one of ?function= or ?dataset= is required"})
 		return
@@ -176,7 +173,6 @@ func (s *server) handleGraphNeighbors(w http.ResponseWriter, r *http.Request) {
 		if hopsStr := r.URL.Query().Get("hops"); hopsStr != "" {
 			hops, err := strconv.Atoi(hopsStr)
 			if err != nil || hops < 1 {
-				s.failures.Add(1)
 				writeJSON(w, http.StatusBadRequest,
 					errorResponse{Error: fmt.Sprintf("bad hops %q (want a positive integer)", hopsStr)})
 				return
@@ -196,7 +192,6 @@ func (s *server) handleGraphTop(w http.ResponseWriter, r *http.Request) {
 	if kStr := r.URL.Query().Get("k"); kStr != "" {
 		v, err := strconv.Atoi(kStr)
 		if err != nil || v < 1 {
-			s.failures.Add(1)
 			writeJSON(w, http.StatusBadRequest,
 				errorResponse{Error: fmt.Sprintf("bad k %q (want a positive integer)", kStr)})
 			return
@@ -211,7 +206,6 @@ func (s *server) handleGraphTop(w http.ResponseWriter, r *http.Request) {
 	case "qvalue":
 		by = relgraph.ByQValue
 	default:
-		s.failures.Add(1)
 		writeJSON(w, http.StatusBadRequest,
 			errorResponse{Error: "bad by parameter (want score, strength, or qvalue)"})
 		return
@@ -222,7 +216,6 @@ func (s *server) handleGraphTop(w http.ResponseWriter, r *http.Request) {
 		// filter while the client believes a cutoff was applied.
 		v, err := strconv.ParseFloat(qStr, 64)
 		if err != nil || !(v > 0) {
-			s.failures.Add(1)
 			writeJSON(w, http.StatusBadRequest,
 				errorResponse{Error: fmt.Sprintf("bad max_q %q (want a positive number)", qStr)})
 			return

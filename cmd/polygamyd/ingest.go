@@ -68,7 +68,6 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	body := http.MaxBytesReader(w, r.Body, s.maxIngestBody)
 	d, err := dataset.ReadCSV(body)
 	if err != nil {
-		s.failures.Add(1)
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			writeJSON(w, http.StatusRequestEntityTooLarge,
@@ -79,7 +78,6 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := d.Validate(); err != nil {
-		s.failures.Add(1)
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}

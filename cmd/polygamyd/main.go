@@ -7,8 +7,10 @@
 // Endpoints:
 //
 //	GET  /healthz      liveness: {"status":"ok"} once the index is built
+//	GET  /metrics      Prometheus text exposition of all engine metrics
 //	GET  /v1/datasets  the indexed data sets and their index statistics
-//	GET  /v1/stats     server counters (queries, cache hits, coalesced)
+//	GET  /v1/stats     server counters (queries, cache hits, error splits,
+//	                   snapshot provenance)
 //	POST /v1/query     structured query: {"sources":[...],"targets":[...],
 //	                   "clause":{"minScore":0.6,"permutations":1000,...}}
 //	GET  /v1/query?q=  the paper's textual query form, e.g.
@@ -22,6 +24,11 @@
 //	                          (runs as a background job; returns 202 + job ID)
 //	GET  /v1/jobs             background jobs, newest first
 //	GET  /v1/jobs/{id}        one job's status and result
+//
+// Every response carries an X-Request-ID header (client-supplied or
+// generated), and every request is logged as a structured line carrying
+// that ID. With -pprof, net/http/pprof's profiling endpoints are mounted
+// under /debug/pprof/.
 //
 // On SIGINT/SIGTERM the server stops accepting connections and drains
 // in-flight queries (up to -drain) before exiting.
@@ -47,7 +54,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -58,6 +65,7 @@ import (
 
 	"github.com/urbandata/datapolygamy/internal/core"
 	"github.com/urbandata/datapolygamy/internal/dataset"
+	"github.com/urbandata/datapolygamy/internal/obsv"
 	"github.com/urbandata/datapolygamy/internal/spatial"
 	"github.com/urbandata/datapolygamy/internal/urban"
 )
@@ -76,8 +84,17 @@ func main() {
 		snapshot = flag.String("snapshot", "", "snapshot container path: warm-start from it when present, write it after cold builds and ingestions")
 		writeTO  = flag.Duration("write-timeout", 5*time.Minute, "HTTP response write timeout (bounds the slowest handler, e.g. a synchronous graph build)")
 		readTO   = flag.Duration("read-timeout", 2*time.Minute, "HTTP request read timeout (bounds the whole body; must accommodate a slow client uploading a CSV data set)")
+		pprofOn  = flag.Bool("pprof", false, "expose net/http/pprof profiling endpoints under /debug/pprof/ (off by default: they reveal stacks and heap contents)")
+		logDebug = flag.Bool("log-debug", false, "log at debug level (default info)")
 	)
 	flag.Parse()
+	level := slog.LevelInfo
+	if *logDebug {
+		level = slog.LevelDebug
+	}
+	// The process-wide default logger: engine packages (core's rebuild
+	// warning, the request middleware) all log structured lines through it.
+	slog.SetDefault(obsv.NewLogger(os.Stderr, level))
 	fw, err := assembleFramework(*dataDir, *seed, *grid, *months, *scale, *workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "polygamyd:", err)
@@ -91,6 +108,10 @@ func main() {
 	srv := newServer(fw)
 	srv.snapshotPath = *snapshot
 	srv.warmStart = warm
+	if *pprofOn {
+		srv.enablePprof()
+		slog.Info("polygamyd: pprof endpoints enabled under /debug/pprof/")
+	}
 	if c, ok := fw.GraphClause(); ok {
 		// A graph restored from the snapshot (or built at startup) must be
 		// refreshed under its own clause after ingestions, not the zero
@@ -112,8 +133,8 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	log.Printf("polygamyd: serving %d data sets (%d functions) on %s",
-		len(fw.Datasets()), fw.NumFunctions(), ln.Addr())
+	slog.Info("polygamyd: serving",
+		"datasets", len(fw.Datasets()), "functions", fw.NumFunctions(), "addr", ln.Addr().String())
 	if err := serveUntilShutdown(ctx, hs, ln, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "polygamyd:", err)
 		os.Exit(1)
@@ -130,7 +151,8 @@ func prepareFramework(fw *core.Framework, snapshot string, graph bool) (bool, er
 		if _, err := os.Stat(snapshot); err == nil {
 			t0 := time.Now()
 			if err := fw.Load(snapshot); err != nil {
-				log.Printf("polygamyd: snapshot %s unusable (%v); falling back to cold build", snapshot, err)
+				slog.Warn("polygamyd: snapshot unusable; falling back to cold build",
+					"snapshot", snapshot, "error", err)
 			} else {
 				warm = true
 				_, hasGraph := fw.RelGraph()
@@ -141,8 +163,9 @@ func prepareFramework(fw *core.Framework, snapshot string, graph bool) (bool, er
 						mode = "flat, zero-copy mmap"
 					}
 				}
-				log.Printf("polygamyd: warm start: loaded %d functions (graph: %t) from %s in %v (%s) — no rebuild",
-					fw.NumFunctions(), hasGraph, snapshot, time.Since(t0).Round(time.Millisecond), mode)
+				slog.Info("polygamyd: warm start: loaded snapshot, no rebuild",
+					"functions", fw.NumFunctions(), "graph", hasGraph, "snapshot", snapshot,
+					"elapsed", time.Since(t0).Round(time.Millisecond), "mode", mode)
 			}
 		}
 	}
@@ -152,8 +175,8 @@ func prepareFramework(fw *core.Framework, snapshot string, graph bool) (bool, er
 		if err != nil {
 			return false, err
 		}
-		log.Printf("polygamyd: cold start: indexed %d functions in %v",
-			stats.Functions, time.Since(t0).Round(time.Millisecond))
+		slog.Info("polygamyd: cold start: indexed corpus",
+			"functions", stats.Functions, "elapsed", time.Since(t0).Round(time.Millisecond))
 	}
 	builtGraph := false
 	if _, built := fw.RelGraph(); graph && !built {
@@ -163,8 +186,8 @@ func prepareFramework(fw *core.Framework, snapshot string, graph bool) (bool, er
 			return false, err
 		}
 		builtGraph = true
-		log.Printf("polygamyd: materialized relationship graph (%d edges over %d pairs) in %v",
-			gs.Edges, gs.Pairs, time.Since(t0).Round(time.Millisecond))
+		slog.Info("polygamyd: materialized relationship graph",
+			"edges", gs.Edges, "pairs", gs.Pairs, "elapsed", time.Since(t0).Round(time.Millisecond))
 	}
 	// (Re)write the snapshot whenever this start derived something it did
 	// not load: a cold build, or a graph the loaded snapshot lacked.
@@ -172,7 +195,7 @@ func prepareFramework(fw *core.Framework, snapshot string, graph bool) (bool, er
 		if err := fw.Save(snapshot); err != nil {
 			return false, fmt.Errorf("writing snapshot %s: %w", snapshot, err)
 		}
-		log.Printf("polygamyd: wrote snapshot %s (next start is warm)", snapshot)
+		slog.Info("polygamyd: wrote snapshot (next start is warm)", "snapshot", snapshot)
 	}
 	return warm, nil
 }
@@ -193,7 +216,7 @@ func serveUntilShutdown(ctx context.Context, hs *http.Server, ln net.Listener, d
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("polygamyd: shutdown requested, draining in-flight queries (up to %v)", drain)
+	slog.Info("polygamyd: shutdown requested, draining in-flight queries", "drain", drain)
 	shutCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := hs.Shutdown(shutCtx); err != nil {
@@ -203,7 +226,7 @@ func serveUntilShutdown(ctx context.Context, hs *http.Server, ln net.Listener, d
 	if err := <-errCh; !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
-	log.Printf("polygamyd: drained, bye")
+	slog.Info("polygamyd: drained, bye")
 	return nil
 }
 

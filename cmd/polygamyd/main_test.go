@@ -313,9 +313,10 @@ func TestServerStress(t *testing.T) {
 		t.Fatal(err)
 	}
 	var stats struct {
-		Queries   int64 `json:"queries"`
-		CacheHits int64 `json:"cacheHits"`
-		Failures  int64 `json:"failures"`
+		Queries      int64 `json:"queries"`
+		CacheHits    int64 `json:"cacheHits"`
+		ClientErrors int64 `json:"clientErrors"`
+		ServerErrors int64 `json:"serverErrors"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
 		t.Fatal(err)
@@ -325,8 +326,9 @@ func TestServerStress(t *testing.T) {
 	if stats.Queries != wantQueries {
 		t.Errorf("stats.queries = %d, want %d", stats.Queries, wantQueries)
 	}
-	if stats.Failures != 0 {
-		t.Errorf("stats.failures = %d, want 0", stats.Failures)
+	if stats.ClientErrors != 0 || stats.ServerErrors != 0 {
+		t.Errorf("stats errors = %d client, %d server, want 0, 0",
+			stats.ClientErrors, stats.ServerErrors)
 	}
 	if stats.CacheHits == 0 {
 		t.Error("expected repeated queries to produce cache hits")

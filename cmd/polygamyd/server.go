@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -15,6 +17,7 @@ import (
 	"github.com/urbandata/datapolygamy/internal/feature"
 	"github.com/urbandata/datapolygamy/internal/jobs"
 	"github.com/urbandata/datapolygamy/internal/montecarlo"
+	"github.com/urbandata/datapolygamy/internal/obsv"
 	"github.com/urbandata/datapolygamy/internal/queryparse"
 	"github.com/urbandata/datapolygamy/internal/spatial"
 	"github.com/urbandata/datapolygamy/internal/stats"
@@ -37,6 +40,7 @@ type server struct {
 	mux     *http.ServeMux
 	started time.Time
 	jobs    *jobs.Manager
+	logger  *slog.Logger
 
 	// Corpus-lifecycle configuration, set before serving starts.
 	snapshotPath  string // re-save target after ingestion ("" = none)
@@ -50,22 +54,29 @@ type server struct {
 	graphClauseMu sync.Mutex
 	graphClause   core.Clause
 
-	queries     atomic.Int64 // relationship queries answered
-	cacheHits   atomic.Int64 // served from the query cache
-	coalesced   atomic.Int64 // deduplicated against an in-flight evaluation
-	failures    atomic.Int64 // queries rejected or failed
-	graphBuilds atomic.Int64 // graph builds completed
-	ingests     atomic.Int64 // ingestion jobs accepted
-	appends     atomic.Int64 // append jobs accepted
+	queries   atomic.Int64 // relationship queries answered
+	cacheHits atomic.Int64 // served from the query cache
+	coalesced atomic.Int64 // deduplicated against an in-flight evaluation
+	// clientErrors / serverErrors split failed requests by fault: 4xx
+	// responses (bad queries, unknown data sets, oversized bodies) vs 5xx
+	// ones. Both are counted by the middleware from the status actually
+	// written, so every handler is covered uniformly.
+	clientErrors atomic.Int64
+	serverErrors atomic.Int64
+	graphBuilds  atomic.Int64 // graph builds completed
+	ingests      atomic.Int64 // ingestion jobs accepted
+	appends      atomic.Int64 // append jobs accepted
 }
 
 func newServer(fw *core.Framework) *server {
 	s := &server{
 		fw: fw, mux: http.NewServeMux(), started: time.Now(),
 		jobs:          jobs.NewManager(),
+		logger:        slog.Default(),
 		maxJSONBody:   defaultMaxJSONBody,
 		maxIngestBody: defaultMaxIngestBody,
 	}
+	s.mux.Handle("GET /metrics", obsv.Handler())
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
 	s.mux.HandleFunc("POST /v1/datasets", s.handleIngest)
@@ -82,7 +93,15 @@ func newServer(fw *core.Framework) *server {
 	return s
 }
 
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// enablePprof mounts net/http/pprof's profiling endpoints (behind the
+// -pprof flag; they expose stacks and heap contents, so not by default).
+func (s *server) enablePprof() {
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+}
 
 // ---- wire types ----
 
@@ -110,6 +129,10 @@ type queryRequest struct {
 	Sources []string      `json:"sources,omitempty"`
 	Targets []string      `json:"targets,omitempty"`
 	Clause  clauseRequest `json:"clause"`
+	// Trace asks for the per-stage timing breakdown of the evaluation in
+	// the response (stages are always measured; this only controls the
+	// wire). The GET form is ?trace=1.
+	Trace bool `json:"trace,omitempty"`
 }
 
 type relationshipWire struct {
@@ -140,9 +163,20 @@ type queryStatsWire struct {
 	Duration        string `json:"duration"`
 }
 
+// stageWire is one per-stage timing entry of a traced query response.
+type stageWire struct {
+	Stage    string  `json:"stage"`
+	Duration string  `json:"duration"`
+	Seconds  float64 `json:"seconds"`
+}
+
 type queryResponse struct {
 	Relationships []relationshipWire `json:"relationships"`
 	Stats         queryStatsWire     `json:"stats"`
+	// Trace is the per-stage breakdown (plan, evaluate, correct, select),
+	// present only when the request asked for it. A cache hit reports the
+	// stages of the evaluation that produced the cached result.
+	Trace []stageWire `json:"trace,omitempty"`
 }
 
 type errorResponse struct {
@@ -228,18 +262,35 @@ func (s *server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	// Snapshot provenance: how this corpus came to be serving. source is
+	// "warm" when the index was loaded from a snapshot at startup, "cold"
+	// when it was built; format and mmap describe the loaded container
+	// (absent when no snapshot was ever loaded).
+	snapshot := map[string]any{
+		"path":   s.snapshotPath,
+		"source": "cold",
+	}
+	if s.warmStart {
+		snapshot["source"] = "warm"
+	}
+	if format, zeroCopy, ok := s.fw.LoadedSnapshot(); ok {
+		snapshot["format"] = format
+		snapshot["mmap"] = zeroCopy
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"uptime":      time.Since(s.started).Round(time.Millisecond).String(),
-		"datasets":    len(s.fw.Datasets()),
-		"functions":   s.fw.NumFunctions(),
-		"warmStart":   s.warmStart,
-		"queries":     s.queries.Load(),
-		"cacheHits":   s.cacheHits.Load(),
-		"coalesced":   s.coalesced.Load(),
-		"failures":    s.failures.Load(),
-		"graphBuilds": s.graphBuilds.Load(),
-		"ingests":     s.ingests.Load(),
-		"appends":     s.appends.Load(),
+		"uptime":       time.Since(s.started).Round(time.Millisecond).String(),
+		"datasets":     len(s.fw.Datasets()),
+		"functions":    s.fw.NumFunctions(),
+		"warmStart":    s.warmStart,
+		"snapshot":     snapshot,
+		"queries":      s.queries.Load(),
+		"cacheHits":    s.cacheHits.Load(),
+		"coalesced":    s.coalesced.Load(),
+		"clientErrors": s.clientErrors.Load(),
+		"serverErrors": s.serverErrors.Load(),
+		"graphBuilds":  s.graphBuilds.Load(),
+		"ingests":      s.ingests.Load(),
+		"appends":      s.appends.Load(),
 		// rebuilds counts full derived-state discards over the framework's
 		// lifetime (range-extending AddDataset, fallback appends); an
 		// operator watching this sees exactly when incrementality was lost.
@@ -259,7 +310,6 @@ func (s *server) decodeJSON(w http.ResponseWriter, r *http.Request, v any, allow
 	if err == nil || (allowEmpty && errors.Is(err, io.EOF)) {
 		return true
 	}
-	s.failures.Add(1)
 	var tooBig *http.MaxBytesError
 	if errors.As(err, &tooBig) {
 		writeJSON(w, http.StatusRequestEntityTooLarge,
@@ -277,34 +327,37 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	clause, err := parseClause(req.Clause)
 	if err != nil {
-		s.failures.Add(1)
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
-	s.answer(w, core.Query{Sources: req.Sources, Targets: req.Targets, Clause: clause})
+	s.answer(w, core.Query{Sources: req.Sources, Targets: req.Targets, Clause: clause}, req.Trace)
 }
 
 func (s *server) handleQueryText(w http.ResponseWriter, r *http.Request) {
 	text := r.URL.Query().Get("q")
 	if text == "" {
-		s.failures.Add(1)
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing q parameter"})
 		return
 	}
 	q, err := queryparse.Parse(text)
 	if err != nil {
-		s.failures.Add(1)
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
-	s.answer(w, q)
+	trace := false
+	switch r.URL.Query().Get("trace") {
+	case "", "0", "false":
+	default:
+		trace = true
+	}
+	s.answer(w, q, trace)
 }
 
-// answer runs one relationship query and writes the JSON response.
-func (s *server) answer(w http.ResponseWriter, q core.Query) {
+// answer runs one relationship query and writes the JSON response. With
+// trace, the response carries the per-stage timing breakdown.
+func (s *server) answer(w http.ResponseWriter, q core.Query, trace bool) {
 	rels, stats, err := s.fw.Query(q)
 	if err != nil {
-		s.failures.Add(1)
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
@@ -327,6 +380,16 @@ func (s *server) answer(w http.ResponseWriter, q core.Query) {
 			Coalesced:       stats.Coalesced,
 			Duration:        stats.Duration.String(),
 		},
+	}
+	if trace {
+		resp.Trace = make([]stageWire, 0, len(stats.Stages))
+		for _, st := range stats.Stages {
+			resp.Trace = append(resp.Trace, stageWire{
+				Stage:    st.Stage,
+				Duration: st.Duration.String(),
+				Seconds:  st.Duration.Seconds(),
+			})
+		}
 	}
 	for _, rel := range rels {
 		resp.Relationships = append(resp.Relationships, relationshipWire{

@@ -368,6 +368,9 @@ func (f *Framework) AppendSlice(slice *dataset.Dataset) (AppendStats, error) {
 	}
 	st.Rebuilds = f.rebuilds.Load()
 	st.WallDuration = time.Since(t0)
+	mAppends.Inc()
+	mAppendDuration.Observe(st.WallDuration.Seconds())
+	mIndexFunctions.Set(float64(f.index.numFunctions()))
 	return st, nil
 }
 
@@ -518,6 +521,9 @@ func (f *Framework) appendRebuildLocked(slice *dataset.Dataset, st AppendStats, 
 	st.ComputeDuration = bst.ComputeDuration
 	st.IndexDuration = bst.IndexDuration
 	st.WallDuration = time.Since(t0)
+	mAppends.Inc()
+	mAppendFallbacks.Inc()
+	mAppendDuration.Observe(st.WallDuration.Seconds())
 	return st, err
 }
 

@@ -26,7 +26,7 @@ package core
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
 	"runtime"
 	"sort"
 	"sync"
@@ -279,10 +279,12 @@ func (f *Framework) addDatasetLocked(d *dataset.Dataset) error {
 		// vector is over the wrong domain. This is the teardown path
 		// AppendSlice exists to avoid; count and log it — naming the
 		// triggering data set — so rebuild storms are visible to operators
-		// (/v1/stats). Range extensions during pre-build registration are
-		// not counted: there is no derived state to discard yet.
-		log.Printf("core: dataset %q extends corpus time range to [%d, %d]; discarding derived state (rebuild #%d)",
-			d.Name, f.minTS, f.maxTS, f.rebuilds.Load()+1)
+		// (/v1/stats and /metrics). Range extensions during pre-build
+		// registration are not counted: there is no derived state to
+		// discard yet.
+		slog.Warn("core: dataset extends corpus time range; discarding derived state",
+			"dataset", d.Name, "minTS", f.minTS, "maxTS", f.maxTS,
+			"rebuild", f.rebuilds.Load()+1)
 		f.resetIndex()
 	} else {
 		f.invalidateCacheInvolving(d.Name)
@@ -296,6 +298,7 @@ func (f *Framework) addDatasetLocked(d *dataset.Dataset) error {
 // exclusively.
 func (f *Framework) resetIndex() {
 	f.rebuilds.Add(1)
+	mRebuilds.Inc()
 	f.index = newIndex()
 	f.timelines = make(map[temporal.Resolution]*temporal.Timeline)
 	f.graphs = make(map[Resolution]*stgraph.Graph)
@@ -449,6 +452,9 @@ func (f *Framework) buildIndexLocked() (IndexStats, error) {
 	stats.Rebuilds = f.rebuilds.Load()
 	f.built = true
 	f.invalidateCacheInvolving(todo...)
+	mIndexBuilds.Inc()
+	mIndexBuildDuration.Observe(stats.WallDuration.Seconds())
+	mIndexFunctions.Set(float64(f.index.numFunctions()))
 	return stats, nil
 }
 

@@ -158,6 +158,8 @@ func (f *Framework) IngestDataset(d *dataset.Dataset) (IndexStats, error) {
 	stats.Datasets = len(f.order)
 	stats.DatasetsIndexed = 1
 	stats.DatasetsReused = len(f.order) - 1
+	mIngests.Inc()
+	mIndexFunctions.Set(float64(f.index.numFunctions()))
 	return stats, nil
 }
 
@@ -167,5 +169,9 @@ func (f *Framework) ingestRebuildLocked(d *dataset.Dataset) (IndexStats, error) 
 	if err := f.addDatasetLocked(d); err != nil {
 		return IndexStats{}, err
 	}
-	return f.buildIndexLocked()
+	st, err := f.buildIndexLocked()
+	if err == nil {
+		mIngests.Inc()
+	}
+	return st, err
 }

@@ -126,6 +126,23 @@ type QueryStats struct {
 	// evaluation instead of starting its own.
 	Coalesced bool
 	Duration  time.Duration
+	// Stages is the per-stage wall-time breakdown of the evaluation that
+	// produced this result, in execution order (plan, evaluate, correct,
+	// select). Cache hits carry the original run's stages, not the lookup's.
+	Stages []StageTiming
+}
+
+// StageTiming is one stage of a query evaluation and its wall time.
+type StageTiming struct {
+	Stage    string
+	Duration time.Duration
+}
+
+// addStage records one evaluation stage on the stats and on the per-stage
+// latency histogram.
+func (s *QueryStats) addStage(name string, d time.Duration) {
+	s.Stages = append(s.Stages, StageTiming{Stage: name, Duration: d})
+	mStageDuration.With(name).Observe(d.Seconds())
 }
 
 // cachedResult is one memoised query: its relationships, the stats of the
@@ -176,10 +193,12 @@ func (f *Framework) invalidateCacheInvolving(names ...string) {
 // and with concurrent callers of the same query.
 func (f *Framework) Query(q Query) ([]Relationship, QueryStats, error) {
 	t0 := time.Now()
+	mQueries.Inc()
 	f.mu.RLock()
 	defer f.mu.RUnlock()
 	var stats QueryStats
 	if !f.indexedLocked() {
+		mQueryErrors.Inc()
 		return nil, stats, fmt.Errorf("core: BuildIndex must run before Query")
 	}
 	sources := q.Sources
@@ -192,6 +211,7 @@ func (f *Framework) Query(q Query) ([]Relationship, QueryStats, error) {
 	}
 	for _, n := range append(append([]string{}, sources...), targets...) {
 		if _, ok := f.datasets[n]; !ok {
+			mQueryErrors.Inc()
 			return nil, stats, fmt.Errorf("core: unknown dataset %q", n)
 		}
 	}
@@ -203,6 +223,8 @@ func (f *Framework) Query(q Query) ([]Relationship, QueryStats, error) {
 		stats = c.stats
 		stats.CacheHit = true
 		stats.Duration = time.Since(t0)
+		mQueryCacheHits.Inc()
+		mQueryDuration.Observe(stats.Duration.Seconds())
 		return c.rels, stats, nil
 	}
 	if call, ok := f.inflight[sig]; ok {
@@ -213,12 +235,16 @@ func (f *Framework) Query(q Query) ([]Relationship, QueryStats, error) {
 		f.cacheMu.Unlock()
 		<-call.done
 		if call.err != nil {
+			mQueryErrors.Inc()
 			return nil, stats, call.err
 		}
 		stats = call.stats
 		stats.CacheHit = true
 		stats.Coalesced = true
 		stats.Duration = time.Since(t0)
+		mQueryCacheHits.Inc()
+		mQueryCoalesced.Inc()
+		mQueryDuration.Observe(stats.Duration.Seconds())
 		return call.rels, stats, nil
 	}
 	call := &inflightQuery{done: make(chan struct{})}
@@ -257,6 +283,11 @@ func (f *Framework) Query(q Query) ([]Relationship, QueryStats, error) {
 	}()
 	rels, rstats, err = f.evaluateQuery(sources, targets, q.Clause, t0)
 	completed = true
+	if err != nil {
+		mQueryErrors.Inc()
+	} else {
+		mQueryDuration.Observe(rstats.Duration.Seconds())
+	}
 	return rels, rstats, err
 }
 
@@ -270,9 +301,13 @@ func (f *Framework) evaluateQuery(sources, targets []string, clause Clause, t0 t
 	}
 
 	// Planner: enumerate and prune candidate tuples (map phase of job 3).
+	tStage := time.Now()
 	plan := f.plan(sources, targets, clause, classes)
+	stats.addStage("plan", time.Since(tStage))
 	stats.PairsConsidered = plan.considered
 	stats.Pruned = plan.pruned
+	mPairsConsidered.Add(uint64(plan.considered))
+	mPairsPruned.Add(uint64(plan.pruned))
 
 	// When the plan has fewer tasks than workers, the per-pair pool alone
 	// cannot saturate the machine: hand the spare parallelism down to each
@@ -286,6 +321,7 @@ func (f *Framework) evaluateQuery(sources, targets []string, clause Clause, t0 t
 	}
 
 	// Reduce phase of job 3: evaluate each surviving candidate.
+	tStage = time.Now()
 	results, err := mapreduce.ForEach(mapreduce.Config{Workers: f.opts.Workers}, plan.tasks,
 		func(t pairTask) (*Relationship, error) {
 			return f.evaluatePair(t, clause, mcWorkers)
@@ -300,10 +336,15 @@ func (f *Framework) evaluateQuery(sources, targets []string, clause Clause, t0 t
 		}
 	}
 	stats.Evaluated = len(cands)
+	stats.addStage("evaluate", time.Since(tStage))
+	mPairsEvaluated.Add(uint64(len(cands)))
 	// Multiple-hypothesis correction across the query's tested family: every
 	// evaluated pair — significant or not — contributes its p-value, and
 	// Significant is re-derived from the q-values.
+	tStage = time.Now()
 	applyCorrection(cands, clause)
+	stats.addStage("correct", time.Since(tStage))
+	tStage = time.Now()
 	var out []Relationship
 	for _, r := range cands {
 		if r.Significant {
@@ -327,6 +368,7 @@ func (f *Framework) evaluateQuery(sources, targets []string, clause Clause, t0 t
 		}
 		return out[i].Class < out[j].Class
 	})
+	stats.addStage("select", time.Since(tStage))
 	stats.Duration = time.Since(t0)
 	return out, stats, nil
 }

@@ -217,6 +217,7 @@ func (f *Framework) BuildGraph(clause Clause) (GraphStats, error) {
 			f.graphClause = clause
 			st.Edges = g.NumEdges()
 			st.WallDuration = time.Since(t0)
+			recordGraphBuild(st)
 			return st, nil
 		}
 	}
@@ -264,6 +265,7 @@ func (f *Framework) BuildGraph(clause Clause) (GraphStats, error) {
 	f.graphClause = clause
 	st.Edges = g.NumEdges()
 	st.WallDuration = time.Since(t0)
+	recordGraphBuild(st)
 	return st, nil
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"fmt"
+	"time"
 
 	"github.com/urbandata/datapolygamy/internal/dataset"
 	"github.com/urbandata/datapolygamy/internal/store"
@@ -76,6 +77,7 @@ func (f *Framework) Save(path string) error {
 // (snapshot format v4, the only format Save writes) or the legacy gob
 // sections, which tests use to exercise the v3 fallback path.
 func (f *Framework) saveContainer(path string, flat bool) error {
+	t0 := time.Now()
 	f.mu.RLock()
 	defer f.mu.RUnlock()
 	encoding := store.EncodingGob
@@ -102,7 +104,12 @@ func (f *Framework) saveContainer(path string, flat bool) error {
 		sections = append(sections, store.Section{Name: store.SectionGraph, Data: g, Encoding: encoding})
 		m.ClauseSig = sig
 	}
-	return store.Write(path, m, sections)
+	if err := store.Write(path, m, sections); err != nil {
+		return err
+	}
+	mSnapshotSaves.Inc()
+	mSnapshotSaveDuration.Observe(time.Since(t0).Seconds())
+	return nil
 }
 
 // Load restores a snapshot written by Save into this framework. The
@@ -123,6 +130,7 @@ func (f *Framework) saveContainer(path string, flat bool) error {
 // Gob sections (snapshot format v3 and earlier) take the full-decode
 // fallback, after which the mapping is released.
 func (f *Framework) Load(path string) (err error) {
+	t0 := time.Now()
 	mp, err := store.Map(path)
 	if err != nil {
 		return err
@@ -190,6 +198,17 @@ func (f *Framework) Load(path string) (err error) {
 	}
 	f.snapFormat = m.SnapshotFormat()
 	f.snapZeroCopy = flatViews && mp.ZeroCopy()
+	mode := "gob"
+	switch {
+	case f.snapZeroCopy:
+		mode = "mmap"
+		mSnapshotMappedBytes.Set(float64(mp.Size()))
+	case flatViews:
+		mode = "heap"
+	}
+	mSnapshotLoads.With(mode).Inc()
+	mSnapshotLoadDuration.Observe(time.Since(t0).Seconds())
+	mIndexFunctions.Set(float64(f.index.numFunctions()))
 	return nil
 }
 

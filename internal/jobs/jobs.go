@@ -11,6 +11,19 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"github.com/urbandata/datapolygamy/internal/obsv"
+)
+
+// Job metrics on the default registry: queue depth (active gauge),
+// completions by kind and terminal status, and per-kind latency.
+var (
+	mActive = obsv.NewGauge("polygamy_jobs_active",
+		"Background jobs currently pending or running.")
+	mJobs = obsv.NewCounterVec("polygamy_jobs_total",
+		"Background jobs finished, by kind and terminal status.", "kind", "status")
+	mJobDuration = obsv.NewHistogramVec("polygamy_job_duration_seconds",
+		"Background job run time (start to finish), by kind.", nil, "kind")
 )
 
 // Status is a job's lifecycle state.
@@ -85,6 +98,7 @@ func (m *Manager) Start(kind, detail string, fn func() (map[string]any, error)) 
 	m.evictLocked()
 	snap := *j
 	m.mu.Unlock()
+	mActive.Add(1)
 
 	go func() {
 		m.mu.Lock()
@@ -94,14 +108,19 @@ func (m *Manager) Start(kind, detail string, fn func() (map[string]any, error)) 
 		result, err := fn()
 		m.mu.Lock()
 		j.Finished = time.Now()
+		status := Done
 		if err != nil {
-			j.Status = Failed
+			status = Failed
 			j.Error = err.Error()
 		} else {
-			j.Status = Done
 			j.Result = result
 		}
+		j.Status = status
+		dur := j.Finished.Sub(j.Started)
 		m.mu.Unlock()
+		mActive.Add(-1)
+		mJobs.With(kind, string(status)).Inc()
+		mJobDuration.With(kind).Observe(dur.Seconds())
 	}()
 	return snap
 }

@@ -26,7 +26,20 @@ import (
 	"sync"
 
 	"github.com/urbandata/datapolygamy/internal/feature"
+	"github.com/urbandata/datapolygamy/internal/obsv"
 	"github.com/urbandata/datapolygamy/internal/stgraph"
+)
+
+// Significance-test metrics on the default registry. Permutations run vs.
+// early stops is the live view of how much work the adaptive termination
+// saves (the paper's hypothesis-testing cost dominates query latency).
+var (
+	mTests = obsv.NewCounter("polygamy_montecarlo_tests_total",
+		"Significance tests run (tau = 0 shortcuts included).")
+	mPermutations = obsv.NewCounter("polygamy_montecarlo_permutations_total",
+		"Permutations actually evaluated across all tests.")
+	mEarlyStops = obsv.NewCounter("polygamy_montecarlo_early_stops_total",
+		"Tests stopped by adaptive termination before the full permutation budget.")
 )
 
 // DefaultPermutations is the paper's |m| = 1,000 toroidal shifts.
@@ -356,6 +369,7 @@ func Test(a, b *feature.Set, g *stgraph.Graph, tauObserved float64, cfg Config) 
 			a.NumVertices(), b.NumVertices(), g.NumVertices()))
 	}
 	if tauObserved == 0 {
+		mTests.Inc()
 		return Result{PValue: 1, Significant: false, TauObserved: 0, Shifts: 0}
 	}
 	run := &testRun{
@@ -383,6 +397,11 @@ func Test(a, b *feature.Set, g *stgraph.Graph, tauObserved float64, cfg Config) 
 	}
 	extreme, shifts := foldCounts(counts, cfg.Permutations, threshold, cfg.Exhaustive)
 	p := float64(1+extreme) / float64(1+shifts)
+	mTests.Inc()
+	mPermutations.Add(uint64(shifts))
+	if shifts < cfg.Permutations {
+		mEarlyStops.Inc()
+	}
 	return Result{
 		PValue:      p,
 		Significant: p <= cfg.Alpha,

@@ -1,0 +1,54 @@
+package obsv
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"io"
+	"log/slog"
+	"sync/atomic"
+)
+
+// This file is the structured-logging half of the observability layer:
+// one slog configuration shared by every binary, and request-ID plumbing
+// so a log line anywhere in a request's lifetime — HTTP middleware, job
+// body, engine warning — can be correlated back to the request that
+// caused it.
+
+// NewLogger returns a slog text logger writing to w. Binaries install it
+// as the process default (slog.SetDefault) so engine-internal packages —
+// which log through slog's default logger rather than threading a logger
+// value through every layer — share the same sink and format.
+func NewLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// reqSeq breaks request-ID ties when the random source fails (it never
+// does on supported platforms, but an ID must still be unique then).
+var reqSeq atomic.Uint64
+
+// NewRequestID returns a fresh 16-hex-character request ID.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		seq := reqSeq.Add(1)
+		for i := range b {
+			b[i] = byte(seq >> (8 * i))
+		}
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ctxKey keys the request ID in a context.
+type ctxKey struct{}
+
+// WithRequestID returns a context carrying the request ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ctxKey{}, id)
+}
+
+// RequestID returns the request ID carried by ctx, or "" when none is.
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKey{}).(string)
+	return id
+}

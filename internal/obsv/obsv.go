@@ -1,0 +1,396 @@
+// Package obsv is the observability substrate of the engine: a small,
+// zero-dependency metrics layer (counters, gauges, fixed-bucket
+// histograms) that renders the Prometheus text exposition format, plus
+// structured logging helpers on log/slog with per-request IDs (log.go).
+//
+// Every engine layer registers its metrics as package-level variables
+// against the Default registry — the promauto idiom without the
+// dependency — and the serving layer exposes the whole registry on
+// GET /metrics. Metric updates are lock-free atomic operations, cheap
+// enough for the query hot path; rendering takes a per-family snapshot
+// under short mutexes.
+//
+// Naming follows the Prometheus conventions: every series is prefixed
+// `polygamy_`, uses snake_case, counters end in `_total`, and durations
+// are histograms in seconds (`_seconds`). Label cardinality is bounded by
+// construction — labels come from small closed sets (stage names, HTTP
+// route patterns, job kinds, status codes), never from user input.
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0; counters only go up).
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a float metric that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add shifts the gauge by delta (negative deltas allowed).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram with cumulative `le` (<=) bucket
+// semantics, an exact observation count, and a running sum — the three
+// series Prometheus derives quantiles and rates from.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds; +Inf is implicit
+	counts  []atomic.Uint64
+	sumBits atomic.Uint64
+	count   atomic.Uint64
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	bounds := append([]float64{}, buckets...)
+	sort.Float64s(bounds)
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] == bounds[i-1] {
+			panic(fmt.Sprintf("obsv: duplicate histogram bucket bound %g", bounds[i]))
+		}
+	}
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// First bound >= v is the bucket v belongs to (le semantics); values
+	// above every bound land in the implicit +Inf bucket.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// DurationBuckets are the default buckets for `_seconds` histograms: the
+// Prometheus defaults extended to one minute, covering everything from a
+// cached query lookup to a cold graph build.
+var DurationBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// kind is the exposition TYPE of a metric family.
+type kind string
+
+const (
+	counterKind   kind = "counter"
+	gaugeKind     kind = "gauge"
+	histogramKind kind = "histogram"
+)
+
+// family is one named metric family: a single unlabeled child, or a set
+// of children keyed by label values (a "vec").
+type family struct {
+	name    string
+	help    string
+	kind    kind
+	labels  []string
+	buckets []float64 // histogram families only
+
+	mu       sync.Mutex
+	children map[string]any // label-value key -> *Counter | *Gauge | *Histogram
+}
+
+// labelKey canonicalises label values into the child map key. The unit
+// separator cannot appear in reasonable label values; collisions would
+// only merge two children's samples, never corrupt state.
+func labelKey(values []string) string { return strings.Join(values, "\x1f") }
+
+func (f *family) child(values []string) any {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obsv: metric %s expects %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := labelKey(values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[key]; ok {
+		return c
+	}
+	var c any
+	switch f.kind {
+	case counterKind:
+		c = &Counter{}
+	case gaugeKind:
+		c = &Gauge{}
+	case histogramKind:
+		c = newHistogram(f.buckets)
+	}
+	f.children[key] = c
+	return c
+}
+
+// CounterVec is a counter family partitioned by label values.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the given label values, creating it on
+// first use.
+func (v *CounterVec) With(values ...string) *Counter { return v.f.child(values).(*Counter) }
+
+// GaugeVec is a gauge family partitioned by label values.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge { return v.f.child(values).(*Gauge) }
+
+// HistogramVec is a histogram family partitioned by label values.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram { return v.f.child(values).(*Histogram) }
+
+// Registry holds metric families and renders them as Prometheus text
+// exposition. All methods are safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{families: make(map[string]*family)} }
+
+// Default is the process-wide registry every engine layer registers into.
+var Default = NewRegistry()
+
+func (r *Registry) register(name, help string, k kind, labels []string, buckets []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.families[name]; dup {
+		panic(fmt.Sprintf("obsv: metric %q registered twice", name))
+	}
+	f := &family{name: name, help: help, kind: k, labels: labels, buckets: buckets,
+		children: make(map[string]any)}
+	r.families[name] = f
+	return f
+}
+
+// Counter registers and returns an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, help, counterKind, nil, nil).child(nil).(*Counter)
+}
+
+// CounterVec registers a counter family with the given label names.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{f: r.register(name, help, counterKind, labels, nil)}
+}
+
+// Gauge registers and returns an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, help, gaugeKind, nil, nil).child(nil).(*Gauge)
+}
+
+// GaugeVec registers a gauge family with the given label names.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{f: r.register(name, help, gaugeKind, labels, nil)}
+}
+
+// Histogram registers and returns an unlabeled histogram over the given
+// bucket upper bounds (nil => DurationBuckets).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DurationBuckets
+	}
+	return r.register(name, help, histogramKind, nil, buckets).child(nil).(*Histogram)
+}
+
+// HistogramVec registers a histogram family with the given label names.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if buckets == nil {
+		buckets = DurationBuckets
+	}
+	return &HistogramVec{f: r.register(name, help, histogramKind, labels, buckets)}
+}
+
+// Package-level constructors registering into Default (the promauto
+// idiom): engine layers declare their metrics as package variables.
+
+// NewCounter registers an unlabeled counter in Default.
+func NewCounter(name, help string) *Counter { return Default.Counter(name, help) }
+
+// NewCounterVec registers a labeled counter family in Default.
+func NewCounterVec(name, help string, labels ...string) *CounterVec {
+	return Default.CounterVec(name, help, labels...)
+}
+
+// NewGauge registers an unlabeled gauge in Default.
+func NewGauge(name, help string) *Gauge { return Default.Gauge(name, help) }
+
+// NewGaugeVec registers a labeled gauge family in Default.
+func NewGaugeVec(name, help string, labels ...string) *GaugeVec {
+	return Default.GaugeVec(name, help, labels...)
+}
+
+// NewHistogram registers an unlabeled histogram in Default.
+func NewHistogram(name, help string, buckets []float64) *Histogram {
+	return Default.Histogram(name, help, buckets)
+}
+
+// NewHistogramVec registers a labeled histogram family in Default.
+func NewHistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return Default.HistogramVec(name, help, buckets, labels...)
+}
+
+// ---- text exposition ----
+
+// WritePrometheus renders every family in the Prometheus text exposition
+// format (version 0.0.4): families sorted by name, each with its # HELP
+// and # TYPE header, samples sorted by label key, histograms expanded
+// into cumulative _bucket/_sum/_count series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		f.write(&b)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func (f *family) write(b *strings.Builder) {
+	fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.kind)
+	f.mu.Lock()
+	keys := make([]string, 0, len(f.children))
+	for key := range f.children {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	children := make([]any, len(keys))
+	for i, key := range keys {
+		children[i] = f.children[key]
+	}
+	f.mu.Unlock()
+	for i, key := range keys {
+		var values []string
+		if len(f.labels) > 0 {
+			values = strings.Split(key, "\x1f")
+		}
+		switch c := children[i].(type) {
+		case *Counter:
+			fmt.Fprintf(b, "%s%s %d\n", f.name, labelString(f.labels, values, "", ""), c.Value())
+		case *Gauge:
+			fmt.Fprintf(b, "%s%s %s\n", f.name, labelString(f.labels, values, "", ""), formatFloat(c.Value()))
+		case *Histogram:
+			cum := uint64(0)
+			for bi, bound := range c.bounds {
+				cum += c.counts[bi].Load()
+				fmt.Fprintf(b, "%s_bucket%s %d\n", f.name,
+					labelString(f.labels, values, "le", formatFloat(bound)), cum)
+			}
+			cum += c.counts[len(c.bounds)].Load()
+			fmt.Fprintf(b, "%s_bucket%s %d\n", f.name, labelString(f.labels, values, "le", "+Inf"), cum)
+			fmt.Fprintf(b, "%s_sum%s %s\n", f.name, labelString(f.labels, values, "", ""), formatFloat(c.Sum()))
+			fmt.Fprintf(b, "%s_count%s %d\n", f.name, labelString(f.labels, values, "", ""), cum)
+		}
+	}
+}
+
+// labelString renders {k="v",...} from the family labels plus an optional
+// extra pair (the histogram `le`), or "" when there are no labels at all.
+func labelString(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, n, escapeLabel(values[i]))
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, extraName, extraValue)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatFloat renders a float in the shortest exact form the exposition
+// format accepts.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	return strings.NewReplacer(`\`, `\\`, "\n", `\n`).Replace(s)
+}
+
+// escapeLabel applies the exposition format's label-value escaping:
+// backslash, double quote, and line feed.
+func escapeLabel(s string) string {
+	return strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(s)
+}
+
+// Handler serves the Default registry as a Prometheus scrape target.
+func Handler() http.Handler { return HandlerFor(Default) }
+
+// HandlerFor serves one registry's exposition.
+func HandlerFor(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,296 @@
+package obsv
+
+import (
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestExpositionGolden pins the exact text exposition of a registry with
+// one family of each kind: a byte-for-byte golden so the format cannot
+// drift under a scraper.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_queries_total", "Total queries.")
+	c.Add(41)
+	c.Inc()
+	g := r.Gauge("test_mapped_bytes", "Mapped snapshot bytes.")
+	g.Set(1.5e6)
+	v := r.CounterVec("test_requests_total", "Requests by route.", "route", "code")
+	v.With("/v1/query", "200").Add(7)
+	v.With("/healthz", "200").Inc()
+	h := r.Histogram("test_duration_seconds", "Durations.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP test_duration_seconds Durations.
+# TYPE test_duration_seconds histogram
+test_duration_seconds_bucket{le="0.1"} 1
+test_duration_seconds_bucket{le="1"} 3
+test_duration_seconds_bucket{le="+Inf"} 4
+test_duration_seconds_sum 6.05
+test_duration_seconds_count 4
+# HELP test_mapped_bytes Mapped snapshot bytes.
+# TYPE test_mapped_bytes gauge
+test_mapped_bytes 1.5e+06
+# HELP test_queries_total Total queries.
+# TYPE test_queries_total counter
+test_queries_total 42
+# HELP test_requests_total Requests by route.
+# TYPE test_requests_total counter
+test_requests_total{route="/healthz",code="200"} 1
+test_requests_total{route="/v1/query",code="200"} 7
+`
+	if b.String() != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+// sampleLine matches one exposition sample: name, optional {labels},
+// value. The label block disallows unescaped quotes and newlines.
+var sampleLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"(,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})? (?:[-+]?[0-9.eE+-]+|\+Inf|-Inf|NaN)$`)
+
+// parseExposition validates the whole document shape: every line is a
+// comment or a well-formed sample, every sample's base name has a
+// preceding # TYPE, and the declared type precedes its samples. It
+// returns the samples grouped by family name.
+func parseExposition(t *testing.T, text string) map[string][]string {
+	t.Helper()
+	types := map[string]string{}
+	samples := map[string][]string{}
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			switch parts[3] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("unknown type %q in %q", parts[3], line)
+			}
+			types[parts[2]] = parts[3]
+			continue
+		}
+		if !sampleLine.MatchString(line) {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		name := line[:strings.IndexAny(line, "{ ")]
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, suffix)
+			if trimmed != name && types[trimmed] == "histogram" {
+				base = trimmed
+			}
+		}
+		if _, ok := types[base]; !ok {
+			t.Fatalf("sample %q has no preceding # TYPE", line)
+		}
+		samples[base] = append(samples[base], line)
+	}
+	return samples
+}
+
+// TestExpositionParses renders a registry exercising every metric kind —
+// labels with characters needing escaping included — and validates the
+// document with the format parser above.
+func TestExpositionParses(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("p_a_total", "a").Inc()
+	r.GaugeVec("p_g", "g", "mode").With(`quo"te\back`).Set(-2.25)
+	hv := r.HistogramVec("p_h_seconds", "h", []float64{0.01, 0.1, 1}, "stage")
+	hv.With("plan").Observe(0.02)
+	hv.With("evaluate").Observe(2)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	samples := parseExposition(t, b.String())
+	if len(samples["p_a_total"]) != 1 {
+		t.Errorf("p_a_total samples = %v", samples["p_a_total"])
+	}
+	if len(samples["p_g"]) != 1 || !strings.Contains(samples["p_g"][0], `mode="quo\"te\\back"`) {
+		t.Errorf("escaped gauge sample = %v", samples["p_g"])
+	}
+	// Two labeled histograms, each 4 buckets + sum + count.
+	if len(samples["p_h_seconds"]) != 12 {
+		t.Errorf("histogram series count = %d, want 12: %v", len(samples["p_h_seconds"]), samples["p_h_seconds"])
+	}
+}
+
+// TestHistogramBucketMath pins the bucket assignment rules: le is
+// inclusive, buckets render cumulatively, out-of-range values land in
+// +Inf, and sum/count are exact.
+func TestHistogramBucketMath(t *testing.T) {
+	h := newHistogram([]float64{1, 2.5, 10})
+	for _, v := range []float64{0.5, 1, 1.0000001, 2.5, 10, 11, -3} {
+		h.Observe(v)
+	}
+	// Raw (non-cumulative) per-bucket counts: (-inf,1]=3  (1,2.5]=2
+	// (2.5,10]=1  (10,+inf)=1.
+	raw := []uint64{3, 2, 1, 1}
+	for i, want := range raw {
+		if got := h.counts[i].Load(); got != want {
+			t.Errorf("bucket %d count = %d, want %d", i, got, want)
+		}
+	}
+	if h.Count() != 7 {
+		t.Errorf("count = %d, want 7", h.Count())
+	}
+	if want := 0.5 + 1 + 1.0000001 + 2.5 + 10 + 11 - 3; math.Abs(h.Sum()-want) > 1e-9 {
+		t.Errorf("sum = %g, want %g", h.Sum(), want)
+	}
+
+	// The rendered buckets are cumulative and end at count.
+	r := NewRegistry()
+	r2 := r.Histogram("hb_seconds", "x", []float64{1, 2.5, 10})
+	for _, v := range []float64{0.5, 1, 1.0000001, 2.5, 10, 11, -3} {
+		r2.Observe(v)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	wantLines := []string{
+		`hb_seconds_bucket{le="1"} 3`,
+		`hb_seconds_bucket{le="2.5"} 5`,
+		`hb_seconds_bucket{le="10"} 6`,
+		`hb_seconds_bucket{le="+Inf"} 7`,
+		`hb_seconds_count 7`,
+	}
+	for _, line := range wantLines {
+		if !strings.Contains(b.String(), line+"\n") {
+			t.Errorf("exposition missing %q:\n%s", line, b.String())
+		}
+	}
+}
+
+// TestHistogramUnsortedBuckets verifies bounds are sorted at
+// construction, so callers can list buckets in any order.
+func TestHistogramUnsortedBuckets(t *testing.T) {
+	h := newHistogram([]float64{10, 0.1, 1})
+	h.Observe(0.5)
+	if got := h.counts[1].Load(); got != 1 {
+		t.Errorf("0.5 landed in bucket with count %d, want bucket (0.1,1]", got)
+	}
+}
+
+// TestVecChildIdentity checks that With returns the same child for the
+// same label values and distinct children otherwise.
+func TestVecChildIdentity(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("vc_total", "x", "kind")
+	a, b := v.With("ingest"), v.With("append")
+	a.Inc()
+	a.Inc()
+	b.Inc()
+	if v.With("ingest") != a || v.With("append") != b {
+		t.Error("With did not return stable children")
+	}
+	if a.Value() != 2 || b.Value() != 1 {
+		t.Errorf("child values = %d, %d", a.Value(), b.Value())
+	}
+}
+
+// TestDuplicateRegistrationPanics pins the promauto contract: two
+// packages claiming one metric name is a programming error.
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("dup_total", "y")
+}
+
+// TestLabelArityPanics pins that a wrong number of label values is
+// rejected rather than silently merged.
+func TestLabelArityPanics(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("ar_total", "x", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong label arity did not panic")
+		}
+	}()
+	v.With("only-one")
+}
+
+// TestGaugeAddConcurrent hammers the CAS paths from many goroutines; the
+// totals must be exact.
+func TestGaugeAddConcurrent(t *testing.T) {
+	var g Gauge
+	h := newHistogram([]float64{1})
+	var wg sync.WaitGroup
+	const workers, rounds = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				g.Add(1)
+				h.Observe(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if g.Value() != workers*rounds {
+		t.Errorf("gauge = %g, want %d", g.Value(), workers*rounds)
+	}
+	if h.Count() != workers*rounds || h.Sum() != workers*rounds*0.5 {
+		t.Errorf("histogram count=%d sum=%g", h.Count(), h.Sum())
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		1:              "1",
+		0.05:           "0.05",
+		1.5e6:          "1.5e+06",
+		math.Inf(1):    "+Inf",
+		math.Inf(-1):   "-Inf",
+		math.NaN():     "NaN",
+		-2.25:          "-2.25",
+		0.030000000001: "0.030000000001",
+	}
+	for v, want := range cases {
+		if got := formatFloat(v); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestHandlerServesExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hx_total", "x").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "hx_total 1\n") {
+		t.Errorf("exposition = %q", b.String())
+	}
+	// Counter values are integers on the wire.
+	for _, line := range strings.Split(b.String(), "\n") {
+		if strings.HasPrefix(line, "hx_total ") {
+			if _, err := strconv.ParseUint(strings.Fields(line)[1], 10, 64); err != nil {
+				t.Errorf("counter sample %q is not an integer", line)
+			}
+		}
+	}
+}

@@ -77,6 +77,16 @@ func (mp *Mapped) Section(name string) ([]byte, bool) {
 // opposed to the heap-buffer fallback).
 func (mp *Mapped) ZeroCopy() bool { return mp.zeroCopy }
 
+// Size returns the total bytes of the mapped (or heap-buffered) section
+// payloads: the resident cost of serving this container.
+func (mp *Mapped) Size() int {
+	n := 0
+	for _, b := range mp.sections {
+		n += len(b)
+	}
+	return n
+}
+
 // Close releases the mapping. Every view handed out by Section — and every
 // bit vector or string built over one — becomes invalid; using it after
 // Close is a use-after-free. Close is idempotent.
