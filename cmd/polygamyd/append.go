@@ -28,6 +28,9 @@ import (
 // TestServerAppendEquivalence).
 
 func (s *server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	if s.rejectWrite(w) {
+		return
+	}
 	name := r.PathValue("name")
 	body := http.MaxBytesReader(w, r.Body, s.maxIngestBody)
 	d, err := dataset.ReadCSV(body)
@@ -47,7 +50,7 @@ func (s *server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	registered := false
-	for _, n := range s.fw.Datasets() {
+	for _, n := range s.fw().Datasets() {
 		if n == name {
 			registered = true
 			break
@@ -68,7 +71,7 @@ func (s *server) handleAppend(w http.ResponseWriter, r *http.Request) {
 // append, then — mirroring runIngest — a delta graph refresh under the
 // remembered clause and a snapshot re-save.
 func (s *server) runAppend(d *dataset.Dataset) (map[string]any, error) {
-	st, err := s.fw.AppendSlice(d)
+	st, err := s.fw().AppendSlice(d)
 	if err != nil {
 		return nil, err
 	}
@@ -84,11 +87,11 @@ func (s *server) runAppend(d *dataset.Dataset) (map[string]any, error) {
 		"fellBack":          st.FellBack,
 		"appendWall":        st.WallDuration.String(),
 	}
-	if _, built := s.fw.RelGraph(); built {
+	if _, built := s.fw().RelGraph(); built {
 		s.graphClauseMu.Lock()
 		clause := s.graphClause
 		s.graphClauseMu.Unlock()
-		gs, err := s.fw.BuildGraph(clause)
+		gs, err := s.fw().BuildGraph(clause)
 		if err != nil {
 			return nil, fmt.Errorf("graph refresh: %w", err)
 		}
@@ -98,7 +101,7 @@ func (s *server) runAppend(d *dataset.Dataset) (map[string]any, error) {
 		result["graphPairsReused"] = gs.PairsReused
 	}
 	if s.snapshotPath != "" {
-		if err := s.fw.Save(s.snapshotPath); err != nil {
+		if err := s.fw().Save(s.snapshotPath); err != nil {
 			return nil, fmt.Errorf("snapshot re-save: %w", err)
 		}
 		result["snapshot"] = s.snapshotPath

@@ -1,10 +1,13 @@
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 
+	"github.com/urbandata/datapolygamy/internal/httpapi"
 	"github.com/urbandata/datapolygamy/internal/relgraph"
 )
 
@@ -65,7 +68,7 @@ func wireEdges(edges []relgraph.Edge) []graphEdgeWire {
 // graph returns the current graph or writes the standard "not built"
 // error.
 func (s *server) graph(w http.ResponseWriter) (*relgraph.Graph, bool) {
-	g, ok := s.fw.RelGraph()
+	g, ok := s.fw().RelGraph()
 	if !ok {
 		writeJSON(w, http.StatusConflict,
 			errorResponse{Error: "relationship graph not built; POST /v1/graph/build first"})
@@ -74,6 +77,9 @@ func (s *server) graph(w http.ResponseWriter) (*relgraph.Graph, bool) {
 }
 
 func (s *server) handleGraphBuild(w http.ResponseWriter, r *http.Request) {
+	if s.rejectWrite(w) {
+		return
+	}
 	// The body is optional: empty means the zero clause (paper defaults).
 	var req struct {
 		Clause clauseRequest `json:"clause"`
@@ -86,7 +92,7 @@ func (s *server) handleGraphBuild(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
-	stats, err := s.fw.BuildGraph(clause)
+	stats, err := s.fw().BuildGraph(clause)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
@@ -107,6 +113,80 @@ func (s *server) handleGraphBuild(w http.ResponseWriter, r *http.Request) {
 		Evaluated:       stats.Evaluated,
 		Edges:           stats.Edges,
 		Duration:        stats.WallDuration.String(),
+	})
+}
+
+// handleGraphShard computes one shard of the distributed graph build:
+// the tested candidate families for the pair-space partition assigned to
+// this replica. Mounted on every server — replicas do the computing, and
+// a leader can take a shard too. Deterministic per-pair seeds make the
+// payload byte-identical no matter which process computes it.
+func (s *server) handleGraphShard(w http.ResponseWriter, r *http.Request) {
+	var req httpapi.GraphShardRequest
+	if !s.decodeJSON(w, r, &req, false) {
+		return
+	}
+	clause, err := parseClause(req.Clause)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	payload, err := s.fw().BuildGraphShard(clause, req.Shard, req.Of)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, httpapi.GraphShardResponse{Shard: payload})
+}
+
+// handleGraphMerge (leader only) merges shard payloads into the
+// published graph — refusing incomplete or inconsistent partitions —
+// and re-saves the snapshot so followers ship the merged graph on their
+// next poll.
+func (s *server) handleGraphMerge(w http.ResponseWriter, r *http.Request) {
+	// Shard payloads carry whole candidate caches, so the cap is the
+	// ingest-sized one, not the small-JSON one.
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxIngestBody)
+	var req httpapi.GraphMergeRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorResponse{Error: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit)})
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "decoding request: " + err.Error()})
+		return
+	}
+	clause, err := parseClause(req.Clause)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	stats, err := s.fw().MergeGraphShards(clause, req.Shards)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	s.graphBuilds.Add(1)
+	s.graphClauseMu.Lock()
+	s.graphClause = clause
+	s.graphClauseMu.Unlock()
+	if s.snapshotPath != "" {
+		if err := s.fw().Save(s.snapshotPath); err != nil {
+			writeJSON(w, http.StatusInternalServerError,
+				errorResponse{Error: "snapshot re-save after merge: " + err.Error()})
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, graphStatsWire{
+		Datasets:      stats.Datasets,
+		Pairs:         stats.Pairs,
+		PairsComputed: stats.PairsComputed,
+		Edges:         stats.Edges,
+		Duration:      stats.WallDuration.String(),
 	})
 }
 

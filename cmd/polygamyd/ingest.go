@@ -62,6 +62,9 @@ func wireJob(j jobs.Job) jobWire {
 }
 
 func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if s.rejectWrite(w) {
+		return
+	}
 	// The CSV is parsed synchronously — a malformed body should fail the
 	// request, not a job the client has to dig out of /v1/jobs — and the
 	// expensive indexing runs in the background.
@@ -93,7 +96,7 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 // incremental graph refresh under the remembered clause and a snapshot
 // re-save so the next restart includes the new data set.
 func (s *server) runIngest(d *dataset.Dataset) (map[string]any, error) {
-	st, err := s.fw.IngestDataset(d)
+	st, err := s.fw().IngestDataset(d)
 	if err != nil {
 		return nil, err
 	}
@@ -103,11 +106,11 @@ func (s *server) runIngest(d *dataset.Dataset) (map[string]any, error) {
 		"datasets":  st.Datasets,
 		"indexWall": st.WallDuration.String(),
 	}
-	if _, built := s.fw.RelGraph(); built {
+	if _, built := s.fw().RelGraph(); built {
 		s.graphClauseMu.Lock()
 		clause := s.graphClause
 		s.graphClauseMu.Unlock()
-		gs, err := s.fw.BuildGraph(clause)
+		gs, err := s.fw().BuildGraph(clause)
 		if err != nil {
 			return nil, fmt.Errorf("graph refresh: %w", err)
 		}
@@ -116,7 +119,7 @@ func (s *server) runIngest(d *dataset.Dataset) (map[string]any, error) {
 		result["graphPairsComputed"] = gs.PairsComputed
 	}
 	if s.snapshotPath != "" {
-		if err := s.fw.Save(s.snapshotPath); err != nil {
+		if err := s.fw().Save(s.snapshotPath); err != nil {
 			return nil, fmt.Errorf("snapshot re-save: %w", err)
 		}
 		result["snapshot"] = s.snapshotPath

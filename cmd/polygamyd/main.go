@@ -24,6 +24,20 @@
 //	                          (runs as a background job; returns 202 + job ID)
 //	GET  /v1/jobs             background jobs, newest first
 //	GET  /v1/jobs/{id}        one job's status and result
+//	POST /v1/graph/shard      compute one shard of a distributed graph build
+//
+// With -snapshot, the snapshot-shipping surface of the replicated tier is
+// mounted too (see internal/replica and cmd/polygamyr):
+//
+//	GET  /v1/snapshot/manifest         current container manifest + ETag
+//	GET  /v1/snapshot/sections/{name}  one section, ranged, If-Match-pinned
+//	GET  /v1/snapshot/datasets/{name}  one data set as canonical CSV
+//	POST /v1/graph/merge               merge + publish computed graph shards
+//
+// With -replica <leader-url>, the process is a read-only follower: it
+// polls the leader (-poll), pulls changed snapshot sections, epoch-swaps
+// the serving framework without dropping in-flight queries, and answers
+// GET /v1/replica/status; writes are refused with 403.
 //
 // Every response carries an X-Request-ID header (client-supplied or
 // generated), and every request is logged as a structured line carrying
@@ -47,6 +61,7 @@
 //
 //	polygamyd -addr :8571 -months 6 -scale 0.3
 //	polygamyd -addr :8571 -data corpus/ -snapshot corpus.snap
+//	polygamyd -addr :8572 -replica http://leader:8571 -poll 2s
 package main
 
 import (
@@ -66,6 +81,7 @@ import (
 	"github.com/urbandata/datapolygamy/internal/core"
 	"github.com/urbandata/datapolygamy/internal/dataset"
 	"github.com/urbandata/datapolygamy/internal/obsv"
+	"github.com/urbandata/datapolygamy/internal/replica"
 	"github.com/urbandata/datapolygamy/internal/spatial"
 	"github.com/urbandata/datapolygamy/internal/urban"
 )
@@ -81,7 +97,9 @@ func main() {
 		workers  = flag.Int("workers", 0, "worker pool size (0 = NumCPU)")
 		graph    = flag.Bool("graph", false, "materialize the relationship graph at startup (otherwise POST /v1/graph/build)")
 		drain    = flag.Duration("drain", 15*time.Second, "in-flight query drain timeout on SIGINT/SIGTERM")
-		snapshot = flag.String("snapshot", "", "snapshot container path: warm-start from it when present, write it after cold builds and ingestions")
+		snapshot = flag.String("snapshot", "", "snapshot container path: warm-start from it when present, write it after cold builds and ingestions; also the container replicated to -replica followers")
+		replicaOf = flag.String("replica", "", "run as a read replica of the leader at this base URL: poll its snapshot, epoch-swap on change, reject writes")
+		poll      = flag.Duration("poll", 2*time.Second, "replica mode: leader manifest poll cadence (failures back off exponentially)")
 		writeTO  = flag.Duration("write-timeout", 5*time.Minute, "HTTP response write timeout (bounds the slowest handler, e.g. a synchronous graph build)")
 		readTO   = flag.Duration("read-timeout", 2*time.Minute, "HTTP request read timeout (bounds the whole body; must accommodate a slow client uploading a CSV data set)")
 		pprofOn  = flag.Bool("pprof", false, "expose net/http/pprof profiling endpoints under /debug/pprof/ (off by default: they reveal stacks and heap contents)")
@@ -95,29 +113,73 @@ func main() {
 	// The process-wide default logger: engine packages (core's rebuild
 	// warning, the request middleware) all log structured lines through it.
 	slog.SetDefault(obsv.NewLogger(os.Stderr, level))
-	fw, err := assembleFramework(*dataDir, *seed, *grid, *months, *scale, *workers)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "polygamyd:", err)
-		os.Exit(1)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var srv *server
+	if *replicaOf != "" {
+		// Replica mode: no local corpus assembly — the leader's snapshot
+		// (and its raw data sets) are the only source of truth. The first
+		// sync must complete before the listener opens, so the replica
+		// never serves an empty framework.
+		path := *snapshot
+		if path == "" {
+			path = filepath.Join(os.TempDir(), fmt.Sprintf("polygamyd-replica-%d.snap", os.Getpid()))
+		}
+		fol, err := replica.NewFollower(replica.FollowerOptions{
+			Leader:  *replicaOf,
+			Path:    path,
+			Grid:    *grid,
+			Workers: *workers,
+			Poll:    *poll,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "polygamyd:", err)
+			os.Exit(1)
+		}
+		go fol.Run(ctx)
+		readyCtx, cancel := context.WithTimeout(ctx, 2*time.Minute)
+		err = fol.WaitReady(readyCtx)
+		cancel()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "polygamyd:", err)
+			os.Exit(1)
+		}
+		srv = newReplicaServer(fol)
+		st := fol.Status()
+		slog.Info("polygamyd: replica ready", "leader", *replicaOf, "epoch", st.Epoch,
+			"datasets", len(st.Fingerprint.Datasets))
+	} else {
+		fw, err := assembleFramework(*dataDir, *seed, *grid, *months, *scale, *workers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "polygamyd:", err)
+			os.Exit(1)
+		}
+		warm, err := prepareFramework(fw, *snapshot, *graph)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "polygamyd:", err)
+			os.Exit(1)
+		}
+		srv = newServer(fw)
+		srv.snapshotPath = *snapshot
+		srv.warmStart = warm
+		if c, ok := fw.GraphClause(); ok {
+			// A graph restored from the snapshot (or built at startup) must be
+			// refreshed under its own clause after ingestions, not the zero
+			// clause — otherwise the candidate cache would be discarded and
+			// the selection silently changed.
+			srv.graphClause = c
+		}
+		if *snapshot != "" {
+			// A snapshot-backed server is a replication leader: followers
+			// poll /v1/snapshot/manifest and pull exactly what changed.
+			srv.enableLeader(replica.NewSource(*snapshot))
+			slog.Info("polygamyd: snapshot shipping enabled under /v1/snapshot/", "snapshot", *snapshot)
+		}
 	}
-	warm, err := prepareFramework(fw, *snapshot, *graph)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "polygamyd:", err)
-		os.Exit(1)
-	}
-	srv := newServer(fw)
-	srv.snapshotPath = *snapshot
-	srv.warmStart = warm
 	if *pprofOn {
 		srv.enablePprof()
 		slog.Info("polygamyd: pprof endpoints enabled under /debug/pprof/")
-	}
-	if c, ok := fw.GraphClause(); ok {
-		// A graph restored from the snapshot (or built at startup) must be
-		// refreshed under its own clause after ingestions, not the zero
-		// clause — otherwise the candidate cache would be discarded and
-		// the selection silently changed.
-		srv.graphClause = c
 	}
 	hs := &http.Server{
 		Handler:           srv,
@@ -131,8 +193,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "polygamyd:", err)
 		os.Exit(1)
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	fw := srv.fw()
 	slog.Info("polygamyd: serving",
 		"datasets", len(fw.Datasets()), "functions", fw.NumFunctions(), "addr", ln.Addr().String())
 	if err := serveUntilShutdown(ctx, hs, ln, *drain); err != nil {

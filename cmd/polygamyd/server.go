@@ -8,20 +8,16 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/urbandata/datapolygamy/internal/core"
-	"github.com/urbandata/datapolygamy/internal/feature"
+	"github.com/urbandata/datapolygamy/internal/httpapi"
 	"github.com/urbandata/datapolygamy/internal/jobs"
-	"github.com/urbandata/datapolygamy/internal/montecarlo"
 	"github.com/urbandata/datapolygamy/internal/obsv"
 	"github.com/urbandata/datapolygamy/internal/queryparse"
-	"github.com/urbandata/datapolygamy/internal/spatial"
-	"github.com/urbandata/datapolygamy/internal/stats"
-	"github.com/urbandata/datapolygamy/internal/temporal"
+	"github.com/urbandata/datapolygamy/internal/replica"
 )
 
 // Request-body caps, enforced with http.MaxBytesReader on every POST
@@ -35,8 +31,13 @@ const (
 
 // server is the HTTP shell around one indexed Framework. All handlers run
 // concurrently; the Framework's read path is thread-safe post-BuildIndex.
+//
+// fw is an accessor, not a field: a standalone server wraps one fixed
+// framework, while a replica-mode server resolves through its follower's
+// atomically swapped epoch pointer — every handler picks up a freshly
+// synced snapshot on its next call without any coordination.
 type server struct {
-	fw      *core.Framework
+	fw      func() *core.Framework
 	mux     *http.ServeMux
 	started time.Time
 	jobs    *jobs.Manager
@@ -47,6 +48,11 @@ type server struct {
 	warmStart     bool   // the index was loaded, not built
 	maxJSONBody   int64
 	maxIngestBody int64
+
+	// Replica mode: follower supplies the serving framework and the
+	// status endpoint; writes are rejected (the leader owns the corpus).
+	follower *replica.Follower
+	readOnly bool
 
 	// graphClause remembers the clause of the most recent successful graph
 	// build, so a runtime ingestion refreshes the graph under the same
@@ -68,7 +74,12 @@ type server struct {
 	appends      atomic.Int64 // append jobs accepted
 }
 
+// newServer wraps one fixed framework — the standalone and leader form.
 func newServer(fw *core.Framework) *server {
+	return newServerFn(func() *core.Framework { return fw })
+}
+
+func newServerFn(fw func() *core.Framework) *server {
 	s := &server{
 		fw: fw, mux: http.NewServeMux(), started: time.Now(),
 		jobs:          jobs.NewManager(),
@@ -85,12 +96,50 @@ func newServer(fw *core.Framework) *server {
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("GET /v1/query", s.handleQueryText)
 	s.mux.HandleFunc("POST /v1/graph/build", s.handleGraphBuild)
+	s.mux.HandleFunc("POST /v1/graph/shard", s.handleGraphShard)
 	s.mux.HandleFunc("GET /v1/graph/stats", s.handleGraphStats)
 	s.mux.HandleFunc("GET /v1/graph/neighbors", s.handleGraphNeighbors)
 	s.mux.HandleFunc("GET /v1/graph/top", s.handleGraphTop)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	return s
+}
+
+// newReplicaServer serves a follower's epoch-swapped framework
+// read-only: ingest, append, and local graph builds are the leader's
+// business; this process computes graph shards and answers queries.
+func newReplicaServer(f *replica.Follower) *server {
+	s := newServerFn(f.Framework)
+	s.follower = f
+	s.readOnly = true
+	s.warmStart = true // every epoch is a warm snapshot load
+	s.mux.HandleFunc("GET /v1/replica/status", s.handleReplicaStatus)
+	return s
+}
+
+// enableLeader mounts the snapshot-shipping surface (manifest, section,
+// and data set downloads) plus the shard-merge endpoint of the
+// distributed graph build.
+func (s *server) enableLeader(src *replica.Source) {
+	l := replica.NewLeader(src, s.fw)
+	s.mux.Handle("GET /v1/snapshot/manifest", l)
+	s.mux.Handle("GET /v1/snapshot/sections/{name}", l)
+	s.mux.Handle("GET /v1/snapshot/datasets/{name}", l)
+	s.mux.HandleFunc("POST /v1/graph/merge", s.handleGraphMerge)
+}
+
+// rejectWrite answers a mutating request on a read-only replica.
+func (s *server) rejectWrite(w http.ResponseWriter) bool {
+	if !s.readOnly {
+		return false
+	}
+	writeJSON(w, http.StatusForbidden,
+		errorResponse{Error: "this server is a read replica; send writes to the leader"})
+	return true
+}
+
+func (s *server) handleReplicaStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.follower.Status())
 }
 
 // enablePprof mounts net/http/pprof's profiling endpoints (behind the
@@ -105,35 +154,15 @@ func (s *server) enablePprof() {
 
 // ---- wire types ----
 
-// clauseRequest is the JSON form of core.Clause with names instead of
-// enum values.
-type clauseRequest struct {
-	MinScore         float64          `json:"minScore,omitempty"`
-	MinStrength      float64          `json:"minStrength,omitempty"`
-	Classes          []string         `json:"classes,omitempty"`     // "salient", "extreme"
-	Resolutions      []resolutionWire `json:"resolutions,omitempty"` // nil => all common
-	Alpha            float64          `json:"alpha,omitempty"`
-	Permutations     int              `json:"permutations,omitempty"`
-	SkipSignificance bool             `json:"skipSignificance,omitempty"`
-	Test             string           `json:"test,omitempty"`       // "restricted" (default), "standard", "block"
-	Correction       string           `json:"correction,omitempty"` // "none" (default), "bh", "by"
-	MaxQ             float64          `json:"max_q,omitempty"`      // keep only q <= max_q (0 => no filter)
-}
-
-type resolutionWire struct {
-	Spatial  string `json:"spatial"`
-	Temporal string `json:"temporal"`
-}
-
-type queryRequest struct {
-	Sources []string      `json:"sources,omitempty"`
-	Targets []string      `json:"targets,omitempty"`
-	Clause  clauseRequest `json:"clause"`
-	// Trace asks for the per-stage timing breakdown of the evaluation in
-	// the response (stages are always measured; this only controls the
-	// wire). The GET form is ?trace=1.
-	Trace bool `json:"trace,omitempty"`
-}
+// The request vocabulary (clause, query, error bodies) lives in
+// internal/httpapi so the polygamyr router parses the exact same
+// dialect; the response shapes below are this server's own.
+type (
+	clauseRequest  = httpapi.ClauseRequest
+	resolutionWire = httpapi.Resolution
+	queryRequest   = httpapi.QueryRequest
+	errorResponse  = httpapi.Error
+)
 
 type relationshipWire struct {
 	Function1   string  `json:"function1"`
@@ -179,62 +208,9 @@ type queryResponse struct {
 	Trace []stageWire `json:"trace,omitempty"`
 }
 
-type errorResponse struct {
-	Error string `json:"error"`
-}
-
 // ---- request decoding ----
 
-func parseClause(c clauseRequest) (core.Clause, error) {
-	out := core.Clause{
-		MinScore:         c.MinScore,
-		MinStrength:      c.MinStrength,
-		Alpha:            c.Alpha,
-		Permutations:     c.Permutations,
-		SkipSignificance: c.SkipSignificance,
-	}
-	for _, name := range c.Classes {
-		switch strings.ToLower(strings.TrimSpace(name)) {
-		case "salient":
-			out.Classes = append(out.Classes, feature.Salient)
-		case "extreme":
-			out.Classes = append(out.Classes, feature.Extreme)
-		default:
-			return out, fmt.Errorf("unknown feature class %q (want salient or extreme)", name)
-		}
-	}
-	for _, rw := range c.Resolutions {
-		sr, err := spatial.ParseResolution(rw.Spatial)
-		if err != nil {
-			return out, err
-		}
-		tr, err := temporal.ParseResolution(rw.Temporal)
-		if err != nil {
-			return out, err
-		}
-		out.Resolutions = append(out.Resolutions, core.Resolution{Spatial: sr, Temporal: tr})
-	}
-	switch strings.ToLower(strings.TrimSpace(c.Test)) {
-	case "", "restricted":
-		out.TestKind = montecarlo.Restricted
-	case "standard":
-		out.TestKind = montecarlo.Standard
-	case "block":
-		out.TestKind = montecarlo.Block
-	default:
-		return out, fmt.Errorf("unknown test kind %q (want restricted, standard, or block)", c.Test)
-	}
-	corr, err := stats.ParseCorrection(c.Correction)
-	if err != nil {
-		return out, err
-	}
-	out.Correction = corr
-	if c.MaxQ < 0 {
-		return out, fmt.Errorf("max_q must be >= 0, got %g", c.MaxQ)
-	}
-	out.MaxQ = c.MaxQ
-	return out, nil
-}
+func parseClause(c clauseRequest) (core.Clause, error) { return httpapi.ParseClause(c) }
 
 // ---- handlers ----
 
@@ -251,9 +227,9 @@ func (s *server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 		Functions int    `json:"functions,omitempty"`
 	}
 	var out []dsWire
-	for _, name := range s.fw.Datasets() {
+	for _, name := range s.fw().Datasets() {
 		d := dsWire{Name: name}
-		if st, ok := s.fw.DatasetIndexStats(name); ok {
+		if st, ok := s.fw().DatasetIndexStats(name); ok {
 			d.Functions = st.Functions
 		}
 		out = append(out, d)
@@ -273,14 +249,14 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.warmStart {
 		snapshot["source"] = "warm"
 	}
-	if format, zeroCopy, ok := s.fw.LoadedSnapshot(); ok {
+	if format, zeroCopy, ok := s.fw().LoadedSnapshot(); ok {
 		snapshot["format"] = format
 		snapshot["mmap"] = zeroCopy
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"uptime":       time.Since(s.started).Round(time.Millisecond).String(),
-		"datasets":     len(s.fw.Datasets()),
-		"functions":    s.fw.NumFunctions(),
+		"datasets":     len(s.fw().Datasets()),
+		"functions":    s.fw().NumFunctions(),
 		"warmStart":    s.warmStart,
 		"snapshot":     snapshot,
 		"queries":      s.queries.Load(),
@@ -294,8 +270,12 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		// rebuilds counts full derived-state discards over the framework's
 		// lifetime (range-extending AddDataset, fallback appends); an
 		// operator watching this sees exactly when incrementality was lost.
-		"rebuilds": s.fw.Rebuilds(),
-	})
+		"rebuilds": s.fw().Rebuilds(),
+	}
+	if s.follower != nil {
+		resp["replica"] = s.follower.Status()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // decodeJSON decodes a bounded JSON request body into v, writing the
@@ -356,7 +336,7 @@ func (s *server) handleQueryText(w http.ResponseWriter, r *http.Request) {
 // answer runs one relationship query and writes the JSON response. With
 // trace, the response carries the per-stage timing breakdown.
 func (s *server) answer(w http.ResponseWriter, q core.Query, trace bool) {
-	rels, stats, err := s.fw.Query(q)
+	rels, stats, err := s.fw().Query(q)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
@@ -412,8 +392,4 @@ func (s *server) answer(w http.ResponseWriter, q core.Query, trace bool) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
-}
+func writeJSON(w http.ResponseWriter, status int, v any) { httpapi.WriteJSON(w, status, v) }

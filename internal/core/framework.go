@@ -25,6 +25,7 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 	"log/slog"
 	"runtime"
@@ -313,6 +314,26 @@ func (f *Framework) Datasets() []string {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
 	return append([]string{}, f.order...)
+}
+
+// DatasetCSV serializes one registered data set to the canonical CSV
+// form, under the state lock so a concurrent append cannot tear the
+// tuple slice mid-write. This is how a replication leader ships the raw
+// corpus to followers: a snapshot deliberately stores only derived
+// state, so a follower warm-starting from it needs the data sets
+// themselves to satisfy Open's fingerprint check.
+func (f *Framework) DatasetCSV(name string) ([]byte, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	d, ok := f.datasets[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown data set %q", name)
+	}
+	var buf bytes.Buffer
+	if err := dataset.WriteCSV(&buf, d); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
 // unindexed returns the registered data sets not yet covered by the index,

@@ -81,6 +81,16 @@ type Query struct {
 	Clause  Clause
 }
 
+// Signature returns the query's canonical cache signature: the key the
+// framework memoises and singleflights evaluations under (see
+// querySignature). Empty Sources/Targets keep their "all data sets"
+// meaning un-expanded, so the signature is corpus-independent — a stateless
+// router can hash it to pick a replica and every replica's own cache key
+// for the expanded query stays consistent with that choice.
+func (q Query) Signature() string {
+	return querySignature(q.Sources, q.Targets, q.Clause)
+}
+
 // Relationship is one statistically evaluated function pair at one
 // resolution and feature class: the relationship operator's output unit.
 type Relationship struct {

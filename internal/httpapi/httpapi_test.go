@@ -1,0 +1,123 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/urbandata/datapolygamy/internal/feature"
+	"github.com/urbandata/datapolygamy/internal/montecarlo"
+	"github.com/urbandata/datapolygamy/internal/stats"
+)
+
+func TestParseClauseFull(t *testing.T) {
+	c, err := ParseClause(ClauseRequest{
+		MinScore:     0.6,
+		MinStrength:  0.4,
+		Classes:      []string{"Salient", " extreme "},
+		Resolutions:  []Resolution{{Spatial: "city", Temporal: "hour"}},
+		Alpha:        0.01,
+		Permutations: 500,
+		Test:         "block",
+		Correction:   "bh",
+		MaxQ:         0.2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.MinScore != 0.6 || c.MinStrength != 0.4 || c.Alpha != 0.01 || c.Permutations != 500 {
+		t.Fatalf("scalar fields lost: %+v", c)
+	}
+	if len(c.Classes) != 2 || c.Classes[0] != feature.Salient || c.Classes[1] != feature.Extreme {
+		t.Fatalf("classes = %v", c.Classes)
+	}
+	if len(c.Resolutions) != 1 {
+		t.Fatalf("resolutions = %v", c.Resolutions)
+	}
+	if c.TestKind != montecarlo.Block {
+		t.Fatalf("test kind = %v", c.TestKind)
+	}
+	if c.Correction != stats.BH {
+		t.Fatalf("correction = %v", c.Correction)
+	}
+	if c.MaxQ != 0.2 {
+		t.Fatalf("max_q = %v", c.MaxQ)
+	}
+}
+
+func TestParseClauseDefaults(t *testing.T) {
+	c, err := ParseClause(ClauseRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TestKind != montecarlo.Restricted {
+		t.Fatalf("default test kind = %v, want restricted", c.TestKind)
+	}
+	if c.Correction != stats.None {
+		t.Fatalf("default correction = %v, want none", c.Correction)
+	}
+}
+
+func TestParseClauseRejects(t *testing.T) {
+	cases := []ClauseRequest{
+		{Classes: []string{"bogus"}},
+		{Resolutions: []Resolution{{Spatial: "nope", Temporal: "hour"}}},
+		{Resolutions: []Resolution{{Spatial: "city", Temporal: "nope"}}},
+		{Test: "bayesian"},
+		{Correction: "bogus"},
+		{MaxQ: -1},
+	}
+	for i, c := range cases {
+		if _, err := ParseClause(c); err == nil {
+			t.Errorf("case %d: ParseClause accepted %+v", i, c)
+		}
+	}
+}
+
+// TestQuerySignatureStability pins the affinity property the router
+// depends on: the same request body always hashes to the same canonical
+// signature, different clauses to different ones, and empty source /
+// target lists stay empty (corpus-independent).
+func TestQuerySignatureStability(t *testing.T) {
+	req := QueryRequest{Clause: ClauseRequest{MinScore: 0.5, Permutations: 200}}
+	q1, err := req.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, _ := req.Query()
+	if q1.Signature() != q2.Signature() {
+		t.Fatal("signature not stable across decodes")
+	}
+	if len(q1.Sources) != 0 || len(q1.Targets) != 0 {
+		t.Fatal("empty source/target lists must stay empty")
+	}
+	other, _ := QueryRequest{Clause: ClauseRequest{MinScore: 0.7, Permutations: 200}}.Query()
+	if other.Signature() == q1.Signature() {
+		t.Fatal("distinct clauses share a signature")
+	}
+	named, _ := QueryRequest{Sources: []string{"taxi"}, Clause: req.Clause}.Query()
+	if named.Signature() == q1.Signature() {
+		t.Fatal("distinct sources share a signature")
+	}
+}
+
+func TestQueryRequestBadClause(t *testing.T) {
+	if _, err := (QueryRequest{Clause: ClauseRequest{Test: "nope"}}).Query(); err == nil {
+		t.Fatal("bad clause accepted")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	rec := httptest.NewRecorder()
+	WriteJSON(rec, 418, Error{Error: "teapot"})
+	if rec.Code != 418 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var e Error
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error != "teapot" {
+		t.Fatalf("body = %q (%v)", rec.Body.String(), err)
+	}
+}

@@ -1,0 +1,147 @@
+package replica
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"github.com/urbandata/datapolygamy/internal/dataset"
+	"github.com/urbandata/datapolygamy/internal/store"
+)
+
+// maxSectionBytes bounds a single section download (and the manifest
+// body): a lying or corrupted leader cannot make a follower buffer an
+// absurd allocation. Snapshots store derived state only, so real
+// sections are orders of magnitude smaller.
+const maxSectionBytes = 1 << 30
+
+// Client is the follower side of the snapshot-shipping protocol: typed,
+// integrity-checked access to a leader's /v1/snapshot/ endpoints.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient talks to the leader at base (e.g. "http://leader:8571"). hc
+// may be nil for http.DefaultClient; production followers pass a client
+// with timeouts so a stalled leader read fails the sync instead of
+// wedging it.
+func NewClient(base string, hc *http.Client) (*Client, error) {
+	u, err := url.Parse(base)
+	if err != nil {
+		return nil, fmt.Errorf("replica: leader URL %q: %w", base, err)
+	}
+	if u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("replica: leader URL %q must be absolute", base)
+	}
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc}, nil
+}
+
+// errorBody extracts the JSON error payload from a non-2xx response.
+func errorBody(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	return fmt.Errorf("replica: leader answered %s: %s", resp.Status, strings.TrimSpace(string(body)))
+}
+
+// Manifest fetches the leader's current snapshot manifest. With a
+// non-empty etag from a previous call, the request is conditional:
+// notModified reports the 304 case, where the leader transferred no
+// manifest (and the follower will transfer no section bytes).
+func (c *Client) Manifest(ctx context.Context, etag string) (info ManifestInfo, notModified bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/snapshot/manifest", nil)
+	if err != nil {
+		return info, false, err
+	}
+	if etag != "" {
+		req.Header.Set("If-None-Match", etag)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return info, false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNotModified:
+		return info, true, nil
+	case http.StatusOK:
+	default:
+		return info, false, errorBody(resp)
+	}
+	dec := json.NewDecoder(io.LimitReader(resp.Body, maxSectionBytes))
+	if err := dec.Decode(&info); err != nil {
+		return info, false, fmt.Errorf("replica: decoding manifest: %w", err)
+	}
+	if info.ETag == "" || len(info.Manifest.Sections) == 0 {
+		return info, false, fmt.Errorf("replica: leader served an empty manifest")
+	}
+	return info, false, nil
+}
+
+// Section downloads one section's payload, pinned with If-Match to the
+// manifest the caller is applying, and verifies the bytes against that
+// manifest entry's CRC and length. A snapshot that rotated on the leader
+// mid-sync surfaces as an error here (412 or checksum mismatch), never
+// as silently mixed epochs.
+func (c *Client) Section(ctx context.Context, etag string, want store.SectionInfo) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/v1/snapshot/sections/"+url.PathEscape(want.Name), nil)
+	if err != nil {
+		return nil, err
+	}
+	if etag != "" {
+		req.Header.Set("If-Match", etag)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, errorBody(resp)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxSectionBytes))
+	if err != nil {
+		return nil, fmt.Errorf("replica: downloading section %q: %w", want.Name, err)
+	}
+	if int64(len(data)) != want.Length {
+		return nil, fmt.Errorf("replica: section %q: got %d bytes, manifest says %d",
+			want.Name, len(data), want.Length)
+	}
+	if crc := store.Checksum(data); crc != want.CRC {
+		return nil, fmt.Errorf("replica: section %q: checksum %08x does not match manifest %08x",
+			want.Name, crc, want.CRC)
+	}
+	return data, nil
+}
+
+// Dataset downloads one raw data set in canonical CSV form.
+func (c *Client) Dataset(ctx context.Context, name string) (*dataset.Dataset, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/v1/snapshot/datasets/"+url.PathEscape(name), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, errorBody(resp)
+	}
+	d, err := dataset.ReadCSV(io.LimitReader(resp.Body, maxSectionBytes))
+	if err != nil {
+		return nil, fmt.Errorf("replica: decoding data set %q: %w", name, err)
+	}
+	if d.Name != name {
+		return nil, fmt.Errorf("replica: asked for data set %q, leader served %q", name, d.Name)
+	}
+	return d, nil
+}

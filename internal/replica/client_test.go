@@ -1,0 +1,146 @@
+package replica
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/urbandata/datapolygamy/internal/core"
+	"github.com/urbandata/datapolygamy/internal/store"
+)
+
+func TestNewClientValidation(t *testing.T) {
+	for _, bad := range []string{"", "not a url", "/relative/path", "host:port"} {
+		if _, err := NewClient(bad, nil); err == nil {
+			t.Errorf("NewClient(%q) accepted", bad)
+		}
+	}
+	c, err := NewClient("http://leader:8571/", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.base != "http://leader:8571" {
+		t.Fatalf("base = %q, trailing slash kept", c.base)
+	}
+	if c.hc != http.DefaultClient {
+		t.Fatal("nil HTTP client not defaulted")
+	}
+}
+
+// TestLeaderEndpoints exercises the leader handler directly against a
+// real snapshot: 304s, 412s, missing sections, missing data sets.
+func TestLeaderEndpoints(t *testing.T) {
+	fw := leaderFramework(t, 0)
+	lf := newLeaderFixture(t, fw, nil)
+	c, err := NewClient(lf.srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	info, notMod, err := c.Manifest(ctx, "")
+	if err != nil || notMod {
+		t.Fatalf("first manifest: notMod=%v err=%v", notMod, err)
+	}
+	if info.ETag == "" || len(info.Manifest.Sections) == 0 {
+		t.Fatalf("thin manifest: %+v", info)
+	}
+	if _, notMod, err := c.Manifest(ctx, info.ETag); err != nil || !notMod {
+		t.Fatalf("conditional poll: notMod=%v err=%v", notMod, err)
+	}
+	// A stale etag gets a full manifest again.
+	if _, notMod, err := c.Manifest(ctx, `"dp-feedfacecafebeef"`); err != nil || notMod {
+		t.Fatalf("stale etag poll: notMod=%v err=%v", notMod, err)
+	}
+
+	// Sections: pinned fetch succeeds, wrong pin 412s, unknown name 404s.
+	sec := info.Manifest.Sections[0]
+	if _, err := c.Section(ctx, info.ETag, sec); err != nil {
+		t.Fatalf("pinned section fetch: %v", err)
+	}
+	if _, err := c.Section(ctx, `"dp-0000000000000000"`, sec); err == nil {
+		t.Fatal("stale If-Match did not 412")
+	}
+	if _, err := c.Section(ctx, info.ETag, store.SectionInfo{Name: "no-such-section"}); err == nil {
+		t.Fatal("unknown section did not 404")
+	}
+	// A manifest entry lying about length or CRC fails the client check.
+	lying := sec
+	lying.Length++
+	if _, err := c.Section(ctx, info.ETag, lying); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	lying = sec
+	lying.CRC ^= 0xFFFF
+	if _, err := c.Section(ctx, info.ETag, lying); err == nil {
+		t.Fatal("checksum mismatch accepted")
+	}
+
+	// Data sets round-trip; unknown names 404.
+	d, err := c.Dataset(ctx, "wind")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "wind" || len(d.Tuples) != testHours {
+		t.Fatalf("dataset round-trip: name=%q tuples=%d", d.Name, len(d.Tuples))
+	}
+	if _, err := c.Dataset(ctx, "no-such-set"); err == nil {
+		t.Fatal("unknown data set did not fail")
+	}
+}
+
+// TestLeaderWithoutSnapshot: endpoints answer 503 (not panic) when the
+// container does not exist yet or the framework is gone.
+func TestLeaderWithoutSnapshot(t *testing.T) {
+	l := NewLeader(NewSource("/nonexistent/leader.snap"), func() *core.Framework { return nil })
+
+	for _, path := range []string{"/v1/snapshot/manifest", "/v1/snapshot/sections/index"} {
+		w := httptest.NewRecorder()
+		l.ServeHTTP(w, httptest.NewRequest(http.MethodGet, path, nil))
+		if w.Code != http.StatusServiceUnavailable {
+			t.Fatalf("%s: status %d, want 503", path, w.Code)
+		}
+	}
+	w := httptest.NewRecorder()
+	l.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/v1/snapshot/datasets/wind", nil))
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("dataset without framework: status %d, want 503", w.Code)
+	}
+}
+
+// TestSourceReparsesOnRotation: the stat cache invalidates when a new
+// snapshot lands at the same path.
+func TestSourceReparsesOnRotation(t *testing.T) {
+	fw := leaderFramework(t, 0)
+	lf := newLeaderFixture(t, fw, nil)
+	src := NewSource(lf.path)
+	_, etag1, err := src.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, etag, err := src.Manifest(); err != nil || etag != etag1 {
+			t.Fatalf("stable snapshot: etag %q err %v", etag, err)
+		}
+	}
+	if src.Parses() != 1 {
+		t.Fatalf("parses = %d before rotation", src.Parses())
+	}
+	if _, err := fw.BuildGraph(core.Clause{Permutations: 80}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Save(lf.path); err != nil {
+		t.Fatal(err)
+	}
+	_, etag2, err := src.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if etag2 == etag1 {
+		t.Fatal("rotation did not change the etag")
+	}
+	if src.Parses() != 2 {
+		t.Fatalf("parses = %d after rotation, want 2", src.Parses())
+	}
+}

@@ -1,0 +1,154 @@
+package replica
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/urbandata/datapolygamy/internal/store"
+)
+
+func TestCorpusEqual(t *testing.T) {
+	base := store.Fingerprint{Seed: 5, MinTS: 1, MaxTS: 2, Datasets: []string{"a", "b"}}
+	if !corpusEqual(base, base) {
+		t.Fatal("identical fingerprints unequal")
+	}
+	cases := []store.Fingerprint{
+		{Seed: 6, MinTS: 1, MaxTS: 2, Datasets: []string{"a", "b"}},
+		{Seed: 5, MinTS: 0, MaxTS: 2, Datasets: []string{"a", "b"}},
+		{Seed: 5, MinTS: 1, MaxTS: 3, Datasets: []string{"a", "b"}},
+		{Seed: 5, MinTS: 1, MaxTS: 2, Datasets: []string{"a"}},
+		{Seed: 5, MinTS: 1, MaxTS: 2, Datasets: []string{"a", "c"}},
+	}
+	for i, c := range cases {
+		if corpusEqual(base, c) {
+			t.Errorf("case %d compared equal", i)
+		}
+	}
+}
+
+// TestClientDatasetMisbehavingLeader: a leader serving the wrong data set
+// or a non-CSV body is rejected by the typed client.
+func TestClientDatasetMisbehavingLeader(t *testing.T) {
+	fw := leaderFramework(t, 0)
+	lf := newLeaderFixture(t, fw, func(h http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			switch {
+			case strings.HasSuffix(r.URL.Path, "/swapped"):
+				// Answer the request for "swapped" with the real "wind" CSV.
+				r2 := r.Clone(r.Context())
+				r2.URL.Path = "/v1/snapshot/datasets/wind"
+				h.ServeHTTP(w, r2)
+			case strings.HasSuffix(r.URL.Path, "/garbled"):
+				w.Header().Set("Content-Type", "text/csv")
+				w.Write([]byte("not,a,canonical\ncsv;;;header"))
+			default:
+				h.ServeHTTP(w, r)
+			}
+		})
+	})
+	c, err := NewClient(lf.srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Dataset(context.Background(), "swapped"); err == nil {
+		t.Fatal("name mismatch accepted")
+	}
+	if _, err := c.Dataset(context.Background(), "garbled"); err == nil {
+		t.Fatal("garbage CSV accepted")
+	}
+}
+
+// TestRouterUnknownRoutes: non-GET unknown paths 404 with the uniform
+// error body instead of forwarding anywhere.
+func TestRouterUnknownRoutes(t *testing.T) {
+	stub := newStubReplica(t, "r0")
+	rt := newTestRouter(t, "", stub)
+	w := httptest.NewRecorder()
+	rt.ServeHTTP(w, httptest.NewRequest(http.MethodDelete, "/v1/anything", nil))
+	if w.Code != http.StatusNotFound {
+		t.Fatalf("DELETE unknown route: status %d, want 404", w.Code)
+	}
+}
+
+// TestRouterWriteLeaderUnreachable: a configured-but-dead leader turns
+// writes into 502, not hangs or panics.
+func TestRouterWriteLeaderUnreachable(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+	stub := newStubReplica(t, "r0")
+	rt := newTestRouter(t, dead.URL, stub)
+	w := httptest.NewRecorder()
+	rt.ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/v1/datasets", strings.NewReader("x")))
+	if w.Code != http.StatusBadGateway {
+		t.Fatalf("dead leader write: status %d, want 502", w.Code)
+	}
+	// Sharded builds hit the same wall when the merge target is dead.
+	w = httptest.NewRecorder()
+	rt.ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/v1/graph/build", strings.NewReader(`{}`)))
+	if w.Code != http.StatusBadGateway {
+		t.Fatalf("dead leader merge: status %d, want 502", w.Code)
+	}
+}
+
+// TestRouterShardedBuildRejectsBadClause: clause validation happens at
+// the router before any replica burns work.
+func TestRouterShardedBuildRejectsBadClause(t *testing.T) {
+	stub := newStubReplica(t, "r0")
+	rt := newTestRouter(t, "http://leader.invalid", stub)
+	req := httptest.NewRequest(http.MethodPost, "/v1/graph/build",
+		strings.NewReader(`{"clause":{"classes":["bogus"]}}`))
+	w := httptest.NewRecorder()
+	rt.ServeHTTP(w, req)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("bad clause: status %d, want 400", w.Code)
+	}
+	if stub.shardHits.Load() != 0 {
+		t.Fatal("replica saw shard work for an invalid clause")
+	}
+	// Unknown fields in the build body are rejected too.
+	req = httptest.NewRequest(http.MethodPost, "/v1/graph/build", strings.NewReader(`{"surprise":1}`))
+	w = httptest.NewRecorder()
+	rt.ServeHTTP(w, req)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("unknown field: status %d, want 400", w.Code)
+	}
+	// Leaderless routers cannot build at all.
+	noLeader := newTestRouter(t, "", stub)
+	w = httptest.NewRecorder()
+	noLeader.ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/v1/graph/build", strings.NewReader(`{}`)))
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("leaderless build: status %d, want 503", w.Code)
+	}
+}
+
+// TestFetchShardRejectsEmptyPayload: a replica answering 200 with an
+// empty shard is a protocol violation the router surfaces as 502.
+func TestFetchShardRejectsEmptyPayload(t *testing.T) {
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/healthz":
+			w.Write([]byte(`{}`))
+		case "/v1/graph/shard":
+			w.Write([]byte(`{"shard":""}`))
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer bad.Close()
+	leader := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t.Error("merge reached the leader despite a bad shard")
+	}))
+	defer leader.Close()
+	rt, err := NewRouter(RouterOptions{Leader: leader.URL, Replicas: []string{bad.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := httptest.NewRecorder()
+	rt.ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/v1/graph/build", strings.NewReader(`{}`)))
+	if w.Code != http.StatusBadGateway {
+		t.Fatalf("empty shard: status %d, want 502", w.Code)
+	}
+}

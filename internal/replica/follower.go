@@ -1,0 +1,359 @@
+package replica
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/urbandata/datapolygamy/internal/core"
+	"github.com/urbandata/datapolygamy/internal/dataset"
+	"github.com/urbandata/datapolygamy/internal/obsv"
+	"github.com/urbandata/datapolygamy/internal/spatial"
+	"github.com/urbandata/datapolygamy/internal/store"
+)
+
+var (
+	mSyncs = obsv.NewCounterVec("polygamy_replica_syncs_total",
+		"Follower snapshot sync attempts, by outcome (applied, noop, error).", "outcome")
+	mSectionsFetched = obsv.NewCounter("polygamy_replica_sections_fetched_total",
+		"Snapshot sections downloaded from the leader.")
+	mSectionsReused = obsv.NewCounter("polygamy_replica_sections_reused_total",
+		"Snapshot sections reused from the local container (unchanged CRC).")
+	mSectionBytesFetched = obsv.NewCounter("polygamy_replica_section_bytes_fetched_total",
+		"Section payload bytes downloaded from the leader.")
+	mEpoch = obsv.NewGauge("polygamy_replica_epoch",
+		"Serving epoch of this follower (increments on every applied sync).")
+)
+
+// FollowerOptions configures a follower.
+type FollowerOptions struct {
+	// Leader is the leader's base URL.
+	Leader string
+	// Path is the local snapshot container path the follower re-assembles
+	// and warm-starts from.
+	Path string
+	// Grid is the synthetic city grid side; it must match the leader's
+	// -grid (the seed travels in the snapshot fingerprint, the grid does
+	// not).
+	Grid int
+	// Workers sizes the framework worker pool (0 = NumCPU).
+	Workers int
+	// Poll is the manifest poll cadence of Run.
+	Poll time.Duration
+	// MaxBackoff caps the exponential backoff after consecutive sync
+	// failures (default 16x Poll).
+	MaxBackoff time.Duration
+	// HTTPClient overrides the leader transport (nil = http.DefaultClient).
+	HTTPClient *http.Client
+	Logger     *slog.Logger
+}
+
+// FollowerStatus is one observable snapshot of a follower's replication
+// state (served by polygamyd as /v1/replica/status).
+type FollowerStatus struct {
+	Leader              string            `json:"leader"`
+	Epoch               int64             `json:"epoch"`
+	ETag                string            `json:"etag,omitempty"`
+	Fingerprint         store.Fingerprint `json:"fingerprint"`
+	LastSync            time.Time         `json:"lastSync,omitzero"`
+	LastError           string            `json:"lastError,omitempty"`
+	Syncs               int64             `json:"syncs"`
+	Noops               int64             `json:"noops"`
+	Failures            int64             `json:"failures"`
+	ConsecutiveFailures int               `json:"consecutiveFailures"`
+	SectionsFetched     int64             `json:"sectionsFetched"`
+	SectionsReused      int64             `json:"sectionsReused"`
+	BytesFetched        int64             `json:"bytesFetched"`
+}
+
+// Follower pulls snapshots from a leader and serves them through an
+// atomically swapped Framework pointer. One Follower owns its local
+// container path; Sync and Run must not race each other (Run is the only
+// caller in production, tests drive Sync directly).
+type Follower struct {
+	opts   FollowerOptions
+	client *Client
+
+	cur atomic.Pointer[core.Framework]
+
+	mu       sync.Mutex // guards the sync state below
+	etag     string
+	manifest store.Manifest
+	datasets []*dataset.Dataset
+	epoch    int64
+	lastSync time.Time
+	lastErr  string
+	fails    int
+	syncs    int64
+	noops    int64
+	failures int64
+	fetched  int64
+	reused   int64
+	bytes    int64
+}
+
+// NewFollower validates the options and builds a follower. No network
+// traffic happens until Sync or Run.
+func NewFollower(opts FollowerOptions) (*Follower, error) {
+	if opts.Path == "" {
+		return nil, fmt.Errorf("replica: follower needs a local snapshot path")
+	}
+	if opts.Grid <= 0 {
+		opts.Grid = 32
+	}
+	if opts.Poll <= 0 {
+		opts.Poll = 2 * time.Second
+	}
+	if opts.MaxBackoff <= 0 {
+		opts.MaxBackoff = 16 * opts.Poll
+	}
+	if opts.Logger == nil {
+		opts.Logger = slog.Default()
+	}
+	client, err := NewClient(opts.Leader, opts.HTTPClient)
+	if err != nil {
+		return nil, err
+	}
+	return &Follower{opts: opts, client: client}, nil
+}
+
+// Framework returns the currently serving framework — nil until the
+// first successful sync. Callers must not Close it: a swapped-out epoch
+// stays alive because queries in flight may alias its mapped sections.
+func (f *Follower) Framework() *core.Framework { return f.cur.Load() }
+
+// Status reports the follower's replication state.
+func (f *Follower) Status() FollowerStatus {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return FollowerStatus{
+		Leader:              f.opts.Leader,
+		Epoch:               f.epoch,
+		ETag:                f.etag,
+		Fingerprint:         f.manifest.Fingerprint,
+		LastSync:            f.lastSync,
+		LastError:           f.lastErr,
+		Syncs:               f.syncs,
+		Noops:               f.noops,
+		Failures:            f.failures,
+		ConsecutiveFailures: f.fails,
+		SectionsFetched:     f.fetched,
+		SectionsReused:      f.reused,
+		BytesFetched:        f.bytes,
+	}
+}
+
+// Sync performs one poll-and-apply cycle. It returns (true, nil) when a
+// new epoch was applied, (false, nil) when the leader's snapshot was
+// unchanged, and (false, err) on any failure — in which case the serving
+// framework and all sync state are exactly as before: a failed sync can
+// never leave a torn epoch.
+func (f *Follower) Sync(ctx context.Context) (applied bool, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	applied, err = f.syncLocked(ctx)
+	f.lastSync = time.Now()
+	switch {
+	case err != nil:
+		f.failures++
+		f.fails++
+		f.lastErr = err.Error()
+		mSyncs.With("error").Inc()
+	case applied:
+		f.syncs++
+		f.fails = 0
+		f.lastErr = ""
+		mSyncs.With("applied").Inc()
+	default:
+		f.noops++
+		f.fails = 0
+		f.lastErr = ""
+		mSyncs.With("noop").Inc()
+	}
+	return applied, err
+}
+
+func (f *Follower) syncLocked(ctx context.Context) (bool, error) {
+	info, notModified, err := f.client.Manifest(ctx, f.etag)
+	if err != nil {
+		return false, err
+	}
+	if notModified {
+		return false, nil
+	}
+	m := info.Manifest
+
+	// Corpus first: core.Open demands the raw data sets with the exact
+	// fingerprint the snapshot carries. Reuse the cached corpus only when
+	// the fingerprint is unchanged in every corpus-describing field; any
+	// difference (new data set, extended range, different seed) means the
+	// leader's raw data moved, so refetch it all.
+	datasets := f.datasets
+	if !corpusEqual(m.Fingerprint, f.manifest.Fingerprint) || datasets == nil {
+		datasets = make([]*dataset.Dataset, 0, len(m.Fingerprint.Datasets))
+		for _, name := range m.Fingerprint.Datasets {
+			d, err := f.client.Dataset(ctx, name)
+			if err != nil {
+				return false, err
+			}
+			datasets = append(datasets, d)
+		}
+	}
+
+	// Sections: pull only what changed, reuse the rest from the local
+	// container byte-for-byte. Every payload — fetched or reused — is
+	// verified against THIS manifest's CRC, and fetches carry If-Match, so
+	// a leader rotating mid-sync fails the whole cycle instead of mixing
+	// epochs.
+	var local *store.File
+	if lf, err := store.OpenFile(f.opts.Path); err == nil {
+		local = lf
+		defer local.Close()
+	}
+	sections := make([]store.Section, 0, len(m.Sections))
+	var fetched, reused, bytes int64
+	for _, want := range m.Sections {
+		data, ok := readLocalSection(local, want)
+		if ok {
+			reused++
+		} else {
+			data, err = f.client.Section(ctx, info.ETag, want)
+			if err != nil {
+				return false, err
+			}
+			fetched++
+			bytes += int64(len(data))
+		}
+		sections = append(sections, store.Section{Name: want.Name, Data: data, Encoding: want.Encoding})
+	}
+
+	// Assemble the container locally with the same atomic temp+rename
+	// publication the leader's Save uses, then warm-start a fresh
+	// framework from it. The previous epoch's framework keeps serving
+	// until the pointer swap below, and is never Closed: in-flight queries
+	// may alias its mapping, and the rename left its inode intact.
+	if err := store.Write(f.opts.Path, store.Manifest{Fingerprint: m.Fingerprint, ClauseSig: m.ClauseSig}, sections); err != nil {
+		return false, err
+	}
+	city, err := spatial.Generate(spatial.GridConfig(m.Fingerprint.Seed, f.opts.Grid))
+	if err != nil {
+		return false, err
+	}
+	fw, err := core.Open(f.opts.Path, core.OpenOptions{
+		Options:  core.Options{City: city, Workers: f.opts.Workers, Seed: m.Fingerprint.Seed},
+		Datasets: datasets,
+	})
+	if err != nil {
+		return false, err
+	}
+
+	f.cur.Store(fw)
+	f.etag = info.ETag
+	f.manifest = m
+	f.datasets = datasets
+	f.epoch++
+	f.fetched += fetched
+	f.reused += reused
+	f.bytes += bytes
+	mSectionsFetched.Add(uint64(fetched))
+	mSectionsReused.Add(uint64(reused))
+	mSectionBytesFetched.Add(uint64(bytes))
+	mEpoch.Set(float64(f.epoch))
+	f.opts.Logger.Info("replica: applied snapshot epoch",
+		"epoch", f.epoch, "etag", f.etag,
+		"sectionsFetched", fetched, "sectionsReused", reused, "bytesFetched", bytes,
+		"datasets", len(datasets))
+	return true, nil
+}
+
+// corpusEqual reports whether two fingerprints describe the same raw
+// corpus (seed, data set list, time range).
+func corpusEqual(a, b store.Fingerprint) bool {
+	if a.Seed != b.Seed || a.MinTS != b.MinTS || a.MaxTS != b.MaxTS || len(a.Datasets) != len(b.Datasets) {
+		return false
+	}
+	for i := range a.Datasets {
+		if a.Datasets[i] != b.Datasets[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// readLocalSection returns the local container's payload for want when
+// present with the same length and CRC; the bytes are re-verified so a
+// damaged local file falls back to fetching.
+func readLocalSection(local *store.File, want store.SectionInfo) ([]byte, bool) {
+	if local == nil {
+		return nil, false
+	}
+	rd, info, ok := local.Section(want.Name)
+	if !ok || info.Length != want.Length || info.CRC != want.CRC {
+		return nil, false
+	}
+	data := make([]byte, info.Length)
+	if _, err := rd.ReadAt(data, 0); err != nil {
+		return nil, false
+	}
+	if store.Checksum(data) != want.CRC {
+		return nil, false
+	}
+	return data, true
+}
+
+// backoffDelay is the poll delay after fails consecutive failures:
+// exponential from base, capped at max. fails == 0 is the steady-state
+// cadence.
+func backoffDelay(base time.Duration, fails int, max time.Duration) time.Duration {
+	d := base
+	for i := 0; i < fails; i++ {
+		d *= 2
+		if d >= max {
+			return max
+		}
+	}
+	if d > max {
+		return max
+	}
+	return d
+}
+
+// Run polls the leader until ctx is cancelled, backing off exponentially
+// while syncs fail. The first cycle runs immediately, so a follower
+// whose leader is up serves within one round trip of starting.
+func (f *Follower) Run(ctx context.Context) {
+	for {
+		if _, err := f.Sync(ctx); err != nil && ctx.Err() == nil {
+			f.opts.Logger.Warn("replica: sync failed", "leader", f.opts.Leader, "error", err)
+		}
+		f.mu.Lock()
+		delay := backoffDelay(f.opts.Poll, f.fails, f.opts.MaxBackoff)
+		f.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(delay):
+		}
+	}
+}
+
+// WaitReady blocks until the follower has applied its first epoch or the
+// context expires. It assumes Run (or a Sync caller) is active.
+func (f *Follower) WaitReady(ctx context.Context) error {
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if f.Framework() != nil {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("replica: follower not ready: %w (last error: %s)", ctx.Err(), f.Status().LastError)
+		case <-tick.C:
+		}
+	}
+}

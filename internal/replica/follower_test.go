@@ -1,0 +1,363 @@
+package replica
+
+import (
+	"context"
+	"net/http"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/urbandata/datapolygamy/internal/core"
+	"github.com/urbandata/datapolygamy/internal/dataset"
+	"github.com/urbandata/datapolygamy/internal/store"
+)
+
+// countingProxy wraps a leader handler and tallies replication traffic:
+// requests by path prefix and section payload bytes actually served.
+type countingProxy struct {
+	inner    http.Handler
+	manifest atomic.Int64
+	sections atomic.Int64
+	datasets atomic.Int64
+	bytes    atomic.Int64
+}
+
+type countingWriter struct {
+	http.ResponseWriter
+	n *atomic.Int64
+}
+
+func (cw countingWriter) Write(b []byte) (int, error) {
+	cw.n.Add(int64(len(b)))
+	return cw.ResponseWriter.Write(b)
+}
+
+func (p *countingProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.URL.Path == "/v1/snapshot/manifest":
+		p.manifest.Add(1)
+		p.inner.ServeHTTP(w, r)
+	case len(r.URL.Path) > len("/v1/snapshot/sections/") && r.URL.Path[:len("/v1/snapshot/sections/")] == "/v1/snapshot/sections/":
+		p.sections.Add(1)
+		p.inner.ServeHTTP(countingWriter{w, &p.bytes}, r)
+	default:
+		p.datasets.Add(1)
+		p.inner.ServeHTTP(w, r)
+	}
+}
+
+// TestFollowerFirstSyncServesLeaderResults is the basic shipping path: a
+// follower bootstraps corpus + snapshot from the leader and answers the
+// reference query identically.
+func TestFollowerFirstSyncServesLeaderResults(t *testing.T) {
+	leaderFW := leaderFramework(t, 0)
+	lf := newLeaderFixture(t, leaderFW, nil)
+	f := newTestFollower(t, lf)
+	if f.Framework() != nil {
+		t.Fatal("follower serves a framework before any sync")
+	}
+	mustSync(t, f)
+	fw := f.Framework()
+	if fw == nil {
+		t.Fatal("no framework after sync")
+	}
+	want := queryResults(t, leaderFW)
+	got := queryResults(t, fw)
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("follower answers differ from leader: got %d relationships, want %d", len(got), len(want))
+	}
+	st := f.Status()
+	if st.Epoch != 1 || st.Syncs != 1 || st.LastError != "" {
+		t.Fatalf("status after first sync: %+v", st)
+	}
+	if st.SectionsFetched == 0 || st.BytesFetched == 0 {
+		t.Fatalf("first sync should fetch sections: %+v", st)
+	}
+}
+
+// TestFollowerUnchangedSnapshotCostsOneConditionalRequest pins the
+// ETag/fingerprint short-circuit: while the leader's snapshot is
+// unchanged, a poll is exactly one conditional manifest request — no
+// section bytes, no data set transfers, and no manifest re-parse on the
+// leader (store.ReadManifest is stat-cached).
+func TestFollowerUnchangedSnapshotCostsOneConditionalRequest(t *testing.T) {
+	leaderFW := leaderFramework(t, 0)
+	proxy := &countingProxy{}
+	lf := newLeaderFixture(t, leaderFW, func(h http.Handler) http.Handler {
+		proxy.inner = h
+		return proxy
+	})
+	src := NewSource(lf.path) // mirror of the handler's source for parse counting
+	if _, _, err := src.Manifest(); err != nil {
+		t.Fatal(err)
+	}
+	f := newTestFollower(t, lf)
+	mustSync(t, f)
+
+	sectionsAfterFirst := proxy.sections.Load()
+	bytesAfterFirst := proxy.bytes.Load()
+	datasetsAfterFirst := proxy.datasets.Load()
+	if sectionsAfterFirst == 0 || datasetsAfterFirst == 0 {
+		t.Fatal("first sync should transfer sections and data sets")
+	}
+
+	for i := 0; i < 5; i++ {
+		applied, err := f.Sync(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if applied {
+			t.Fatal("unchanged snapshot must not re-apply")
+		}
+	}
+	if got := proxy.sections.Load(); got != sectionsAfterFirst {
+		t.Fatalf("polling transferred %d extra section requests", got-sectionsAfterFirst)
+	}
+	if got := proxy.bytes.Load(); got != bytesAfterFirst {
+		t.Fatalf("polling transferred %d extra section bytes", got-bytesAfterFirst)
+	}
+	if got := proxy.datasets.Load(); got != datasetsAfterFirst {
+		t.Fatalf("polling transferred %d extra data set requests", got-datasetsAfterFirst)
+	}
+	if got := proxy.manifest.Load(); got < 6 {
+		t.Fatalf("expected one conditional manifest request per poll, saw %d total", got)
+	}
+	// Leader-side short-circuit: polling the source for every one of those
+	// requests parsed the manifest exactly once.
+	for i := 0; i < 5; i++ {
+		if _, _, err := src.Manifest(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := src.Parses(); got != 1 {
+		t.Fatalf("unchanged snapshot parsed %d times, want 1", got)
+	}
+	if st := f.Status(); st.Noops != 5 {
+		t.Fatalf("noops = %d, want 5", st.Noops)
+	}
+}
+
+// TestFollowerDeltaPullReusesUnchangedSections: when only the graph
+// section appears (index unchanged), the follower transfers just the new
+// section and reuses the index bytes from its local container.
+func TestFollowerDeltaPullReusesUnchangedSections(t *testing.T) {
+	leaderFW := leaderFramework(t, 0)
+	proxy := &countingProxy{}
+	lf := newLeaderFixture(t, leaderFW, func(h http.Handler) http.Handler {
+		proxy.inner = h
+		return proxy
+	})
+	f := newTestFollower(t, lf)
+	mustSync(t, f)
+	if st := f.Status(); st.SectionsReused != 0 {
+		t.Fatalf("first sync reused %d sections from an empty container", st.SectionsReused)
+	}
+
+	// Leader builds the graph and re-saves: the index section's bytes are
+	// unchanged, the graph section is new.
+	if _, err := leaderFW.BuildGraph(core.Clause{Permutations: 80}); err != nil {
+		t.Fatal(err)
+	}
+	if err := leaderFW.Save(lf.path); err != nil {
+		t.Fatal(err)
+	}
+	before := proxy.bytes.Load()
+	mustSync(t, f)
+	st := f.Status()
+	if st.Epoch != 2 {
+		t.Fatalf("epoch = %d, want 2", st.Epoch)
+	}
+	if st.SectionsReused == 0 {
+		t.Fatal("second sync should reuse the unchanged index section")
+	}
+	if _, ok := f.Framework().RelGraph(); !ok {
+		t.Fatal("follower did not pick up the shipped graph")
+	}
+	// The delta should be roughly the graph section, not the whole
+	// container: assert we moved fewer bytes than the full first transfer.
+	if delta := proxy.bytes.Load() - before; delta <= 0 || delta >= before {
+		t.Fatalf("delta pull moved %d bytes (full container was %d)", delta, before)
+	}
+}
+
+// TestFollowerCorpusGrowthResyncsDatasets: a leader-side ingest that adds
+// a data set (changing the fingerprint) makes the follower refetch the
+// corpus and swap an epoch that covers it.
+func TestFollowerCorpusGrowthResyncsDatasets(t *testing.T) {
+	leaderFW := leaderFramework(t, 0)
+	lf := newLeaderFixture(t, leaderFW, nil)
+	f := newTestFollower(t, lf)
+	mustSync(t, f)
+	firstFW := f.Framework()
+
+	// Grow the leader corpus within the existing time range, then re-save.
+	extra := testDatasets(0)[0].Filter("gusts", func(dataset.Tuple) bool { return true })
+	if _, err := leaderFW.IngestDataset(extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := leaderFW.Save(lf.path); err != nil {
+		t.Fatal(err)
+	}
+	mustSync(t, f)
+	fw := f.Framework()
+	if fw == firstFW {
+		t.Fatal("epoch did not swap after corpus growth")
+	}
+	if got := len(fw.Datasets()); got != 3 {
+		t.Fatalf("follower corpus has %d data sets, want 3", got)
+	}
+	// The swapped-out epoch keeps answering: in-flight queries against the
+	// old framework must not be invalidated by the swap.
+	if rels := queryResults(t, firstFW); len(rels) == 0 {
+		t.Fatal("previous epoch stopped answering after swap")
+	}
+}
+
+// TestFollowerEpochSwapDoesNotDropInFlightQueries runs queries
+// continuously while epochs swap underneath, asserting no query ever
+// fails — the atomic pointer swap plus never-Close discipline in action.
+func TestFollowerEpochSwapDoesNotDropInFlightQueries(t *testing.T) {
+	leaderFW := leaderFramework(t, 0)
+	lf := newLeaderFixture(t, leaderFW, nil)
+	f := newTestFollower(t, lf)
+	mustSync(t, f)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				fw := f.Framework()
+				// Vary the clause so queries do real work instead of all
+				// hitting one cache entry.
+				_, _, err := fw.Query(core.Query{Clause: core.Clause{Permutations: 40 + (i%3)*8 + w}})
+				if err != nil {
+					select {
+					case errCh <- err:
+					default:
+					}
+					return
+				}
+			}
+		}(w)
+	}
+	// Swap several epochs mid-storm by alternating the leader's graph
+	// state (each re-save changes the manifest).
+	for i := 0; i < 3; i++ {
+		if _, err := leaderFW.BuildGraph(core.Clause{Permutations: 80 + i*8}); err != nil {
+			t.Fatal(err)
+		}
+		if err := leaderFW.Save(lf.path); err != nil {
+			t.Fatal(err)
+		}
+		mustSync(t, f)
+		time.Sleep(20 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatalf("query failed during epoch swaps: %v", err)
+	default:
+	}
+	if st := f.Status(); st.Epoch != 4 {
+		t.Fatalf("epoch = %d, want 4", st.Epoch)
+	}
+}
+
+func TestBackoffDelay(t *testing.T) {
+	base, max := 2*time.Second, 30*time.Second
+	if d := backoffDelay(base, 0, max); d != base {
+		t.Fatalf("steady-state delay = %v, want %v", d, base)
+	}
+	if d := backoffDelay(base, 1, max); d != 4*time.Second {
+		t.Fatalf("after 1 failure = %v, want 4s", d)
+	}
+	if d := backoffDelay(base, 2, max); d != 8*time.Second {
+		t.Fatalf("after 2 failures = %v, want 8s", d)
+	}
+	if d := backoffDelay(base, 10, max); d != max {
+		t.Fatalf("backoff uncapped: %v", d)
+	}
+	if d := backoffDelay(time.Minute, 1, 30*time.Second); d != 30*time.Second {
+		t.Fatalf("base above max not clamped: %v", d)
+	}
+}
+
+func TestNewFollowerValidation(t *testing.T) {
+	if _, err := NewFollower(FollowerOptions{Leader: "http://x", Path: ""}); err == nil {
+		t.Fatal("empty path accepted")
+	}
+	if _, err := NewFollower(FollowerOptions{Leader: "not a url", Path: "p"}); err == nil {
+		t.Fatal("relative leader URL accepted")
+	}
+}
+
+// TestFollowerRunAndWaitReady drives the production loop briefly: Run
+// applies the first epoch, WaitReady observes it, cancellation stops the
+// loop.
+func TestFollowerRunAndWaitReady(t *testing.T) {
+	leaderFW := leaderFramework(t, 0)
+	lf := newLeaderFixture(t, leaderFW, nil)
+	f := newTestFollower(t, lf)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() { f.Run(ctx); close(done) }()
+	readyCtx, rcancel := context.WithTimeout(ctx, 30*time.Second)
+	defer rcancel()
+	if err := f.WaitReady(readyCtx); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not stop on cancellation")
+	}
+}
+
+// TestManifestETag pins the tag's sensitivity: stable across identical
+// manifests, different on any replication-relevant change.
+func TestManifestETag(t *testing.T) {
+	m := store.Manifest{
+		FormatVersion: 4,
+		Fingerprint:   store.Fingerprint{Seed: 5, MinTS: 1, MaxTS: 2, Datasets: []string{"a", "b"}},
+		ClauseSig:     "sig",
+		Sections: []store.SectionInfo{
+			{Name: "index", Length: 10, CRC: 0xAB, Encoding: "flat"},
+		},
+	}
+	base := ManifestETag(m)
+	if base != ManifestETag(m) {
+		t.Fatal("etag not deterministic")
+	}
+	mutations := []func(*store.Manifest){
+		func(m *store.Manifest) { m.Fingerprint.Seed = 6 },
+		func(m *store.Manifest) { m.Fingerprint.MaxTS = 9 },
+		func(m *store.Manifest) { m.Fingerprint.Datasets = []string{"a", "c"} },
+		func(m *store.Manifest) { m.ClauseSig = "other" },
+		func(m *store.Manifest) { m.Sections[0].CRC = 0xCD },
+		func(m *store.Manifest) { m.Sections[0].Length = 11 },
+		func(m *store.Manifest) { m.Sections = append(m.Sections, store.SectionInfo{Name: "graph"}) },
+	}
+	for i, mutate := range mutations {
+		mm := m
+		mm.Fingerprint.Datasets = append([]string{}, m.Fingerprint.Datasets...)
+		mm.Sections = append([]store.SectionInfo{}, m.Sections...)
+		mutate(&mm)
+		if ManifestETag(mm) == base {
+			t.Errorf("mutation %d did not change the etag", i)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+// Package replica is the replicated serving tier: snapshot shipping from
+// an ingest leader to read replicas, epoch-swapped followers, and a
+// consistent-hash query router.
+//
+// The design leans entirely on the snapshot container (internal/store):
+// the leader's on-disk snapshot *is* the replication log entry. A
+// follower polls the leader's manifest (one conditional request — an
+// unchanged fingerprint costs a 304 and zero section bytes), downloads
+// only the sections whose CRC changed, re-assembles the container
+// locally with the same atomic rename publication Write uses, and
+// warm-starts a fresh Framework from it via core.Open. The serving
+// pointer swaps atomically — an epoch — and the previous framework is
+// deliberately never Closed while the process lives, because in-flight
+// queries may still alias its memory-mapped sections.
+//
+// Torn epochs are impossible by construction: every section a follower
+// applies was verified against the CRCs of ONE manifest, section
+// downloads carry If-Match with that manifest's ETag (the leader answers
+// 412 if its snapshot rotated mid-pull), and any failure aborts the whole
+// sync, leaving the serving framework untouched. The fault-injection
+// suite (faultinject_test.go) pins this under truncated bodies, stalled
+// reads, server errors, and stale manifests.
+package replica
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"github.com/urbandata/datapolygamy/internal/store"
+)
+
+// ManifestInfo is the body of GET /v1/snapshot/manifest: the snapshot
+// manifest plus its ETag, which pins every follow-up section download to
+// this exact snapshot.
+type ManifestInfo struct {
+	ETag     string         `json:"etag"`
+	Manifest store.Manifest `json:"manifest"`
+}
+
+// ManifestETag derives the entity tag of a snapshot manifest: a quoted
+// hash of everything a follower's sync depends on — fingerprint, clause
+// signature, and the full section table. Two snapshots with equal tags
+// are interchangeable for replication; any byte a follower would pull
+// differently changes a section CRC and therefore the tag.
+func ManifestETag(m store.Manifest) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "v%d|seed%d|ts%d-%d|clause%s|", m.FormatVersion,
+		m.Fingerprint.Seed, m.Fingerprint.MinTS, m.Fingerprint.MaxTS, m.ClauseSig)
+	for _, ds := range m.Fingerprint.Datasets {
+		fmt.Fprintf(h, "ds%q|", ds)
+	}
+	for _, s := range m.Sections {
+		fmt.Fprintf(h, "s%q:%d:%08x:%s|", s.Name, s.Length, s.CRC, s.Encoding)
+	}
+	return fmt.Sprintf("%q", fmt.Sprintf("dp-%016x", h.Sum64()))
+}

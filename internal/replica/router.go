@@ -1,0 +1,482 @@
+package replica
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/urbandata/datapolygamy/internal/httpapi"
+	"github.com/urbandata/datapolygamy/internal/obsv"
+	"github.com/urbandata/datapolygamy/internal/queryparse"
+)
+
+var (
+	mRouterRequests = obsv.NewCounterVec("polygamy_router_requests_total",
+		"Requests the router forwarded, by replica and outcome (ok, error).", "replica", "outcome")
+	mRouterRetries = obsv.NewCounter("polygamy_router_retries_total",
+		"Forward attempts retried on the next replica after a failure.")
+	mRouterExhausted = obsv.NewCounter("polygamy_router_exhausted_total",
+		"Requests that failed on every replica and returned 503.")
+	mRouterHealthy = obsv.NewGaugeVec("polygamy_router_replica_healthy",
+		"1 when the replica's last health probe succeeded.", "replica")
+	mRouterShardBuilds = obsv.NewCounter("polygamy_router_sharded_builds_total",
+		"Sharded graph builds fanned out across replicas and merged on the leader.")
+)
+
+// ringVnodes is the number of virtual nodes per replica on the hash
+// ring: enough that removing one replica moves only ~1/n of the
+// signature space, keeping the other replicas' query caches hot.
+const ringVnodes = 64
+
+// RouterOptions configures a Router.
+type RouterOptions struct {
+	// Leader is the base URL ingest writes and graph merges forward to.
+	Leader string
+	// Replicas are the base URLs queries fan out over.
+	Replicas []string
+	// HealthInterval is the cadence of the background health probes
+	// (default 1s).
+	HealthInterval time.Duration
+	// MaxBody caps buffered request bodies (default 1 MiB — the router
+	// only buffers structured JSON; ingest CSVs stream through).
+	MaxBody int64
+	// HTTPClient overrides the backend transport (nil = a client with a
+	// 5-minute timeout, matching polygamyd's slowest handler budget).
+	HTTPClient *http.Client
+	Logger     *slog.Logger
+}
+
+type backend struct {
+	url     string
+	healthy atomic.Bool
+}
+
+type ringEntry struct {
+	hash uint64
+	idx  int // index into Router.backends
+}
+
+// Router is a stateless consistent-hash fan-out over a set of replica
+// query servers: each canonical query signature has a home replica, so
+// that replica's result cache and singleflight absorb repeats of the
+// same query, while distinct signatures spread across the fleet. Writes
+// (ingest, append) forward to the leader; sharded graph builds fan the
+// pair space across replicas and merge on the leader.
+type Router struct {
+	opts     RouterOptions
+	hc       *http.Client
+	mux      *http.ServeMux
+	backends []*backend
+	ring     []ringEntry
+	rr       atomic.Uint64 // round-robin cursor for unsigned reads
+	started  time.Time
+}
+
+// NewRouter builds a router over the given replicas.
+func NewRouter(opts RouterOptions) (*Router, error) {
+	if len(opts.Replicas) == 0 {
+		return nil, fmt.Errorf("replica: router needs at least one replica URL")
+	}
+	if opts.HealthInterval <= 0 {
+		opts.HealthInterval = time.Second
+	}
+	if opts.MaxBody <= 0 {
+		opts.MaxBody = 1 << 20
+	}
+	if opts.Logger == nil {
+		opts.Logger = slog.Default()
+	}
+	hc := opts.HTTPClient
+	if hc == nil {
+		hc = &http.Client{Timeout: 5 * time.Minute}
+	}
+	rt := &Router{opts: opts, hc: hc, mux: http.NewServeMux(), started: time.Now()}
+	for i, u := range opts.Replicas {
+		b := &backend{url: strings.TrimRight(u, "/")}
+		b.healthy.Store(true) // optimistic until the first probe says otherwise
+		rt.backends = append(rt.backends, b)
+		for v := 0; v < ringVnodes; v++ {
+			h := fnv.New64a()
+			fmt.Fprintf(h, "%s#%d", b.url, v)
+			rt.ring = append(rt.ring, ringEntry{hash: h.Sum64(), idx: i})
+		}
+	}
+	sort.Slice(rt.ring, func(i, j int) bool { return rt.ring[i].hash < rt.ring[j].hash })
+
+	rt.mux.HandleFunc("POST /v1/query", rt.handleQuery)
+	rt.mux.HandleFunc("GET /v1/query", rt.handleQueryText)
+	rt.mux.HandleFunc("POST /v1/graph/build", rt.handleShardedBuild)
+	rt.mux.HandleFunc("POST /v1/datasets", rt.handleWrite)
+	rt.mux.HandleFunc("POST /v1/datasets/{name}/append", rt.handleWrite)
+	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	rt.mux.Handle("GET /metrics", obsv.Handler())
+	rt.mux.HandleFunc("/", rt.handleRead)
+	return rt, nil
+}
+
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) { rt.mux.ServeHTTP(w, r) }
+
+// Run probes replica health until ctx is cancelled.
+func (rt *Router) Run(ctx context.Context) {
+	t := time.NewTicker(rt.opts.HealthInterval)
+	defer t.Stop()
+	for {
+		rt.probe(ctx)
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}
+
+func (rt *Router) probe(ctx context.Context) {
+	for _, b := range rt.backends {
+		probeCtx, cancel := context.WithTimeout(ctx, rt.opts.HealthInterval)
+		req, err := http.NewRequestWithContext(probeCtx, http.MethodGet, b.url+"/healthz", nil)
+		ok := false
+		if err == nil {
+			if resp, err := rt.hc.Do(req); err == nil {
+				io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+				resp.Body.Close()
+				ok = resp.StatusCode == http.StatusOK
+			}
+		}
+		cancel()
+		was := b.healthy.Swap(ok)
+		if was != ok {
+			rt.opts.Logger.Info("router: replica health changed", "replica", b.url, "healthy", ok)
+		}
+		g := 0.0
+		if ok {
+			g = 1
+		}
+		mRouterHealthy.With(b.url).Set(g)
+	}
+}
+
+// order returns the backend preference order for a signature: the ring
+// walk from the signature's hash point, healthy replicas first, each
+// replica exactly once. An unhealthy replica still appears (at the end)
+// — a probe may be stale, and trying it beats failing the client.
+func (rt *Router) order(sig string) []*backend {
+	h := fnv.New64a()
+	h.Write([]byte(sig))
+	point := h.Sum64()
+	i := sort.Search(len(rt.ring), func(i int) bool { return rt.ring[i].hash >= point })
+	var walk []*backend
+	seen := make(map[int]bool, len(rt.backends))
+	for n := 0; n < len(rt.ring) && len(walk) < len(rt.backends); n++ {
+		e := rt.ring[(i+n)%len(rt.ring)]
+		if !seen[e.idx] {
+			seen[e.idx] = true
+			walk = append(walk, rt.backends[e.idx])
+		}
+	}
+	healthyFirst := make([]*backend, 0, len(walk))
+	for _, b := range walk {
+		if b.healthy.Load() {
+			healthyFirst = append(healthyFirst, b)
+		}
+	}
+	for _, b := range walk {
+		if !b.healthy.Load() {
+			healthyFirst = append(healthyFirst, b)
+		}
+	}
+	return healthyFirst
+}
+
+// handleQuery routes a structured query by its canonical signature, so
+// identical queries land on the same replica's cache/singleflight.
+func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.opts.MaxBody))
+	if err != nil {
+		httpapi.WriteJSON(w, http.StatusRequestEntityTooLarge, httpapi.Error{Error: err.Error()})
+		return
+	}
+	var req httpapi.QueryRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpapi.WriteJSON(w, http.StatusBadRequest, httpapi.Error{Error: "decoding request: " + err.Error()})
+		return
+	}
+	q, err := req.Query()
+	if err != nil {
+		httpapi.WriteJSON(w, http.StatusBadRequest, httpapi.Error{Error: err.Error()})
+		return
+	}
+	rt.forwardSigned(w, r, q.Signature(), http.MethodPost, "/v1/query", body)
+}
+
+// handleQueryText routes the paper's textual query form the same way:
+// the parsed query produces the same canonical signature as its
+// structured equivalent, so both forms share a home replica.
+func (rt *Router) handleQueryText(w http.ResponseWriter, r *http.Request) {
+	text := r.URL.Query().Get("q")
+	if text == "" {
+		httpapi.WriteJSON(w, http.StatusBadRequest, httpapi.Error{Error: "missing q parameter"})
+		return
+	}
+	q, err := queryparse.Parse(text)
+	if err != nil {
+		httpapi.WriteJSON(w, http.StatusBadRequest, httpapi.Error{Error: err.Error()})
+		return
+	}
+	rt.forwardSigned(w, r, q.Signature(), http.MethodGet, r.URL.RequestURI(), nil)
+}
+
+// handleRead forwards any other read to a healthy replica, round-robin.
+func (rt *Router) handleRead(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpapi.WriteJSON(w, http.StatusNotFound, httpapi.Error{Error: "unknown route"})
+		return
+	}
+	n := len(rt.backends)
+	start := int(rt.rr.Add(1)) % n
+	var cands []*backend
+	for i := 0; i < n; i++ {
+		b := rt.backends[(start+i)%n]
+		if b.healthy.Load() {
+			cands = append(cands, b)
+		}
+	}
+	for i := 0; i < n; i++ {
+		b := rt.backends[(start+i)%n]
+		if !b.healthy.Load() {
+			cands = append(cands, b)
+		}
+	}
+	rt.forwardOrdered(w, r, cands, http.MethodGet, r.URL.RequestURI(), nil)
+}
+
+// handleWrite forwards ingest and append bodies to the leader verbatim.
+func (rt *Router) handleWrite(w http.ResponseWriter, r *http.Request) {
+	if rt.opts.Leader == "" {
+		httpapi.WriteJSON(w, http.StatusServiceUnavailable, httpapi.Error{Error: "router has no leader configured; writes are unavailable"})
+		return
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method,
+		strings.TrimRight(rt.opts.Leader, "/")+r.URL.RequestURI(), r.Body)
+	if err != nil {
+		httpapi.WriteJSON(w, http.StatusInternalServerError, httpapi.Error{Error: err.Error()})
+		return
+	}
+	req.Header.Set("Content-Type", r.Header.Get("Content-Type"))
+	resp, err := rt.hc.Do(req)
+	if err != nil {
+		httpapi.WriteJSON(w, http.StatusBadGateway, httpapi.Error{Error: "leader unreachable: " + err.Error()})
+		return
+	}
+	defer resp.Body.Close()
+	copyResponse(w, resp)
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	replicas := make(map[string]bool, len(rt.backends))
+	healthy := 0
+	for _, b := range rt.backends {
+		ok := b.healthy.Load()
+		replicas[b.url] = ok
+		if ok {
+			healthy++
+		}
+	}
+	status := http.StatusOK
+	if healthy == 0 {
+		status = http.StatusServiceUnavailable
+	}
+	httpapi.WriteJSON(w, status, map[string]any{
+		"status":   map[bool]string{true: "ok", false: "degraded"}[healthy > 0],
+		"uptime":   time.Since(rt.started).Round(time.Millisecond).String(),
+		"replicas": replicas,
+	})
+}
+
+// forwardSigned sends the request down the signature's ring order,
+// retrying the next replica on transport errors and gateway-class
+// failures. Client-fault statuses (4xx) are the replica's verdict on the
+// request itself and forward as-is.
+func (rt *Router) forwardSigned(w http.ResponseWriter, r *http.Request, sig, method, path string, body []byte) {
+	rt.forwardOrdered(w, r, rt.order(sig), method, path, body)
+}
+
+func (rt *Router) forwardOrdered(w http.ResponseWriter, r *http.Request, cands []*backend, method, path string, body []byte) {
+	for i, b := range cands {
+		if i > 0 {
+			mRouterRetries.Inc()
+		}
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(r.Context(), method, b.url+path, rd)
+		if err != nil {
+			httpapi.WriteJSON(w, http.StatusInternalServerError, httpapi.Error{Error: err.Error()})
+			return
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := rt.hc.Do(req)
+		if err != nil {
+			// Transport failure: the replica is gone or unreachable. Mark it
+			// so signed traffic re-homes until a probe says otherwise.
+			b.healthy.Store(false)
+			mRouterRequests.With(b.url, "error").Inc()
+			if r.Context().Err() != nil {
+				return // client went away; nothing useful to write
+			}
+			continue
+		}
+		if resp.StatusCode == http.StatusBadGateway || resp.StatusCode == http.StatusServiceUnavailable ||
+			resp.StatusCode == http.StatusGatewayTimeout {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			mRouterRequests.With(b.url, "error").Inc()
+			continue
+		}
+		mRouterRequests.With(b.url, "ok").Inc()
+		b.healthy.Store(true)
+		copyResponse(w, resp)
+		resp.Body.Close()
+		return
+	}
+	mRouterExhausted.Inc()
+	httpapi.WriteJSON(w, http.StatusServiceUnavailable,
+		httpapi.Error{Error: "no replica could serve the request"})
+}
+
+// copyResponse relays a backend response to the client.
+func copyResponse(w http.ResponseWriter, resp *http.Response) {
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// handleShardedBuild is the distributed BuildGraph: the pair space is
+// partitioned across the healthy replicas (POST /v1/graph/shard), the
+// collected shard payloads are merged and published on the leader
+// (POST /v1/graph/merge), and the leader's re-saved snapshot then
+// carries the graph to every follower on its next poll. The merged
+// result is byte-identical to a local build under the same clause.
+func (rt *Router) handleShardedBuild(w http.ResponseWriter, r *http.Request) {
+	if rt.opts.Leader == "" {
+		httpapi.WriteJSON(w, http.StatusServiceUnavailable, httpapi.Error{Error: "router has no leader configured; graph builds are unavailable"})
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.opts.MaxBody))
+	if err != nil {
+		httpapi.WriteJSON(w, http.StatusRequestEntityTooLarge, httpapi.Error{Error: err.Error()})
+		return
+	}
+	var req struct {
+		Clause httpapi.ClauseRequest `json:"clause"`
+	}
+	if len(bytes.TrimSpace(body)) > 0 {
+		dec := json.NewDecoder(bytes.NewReader(body))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			httpapi.WriteJSON(w, http.StatusBadRequest, httpapi.Error{Error: "decoding request: " + err.Error()})
+			return
+		}
+	}
+	if _, err := httpapi.ParseClause(req.Clause); err != nil {
+		httpapi.WriteJSON(w, http.StatusBadRequest, httpapi.Error{Error: err.Error()})
+		return
+	}
+	var workers []*backend
+	for _, b := range rt.backends {
+		if b.healthy.Load() {
+			workers = append(workers, b)
+		}
+	}
+	if len(workers) == 0 {
+		httpapi.WriteJSON(w, http.StatusServiceUnavailable, httpapi.Error{Error: "no healthy replica to compute graph shards"})
+		return
+	}
+	of := len(workers)
+	shards := make([][]byte, of)
+	errs := make([]error, of)
+	var wg sync.WaitGroup
+	for i, b := range workers {
+		wg.Add(1)
+		go func(i int, b *backend) {
+			defer wg.Done()
+			shards[i], errs[i] = rt.fetchShard(r.Context(), b, req.Clause, i, of)
+		}(i, b)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			httpapi.WriteJSON(w, http.StatusBadGateway,
+				httpapi.Error{Error: fmt.Sprintf("computing shard %d/%d on %s: %v", i, of, workers[i].url, err)})
+			return
+		}
+	}
+	merge, err := json.Marshal(httpapi.GraphMergeRequest{Clause: req.Clause, Shards: shards})
+	if err != nil {
+		httpapi.WriteJSON(w, http.StatusInternalServerError, httpapi.Error{Error: err.Error()})
+		return
+	}
+	mreq, err := http.NewRequestWithContext(r.Context(), http.MethodPost,
+		strings.TrimRight(rt.opts.Leader, "/")+"/v1/graph/merge", bytes.NewReader(merge))
+	if err != nil {
+		httpapi.WriteJSON(w, http.StatusInternalServerError, httpapi.Error{Error: err.Error()})
+		return
+	}
+	mreq.Header.Set("Content-Type", "application/json")
+	resp, err := rt.hc.Do(mreq)
+	if err != nil {
+		httpapi.WriteJSON(w, http.StatusBadGateway, httpapi.Error{Error: "merging on leader: " + err.Error()})
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		mRouterShardBuilds.Inc()
+	}
+	copyResponse(w, resp)
+}
+
+func (rt *Router) fetchShard(ctx context.Context, b *backend, clause httpapi.ClauseRequest, shard, of int) ([]byte, error) {
+	body, err := json.Marshal(httpapi.GraphShardRequest{Clause: clause, Shard: shard, Of: of})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.url+"/v1/graph/shard", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rt.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, errorBody(resp)
+	}
+	var out httpapi.GraphShardResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxSectionBytes)).Decode(&out); err != nil {
+		return nil, err
+	}
+	if len(out.Shard) == 0 {
+		return nil, fmt.Errorf("replica %s returned an empty shard payload", b.url)
+	}
+	return out.Shard, nil
+}
