@@ -17,12 +17,16 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"sort"
+	"strings"
 	"testing"
 	"time"
 
 	"github.com/urbandata/datapolygamy/internal/core"
 	"github.com/urbandata/datapolygamy/internal/dataset"
+	"github.com/urbandata/datapolygamy/internal/montecarlo"
 	"github.com/urbandata/datapolygamy/internal/spatial"
 	"github.com/urbandata/datapolygamy/internal/urban"
 )
@@ -33,6 +37,17 @@ type report struct {
 	Schema string     `json:"schema"`
 	Corpus corpusInfo `json:"corpus"`
 	M      metrics    `json:"metrics"`
+
+	// Kernels records the Monte Carlo tau-kernel dimension: the hot-path
+	// metrics re-measured per kernel, making "the vector kernel is Nx
+	// faster" a committed artifact instead of prose. The top-level metrics
+	// are always measured under the default (vector) kernel.
+	Kernels map[string]kernelMetrics `json:"kernels,omitempty"`
+}
+
+type kernelMetrics struct {
+	GraphBuildNS       int64 `json:"graph_build_ns"`
+	QueryUncachedP50NS int64 `json:"query_uncached_p50_ns"`
 }
 
 type corpusInfo struct {
@@ -79,6 +94,11 @@ type config struct {
 	compare string
 	factor  float64
 
+	queryFactor float64
+	kernels     string
+	cpuprofile  string
+	memprofile  string
+
 	appendScale float64
 	appendDays  int
 }
@@ -95,10 +115,40 @@ func main() {
 	flag.StringVar(&c.out, "out", "", "write the JSON report here (default stdout)")
 	flag.StringVar(&c.compare, "compare", "", "baseline report: exit nonzero when warm open regresses beyond -factor against it")
 	flag.Float64Var(&c.factor, "factor", 2.0, "allowed warm-open slowdown versus the -compare baseline")
+	flag.Float64Var(&c.queryFactor, "query-factor", 1.5, "allowed uncached-query p50 slowdown versus the -compare baseline")
+	flag.StringVar(&c.kernels, "kernels", "vector", "comma-separated Monte Carlo kernels to record in the kernels dimension (vector, scalar)")
+	flag.StringVar(&c.cpuprofile, "cpuprofile", "", "write a CPU profile of the whole run here")
+	flag.StringVar(&c.memprofile, "memprofile", "", "write an end-of-run heap profile here")
 	flag.Float64Var(&c.appendScale, "append-scale", 0.05, "record-volume scale of the append-vs-rebuild corpus (0 skips the append benchmark)")
 	flag.IntVar(&c.appendDays, "append-days", 7, "length of each appended slice in days")
 	flag.Parse()
+	if c.cpuprofile != "" {
+		f, err := os.Create(c.cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrun:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrun:", err)
+			os.Exit(1)
+		}
+	}
 	rep, err := run(c)
+	if c.cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if c.memprofile != "" {
+		f, merr := os.Create(c.memprofile)
+		if merr == nil {
+			runtime.GC()
+			merr = pprof.WriteHeapProfile(f)
+			f.Close()
+		}
+		if merr != nil {
+			fmt.Fprintln(os.Stderr, "benchrun:", merr)
+			os.Exit(1)
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchrun:", err)
 		os.Exit(1)
@@ -120,8 +170,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchrun:", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "benchrun: warm open %s within %.1fx of baseline\n",
-			time.Duration(rep.M.WarmOpenNS), c.factor)
+		fmt.Fprintf(os.Stderr, "benchrun: warm open %s within %.1fx and uncached query p50 %s within %.1fx of baseline\n",
+			time.Duration(rep.M.WarmOpenNS), c.factor,
+			time.Duration(rep.M.QueryUncachedP50NS), c.queryFactor)
 	}
 }
 
@@ -252,12 +303,78 @@ func run(c config) (report, error) {
 	rep.M.QueryCachedP50NS = percentile(cached, 50)
 	rep.M.QueryCachedP99NS = percentile(cached, 99)
 
+	for _, name := range strings.Split(c.kernels, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		kernel, err := montecarlo.ParseKernel(name)
+		if err != nil {
+			return rep, err
+		}
+		if rep.Kernels == nil {
+			rep.Kernels = map[string]kernelMetrics{}
+		}
+		if kernel == montecarlo.VectorKernel {
+			// The top-level metrics already ran under the default (vector)
+			// kernel; record them rather than re-measuring.
+			rep.Kernels[name] = kernelMetrics{
+				GraphBuildNS:       rep.M.GraphBuildNS,
+				QueryUncachedP50NS: rep.M.QueryUncachedP50NS,
+			}
+			continue
+		}
+		km, err := kernelBench(c, newFramework, g, snap, kernel)
+		if err != nil {
+			return rep, err
+		}
+		rep.Kernels[name] = km
+	}
+
 	if c.appendScale > 0 {
 		if err := appendBench(c, city, &rep.M); err != nil {
 			return rep, err
 		}
 	}
 	return rep, nil
+}
+
+// kernelBench re-measures the Monte Carlo-dominated metrics under a
+// non-default kernel: graph build on a freshly indexed framework, and
+// uncached query p50 on the snapshot-loaded framework g (reloading before
+// each query resets the memo, exactly like the top-level measurement).
+func kernelBench(c config, newFramework func() (*core.Framework, error),
+	g *core.Framework, snap string, kernel montecarlo.Kernel) (kernelMetrics, error) {
+	var km kernelMetrics
+	clause := core.Clause{Permutations: c.perms, Kernel: kernel}
+
+	fw, err := newFramework()
+	if err != nil {
+		return km, err
+	}
+	if _, err := fw.BuildIndex(); err != nil {
+		return km, err
+	}
+	t0 := time.Now()
+	if _, err := fw.BuildGraph(clause); err != nil {
+		return km, err
+	}
+	km.GraphBuildNS = time.Since(t0).Nanoseconds()
+
+	q := core.Query{Clause: clause}
+	samples := make([]int64, 0, c.queries)
+	for i := 0; i < c.queries; i++ {
+		if err := g.Load(snap); err != nil {
+			return km, err
+		}
+		t0 := time.Now()
+		if _, _, err := g.Query(q); err != nil {
+			return km, err
+		}
+		samples = append(samples, time.Since(t0).Nanoseconds())
+	}
+	km.QueryUncachedP50NS = percentile(samples, 50)
+	return km, nil
 }
 
 // appendBench measures corpus growth against corpus rebuild. The base
@@ -383,6 +500,12 @@ func compareBaseline(c config, cur report) error {
 	if float64(cur.M.WarmOpenNS) > c.factor*float64(base.M.WarmOpenNS) {
 		return fmt.Errorf("warm open regressed: %s now, %s in baseline %s (limit %.1fx)",
 			time.Duration(cur.M.WarmOpenNS), time.Duration(base.M.WarmOpenNS), c.compare, c.factor)
+	}
+	if base.M.QueryUncachedP50NS > 0 &&
+		float64(cur.M.QueryUncachedP50NS) > c.queryFactor*float64(base.M.QueryUncachedP50NS) {
+		return fmt.Errorf("uncached query p50 regressed: %s now, %s in baseline %s (limit %.1fx)",
+			time.Duration(cur.M.QueryUncachedP50NS), time.Duration(base.M.QueryUncachedP50NS),
+			c.compare, c.queryFactor)
 	}
 	return nil
 }

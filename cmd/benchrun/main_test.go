@@ -31,7 +31,7 @@ func TestBenchrunEndToEnd(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full benchmark pass is too slow for -short")
 	}
-	c := config{months: 1, scale: 0.05, grid: 8, seed: 7, perms: 10, opens: 2, queries: 1, factor: 2}
+	c := config{months: 1, scale: 0.05, grid: 8, seed: 7, perms: 10, opens: 2, queries: 1, factor: 2, queryFactor: 1.5}
 	rep, err := run(c)
 	if err != nil {
 		t.Fatal(err)
@@ -85,11 +85,22 @@ func TestBenchrunEndToEnd(t *testing.T) {
 	if err := compareBaseline(cc, rep); err == nil || !strings.Contains(err.Error(), "regressed") {
 		t.Errorf("gate did not trip: %v", err)
 	}
+
+	// So must a baseline claiming a much faster uncached query.
+	fast = rep
+	fast.M.QueryUncachedP50NS = rep.M.QueryUncachedP50NS / 100
+	blob, _ = json.Marshal(fast)
+	if err := os.WriteFile(base, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := compareBaseline(cc, rep); err == nil || !strings.Contains(err.Error(), "query p50 regressed") {
+		t.Errorf("query gate did not trip: %v", err)
+	}
 }
 
 func TestCompareBaselineErrors(t *testing.T) {
 	cur := report{Schema: "datapolygamy-benchrun/v1"}
-	c := config{compare: filepath.Join(t.TempDir(), "absent.json"), factor: 2}
+	c := config{compare: filepath.Join(t.TempDir(), "absent.json"), factor: 2, queryFactor: 1.5}
 	if err := compareBaseline(c, cur); err == nil {
 		t.Error("missing baseline accepted")
 	}

@@ -248,6 +248,61 @@ func (v *Vector) CopyRange(src *Vector, srcOff, dstOff, n int) {
 	}
 }
 
+// RotateRange copies the n-bit range src[srcOff, srcOff+n) into
+// v[dstOff, dstOff+n), circularly rotated up by rot bits: source bit
+// srcOff+i lands at destination bit dstOff+(i+rot)%n. rot must lie in
+// [0, n) (rot 0 is a plain CopyRange); n may be 0 only with rot 0.
+//
+// This is the time-rotation primitive of the Monte Carlo vector kernel: a
+// region's lane-padded time-run is gathered to its image region's lane
+// block and rotated over the temporal ring in one pass, replacing a
+// per-vertex (s+rot)%S probe loop with word-level blits.
+func (v *Vector) RotateRange(src *Vector, srcOff, dstOff, n, rot int) {
+	if rot == 0 {
+		v.CopyRange(src, srcOff, dstOff, n)
+		return
+	}
+	if rot < 0 || rot >= n {
+		panic(fmt.Sprintf("bitvec: RotateRange rotation %d out of range [0,%d)", rot, n))
+	}
+	// out[rot, n) = in[0, n-rot); out[0, rot) = in[n-rot, n).
+	v.CopyRange(src, srcOff, dstOff+rot, n-rot)
+	v.CopyRange(src, srcOff+n-rot, dstOff, rot)
+}
+
+// AndCount2 returns (popcount(v AND x), popcount(v AND y)) in a single pass
+// over v's words. The Monte Carlo vector kernel derives each permutation's
+// tau from popcounts of the permuted feature vector against two masks
+// (same-sign features and the feature union); fusing them halves the memory
+// traffic of the hot loop.
+func (v *Vector) AndCount2(x, y *Vector) (cx, cy int) {
+	v.checkLen(x)
+	v.checkLen(y)
+	for i, w := range v.words {
+		cx += bits.OnesCount64(w & x.words[i])
+		cy += bits.OnesCount64(w & y.words[i])
+	}
+	return cx, cy
+}
+
+// AndCount2Range is AndCount2 restricted to the word-aligned bit range
+// [from, to): both bounds must be multiples of 64. The Monte Carlo vector
+// kernel counts each destination lane right after blitting it — the words
+// are still cache-hot — and skips lanes that cannot intersect the masks.
+func (v *Vector) AndCount2Range(x, y *Vector, from, to int) (cx, cy int) {
+	v.checkLen(x)
+	v.checkLen(y)
+	if from%wordBits != 0 || to%wordBits != 0 || from < 0 || to > v.n || from > to {
+		panic(fmt.Sprintf("bitvec: AndCount2Range [%d,%d) not word-aligned within [0,%d)", from, to, v.n))
+	}
+	for i := from / wordBits; i < to/wordBits; i++ {
+		w := v.words[i]
+		cx += bits.OnesCount64(w & x.words[i])
+		cy += bits.OnesCount64(w & y.words[i])
+	}
+	return cx, cy
+}
+
 // AnyRange reports whether any bit in [from, to) is set.
 func (v *Vector) AnyRange(from, to int) bool {
 	if from < 0 || to > v.n || from > to {
@@ -285,6 +340,34 @@ func (v *Vector) MaskRange(from, to int) *Vector {
 		out.words[hiW] &= lowMask(tail)
 	}
 	return out
+}
+
+// ClearRange zeroes the bits in [from, to) in place. The Monte Carlo
+// vector kernel uses it to blank the destination lane of a region whose
+// source lane carries no features, instead of blitting a run of zeros.
+func (v *Vector) ClearRange(from, to int) {
+	v.checkWritable()
+	if from < 0 || to > v.n || from > to {
+		panic(fmt.Sprintf("bitvec: ClearRange [%d,%d) out of range [0,%d)", from, to, v.n))
+	}
+	if from == to {
+		return
+	}
+	loW, hiW := from/wordBits, (to-1)/wordBits
+	loMask := lowMask(from % wordBits)
+	hiMask := uint64(0) // to lands on a word boundary: clear all of hiW
+	if tail := to % wordBits; tail != 0 {
+		hiMask = ^lowMask(tail)
+	}
+	if loW == hiW {
+		v.words[loW] &= loMask | hiMask
+		return
+	}
+	v.words[loW] &= loMask
+	for w := loW + 1; w < hiW; w++ {
+		v.words[w] = 0
+	}
+	v.words[hiW] &= hiMask
 }
 
 // Reset clears all bits in place.

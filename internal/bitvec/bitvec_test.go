@@ -465,3 +465,124 @@ func TestAnyRangeAndMaskRange(t *testing.T) {
 		}
 	}
 }
+
+func TestRotateRangeRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 500; trial++ {
+		srcLen := 1 + rng.Intn(300)
+		dstLen := 1 + rng.Intn(300)
+		src := New(srcLen)
+		for i := 0; i < srcLen; i++ {
+			if rng.Intn(3) == 0 {
+				src.Set(i)
+			}
+		}
+		maxN := srcLen
+		if dstLen < maxN {
+			maxN = dstLen
+		}
+		n := 1 + rng.Intn(maxN)
+		srcOff := rng.Intn(srcLen - n + 1)
+		dstOff := rng.Intn(dstLen - n + 1)
+		rot := rng.Intn(n)
+		got := New(dstLen)
+		// Pre-dirty the destination range to catch missed bits.
+		for i := 0; i < dstLen; i++ {
+			if rng.Intn(2) == 0 {
+				got.Set(i)
+			}
+		}
+		want := got.Clone()
+		got.RotateRange(src, srcOff, dstOff, n, rot)
+		for i := 0; i < n; i++ {
+			j := dstOff + (i+rot)%n
+			if src.Get(srcOff + i) {
+				want.Set(j)
+			} else {
+				want.Clear(j)
+			}
+		}
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: RotateRange(src[%d:%d) -> dst[%d:%d), rot=%d) mismatch",
+				trial, srcOff, srcOff+n, dstOff, dstOff+n, rot)
+		}
+	}
+}
+
+func TestRotateRangeWordBoundaries(t *testing.T) {
+	for _, n := range []int{63, 64, 65, 128} {
+		src := New(n)
+		for i := 0; i < n; i += 3 {
+			src.Set(i)
+		}
+		for _, rot := range []int{0, 1, n / 2, n - 1} {
+			dst := New(n)
+			dst.RotateRange(src, 0, 0, n, rot)
+			for i := 0; i < n; i++ {
+				if dst.Get((i+rot)%n) != src.Get(i) {
+					t.Fatalf("n=%d rot=%d: bit %d wrong", n, rot, i)
+				}
+			}
+		}
+	}
+}
+
+func TestRotateRangeBadRotPanics(t *testing.T) {
+	src, dst := New(64), New(64)
+	for _, rot := range []int{-1, 64, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("RotateRange rot=%d did not panic", rot)
+				}
+			}()
+			dst.RotateRange(src, 0, 0, 64, rot)
+		}()
+	}
+}
+
+func TestAndCount2MatchesAndCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(400)
+		v, x, y := New(n), New(n), New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				v.Set(i)
+			}
+			if rng.Intn(3) == 0 {
+				x.Set(i)
+			}
+			if rng.Intn(3) == 0 {
+				y.Set(i)
+			}
+		}
+		cx, cy := v.AndCount2(x, y)
+		if cx != v.AndCount(x) || cy != v.AndCount(y) {
+			t.Fatalf("AndCount2 = (%d,%d), want (%d,%d)", cx, cy, v.AndCount(x), v.AndCount(y))
+		}
+	}
+}
+
+func TestClearRangeRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(300)
+		v := New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				v.Set(i)
+			}
+		}
+		want := v.Clone()
+		from := rng.Intn(n + 1)
+		to := from + rng.Intn(n-from+1)
+		for i := from; i < to; i++ {
+			want.Clear(i)
+		}
+		v.ClearRange(from, to)
+		if !v.Equal(want) {
+			t.Fatalf("trial %d: ClearRange(%d,%d) mismatch on %d bits", trial, from, to, n)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/urbandata/datapolygamy/internal/montecarlo"
+)
+
+// TestQueryKernelParity: a query evaluated under the scalar reference
+// kernel returns byte-identical relationships (p-values included) to the
+// vector default, end to end through the planner, windowed compaction, and
+// significance layers. Runs on two independently built frameworks because
+// the kernels deliberately share cache signatures.
+func TestQueryKernelParity(t *testing.T) {
+	clauses := []Clause{
+		{Permutations: 100},
+		{Permutations: 100, TestKind: montecarlo.Standard},
+		{Permutations: 100, TestKind: montecarlo.Block},
+		{Permutations: 100, Exhaustive: true},
+	}
+	fv := buildFW(t, appendCorpus(t, 0))
+	fs := buildFW(t, appendCorpus(t, 0))
+	// A windowed clause exercises the supporting-tile compaction path.
+	win := Clause{Permutations: 100}
+	win.Windowed, win.WindowFrom, win.WindowTo = true, fv.minTS, fv.minTS+120*24*3600
+	clauses = append(clauses, win)
+
+	for _, c := range clauses {
+		vecC, scaC := c, c
+		vecC.Kernel, scaC.Kernel = montecarlo.VectorKernel, montecarlo.ScalarKernel
+		vec, _, err := fv.Query(Query{Clause: vecC})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sca, _, err := fs.Query(Query{Clause: scaC})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(vec, sca) {
+			t.Fatalf("clause %+v: vector kernel results differ from scalar:\n vector %v\n scalar %v", c, vec, sca)
+		}
+	}
+}
+
+// TestKernelSharesCacheSignature pins the design decision that Kernel is
+// excluded from query signatures: the kernels are byte-identical, so a
+// scalar re-run of a vector-cached query must hit the cache (and vice
+// versa) rather than recompute.
+func TestKernelSharesCacheSignature(t *testing.T) {
+	vecC := Clause{Permutations: 60, Kernel: montecarlo.VectorKernel}
+	scaC := Clause{Permutations: 60, Kernel: montecarlo.ScalarKernel}
+	if querySignature(nil, nil, vecC) != querySignature(nil, nil, scaC) {
+		t.Fatal("kernel choice leaked into the query signature")
+	}
+	f := buildFW(t, appendCorpus(t, 0))
+	if _, st, err := f.Query(Query{Clause: vecC}); err != nil || st.CacheHit {
+		t.Fatalf("first query: err=%v cacheHit=%t", err, st.CacheHit)
+	}
+	if _, st, err := f.Query(Query{Clause: scaC}); err != nil || !st.CacheHit {
+		t.Fatalf("scalar re-run of vector-cached query: err=%v cacheHit=%t, want hit", err, st.CacheHit)
+	}
+}

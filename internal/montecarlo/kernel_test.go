@@ -1,0 +1,322 @@
+package montecarlo
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/urbandata/datapolygamy/internal/bitvec"
+	"github.com/urbandata/datapolygamy/internal/feature"
+	"github.com/urbandata/datapolygamy/internal/stgraph"
+)
+
+// denseSets builds a pair of feature sets with roughly the given bit
+// density, restricted to vertices in [lo, hi) — lo/hi model windowed and
+// tile-compacted sub-domains where features cluster in a step range.
+func denseSets(rng *rand.Rand, nVerts int, density float64, lo, hi int) (*feature.Set, *feature.Set) {
+	mk := func() *feature.Set {
+		return &feature.Set{Positive: bitvec.New(nVerts), Negative: bitvec.New(nVerts)}
+	}
+	a, b := mk(), mk()
+	span := hi - lo
+	k := int(density * float64(span))
+	for i := 0; i < k; i++ {
+		v := lo + rng.Intn(span)
+		switch rng.Intn(3) {
+		case 0:
+			a.Positive.Set(v)
+		case 1:
+			a.Negative.Set(v)
+		default:
+			a.Positive.Set(v)
+			a.Negative.Set(v) // overlapping signs exercise the union mask
+		}
+		w := lo + rng.Intn(span)
+		if rng.Intn(2) == 0 {
+			b.Positive.Set(w)
+		} else {
+			b.Negative.Set(w)
+		}
+	}
+	return a, b
+}
+
+// runBothKernels runs the same test under the scalar and vector kernels,
+// capturing the full per-permutation tau streams, and requires bitwise
+// identity of both the streams and the Results.
+func checkKernelParity(t *testing.T, a, b *feature.Set, g *stgraph.Graph, tau float64, cfg Config) {
+	t.Helper()
+	streams := map[Kernel][]float64{}
+	results := map[Kernel]Result{}
+	for _, kernel := range []Kernel{ScalarKernel, VectorKernel} {
+		c := cfg
+		c.Kernel = kernel
+		c.Exhaustive = true // cover every permutation index in the stream
+		taus := make([]float64, c.Permutations)
+		results[kernel] = test(a, b, g, tau, c, func(perm int, tauK float64) {
+			taus[perm] = tauK
+		})
+		streams[kernel] = taus
+	}
+	if results[ScalarKernel] != results[VectorKernel] {
+		t.Fatalf("Result mismatch: scalar %+v vector %+v (cfg %+v)",
+			results[ScalarKernel], results[VectorKernel], cfg)
+	}
+	for i := range streams[ScalarKernel] {
+		if streams[ScalarKernel][i] != streams[VectorKernel][i] {
+			t.Fatalf("tau stream diverges at permutation %d: scalar %v vector %v (cfg %+v)",
+				i, streams[ScalarKernel][i], streams[VectorKernel][i], cfg)
+		}
+	}
+	// Adaptive runs must agree too (identical chunks counts => identical
+	// stopping point and truncated p-value).
+	sc, vc := cfg, cfg
+	sc.Kernel, vc.Kernel = ScalarKernel, VectorKernel
+	if rs, rv := Test(a, b, g, tau, sc), Test(a, b, g, tau, vc); rs != rv {
+		t.Fatalf("adaptive Result mismatch: scalar %+v vector %+v (cfg %+v)", rs, rv, cfg)
+	}
+}
+
+// TestKernelParity pins the tentpole contract: the word-level vector
+// kernel is byte-identical to the scalar reference for every Kind, domain
+// shape, feature density, windowed sub-domain, and Workers value.
+func TestKernelParity(t *testing.T) {
+	cases := []struct {
+		name           string
+		regions, steps int
+		adj            func() [][]int
+		density        float64
+		lo, hi         int // vertex window; 0,0 => full domain
+	}{
+		{name: "timeseries-sparse", regions: 1, steps: 500, adj: func() [][]int { return [][]int{nil} }, density: 0.02},
+		{name: "timeseries-dense", regions: 1, steps: 321, adj: func() [][]int { return [][]int{nil} }, density: 0.5},
+		{name: "grid3x3", regions: 9, steps: 64, adj: func() [][]int { return grid(3, 3) }, density: 0.1},
+		{name: "grid4x4-dense", regions: 16, steps: 100, adj: func() [][]int { return grid(4, 4) }, density: 0.4},
+		{name: "ring7-unaligned-steps", regions: 7, steps: 67, adj: func() [][]int { return ring(7) }, density: 0.15},
+		{name: "grid5x5-windowed", regions: 25, steps: 128, adj: func() [][]int { return grid(5, 5) }, density: 0.2,
+			lo: 25 * 40, hi: 25 * 90}, // features confined to steps [40, 90)
+		{name: "single-step", regions: 9, steps: 1, adj: func() [][]int { return grid(3, 3) }, density: 0.5},
+		{name: "word-boundary-steps", regions: 4, steps: 64, adj: func() [][]int { return grid(2, 2) }, density: 0.3},
+		{name: "word-boundary-plus1", regions: 4, steps: 65, adj: func() [][]int { return grid(2, 2) }, density: 0.3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := stgraph.New(tc.regions, tc.steps, tc.adj())
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(int64(len(tc.name))))
+			lo, hi := tc.lo, tc.hi
+			if hi == 0 {
+				lo, hi = 0, g.NumVertices()
+			}
+			a, b := denseSets(rng, g.NumVertices(), tc.density, lo, hi)
+			for _, kind := range []Kind{Restricted, Standard, Block} {
+				for _, workers := range []int{1, 4} {
+					for _, tau := range []float64{0.6, -0.35} {
+						checkKernelParity(t, a, b, g, tau, Config{
+							Permutations: 150, Seed: 23, Kind: kind, Workers: workers,
+						})
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestKernelParityOneSided covers feature sets with an entirely absent
+// sign (the bPosAny/bNegAny fast paths) and empty intersections.
+func TestKernelParityOneSided(t *testing.T) {
+	g, err := stgraph.New(9, 80, grid(3, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumVertices()
+	rng := rand.New(rand.NewSource(77))
+	mk := func(pos, neg bool) *feature.Set {
+		s := &feature.Set{Positive: bitvec.New(n), Negative: bitvec.New(n)}
+		for i := 0; i < 50; i++ {
+			if pos {
+				s.Positive.Set(rng.Intn(n))
+			}
+			if neg {
+				s.Negative.Set(rng.Intn(n))
+			}
+		}
+		return s
+	}
+	cases := []struct {
+		name string
+		a, b *feature.Set
+	}{
+		{"b-positive-only", mk(true, true), mk(true, false)},
+		{"b-negative-only", mk(true, true), mk(false, true)},
+		{"a-positive-only", mk(true, false), mk(true, true)},
+		{"disjoint-sides", mk(true, false), mk(false, true)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, kind := range []Kind{Restricted, Standard, Block} {
+				checkKernelParity(t, tc.a, tc.b, g, 0.4, Config{
+					Permutations: 120, Seed: 5, Kind: kind, Workers: 2,
+				})
+			}
+		})
+	}
+}
+
+func TestParseKernel(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Kernel
+	}{{"vector", VectorKernel}, {"scalar", ScalarKernel}} {
+		got, err := ParseKernel(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseKernel(%q) = %v, %v", tc.in, got, err)
+		}
+		if got.String() != tc.in {
+			t.Errorf("Kernel(%v).String() = %q, want %q", got, got.String(), tc.in)
+		}
+	}
+	if _, err := ParseKernel("simd"); err == nil {
+		t.Error("ParseKernel(simd) should fail")
+	}
+	if s := Kernel(99).String(); s != "montecarlo.Kernel(?)" {
+		t.Errorf("invalid kernel String() = %q", s)
+	}
+}
+
+// TestPermIntoMatchesRandPerm pins permInto to rand.Perm's exact draw
+// sequence (the vector kernel's allocation-free replacement must consume
+// the RNG identically or permutation streams silently diverge).
+func TestPermIntoMatchesRandPerm(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 63, 64, 100, 1000} {
+		want := rand.New(rand.NewSource(int64(n))).Perm(n)
+		buf := make([]int, n)
+		permInto(rand.New(rand.NewSource(int64(n))), buf)
+		for i := range want {
+			if buf[i] != want[i] {
+				t.Fatalf("n=%d: permInto[%d] = %d, rand.Perm = %d", n, i, buf[i], want[i])
+			}
+		}
+	}
+}
+
+// TestToroidalScratchMatchesPublic: the scratch-reusing toroidal builder
+// must consume the RNG and produce bijections exactly like the public
+// ToroidalShift (which now delegates to it with fresh scratch) across
+// repeated reuse of one scratch.
+func TestToroidalScratchMatchesPublic(t *testing.T) {
+	adj := grid(4, 5)
+	var sc shiftScratch
+	rngA := rand.New(rand.NewSource(13))
+	rngB := rand.New(rand.NewSource(13))
+	for i := 0; i < 20; i++ {
+		fresh := ToroidalShift(adj, rngA)
+		reused := sc.toroidal(adj, rngB)
+		if !isBijection(reused) {
+			t.Fatalf("iteration %d: scratch toroidal not a bijection", i)
+		}
+		for j := range fresh {
+			if fresh[j] != reused[j] {
+				t.Fatalf("iteration %d: perm[%d] = %d (scratch) vs %d (fresh)", i, j, reused[j], fresh[j])
+			}
+		}
+	}
+}
+
+// TestChunkSteadyStateAllocs asserts the tentpole's allocation contract:
+// after the first chunk sizes the scratch buffers, evaluating further
+// permutation chunks allocates nothing, for every Kind under both kernels.
+func TestChunkSteadyStateAllocs(t *testing.T) {
+	g, err := stgraph.New(16, 128, grid(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	a, b := denseSets(rng, g.NumVertices(), 0.1, 0, g.NumVertices())
+	for _, kind := range []Kind{Restricted, Standard, Block} {
+		for _, kernel := range []Kernel{VectorKernel, ScalarKernel} {
+			run := &testRun{
+				a: a, pos2: b.Positive.Ones(), neg2: b.Negative.Ones(),
+				g: g, tau: 0.9,
+				cfg: Config{Permutations: 200, Alpha: 0.05, Seed: 5, Kind: kind, Kernel: kernel},
+			}
+			if kernel == VectorKernel {
+				run.prep = newVectorPrep(a, b, g, kind)
+			}
+			sc := run.newScratch()
+			run.chunk(0, sc) // size the scratch buffers
+			if allocs := testing.AllocsPerRun(5, func() { run.chunk(1, sc) }); allocs != 0 {
+				t.Errorf("kind=%v kernel=%v: steady-state chunk allocates %.0f objects, want 0",
+					kind, kernel, allocs)
+			}
+		}
+	}
+}
+
+// FuzzKernelParity fuzzes domain shape, density, seed, Kind, and observed
+// tau, requiring byte-identical Results and tau streams from both kernels.
+func FuzzKernelParity(f *testing.F) {
+	f.Add(int64(1), uint8(3), uint8(3), uint8(50), uint8(30), uint8(0), false)
+	f.Add(int64(2), uint8(1), uint8(1), uint8(200), uint8(10), uint8(1), true)
+	f.Add(int64(3), uint8(4), uint8(2), uint8(64), uint8(80), uint8(2), false)
+	f.Add(int64(-9), uint8(5), uint8(5), uint8(65), uint8(50), uint8(0), true)
+	f.Fuzz(func(t *testing.T, seed int64, w, h, stepsB, densityB, kindB uint8, negTau bool) {
+		w = w%5 + 1
+		h = h%5 + 1
+		steps := int(stepsB)%200 + 1
+		var adj [][]int
+		if w*h == 1 {
+			adj = [][]int{nil}
+		} else {
+			adj = grid(int(w), int(h))
+		}
+		g, err := stgraph.New(int(w)*int(h), steps, adj)
+		if err != nil {
+			t.Skip()
+		}
+		density := 0.01 + float64(densityB%100)/110
+		rng := rand.New(rand.NewSource(seed))
+		a, b := denseSets(rng, g.NumVertices(), density, 0, g.NumVertices())
+		tau := 0.5
+		if negTau {
+			tau = -0.5
+		}
+		kind := Kind(kindB % 3)
+		checkKernelParity(t, a, b, g, tau, Config{
+			Permutations: 100, Seed: seed, Kind: kind, Workers: int(densityB % 3),
+		})
+	})
+}
+
+// BenchmarkShiftedTauKernel measures one permutation chunk (50
+// randomizations) per iteration on a 16x16-region hourly-resolution
+// domain, scalar vs vector, per Kind.
+func BenchmarkShiftedTauKernel(b *testing.B) {
+	g, err := stgraph.New(256, 1464, grid(16, 16))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	fa, fb := denseSets(rng, g.NumVertices(), 0.08, 0, g.NumVertices())
+	for _, kind := range []Kind{Restricted, Standard, Block} {
+		for _, kernel := range []Kernel{ScalarKernel, VectorKernel} {
+			b.Run(kind.String()+"/"+kernel.String(), func(b *testing.B) {
+				run := &testRun{
+					a: fa, pos2: fb.Positive.Ones(), neg2: fb.Negative.Ones(),
+					g: g, tau: 0.9,
+					cfg: Config{Permutations: permChunk, Alpha: 0.05, Seed: 1, Kind: kind, Kernel: kernel},
+				}
+				if kernel == VectorKernel {
+					run.prep = newVectorPrep(fa, fb, g, kind)
+				}
+				sc := run.newScratch()
+				run.chunk(0, sc)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					run.chunk(i%8, sc)
+				}
+			})
+		}
+	}
+}

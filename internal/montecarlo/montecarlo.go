@@ -17,14 +17,29 @@
 // P(X >= x*) is used, so both strongly negative and strongly positive
 // relationships can be significant. An observed score of zero is never
 // significant (p = 1).
+//
+// Two tau kernels evaluate the randomizations. The scalar kernel walks
+// function 2's feature vertices one at a time through the permutation map
+// and probes function 1's bit vectors per vertex; it is the direct
+// transcription of the paper's definition and stays in-tree as the
+// reference. The vector kernel (the default) transposes both feature sets
+// into lane-padded region-major bit vectors once per test, materializes
+// each randomization with word-level rotate/copy blits, and reads tau off
+// fused popcounts at 64 vertices per word. Both kernels consume identical
+// RNG streams and compute tau from identical integer counts, so their
+// p-values are byte-identical (pinned by TestKernelParity and
+// FuzzKernelParity).
 package montecarlo
 
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"math/rand"
+	"slices"
 	"sync"
 
+	"github.com/urbandata/datapolygamy/internal/bitvec"
 	"github.com/urbandata/datapolygamy/internal/feature"
 	"github.com/urbandata/datapolygamy/internal/obsv"
 	"github.com/urbandata/datapolygamy/internal/stgraph"
@@ -40,6 +55,8 @@ var (
 		"Permutations actually evaluated across all tests.")
 	mEarlyStops = obsv.NewCounter("polygamy_montecarlo_early_stops_total",
 		"Tests stopped by adaptive termination before the full permutation budget.")
+	mKernelPermutations = obsv.NewCounterVec("polygamy_mc_kernel_permutations_total",
+		"Permutations evaluated, by tau kernel.", "kernel")
 )
 
 // DefaultPermutations is the paper's |m| = 1,000 toroidal shifts.
@@ -79,6 +96,45 @@ func (k Kind) String() string {
 	}
 }
 
+// Kernel selects the tau evaluation strategy. Both kernels produce
+// byte-identical Results for every input, seed, Kind, and Workers value;
+// the choice is purely a performance knob, which is why it is excluded
+// from query cache signatures and never persisted in snapshots.
+type Kernel int
+
+const (
+	// VectorKernel (the default) evaluates tau with word-level bit blits
+	// and popcounts over lane-padded transposed feature vectors.
+	VectorKernel Kernel = iota
+	// ScalarKernel walks feature vertices one at a time — the reference
+	// implementation the vector kernel is differentially tested against.
+	ScalarKernel
+)
+
+// String implements fmt.Stringer.
+func (k Kernel) String() string {
+	switch k {
+	case VectorKernel:
+		return "vector"
+	case ScalarKernel:
+		return "scalar"
+	default:
+		return "montecarlo.Kernel(?)"
+	}
+}
+
+// ParseKernel maps "vector"/"scalar" to the Kernel constant.
+func ParseKernel(s string) (Kernel, error) {
+	switch s {
+	case "vector":
+		return VectorKernel, nil
+	case "scalar":
+		return ScalarKernel, nil
+	default:
+		return 0, fmt.Errorf("montecarlo: unknown kernel %q (want vector or scalar)", s)
+	}
+}
+
 // blockLength picks the temporal block size for Block permutations: about
 // fifty blocks, at least two steps each.
 func blockLength(nSteps int) int {
@@ -95,6 +151,7 @@ type Config struct {
 	Alpha        float64 // significance level; 0 => DefaultAlpha
 	Seed         int64   // RNG seed for reproducibility
 	Kind         Kind    // Restricted or Standard
+	Kernel       Kernel  // tau kernel; zero value is VectorKernel
 
 	// Workers is the number of goroutines evaluating permutation chunks;
 	// <= 1 runs sequentially. The permutations are partitioned into
@@ -136,49 +193,84 @@ type Result struct {
 	Shifts      int
 }
 
-// ToroidalShift builds a random bijection over the regions of a spatial
-// adjacency graph that preserves adjacency wherever possible: starting from
-// a random seed mapping m(u) = v, adjacent regions of u are assigned to
-// unused adjacent regions of v in breadth-first order; regions that cannot
-// be placed next to their image neighborhood fall back to a random unused
-// region (the graph analogue of wrapping an irregular domain onto a torus).
-func ToroidalShift(adj [][]int, rng *rand.Rand) []int {
+// shiftScratch holds the working state of one toroidal-shift construction,
+// reused across the randomizations of a permutation chunk so the
+// steady-state loop allocates nothing.
+type shiftScratch struct {
+	perm  []int
+	used  []uint64 // bitset of already-assigned image regions; bits >= n pre-set
+	queue []int
+	cands []int
+}
+
+// pickUnused returns a random unused region, probing cyclically from a
+// random start. The rng.Intn(n) draw and the returned region are identical
+// to the historical one-region-at-a-time probe — only one RNG value is
+// ever consumed — but the probe itself scans the used bitset a word at a
+// time, which matters late in the construction when most regions are
+// taken. Bits at and above n are pre-set by toroidal, so they are never
+// returned.
+func pickUnused(used []uint64, n int, rng *rand.Rand) int {
+	k := rng.Intn(n)
+	w := k / 64
+	free := ^used[w] &^ (1<<uint(k%64) - 1)
+	for i := 0; ; i++ {
+		if free != 0 {
+			return w*64 + bits.TrailingZeros64(free)
+		}
+		if i >= len(used) {
+			panic("montecarlo: no unused region left")
+		}
+		w++
+		if w == len(used) {
+			w = 0
+		}
+		free = ^used[w]
+	}
+}
+
+// toroidal builds the shift into sc's reusable buffers; the returned slice
+// aliases sc.perm and is valid until the next call. The RNG consumption is
+// identical to ToroidalShift's historical implementation — the same
+// pickUnused probes and candidate shuffles in the same order — which keeps
+// permutation streams byte-stable across releases.
+func (sc *shiftScratch) toroidal(adj [][]int, rng *rand.Rand) []int {
 	n := len(adj)
-	perm := make([]int, n)
+	nw := (n + 63) / 64
+	if cap(sc.perm) < n {
+		sc.perm = make([]int, n)
+		sc.used = make([]uint64, nw)
+		sc.queue = make([]int, 0, n)
+	}
+	perm := sc.perm[:n]
+	used := sc.used[:nw]
 	for i := range perm {
 		perm[i] = -1
 	}
-	used := make([]bool, n)
-	// unusedPool tracks fallback candidates lazily.
-	pickUnused := func() int {
-		k := rng.Intn(n)
-		for i := 0; i < n; i++ {
-			c := (k + i) % n
-			if !used[c] {
-				return c
-			}
-		}
-		panic("montecarlo: no unused region left")
+	for i := range used {
+		used[i] = 0
 	}
-	queue := make([]int, 0, n)
-	assign := func(u, v int) {
-		perm[u] = v
-		used[v] = true
-		queue = append(queue, u)
+	if tail := n % 64; tail != 0 {
+		used[nw-1] = ^uint64(0) << uint(tail) // out-of-range bits read as used
 	}
+	queue := sc.queue[:0]
+	cands := sc.cands[:0]
 	for start := 0; start < n; start++ {
 		if perm[start] >= 0 {
 			continue
 		}
-		assign(start, pickUnused())
+		v := pickUnused(used, n, rng)
+		perm[start] = v
+		used[v/64] |= 1 << uint(v%64)
+		queue = append(queue, start)
 		for head := len(queue) - 1; head < len(queue); head++ {
 			u := queue[head]
 			target := perm[u]
 			// Candidate images: unused neighbors of the image of u, in
 			// random order.
-			cands := make([]int, 0, len(adj[target]))
+			cands = cands[:0]
 			for _, w := range adj[target] {
-				if !used[w] {
+				if used[w/64]>>uint(w%64)&1 == 0 {
 					cands = append(cands, w)
 				}
 			}
@@ -188,31 +280,52 @@ func ToroidalShift(adj [][]int, rng *rand.Rand) []int {
 				if perm[up] >= 0 {
 					continue
 				}
+				var img int
 				if ci < len(cands) {
-					assign(up, cands[ci])
+					img = cands[ci]
 					ci++
 				} else {
-					assign(up, pickUnused())
+					img = pickUnused(used, n, rng)
 				}
+				perm[up] = img
+				used[img/64] |= 1 << uint(img%64)
+				queue = append(queue, up)
 			}
 		}
 	}
+	sc.queue = queue[:0]
+	sc.cands = cands[:0]
 	return perm
+}
+
+// ToroidalShift builds a random bijection over the regions of a spatial
+// adjacency graph that preserves adjacency wherever possible: starting from
+// a random seed mapping m(u) = v, adjacent regions of u are assigned to
+// unused adjacent regions of v in breadth-first order; regions that cannot
+// be placed next to their image neighborhood fall back to a random unused
+// region (the graph analogue of wrapping an irregular domain onto a torus).
+func ToroidalShift(adj [][]int, rng *rand.Rand) []int {
+	var sc shiftScratch
+	return sc.toroidal(adj, rng)
 }
 
 // AdjacencyPreserved returns the fraction of directed edges (u, u') whose
 // images remain adjacent under perm — a quality diagnostic for shifts.
+// Neighbor lists are sorted once and membership resolved by binary search,
+// so the cost is O(E log deg) rather than O(E·deg).
 func AdjacencyPreserved(adj [][]int, perm []int) float64 {
+	sorted := make([][]int, len(adj))
+	for i, nbrs := range adj {
+		s := slices.Clone(nbrs)
+		slices.Sort(s)
+		sorted[i] = s
+	}
 	total, kept := 0, 0
 	for u, nbrs := range adj {
 		for _, up := range nbrs {
 			total++
-			a, b := perm[u], perm[up]
-			for _, w := range adj[a] {
-				if w == b {
-					kept++
-					break
-				}
+			if _, ok := slices.BinarySearch(sorted[perm[u]], perm[up]); ok {
+				kept++
 			}
 		}
 	}
@@ -226,6 +339,7 @@ func AdjacencyPreserved(adj [][]int, perm []int) float64 {
 // function 1 and the features of function 2 transported by the vertex map
 // sigma (region permutation + time rotation). Only the (sparse) feature
 // vertices of function 2 are touched, keeping each randomization cheap.
+// This is the scalar reference kernel.
 func shiftedTau(a *feature.Set, pos2, neg2 []int, sigma func(v int) int) float64 {
 	var p, n, sigmaBoth int
 	visit := func(verts []int, positive bool) {
@@ -286,14 +400,27 @@ func (s *splitmix) Uint64() uint64 {
 
 func (s *splitmix) Int63() int64 { return int64(s.Uint64() >> 1) }
 
-// blockStepPerm builds the temporal bijection of one Block randomization:
-// the blocks [b*l, (b+1)*l) are laid out consecutively in the order given
-// by blockPerm, so when nSteps is not divisible by l the short tail block
-// simply occupies fewer output steps instead of wrapping onto steps owned
-// by another block. The result maps old step -> new step and is always a
-// bijection over [0, nSteps).
-func blockStepPerm(nSteps, l int, blockPerm []int) []int {
-	sp := make([]int, nSteps)
+// permInto fills buf with a uniform random permutation of [0, len(buf)),
+// consuming the RNG exactly as rand.Perm does (the inside-out Fisher-Yates
+// with one Intn(i+1) draw per element, in ascending order — locked by the
+// Go 1 compatibility promise and asserted by TestPermIntoMatchesRandPerm).
+// It is rand.Perm without the per-call allocation.
+func permInto(rng *rand.Rand, buf []int) {
+	for i := range buf {
+		j := rng.Intn(i + 1)
+		buf[i] = buf[j]
+		buf[j] = i
+	}
+}
+
+// blockStepPermInto builds the temporal bijection of one Block
+// randomization into sp: the blocks [b*l, (b+1)*l) are laid out
+// consecutively in the order given by blockPerm, so when len(sp) is not
+// divisible by l the short tail block simply occupies fewer output steps
+// instead of wrapping onto steps owned by another block. The result maps
+// old step -> new step and is always a bijection over [0, len(sp)).
+func blockStepPermInto(sp []int, l int, blockPerm []int) {
+	nSteps := len(sp)
 	pos := 0
 	for _, b := range blockPerm {
 		end := (b + 1) * l
@@ -305,6 +432,12 @@ func blockStepPerm(nSteps, l int, blockPerm []int) []int {
 			pos++
 		}
 	}
+}
+
+// blockStepPerm is blockStepPermInto with a freshly allocated result.
+func blockStepPerm(nSteps, l int, blockPerm []int) []int {
+	sp := make([]int, nSteps)
+	blockStepPermInto(sp, l, blockPerm)
 	return sp
 }
 
@@ -339,6 +472,292 @@ func foldCounts(counts []int, m, threshold int, exhaustive bool) (extreme, shift
 	return extreme, shifts
 }
 
+// vectorPrep is the per-test immutable state of the vector kernel: both
+// feature sets re-laid-out so that each randomization becomes a handful of
+// word-level blits and popcounts. It is built once per Test and shared
+// read-only by all worker goroutines.
+//
+// For Restricted and Block kinds the layout is the lane-padded transpose:
+// region r's time-run occupies the laneBits-bit lane starting at bit
+// r*laneBits, with laneBits = NumWords(nSteps)*64 so every lane starts on
+// a word boundary and the padding bits [nSteps, laneBits) are permanently
+// zero. A time rotation is then an in-lane bit rotation and a region shift
+// a lane-to-lane blit — no per-vertex index arithmetic. For Standard the
+// native vertex-major layout is already right; only the union mask is
+// precomputed.
+type vectorPrep struct {
+	laneBits int // nSteps rounded up to a multiple of 64
+
+	// Transposed masks (Restricted/Block): function 1's positive, negative
+	// and union sets, and function 2's positive/negative sets.
+	aPosT, aNegT, aAllT *bitvec.Vector
+	bPosT, bNegT        *bitvec.Vector
+
+	// aAllLane[r] reports whether function 1 has any feature in region r.
+	// A destination lane with no function-1 features contributes zero to
+	// every popcount no matter what lands there, so the kernel skips both
+	// the blit and the count for such lanes.
+	aAllLane []bool
+
+	// bPosLane[r] reports whether function 2 has any positive feature in
+	// region r — an all-zero source lane contributes nothing and is skipped.
+	bPosLane, bNegLane []bool
+
+	// bPosAny/bNegAny gate entire sides: a function with no negative
+	// features (common under one-tailed thresholds) skips the negative
+	// blit and popcount passes altogether.
+	bPosAny, bNegAny bool
+
+	aAllV *bitvec.Vector // vertex-major union of function 1 (Standard kind)
+}
+
+// transposeLanes re-lays v (vertex-major, vertex = step*R + region) into
+// region-major lane-padded form: bit r*laneBits + s for region r, step s.
+func transposeLanes(v *bitvec.Vector, g *stgraph.Graph, laneBits int) *bitvec.Vector {
+	out := bitvec.New(g.NumRegions() * laneBits)
+	for _, vtx := range v.Ones() {
+		r, s := g.RegionStep(vtx)
+		out.Set(r*laneBits + s)
+	}
+	return out
+}
+
+// laneAny reports per region whether its lane holds any set bit.
+func laneAny(v *bitvec.Vector, nRegions, laneBits int) []bool {
+	out := make([]bool, nRegions)
+	for r := range out {
+		out[r] = v.AnyRange(r*laneBits, (r+1)*laneBits)
+	}
+	return out
+}
+
+func newVectorPrep(a, b *feature.Set, g *stgraph.Graph, kind Kind) *vectorPrep {
+	p := &vectorPrep{
+		laneBits: bitvec.NumWords(g.NumSteps()) * 64,
+		bPosAny:  b.Positive.Any(),
+		bNegAny:  b.Negative.Any(),
+	}
+	if kind == Standard {
+		p.aAllV = a.All()
+		return p
+	}
+	p.aPosT = transposeLanes(a.Positive, g, p.laneBits)
+	p.aNegT = transposeLanes(a.Negative, g, p.laneBits)
+	p.aAllT = p.aPosT.Or(p.aNegT)
+	R := g.NumRegions()
+	p.aAllLane = laneAny(p.aAllT, R, p.laneBits)
+	if p.bPosAny {
+		p.bPosT = transposeLanes(b.Positive, g, p.laneBits)
+		p.bPosLane = laneAny(p.bPosT, R, p.laneBits)
+	}
+	if p.bNegAny {
+		p.bNegT = transposeLanes(b.Negative, g, p.laneBits)
+		p.bNegLane = laneAny(p.bNegT, R, p.laneBits)
+	}
+	return p
+}
+
+// scratch is the per-worker mutable state of a test run: a reseedable RNG
+// and the permutation/output buffers every randomization writes into. One
+// scratch is built per goroutine per Test, so the steady-state permutation
+// loop allocates nothing (asserted by TestChunkSteadyStateAllocs).
+type scratch struct {
+	src splitmix
+	rng *rand.Rand
+
+	perm     []int // Standard: vertex perm; Block: block perm
+	stepPerm []int // scalar Block kernel: materialized step bijection
+	shift    shiftScratch
+
+	// Vector kernel outputs: function 2's permuted positive/negative
+	// vectors (transposed layout for Restricted/Block, vertex-major for
+	// Standard). Nil when the corresponding side has no features.
+	permPos, permNeg *bitvec.Vector
+}
+
+func (sc *scratch) intBuf(n int) []int {
+	if cap(sc.perm) < n {
+		sc.perm = make([]int, n)
+	}
+	return sc.perm[:n]
+}
+
+func (sc *scratch) stepBuf(n int) []int {
+	if cap(sc.stepPerm) < n {
+		sc.stepPerm = make([]int, n)
+	}
+	return sc.stepPerm[:n]
+}
+
+// newScratch sizes a worker's scratch for this run. The RNG wraps the
+// scratch's own splitmix source; chunk reseeding just overwrites the
+// source state, which yields the same stream as a freshly constructed
+// rand.New for that seed.
+func (t *testRun) newScratch() *scratch {
+	sc := &scratch{}
+	sc.rng = rand.New(&sc.src)
+	if t.prep != nil {
+		n := t.a.NumVertices()
+		if t.cfg.Kind != Standard {
+			n = t.g.NumRegions() * t.prep.laneBits
+		}
+		if t.prep.bPosAny {
+			sc.permPos = bitvec.New(n)
+		}
+		if t.prep.bNegAny {
+			sc.permNeg = bitvec.New(n)
+		}
+	}
+	return sc
+}
+
+// tauFromCounts turns the fused popcount tallies into tau. With
+// pp = |sigma(pos2) ∩ aPos|, bp = |sigma(pos2) ∩ aAll| (and pn/bn the
+// negative-side mirrors), the scalar kernel's tallies are p = pp + pn,
+// |Σ| = bp + bn, n = |Σ| - p: a positive feature of function 2 landing on
+// a positive feature of function 1 counts toward p even when the vertex is
+// also negative, exactly like the scalar branch `(positive && inPos)`.
+// Identical integer counts make the float64 division bit-identical.
+func tauFromCounts(pp, pn, bp, bn int) float64 {
+	sigmaBoth := bp + bn
+	if sigmaBoth == 0 {
+		return 0
+	}
+	p := pp + pn
+	n := sigmaBoth - p
+	return float64(p-n) / float64(sigmaBoth)
+}
+
+// countTau is the whole-vector variant of tauFromCounts used by the
+// Standard kernel, whose uniform vertex permutation has no lane structure
+// to exploit.
+func (t *testRun) countTau(sc *scratch, aPos, aNeg, aAll *bitvec.Vector) float64 {
+	var pp, bp, pn, bn int
+	if t.prep.bPosAny {
+		pp, bp = sc.permPos.AndCount2(aPos, aAll)
+	}
+	if t.prep.bNegAny {
+		pn, bn = sc.permNeg.AndCount2(aNeg, aAll)
+	}
+	return tauFromCounts(pp, pn, bp, bn)
+}
+
+// vectorTauRestricted materializes one Restricted randomization: region r
+// of function 2 is blitted to lane spatPerm[r] (identity when spatPerm is
+// nil), rotated by rot steps over the temporal circle, and the lane's
+// contribution is counted immediately while its words are cache-hot.
+//
+// Lanes are skipped entirely — neither blitted nor counted — when the
+// source lane of function 2 or the destination lane of function 1 is
+// empty: an empty source contributes no set bits and an empty destination
+// zeroes every AND no matter what lands there. Skipped destination lanes
+// may therefore hold stale bits from earlier randomizations, which is safe
+// precisely because a lane is only ever counted in the same iteration that
+// overwrote it. Padding bits [nSteps, laneBits) are never written and stay
+// zero forever.
+func (t *testRun) vectorTauRestricted(sc *scratch, spatPerm []int, rot int) float64 {
+	p := t.prep
+	R, S, lb := t.g.NumRegions(), t.g.NumSteps(), p.laneBits
+	var pp, bp, pn, bn int
+	for r := 0; r < R; r++ {
+		dst := r
+		if spatPerm != nil {
+			dst = spatPerm[r]
+		}
+		if !p.aAllLane[dst] {
+			continue
+		}
+		off := dst * lb
+		if p.bPosAny && p.bPosLane[r] {
+			sc.permPos.RotateRange(p.bPosT, r*lb, off, S, rot)
+			cp, cb := sc.permPos.AndCount2Range(p.aPosT, p.aAllT, off, off+lb)
+			pp += cp
+			bp += cb
+		}
+		if p.bNegAny && p.bNegLane[r] {
+			sc.permNeg.RotateRange(p.bNegT, r*lb, off, S, rot)
+			cn, cb := sc.permNeg.AndCount2Range(p.aNegT, p.aAllT, off, off+lb)
+			pn += cn
+			bn += cb
+		}
+	}
+	return tauFromCounts(pp, pn, bp, bn)
+}
+
+// vectorTauBlock materializes one Block randomization: within each source
+// lane the temporal blocks are laid out consecutively in blockPerm order
+// (piecewise word copies — the blocks partition [0, nSteps), so the whole
+// destination lane is overwritten), then the lane lands at spatPerm[r] and
+// is counted in place. Lane skipping and staleness follow the same
+// argument as vectorTauRestricted.
+func (t *testRun) vectorTauBlock(sc *scratch, spatPerm, blockPerm []int, l int) float64 {
+	p := t.prep
+	R, S, lb := t.g.NumRegions(), t.g.NumSteps(), p.laneBits
+	var pp, bp, pn, bn int
+	for r := 0; r < R; r++ {
+		dst := r
+		if spatPerm != nil {
+			dst = spatPerm[r]
+		}
+		if !p.aAllLane[dst] {
+			continue
+		}
+		doPos := p.bPosAny && p.bPosLane[r]
+		doNeg := p.bNegAny && p.bNegLane[r]
+		if !doPos && !doNeg {
+			continue
+		}
+		off := dst * lb
+		pos := 0
+		for _, b := range blockPerm {
+			lo := b * l
+			hi := lo + l
+			if hi > S {
+				hi = S
+			}
+			if doPos {
+				sc.permPos.CopyRange(p.bPosT, r*lb+lo, off+pos, hi-lo)
+			}
+			if doNeg {
+				sc.permNeg.CopyRange(p.bNegT, r*lb+lo, off+pos, hi-lo)
+			}
+			pos += hi - lo
+		}
+		if doPos {
+			cp, cb := sc.permPos.AndCount2Range(p.aPosT, p.aAllT, off, off+lb)
+			pp += cp
+			bp += cb
+		}
+		if doNeg {
+			cn, cb := sc.permNeg.AndCount2Range(p.aNegT, p.aAllT, off, off+lb)
+			pn += cn
+			bn += cb
+		}
+	}
+	return tauFromCounts(pp, pn, bp, bn)
+}
+
+// vectorTauStandard materializes one Standard randomization by scattering
+// function 2's feature vertices through the vertex permutation into
+// vertex-major scratch vectors (reset per call — a uniform perm has no
+// lane structure to overwrite in place).
+func (t *testRun) vectorTauStandard(sc *scratch, vertPerm []int) float64 {
+	p := t.prep
+	if p.bPosAny {
+		sc.permPos.Reset()
+		for _, v := range t.pos2 {
+			sc.permPos.Set(vertPerm[v])
+		}
+	}
+	if p.bNegAny {
+		sc.permNeg.Reset()
+		for _, v := range t.neg2 {
+			sc.permNeg.Set(vertPerm[v])
+		}
+	}
+	return t.countTau(sc, t.a.Positive, t.a.Negative, p.aAllV)
+}
+
 // Test runs the Monte Carlo significance test for the relationship between
 // two feature sets on the shared domain graph g, given the observed score
 // tauObserved.
@@ -363,6 +782,17 @@ func foldCounts(counts []int, m, threshold int, exhaustive bool) (extreme, shift
 // stopped tests report the conservative p-value of the truncated stream
 // over Result.Shifts permutations.
 func Test(a, b *feature.Set, g *stgraph.Graph, tauObserved float64, cfg Config) Result {
+	return test(a, b, g, tauObserved, cfg, nil)
+}
+
+// test is Test with an optional per-permutation tau sink, the hook the
+// kernel-parity tests use to compare the full tau streams of both kernels
+// (not just the folded Results). sink is called with the global
+// permutation index; under Workers > 1 calls arrive concurrently from
+// multiple goroutines and may cover chunks past the adaptive stopping
+// point (in-flight work), so parity tests compare streams in Exhaustive
+// mode.
+func test(a, b *feature.Set, g *stgraph.Graph, tauObserved float64, cfg Config, sink func(perm int, tau float64)) Result {
 	cfg = cfg.withDefaults()
 	if a.NumVertices() != g.NumVertices() || b.NumVertices() != g.NumVertices() {
 		panic(fmt.Sprintf("montecarlo: feature sets (%d, %d vertices) do not match graph (%d)",
@@ -374,11 +804,19 @@ func Test(a, b *feature.Set, g *stgraph.Graph, tauObserved float64, cfg Config) 
 	}
 	run := &testRun{
 		a:    a,
-		pos2: b.Positive.Ones(),
-		neg2: b.Negative.Ones(),
 		g:    g,
 		tau:  tauObserved,
 		cfg:  cfg,
+		sink: sink,
+	}
+	if cfg.Kernel == VectorKernel {
+		run.prep = newVectorPrep(a, b, g, cfg.Kind)
+	}
+	if run.prep == nil || cfg.Kind == Standard {
+		// The lane kernels never walk individual vertices, so skip
+		// materializing the index slices for them.
+		run.pos2 = b.Positive.Ones()
+		run.neg2 = b.Negative.Ones()
 	}
 	nChunks := (cfg.Permutations + permChunk - 1) / permChunk
 	threshold := stopThreshold(cfg.Alpha, cfg.Permutations)
@@ -386,9 +824,10 @@ func Test(a, b *feature.Set, g *stgraph.Graph, tauObserved float64, cfg Config) 
 	if w := min(cfg.Workers, nChunks); w > 1 {
 		run.parallel(w, counts, threshold)
 	} else {
+		sc := run.newScratch()
 		ex := 0
 		for ci := range counts {
-			counts[ci] = run.chunk(ci)
+			counts[ci] = run.chunk(ci, sc)
 			ex += counts[ci]
 			if !cfg.Exhaustive && ex >= threshold {
 				break
@@ -399,6 +838,7 @@ func Test(a, b *feature.Set, g *stgraph.Graph, tauObserved float64, cfg Config) 
 	p := float64(1+extreme) / float64(1+shifts)
 	mTests.Inc()
 	mPermutations.Add(uint64(shifts))
+	mKernelPermutations.With(cfg.Kernel.String()).Add(uint64(shifts))
 	if shifts < cfg.Permutations {
 		mEarlyStops.Inc()
 	}
@@ -444,8 +884,9 @@ func (t *testRun) parallel(w int, counts []int, threshold int) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			sc := t.newScratch()
 			for ci := range idx {
-				report(ci, t.chunk(ci))
+				report(ci, t.chunk(ci, sc))
 			}
 		}()
 	}
@@ -472,13 +913,20 @@ type testRun struct {
 	g          *stgraph.Graph
 	tau        float64
 	cfg        Config
+	prep       *vectorPrep // nil => scalar kernel
+	sink       func(perm int, tau float64)
 }
 
 // chunk counts the extreme randomizations among permutation indices
 // [ci*permChunk, min((ci+1)*permChunk, |m|)) using the chunk's own
-// deterministically seeded RNG.
-func (t *testRun) chunk(ci int) int {
-	rng := rand.New(&splitmix{state: uint64(chunkSeed(t.cfg.Seed, ci))})
+// deterministically seeded RNG stream from sc. The random draws — vertex
+// or block permutation, time rotation, toroidal shift — happen on one
+// shared path in the historical order, so both kernels (and any future
+// one) consume identical streams by construction; only the tau evaluation
+// branches on the kernel.
+func (t *testRun) chunk(ci int, sc *scratch) int {
+	sc.src.state = uint64(chunkSeed(t.cfg.Seed, ci))
+	rng := sc.rng
 	g := t.g
 	nRegions := g.NumRegions()
 	nSteps := g.NumSteps()
@@ -488,51 +936,66 @@ func (t *testRun) chunk(ci int) int {
 		n = permChunk
 	}
 	extreme := 0
-	var fullPerm []int // reused for Standard mode
 	for k := 0; k < n; k++ {
-		var sigma func(v int) int
+		var tauK float64
 		switch t.cfg.Kind {
 		case Standard:
-			if fullPerm == nil {
-				fullPerm = make([]int, nVerts)
+			perm := sc.intBuf(nVerts)
+			permInto(rng, perm)
+			if t.prep != nil {
+				tauK = t.vectorTauStandard(sc, perm)
+			} else {
+				tauK = shiftedTau(t.a, t.pos2, t.neg2, func(v int) int { return perm[v] })
 			}
-			copy(fullPerm, rng.Perm(nVerts))
-			perm := fullPerm
-			sigma = func(v int) int { return perm[v] }
 		case Block:
 			l := blockLength(nSteps)
 			nBlocks := (nSteps + l - 1) / l
-			stepPerm := blockStepPerm(nSteps, l, rng.Perm(nBlocks))
+			blockPerm := sc.intBuf(nBlocks)
+			permInto(rng, blockPerm)
 			var spatPerm []int
 			if nRegions > 1 {
-				spatPerm = ToroidalShift(g.SpatialAdjacency(), rng)
+				spatPerm = sc.shift.toroidal(g.SpatialAdjacency(), rng)
 			}
-			sigma = func(v int) int {
-				r, s := g.RegionStep(v)
-				if spatPerm != nil {
-					r = spatPerm[r]
-				}
-				return g.Vertex(r, stepPerm[s])
+			if t.prep != nil {
+				tauK = t.vectorTauBlock(sc, spatPerm, blockPerm, l)
+			} else {
+				stepPerm := sc.stepBuf(nSteps)
+				blockStepPermInto(stepPerm, l, blockPerm)
+				tauK = shiftedTau(t.a, t.pos2, t.neg2, func(v int) int {
+					r, s := g.RegionStep(v)
+					if spatPerm != nil {
+						r = spatPerm[r]
+					}
+					return g.Vertex(r, stepPerm[s])
+				})
 			}
 		default: // Restricted
 			rot := 0
 			if nSteps > 1 {
 				rot = 1 + rng.Intn(nSteps-1)
 			}
+			var spatPerm []int
 			if nRegions > 1 {
-				perm := ToroidalShift(g.SpatialAdjacency(), rng)
-				sigma = func(v int) int {
+				spatPerm = sc.shift.toroidal(g.SpatialAdjacency(), rng)
+			}
+			if t.prep != nil {
+				tauK = t.vectorTauRestricted(sc, spatPerm, rot)
+			} else if spatPerm != nil {
+				perm := spatPerm
+				tauK = shiftedTau(t.a, t.pos2, t.neg2, func(v int) int {
 					r, s := g.RegionStep(v)
 					return g.Vertex(perm[r], (s+rot)%nSteps)
-				}
+				})
 			} else {
-				sigma = func(v int) int {
+				tauK = shiftedTau(t.a, t.pos2, t.neg2, func(v int) int {
 					_, s := g.RegionStep(v)
 					return g.Vertex(0, (s+rot)%nSteps)
-				}
+				})
 			}
 		}
-		tauK := shiftedTau(t.a, t.pos2, t.neg2, sigma)
+		if t.sink != nil {
+			t.sink(ci*permChunk+k, tauK)
+		}
 		if (t.tau < 0 && tauK <= t.tau) || (t.tau > 0 && tauK >= t.tau) {
 			extreme++
 		}
